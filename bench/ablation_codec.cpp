@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation — gradient compression (Sec. II-D "Gradient Compression"):
+ * no compression vs the paper's lossless one-bit scheme [22] vs top-k
+ * sparsification (the [38] family). The paper argues compression is
+ * "indeed essential" over wireless — and that even with it, the
+ * straggler effect persists.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Ablation: gradient compression codecs");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+
+    Table wire("Wire volume per full model sync",
+               {"codec", "bytes", "vs raw"});
+    const double raw = core::modelWireBytes(
+        workload, core::Granularity::Row, "identity");
+    for (const char *codec : {"identity", "onebit", "topk"}) {
+        const double bytes = core::modelWireBytes(
+            workload, core::Granularity::Row, codec);
+        wire.addRow({codec, Table::num(bytes, 0),
+                     Table::num(100.0 * bytes / raw, 1) + "%"});
+    }
+    wire.printText(std::cout);
+
+    auto ecfg = bench::paperExperiment(stats::Environment::Outdoor, 300);
+    Table t("ROG-4 / SSP-4 outdoors by codec",
+            {"system", "codec", "comm_s", "stall_s", "sec_per_iter",
+             "acc@20min", "final_acc"});
+    for (const auto &sys :
+         {core::SystemConfig::ssp(4), core::SystemConfig::rog(4)}) {
+        for (const char *codec : {"identity", "onebit", "topk"}) {
+            core::EngineConfig engine;
+            engine.system = sys;
+            engine.iterations = ecfg.iterations;
+            engine.eval_every = ecfg.eval_every;
+            engine.codec = codec;
+            const auto network = stats::makeNetwork(workload, ecfg);
+            auto res =
+                core::runDistributedTraining(workload, engine, network);
+            const auto curve = stats::mergeCheckpoints(res);
+            double comp, comm, stall;
+            res.meanTimeComposition(comp, comm, stall);
+            t.addRow({res.system, codec, Table::num(comm, 2),
+                      Table::num(stall, 2),
+                      Table::num(comp + comm + stall, 2),
+                      Table::num(stats::metricAtTime(curve, 1200.0), 2),
+                      Table::num(curve.back().mean_metric, 2)});
+        }
+    }
+    t.printText(std::cout);
+    std::cout << "(the network is calibrated against the one-bit "
+                 "volume, so 'identity' shows the paper's point: "
+                 "uncompressed training is communication-crushed)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation — the granularity choice of Sec. III-A: elements vs rows vs
+ * layers vs whole model, all running the same ATP scheduling.
+ *
+ * Paper's argument: element granularity doubles the wire volume
+ * (index per element); layer granularity is too coarse to dodge
+ * bandwidth fluctuation; rows best trade off management cost and
+ * transmission flexibility.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/flat_model.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Ablation: synchronization granularity (Sec. III-A)");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+
+    // Static management-cost table.
+    Table wire("Index/management overhead by granularity",
+               {"granularity", "units", "wire_bytes",
+                "vs whole-model", "index_overhead_vs_raw_pct"});
+    {
+        auto replica = workload.buildReplica();
+        core::FlatModel flat(*replica);
+        const double whole_bytes = core::modelWireBytes(
+            workload, core::Granularity::WholeModel, "onebit");
+        for (auto g :
+             {core::Granularity::WholeModel, core::Granularity::Layer,
+              core::Granularity::Row, core::Granularity::Element}) {
+            core::RowPartition part(flat, g);
+            const double bytes =
+                core::modelWireBytes(workload, g, "onebit");
+            wire.addRow({std::string(core::granularityName(g)),
+                         std::to_string(part.unitCount()),
+                         Table::num(bytes, 0),
+                         Table::num(bytes / whole_bytes, 2) + "x",
+                         Table::num(100.0 * part.indexOverheadFraction(),
+                                    2)});
+        }
+    }
+    wire.printText(std::cout);
+
+    // Dynamic comparison: ATP at each granularity, outdoors.
+    auto cfg = bench::paperExperiment(stats::Environment::Outdoor, 250);
+    std::vector<core::SystemConfig> systems;
+    for (auto g : {core::Granularity::Layer, core::Granularity::Row,
+                   core::Granularity::Element}) {
+        core::SystemConfig sys = core::SystemConfig::rog(4);
+        sys.granularity = g;
+        sys.name = "ATP-" + std::string(core::granularityName(g));
+        systems.push_back(sys);
+    }
+    systems.push_back(core::SystemConfig::ssp(4)); // whole-model ref.
+
+    const auto runs = stats::runSystems(workload, systems, cfg);
+    stats::timeCompositionTable(
+        "Time composition by granularity (outdoor)", runs)
+        .printText(std::cout);
+    stats::summaryTable("Granularity summary", runs, 1200.0, 70.0,
+                        false)
+        .printText(std::cout);
+    return 0;
+}

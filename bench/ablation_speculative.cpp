@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation — speculative transmission (Sec. III-A "Technically..."):
+ * ROG's continuous transmission with timeout-discard vs the rejected
+ * alternative of inserting a judgement ("has the MTA time passed?")
+ * between every two successive rows, whose cost is empirically
+ * comparable to transmitting one row and under-utilizes the channel.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Ablation: speculative transmission vs judgement "
+                  "insertion");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto base = bench::paperExperiment(stats::Environment::Outdoor, 300);
+
+    // Judgement cost comparable to one row's transmission time at the
+    // calibrated mean bandwidth (the paper's observation).
+    const double wire_row =
+        core::modelWireBytes(workload, core::Granularity::Row,
+                             "onebit") /
+        static_cast<double>(workload.buildReplica()->rowCount());
+    const double mean_bw = core::calibratedMeanBandwidth(
+        core::modelWireBytes(workload, core::Granularity::WholeModel,
+                             "onebit"),
+        4);
+    const double row_time = wire_row / (mean_bw / 4.0);
+
+    struct Variant
+    {
+        const char *name;
+        double judgement_s;
+    };
+    const Variant variants[] = {
+        {"speculative (ROG)", 0.0},
+        {"judgement 1x row-time", row_time},
+        {"judgement 4x row-time", 4.0 * row_time},
+    };
+
+    Table t("Speculative transmission ablation",
+            {"variant", "judgement_s", "comm_s", "stall_s",
+             "sec_per_iter", "acc@20min"});
+    for (const auto &v : variants) {
+        core::EngineConfig engine;
+        engine.system = core::SystemConfig::rog(4);
+        engine.iterations = base.iterations;
+        engine.eval_every = base.eval_every;
+        engine.per_unit_judgement_seconds = v.judgement_s;
+        const auto network = stats::makeNetwork(workload, base);
+        auto result =
+            core::runDistributedTraining(workload, engine, network);
+        const auto curve = stats::mergeCheckpoints(result);
+        double comp, comm, stall;
+        result.meanTimeComposition(comp, comm, stall);
+        t.addRow({v.name, Table::num(v.judgement_s, 4),
+                  Table::num(comm, 3), Table::num(stall, 3),
+                  Table::num(comp + comm + stall, 3),
+                  Table::num(stats::metricAtTime(curve, 1200.0), 2)});
+    }
+    t.printText(std::cout);
+    std::cout << "(speculative transmission keeps the channel busy; "
+                 "judgement insertion wastes airtime per row)\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared configuration for the benchmark binaries that regenerate the
+ * paper's tables and figures.
+ *
+ * Every bench prints (a) aligned text tables mirroring the paper's
+ * panels and (b) CSV series for replotting. Set ROG_BENCH_FAST=1 to
+ * shrink iteration counts ~4x for smoke runs.
+ */
+#ifndef ROG_BENCH_BENCH_UTIL_HPP
+#define ROG_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "core/workloads.hpp"
+#include "stats/experiment.hpp"
+
+namespace rog {
+namespace bench {
+
+/** True when ROG_BENCH_FAST=1 (CI smoke mode). */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("ROG_BENCH_FAST");
+    return v && std::string(v) == "1";
+}
+
+/** Scale an iteration count down in fast mode. */
+inline std::size_t
+iters(std::size_t full)
+{
+    return fastMode() ? std::max<std::size_t>(full / 4, 40) : full;
+}
+
+/** The paper's standard CRUDA workload (4 robots, non-IID shards). */
+inline core::CrudaWorkloadConfig
+paperCruda(std::size_t workers = 4)
+{
+    core::CrudaWorkloadConfig cfg;
+    cfg.workers = workers;
+    return cfg;
+}
+
+/** The paper's standard CRIMP workload. */
+inline core::CrimpWorkloadConfig
+paperCrimp(std::size_t workers = 4)
+{
+    core::CrimpWorkloadConfig cfg;
+    cfg.workers = workers;
+    return cfg;
+}
+
+/** The six systems of Fig. 1 / 6 / 7. */
+inline std::vector<core::SystemConfig>
+paperSystems()
+{
+    return {core::SystemConfig::bsp(),        core::SystemConfig::ssp(4),
+            core::SystemConfig::ssp(20),      core::SystemConfig::flownSystem(),
+            core::SystemConfig::rog(4),       core::SystemConfig::rog(20)};
+}
+
+/** Standard experiment config for an environment. */
+inline stats::ExperimentConfig
+paperExperiment(stats::Environment env, std::size_t iterations)
+{
+    stats::ExperimentConfig cfg;
+    cfg.env = env;
+    cfg.iterations = iters(iterations);
+    cfg.eval_every = 50;
+    cfg.time_horizon_seconds = 1e9; // iteration-bounded runs.
+    return cfg;
+}
+
+/** Banner separating bench sections in combined output. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n################ " << title << " ################\n";
+}
+
+} // namespace bench
+} // namespace rog
+
+#endif // ROG_BENCH_BENCH_UTIL_HPP

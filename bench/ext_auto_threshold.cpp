@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Extension — automatic threshold selection (Sec. VI-C future work):
+ * ROG with a stall-budget feedback controller over the RSP threshold,
+ * against fixed thresholds, in both environments. The controller
+ * should track the best fixed threshold per environment without being
+ * told which environment it is in.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Extension: automatic staleness threshold");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+
+    for (auto env :
+         {stats::Environment::Indoor, stats::Environment::Outdoor}) {
+        auto ecfg = bench::paperExperiment(env, 400);
+        Table t("Auto threshold vs fixed (" +
+                    stats::environmentName(env) + ")",
+                {"system", "sec_per_iter", "stall_s", "acc@20min",
+                 "final_acc"});
+        auto run_one = [&](const core::SystemConfig &sys, bool autot) {
+            core::EngineConfig engine;
+            engine.system = sys;
+            engine.iterations = ecfg.iterations;
+            engine.eval_every = ecfg.eval_every;
+            engine.auto_threshold = autot;
+            const auto network = stats::makeNetwork(workload, ecfg);
+            auto res =
+                core::runDistributedTraining(workload, engine, network);
+            const auto curve = stats::mergeCheckpoints(res);
+            double comp, comm, stall;
+            res.meanTimeComposition(comp, comm, stall);
+            t.addRow({autot ? sys.name + "-auto" : sys.name,
+                      Table::num(comp + comm + stall, 2),
+                      Table::num(stall, 3),
+                      Table::num(stats::metricAtTime(curve, 1200.0), 2),
+                      Table::num(curve.back().mean_metric, 2)});
+        };
+        run_one(core::SystemConfig::rog(4), false);
+        run_one(core::SystemConfig::rog(20), false);
+        run_one(core::SystemConfig::rog(4), true);
+        t.printText(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Extension — robot churn: a team member's battery dies mid-mission
+ * (the failure mode the paper's artifact guards against by keeping
+ * devices charged, Sec. VI-D / Appendix G). A departing worker retires
+ * from the RSP gate, so the survivors must keep training without
+ * stalling on its frozen versions — in every system.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Extension: robot churn (one robot dies mid-run)");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto ecfg = bench::paperExperiment(stats::Environment::Outdoor, 300);
+
+    Table t("One robot departs at t=600s (outdoor)",
+            {"system", "churn", "survivor_iters", "departed_iters",
+             "sec_per_iter", "final_acc"});
+    for (const auto &sys :
+         {core::SystemConfig::bsp(), core::SystemConfig::ssp(4),
+          core::SystemConfig::rog(4)}) {
+        for (bool churn : {false, true}) {
+            core::EngineConfig engine;
+            engine.system = sys;
+            engine.iterations = ecfg.iterations;
+            engine.eval_every = ecfg.eval_every;
+            if (churn)
+                engine.worker_departure_times = {1e12, 1e12, 1e12,
+                                                 600.0};
+            const auto network = stats::makeNetwork(workload, ecfg);
+            auto res =
+                core::runDistributedTraining(workload, engine, network);
+            const auto curve = stats::mergeCheckpoints(res);
+            double comp, comm, stall;
+            res.meanTimeComposition(comp, comm, stall);
+            double best = 0.0;
+            for (const auto &c : res.checkpoints)
+                best = std::max(best, c.metric);
+            t.addRow({res.system, churn ? "yes" : "no",
+                      std::to_string(res.worker_iterations[0]),
+                      std::to_string(res.worker_iterations[3]),
+                      Table::num(comp + comm + stall, 2),
+                      Table::num(best, 2)});
+        }
+    }
+    t.printText(std::cout);
+    std::cout << "(survivors finish all iterations; losing a robot "
+                 "costs gradient volume, not liveness)\n";
+    return 0;
+}

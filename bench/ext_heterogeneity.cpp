@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension — heterogeneous compute and dynamic batching (Sec. VI /
+ * ref. [49]): the paper's testbed mixes Jetson robots with weaker
+ * laptops and equalizes per-iteration compute with dynamic batching.
+ * This bench quantifies what that buys: without it, slow devices are
+ * *compute* stragglers and BSP stalls even on a stable network.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dynamic_batching.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Extension: heterogeneous devices + dynamic batching");
+
+    // Three Jetson-class robots + two weaker laptops (paper's mix):
+    // per-sample compute costs chosen so the Jetson at batch 24 costs
+    // ~2.18 s (Table II) and a laptop is ~1.7x slower.
+    const std::vector<double> speeds = {0.0908, 0.0908, 0.0908, 0.154,
+                                        0.154};
+
+    Table split("Dynamic batch split (total 5 x 20 = 100 samples)",
+                {"policy", "batches", "per-device compute_s",
+                 "iteration_s", "imbalance"});
+    for (bool dynamic : {true, false}) {
+        const auto a = dynamic
+            ? core::assignDynamicBatches(speeds, 100)
+            : core::assignUniformBatches(speeds, 100);
+        std::string batches, times;
+        for (std::size_t i = 0; i < a.batch_sizes.size(); ++i) {
+            batches += (i ? "/" : "") + std::to_string(a.batch_sizes[i]);
+            times += (i ? "/" : "") + Table::num(a.compute_seconds[i], 2);
+        }
+        split.addRow({dynamic ? "dynamic [49]" : "uniform", batches,
+                      times, Table::num(a.iteration_seconds, 2),
+                      Table::num(a.imbalance, 2)});
+    }
+    split.printText(std::cout);
+
+    // End-to-end effect on BSP and ROG over the outdoor network.
+    core::CrudaWorkloadConfig wcfg;
+    wcfg.workers = 5;
+    core::CrudaWorkload workload(wcfg);
+    // Stable network isolates the *compute* straggler effect that
+    // dynamic batching removes (outdoors it drowns in network stall).
+    auto ecfg = bench::paperExperiment(stats::Environment::Stable, 250);
+
+    Table t("BSP/ROG-4 with heterogeneous devices (stable network)",
+            {"system", "batching", "compute_s", "comm_s", "stall_s",
+             "sec_per_iter"});
+    for (const auto &sys :
+         {core::SystemConfig::bsp(), core::SystemConfig::rog(4)}) {
+        for (bool dynamic : {true, false}) {
+            core::EngineConfig engine;
+            engine.system = sys;
+            engine.iterations = ecfg.iterations;
+            engine.eval_every = 1000;
+            engine.heterogeneous_seconds_per_sample = speeds;
+            engine.dynamic_batching = dynamic;
+            const auto network = stats::makeNetwork(workload, ecfg);
+            const auto res =
+                core::runDistributedTraining(workload, engine, network);
+            double comp, comm, stall;
+            res.meanTimeComposition(comp, comm, stall);
+            t.addRow({res.system, dynamic ? "dynamic" : "uniform",
+                      Table::num(comp, 2), Table::num(comm, 2),
+                      Table::num(stall, 2),
+                      Table::num(comp + comm + stall, 2)});
+        }
+    }
+    t.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension — pipelining communication and computation (Sec. VI-D
+ * future work, Pipe-SGD [65]): overlap the averaged-gradient pull with
+ * the next iteration's gradient computation. The pull's latency hides
+ * behind compute; updates apply one iteration late.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Extension: pipelined pull (Sec. VI-D future work)");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto ecfg = bench::paperExperiment(stats::Environment::Outdoor, 400);
+
+    Table t("Pipelined pull vs sequential (outdoor)",
+            {"system", "pipeline", "sec_per_iter", "speedup_pct",
+             "acc@20min", "final_acc"});
+    for (const auto &sys :
+         {core::SystemConfig::ssp(4), core::SystemConfig::rog(4),
+          core::SystemConfig::rog(20)}) {
+        double base_iter = 0.0;
+        for (bool pipeline : {false, true}) {
+            core::EngineConfig engine;
+            engine.system = sys;
+            engine.iterations = ecfg.iterations;
+            engine.eval_every = ecfg.eval_every;
+            engine.pipeline_pull = pipeline;
+            const auto network = stats::makeNetwork(workload, ecfg);
+            auto res =
+                core::runDistributedTraining(workload, engine, network);
+            const auto curve = stats::mergeCheckpoints(res);
+            double comp, comm, stall;
+            res.meanTimeComposition(comp, comm, stall);
+            const double per_iter = comp + comm + stall;
+            if (!pipeline)
+                base_iter = per_iter;
+            t.addRow({res.system, pipeline ? "yes" : "no",
+                      Table::num(per_iter, 2),
+                      pipeline ? Table::num(
+                                     100.0 * (1.0 - per_iter / base_iter),
+                                     1)
+                               : "-",
+                      Table::num(stats::metricAtTime(curve, 1200.0), 2),
+                      Table::num(curve.back().mean_metric, 2)});
+        }
+    }
+    t.printText(std::cout);
+    std::cout << "(pipelining hides pull latency behind compute at the "
+                 "cost of one-iteration-late updates)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 1 — CRUDA in the outdoor environment (severe instability):
+ *  (a) average time composition of a training iteration,
+ *  (b) statistical efficiency (accuracy vs iteration),
+ *  (c) training accuracy vs wall-clock time,
+ *  (d) energy consumption vs training accuracy,
+ * for BSP, SSP-4, SSP-20, FLOWN, ROG-4, ROG-20.
+ *
+ * Paper headline: ROG gains 4.9%-6.5% accuracy over the baselines
+ * after 60 minutes and saves 20.4%-50.7% energy to the same accuracy,
+ * with 25.2%-80.4% higher training throughput.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Figure 1: CRUDA outdoors");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    std::cout << "pretrained: clean " << workload.cleanAccuracy()
+              << "%, shifted " << workload.initialAccuracy() << "%\n";
+
+    auto cfg = bench::paperExperiment(stats::Environment::Outdoor,
+                                      1000);
+    const auto runs =
+        stats::runSystems(workload, bench::paperSystems(), cfg);
+
+    stats::printExperiment(std::cout, "Fig.1 CRUDA outdoor", runs,
+                           /*time budget (30 min)*/ 1800.0,
+                           /*energy target accuracy*/ 73.0,
+                           /*lower_is_better=*/false);
+
+    // Paper-style deltas: accuracy gain at the time budget and energy
+    // saving to the target, ROG vs each baseline.
+    Table deltas("ROG vs baselines (paper: +4.9-6.5% acc, "
+                 "-20.4-50.7% energy)",
+                 {"rog", "baseline", "acc_gain_at_30min_pct",
+                  "energy_saving_pct"});
+    for (std::size_t r = 4; r < runs.size(); ++r) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            const double acc_gain =
+                stats::metricAtTime(runs[r].curve, 1800.0) -
+                stats::metricAtTime(runs[b].curve, 1800.0);
+            const double e_rog =
+                stats::energyToReach(runs[r].curve, 73.0, false);
+            const double e_base =
+                stats::energyToReach(runs[b].curve, 73.0, false);
+            const double saving = 100.0 * (1.0 - e_rog / e_base);
+            deltas.addRow({runs[r].result.system,
+                           runs[b].result.system,
+                           Table::num(acc_gain, 2),
+                           Table::num(saving, 1)});
+        }
+    }
+    deltas.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3 — instability of robotic IoT networks: 5-minute bandwidth
+ * traces sampled at 10 Hz, indoors and outdoors.
+ *
+ * Paper: a 20% fluctuation of bandwidth capacity happens every ~0.4 s
+ * and a 40% fluctuation every ~1.2 s; outdoor bandwidth frequently
+ * drops to extremely low values near 0 Mbit/s.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "net/trace_generator.hpp"
+#include "net/trace_stats.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Figure 3: bandwidth instability");
+
+    // Report at the paper's bandwidth scale (Mbps) for readability;
+    // instability statistics are scale-free.
+    const double mean_bps = 100e6 / 8.0; // 100 Mbps in bytes/sec.
+
+    Table stats_table("Fig.3 trace statistics (paper: 20% swing / "
+                      "0.4s, 40% swing / 1.2s, outdoor near-zero drops)",
+                      {"environment", "seed", "mean_mbps", "sd_mbps",
+                       "sec_per_20pct", "sec_per_40pct",
+                       "deep_fade_pct", "min_mbps"});
+
+    SeriesSet series("Fig.3 bandwidth traces (downsampled)", "time_s",
+                     "bandwidth_mbps");
+
+    for (auto [name, model] :
+         {std::pair<const char *, net::TraceModel>{
+              "indoor", net::TraceModel::indoor(mean_bps)},
+          {"outdoor", net::TraceModel::outdoor(mean_bps)}}) {
+        for (std::uint64_t seed : {7u, 21u}) {
+            const auto trace = net::generateTrace(model, 300.0, seed);
+            const auto st = net::computeTraceStats(trace);
+            const double to_mbps = 8.0 / 1e6;
+            stats_table.addRow(
+                {name, std::to_string(seed),
+                 Table::num(st.mean_bytes_per_sec * to_mbps, 1),
+                 Table::num(st.stddev_bytes_per_sec * to_mbps, 1),
+                 Table::num(st.seconds_per_20pct_fluctuation, 2),
+                 Table::num(st.seconds_per_40pct_fluctuation, 2),
+                 Table::num(100.0 * st.deep_fade_fraction, 1),
+                 Table::num(st.min_bytes_per_sec * to_mbps, 2)});
+            if (seed == 7) {
+                // Downsample to 1 Hz for the plotted series.
+                const auto &s = trace.samples();
+                for (std::size_t i = 0; i < s.size(); i += 10)
+                    series.add(name, static_cast<double>(i) * 0.1,
+                               s[i] * to_mbps);
+            }
+        }
+    }
+
+    stats_table.printText(std::cout);
+    series.printSummary(std::cout);
+    series.printCsv(std::cout);
+    return 0;
+}

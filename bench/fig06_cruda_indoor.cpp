@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 6 — CRUDA in the indoor environment (moderate instability),
+ * same four panels as Fig. 1. Paper: gains shrink indoors (up to 1.8%
+ * accuracy, up to 41.3% energy saving; stall cut by 42.4%-97.6%).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Figure 6: CRUDA indoors");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto cfg = bench::paperExperiment(stats::Environment::Indoor, 1000);
+    const auto runs =
+        stats::runSystems(workload, bench::paperSystems(), cfg);
+
+    stats::printExperiment(std::cout, "Fig.6 CRUDA indoor", runs,
+                           1800.0, 73.0, false);
+
+    // Stall reduction, ROG vs baselines (paper: 42.4%-97.6% indoors).
+    Table stall("stall reduction vs baselines",
+                {"rog", "baseline", "stall_reduction_pct"});
+    auto stall_of = [&](const stats::SystemRun &run) {
+        double c, m, s;
+        run.result.meanTimeComposition(c, m, s);
+        return s;
+    };
+    for (std::size_t r = 4; r < runs.size(); ++r)
+        for (std::size_t b = 0; b < 4; ++b)
+            stall.addRow({runs[r].result.system, runs[b].result.system,
+                          Table::num(100.0 * (1.0 - stall_of(runs[r]) /
+                                              stall_of(runs[b])), 1)});
+    stall.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 9 — sensitivity studies: batch size (x1, x2, x4) and number
+ * of workers (4, 6, 8) for BSP, SSP-4, and ROG-4, CRUDA outdoors.
+ *
+ * Paper: larger batches dilute communication (straggler effect less
+ * severe, ROG's edge shrinks but persists: +5.3% / +3.5% accuracy);
+ * more workers increase shared-channel contention (straggler effect
+ * worsens; ROG keeps 3.0%-3.7% accuracy gain and 48-55% energy
+ * savings).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Figure 9: sensitivity (batch size, worker count)");
+
+    const std::vector<core::SystemConfig> systems = {
+        core::SystemConfig::bsp(), core::SystemConfig::ssp(4),
+        core::SystemConfig::rog(4)};
+
+    // ---- Left column: batch size x1 / x2 / x4 ----
+    SeriesSet batch_time("Fig.9a accuracy vs wall-clock (batch sweep)",
+                         "time_s", "accuracy_pct");
+    SeriesSet batch_energy("Fig.9c accuracy vs energy (batch sweep)",
+                           "energy_j", "accuracy_pct");
+    Table batch_comp("Fig.9e time composition (batch sweep)",
+                     {"system", "batch", "compute_s", "comm_s",
+                      "stall_s", "total_s"});
+    {
+        core::CrudaWorkload workload(bench::paperCruda());
+        for (double scale : {1.0, 2.0, 4.0}) {
+            auto cfg = bench::paperExperiment(
+                stats::Environment::Outdoor, 500);
+            cfg.batch_scale = scale;
+            const auto runs = stats::runSystems(workload, systems, cfg);
+            const std::string tag =
+                "x" + std::to_string(static_cast<int>(scale));
+            for (const auto &run : runs) {
+                const std::string label = run.result.system + "-B" + tag;
+                for (const auto &c : run.curve) {
+                    batch_time.add(label, c.mean_time_s, c.mean_metric);
+                    batch_energy.add(label, c.mean_energy_j,
+                                     c.mean_metric);
+                }
+                double comp, comm, stall;
+                run.result.meanTimeComposition(comp, comm, stall);
+                batch_comp.addRow({run.result.system, tag,
+                                   Table::num(comp), Table::num(comm),
+                                   Table::num(stall),
+                                   Table::num(comp + comm + stall)});
+            }
+        }
+    }
+    batch_comp.printText(std::cout);
+    batch_time.printSummary(std::cout);
+    batch_time.printCsv(std::cout);
+    batch_energy.printCsv(std::cout);
+
+    // ---- Right column: 4 / 6 / 8 workers ----
+    SeriesSet worker_time("Fig.9b accuracy vs wall-clock (worker sweep)",
+                          "time_s", "accuracy_pct");
+    SeriesSet worker_energy("Fig.9d accuracy vs energy (worker sweep)",
+                            "energy_j", "accuracy_pct");
+    Table worker_comp("Fig.9f time composition (worker sweep)",
+                      {"system", "workers", "compute_s", "comm_s",
+                       "stall_s", "total_s"});
+    for (std::size_t workers : {4u, 6u, 8u}) {
+        core::CrudaWorkload workload(bench::paperCruda(workers));
+        auto cfg =
+            bench::paperExperiment(stats::Environment::Outdoor, 500);
+        const auto runs = stats::runSystems(workload, systems, cfg);
+        for (const auto &run : runs) {
+            const std::string label =
+                run.result.system + "-N" + std::to_string(workers);
+            for (const auto &c : run.curve) {
+                worker_time.add(label, c.mean_time_s, c.mean_metric);
+                worker_energy.add(label, c.mean_energy_j,
+                                  c.mean_metric);
+            }
+            double comp, comm, stall;
+            run.result.meanTimeComposition(comp, comm, stall);
+            worker_comp.addRow({run.result.system,
+                                std::to_string(workers),
+                                Table::num(comp), Table::num(comm),
+                                Table::num(stall),
+                                Table::num(comp + comm + stall)});
+        }
+    }
+    worker_comp.printText(std::cout);
+    worker_time.printSummary(std::cout);
+    worker_time.printCsv(std::cout);
+    worker_energy.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10 — threshold sensitivity: ROG with staleness thresholds 4,
+ * 20, 30, 40 on CRUDA outdoors.
+ *
+ * Paper: larger thresholds buy training throughput (and early-stage
+ * speed) but degrade late-stage statistical efficiency — final
+ * accuracy dips slightly for 30/40; picking the threshold is a
+ * speed/quality trade-off left as future work.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Figure 10: ROG threshold sensitivity");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto cfg = bench::paperExperiment(stats::Environment::Outdoor, 1200);
+
+    const std::vector<core::SystemConfig> systems = {
+        core::SystemConfig::rog(4), core::SystemConfig::rog(20),
+        core::SystemConfig::rog(30), core::SystemConfig::rog(40)};
+    const auto runs = stats::runSystems(workload, systems, cfg);
+
+    auto a = stats::metricVsTime("Fig.10a accuracy vs wall-clock", runs);
+    a.printSummary(std::cout);
+    a.printCsv(std::cout);
+    auto b = stats::metricVsIteration("Fig.10b statistical efficiency",
+                                      runs);
+    b.printSummary(std::cout);
+    b.printCsv(std::cout);
+
+    Table t("Fig.10 summary (larger threshold: faster iterations, "
+            "lower late statistical efficiency)",
+            {"system", "sec_per_iter", "acc@200iter", "final_acc"});
+    for (const auto &run : runs) {
+        double comp, comm, stall;
+        run.result.meanTimeComposition(comp, comm, stall);
+        t.addRow({run.result.system,
+                  Table::num(comp + comm + stall, 2),
+                  Table::num(stats::metricAtIteration(run.curve, 200),
+                             2),
+                  Table::num(run.curve.back().mean_metric, 2)});
+    }
+    t.printText(std::cout);
+    return 0;
+}

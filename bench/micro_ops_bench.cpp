@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the library's hot paths: the
+ * per-iteration costs a real deployment would pay on-device — matmul,
+ * one-bit compression, importance ranking, fluid-channel simulation,
+ * and trace generation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+#include "core/importance.hpp"
+#include "net/channel.hpp"
+#include "net/trace_generator.hpp"
+#include "sim/process.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace rog;
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    tensor::Tensor a(n, n), b(n, n), out(n, n);
+    a.randomNormal(rng, 1.0f);
+    b.randomNormal(rng, 1.0f);
+    for (auto _ : state) {
+        tensor::matmul(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_OneBitTranscode(benchmark::State &state)
+{
+    const auto width = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    compress::OneBitCodec codec;
+    std::vector<float> in(width), out(width);
+    for (auto &v : in)
+        v = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        codec.transcodeRow(0, in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * width * 4);
+}
+BENCHMARK(BM_OneBitTranscode)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_ImportanceRanking(benchmark::State &state)
+{
+    const auto units = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    std::vector<double> mags(units);
+    std::vector<std::int64_t> iters(units);
+    for (std::size_t i = 0; i < units; ++i) {
+        mags[i] = rng.uniform();
+        iters[i] = static_cast<std::int64_t>(rng.uniformInt(10));
+    }
+    core::ImportanceConfig cfg;
+    for (auto _ : state) {
+        auto order = core::rankUnits(core::ImportanceMode::Worker, cfg,
+                                     mags, iters, rng);
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(state.iterations() * units);
+}
+BENCHMARK(BM_ImportanceRanking)->Arg(344)->Arg(4096)->Arg(32768);
+
+void
+BM_ChannelTransfers(benchmark::State &state)
+{
+    // Cost of simulating a batch of sequential transfers over a
+    // fluctuating trace (events + fluid updates).
+    const auto transfers = static_cast<std::size_t>(state.range(0));
+    const auto trace =
+        net::generateTrace(net::TraceModel::outdoor(50e3), 300.0, 4);
+    for (auto _ : state) {
+        sim::Simulation sim;
+        net::Channel ch(sim, {trace});
+        for (std::size_t i = 0; i < transfers; ++i)
+            ch.startTransfer(0, 5000.0, net::Channel::kNoTimeout,
+                             [](net::TransferResult) {});
+        sim.run();
+        benchmark::DoNotOptimize(ch.totalBytesDelivered());
+    }
+    state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_ChannelTransfers)->Arg(16)->Arg(128);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const double seconds = static_cast<double>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        auto t = net::generateTrace(net::TraceModel::outdoor(50e3),
+                                    seconds, ++seed);
+        benchmark::DoNotOptimize(t.samples().data());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(60)->Arg(300);
+
+} // namespace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section II-B/II-D numbers — the motivating straggler measurement:
+ * on a four-device team, gradients are computed in ~2.18 s, an ideal
+ * (stable) network syncs the compressed gradients in ~1.47 s (67.4% of
+ * compute), but indoor instability makes each device stall ~2.23 s per
+ * iteration (102% of compute) under BSP.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Sec. II-B: the straggler effect under BSP");
+
+    core::CrudaWorkload workload(bench::paperCruda());
+
+    auto run_env = [&](stats::Environment env) {
+        auto cfg = bench::paperExperiment(env, 250);
+        return stats::runSystem(workload, core::SystemConfig::bsp(),
+                                cfg);
+    };
+    const auto stable = run_env(stats::Environment::Stable);
+    const auto indoor = run_env(stats::Environment::Indoor);
+    const auto outdoor = run_env(stats::Environment::Outdoor);
+
+    auto comp = [](const stats::SystemRun &r, double &c, double &m,
+                   double &s) { r.result.meanTimeComposition(c, m, s); };
+
+    double c0, m0, s0, c1, m1, s1, c2, m2, s2;
+    comp(stable, c0, m0, s0);
+    comp(indoor, c1, m1, s1);
+    comp(outdoor, c2, m2, s2);
+
+    Table t("BSP per-iteration composition across environments",
+            {"environment", "compute_s", "comm_s", "stall_s",
+             "comm/compute_pct", "stall/compute_pct"});
+    auto row = [&](const char *name, double c, double m, double s) {
+        t.addRow({name, Table::num(c, 2), Table::num(m, 2),
+                  Table::num(s, 2), Table::num(100.0 * m / c, 1),
+                  Table::num(100.0 * s / c, 1)});
+    };
+    row("stable (ideal)", c0, m0, s0);
+    row("indoor", c1, m1, s1);
+    row("outdoor", c2, m2, s2);
+    t.printText(std::cout);
+
+    Table paper("Paper reference points",
+                {"quantity", "paper", "this repo"});
+    paper.addRow({"compute per iteration", "2.18 s + compression",
+                  Table::num(c0, 2) + " s"});
+    paper.addRow({"ideal sync time", "1.47 s (67.4% of compute)",
+                  Table::num(m0 + s0, 2) + " s (" +
+                      Table::num(100.0 * (m0 + s0) / c0, 1) + "%)"});
+    paper.addRow({"indoor stall per device", "2.23 s (102% of compute)",
+                  Table::num(s1, 2) + " s (" +
+                      Table::num(100.0 * s1 / c1, 1) + "%)"});
+    paper.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table I — MTA (minimum transmission amount) values under different
+ * staleness thresholds: the solution of (1-P)^(S-1) = P.
+ *
+ * Paper values: 2 -> 0.5, 3 -> 0.38, 4 -> 0.32, 5 -> 0.28, 6 -> 0.25,
+ * 7 -> 0.22, 8 -> 0.2.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/mta.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Table I: MTA values under different thresholds");
+
+    const double paper[] = {0.50, 0.38, 0.32, 0.28, 0.25, 0.22, 0.20};
+
+    Table t("Table I reproduction",
+            {"threshold", "mta_paper", "mta_measured", "match",
+             "residual (1-P)^(S-1) - P"});
+    for (std::size_t s = 2; s <= 8; ++s) {
+        const double p = core::mtaFraction(s);
+        const double residual =
+            std::pow(1.0 - p, static_cast<double>(s - 1)) - p;
+        const bool match = std::fabs(p - paper[s - 2]) < 0.005;
+        t.addRow({std::to_string(s), Table::num(paper[s - 2], 2),
+                  Table::num(p, 4), match ? "yes" : "NO",
+                  Table::num(residual, 12)});
+    }
+    t.printText(std::cout);
+
+    // Extended thresholds used in Fig. 10.
+    Table ext("MTA beyond Table I (thresholds of Fig. 10)",
+              {"threshold", "mta"});
+    for (std::size_t s : {10u, 20u, 30u, 40u})
+        ext.addRow({std::to_string(s),
+                    Table::num(core::mtaFraction(s), 4)});
+    ext.printText(std::cout);
+    return 0;
+}

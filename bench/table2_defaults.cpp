@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table II — default setup: batch sizes, learning rate, and the
+ * compression/decompression cost included in computation time; plus
+ * the derived model/communication constants used for calibration
+ * (Sec. II-B: 2.18 s compute, ~1.47 s ideal four-device sync).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "core/testbed_profile.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Table II: default setup");
+
+    const core::TestbedProfile profile;
+    Table t("Table II reproduction",
+            {"parameter", "paper", "this repo"});
+    t.addRow({"batch size (robot)", "24", "20 (scaled task)"});
+    t.addRow({"learning rate", "1e-6 (ConvMLP)", "1e-2 (scaled task)"});
+    t.addRow({"compress+decompress cost", "0.42-0.51 s",
+              Table::num(profile.compress_seconds, 2) + " s"});
+    t.addRow({"compute time per iteration", "2.18 s",
+              Table::num(profile.compute_seconds, 2) + " s"});
+    t.addRow({"iteration compute incl. compression", "~2.65 s",
+              Table::num(profile.iterationComputeSeconds(), 2) + " s"});
+    t.printText(std::cout);
+
+    core::CrudaWorkload workload(bench::paperCruda());
+    const double raw = core::modelWireBytes(
+        workload, core::Granularity::WholeModel, "identity");
+    const double compressed = core::modelWireBytes(
+        workload, core::Granularity::WholeModel, "onebit");
+    const double rows = core::modelWireBytes(
+        workload, core::Granularity::Row, "onebit");
+    const double mean_bw =
+        core::calibratedMeanBandwidth(compressed, 4);
+
+    Table m("Model and calibration constants",
+            {"quantity", "paper", "this repo"});
+    m.addRow({"model size raw", "65 MB (ConvMLP)",
+              Table::num(raw / 1024.0, 1) + " KiB"});
+    m.addRow({"model size compressed", "2.1 MB (3.2%)",
+              Table::num(compressed / 1024.0, 1) + " KiB (" +
+                  Table::num(100.0 * compressed / raw, 1) + "%)"});
+    m.addRow({"row-granular wire size", "+~12% overhead",
+              Table::num(rows / 1024.0, 1) + " KiB (+" +
+                  Table::num(100.0 * (rows / compressed - 1.0), 1) +
+                  "%)"});
+    m.addRow({"ideal 4-device sync round", "1.47 s",
+              Table::num(8.0 * compressed / mean_bw, 2) + " s"});
+    m.addRow({"calibrated mean link bandwidth", "~91 Mbps usable",
+              Table::num(mean_bw / 1024.0, 1) + " KiB/s (scaled)"});
+    m.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table III — power in the three device states (compute 13.35 W,
+ * communicate 4.25 W, stall 4.04 W), plus the per-state time and
+ * energy shares measured by matching the power model against each
+ * system's state timeline (the paper's jtop methodology).
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/energy.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner("Table III: power in different states");
+
+    const sim::PowerModel power;
+    Table t("Table III reproduction", {"state", "power_w", "note"});
+    t.addRow({"computation", Table::num(power.compute_w, 2),
+              "forward/backward + compression"});
+    t.addRow({"communication", Table::num(power.communicate_w, 2),
+              "radio active, chips mostly idle"});
+    t.addRow({"stall", Table::num(power.stall_w, 2),
+              "leakage only: ~30% of compute power"});
+    t.printText(std::cout);
+
+    // Energy breakdown per system on the outdoor CRUDA run: where the
+    // joules go, and why cutting stall saves battery.
+    core::CrudaWorkload workload(bench::paperCruda());
+    auto cfg = bench::paperExperiment(stats::Environment::Outdoor, 300);
+    const auto runs =
+        stats::runSystems(workload, bench::paperSystems(), cfg);
+
+    Table e("Per-state energy breakdown (mean per robot)",
+            {"system", "compute_j", "comm_j", "stall_j", "total_j",
+             "stall_share_pct"});
+    for (const auto &run : runs) {
+        double cs = 0, ms = 0, ss = 0;
+        const auto n =
+            static_cast<double>(run.result.worker_energy_j.size());
+        for (std::size_t w = 0; w < run.result.worker_energy_j.size();
+             ++w) {
+            cs += run.result.worker_compute_s[w] * power.compute_w / n;
+            ms += run.result.worker_comm_s[w] * power.communicate_w / n;
+            ss += run.result.worker_stall_s[w] * power.stall_w / n;
+        }
+        const double total = cs + ms + ss;
+        e.addRow({run.result.system, Table::num(cs, 1),
+                  Table::num(ms, 1), Table::num(ss, 1),
+                  Table::num(total, 1),
+                  Table::num(100.0 * ss / total, 1)});
+    }
+    e.printText(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Split the CSV blocks out of a bench output file.
+
+Bench binaries interleave human-readable tables with machine-readable
+CSV blocks (each starting with a '# <title>' line followed by a header
+row). This script writes each block to ./figure/<slug>.csv so the
+curves can be replotted with any tool, mirroring the paper artifact's
+./figure output directory.
+"""
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title).strip("_").lower()
+    return slug[:80] or "block"
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <bench-output.txt>", file=sys.stderr)
+        return 2
+    os.makedirs("figure", exist_ok=True)
+    blocks = 0
+    title, rows = None, []
+
+    def flush():
+        nonlocal blocks, title, rows
+        if title and len(rows) > 1:
+            path = os.path.join("figure", slugify(title) + ".csv")
+            with open(path, "w") as f:
+                f.write("\n".join(rows) + "\n")
+            print(f"wrote {path} ({len(rows) - 1} rows)")
+            blocks += 1
+        title, rows = None, []
+
+    with open(sys.argv[1]) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line.startswith("# "):
+                flush()
+                title = line[2:]
+            elif title is not None:
+                # CSV rows: comma-separated, no table borders.
+                if line and "," in line and not line.startswith(("|", "+", "=")):
+                    rows.append(line)
+                else:
+                    flush()
+    flush()
+    if blocks == 0:
+        print("no CSV blocks found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the full evaluation, mirroring the paper artifact's run_all.sh:
+# every table/figure bench executes in sequence and its raw output
+# lands in ./result/<bench>.txt. Set ROG_BENCH_FAST=1 for a smoke run.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found; build first:" >&2
+    echo "  cmake -B build -G Ninja && cmake --build build" >&2
+    exit 1
+fi
+
+mkdir -p result
+status=0
+for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== running $name"
+    if ! "$b" > "result/$name.txt" 2>&1; then
+        echo "   FAILED (see result/$name.txt)" >&2
+        status=1
+    fi
+done
+
+echo
+echo "raw results in ./result/; extract CSV blocks with"
+echo "  python3 scripts/extract_csv.py result/<bench>.txt"
+exit $status

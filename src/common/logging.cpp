@@ -1,0 +1,54 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace rog {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(std::string_view file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view file, int line, const std::string &msg)
+{
+    // Throw instead of exit(1) so that library users (and tests) can
+    // catch configuration errors; uncaught it still terminates.
+    throw std::runtime_error(detail::concat("fatal: ", msg, " @ ", file,
+                                            ":", line));
+}
+
+void
+logImpl(LogLevel level, std::string_view tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace rog

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors that
+ * make continuing impossible (bad configuration, invalid arguments),
+ * warn()/inform() are non-fatal status messages.
+ */
+#ifndef ROG_COMMON_LOGGING_HPP
+#define ROG_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rog {
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(std::string_view file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(std::string_view file, int line,
+                            const std::string &msg);
+void logImpl(LogLevel level, std::string_view tag, const std::string &msg);
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: something that should never happen happened. */
+#define ROG_PANIC(...) \
+    ::rog::detail::panicImpl(__FILE__, __LINE__, \
+                             ::rog::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user asked for something impossible. */
+#define ROG_FATAL(...) \
+    ::rog::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::rog::detail::concat(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define ROG_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::rog::detail::panicImpl(__FILE__, __LINE__, \
+                ::rog::detail::concat("assertion failed: " #cond " ", \
+                                      ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning about questionable behaviour. */
+#define ROG_WARN(...) \
+    ::rog::detail::logImpl(::rog::LogLevel::Warn, "warn", \
+                           ::rog::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define ROG_INFORM(...) \
+    ::rog::detail::logImpl(::rog::LogLevel::Inform, "info", \
+                           ::rog::detail::concat(__VA_ARGS__))
+
+/** Verbose debugging message. */
+#define ROG_DEBUG(...) \
+    ::rog::detail::logImpl(::rog::LogLevel::Debug, "debug", \
+                           ::rog::detail::concat(__VA_ARGS__))
+
+} // namespace rog
+
+#endif // ROG_COMMON_LOGGING_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (datasets, bandwidth traces,
+ * minibatch sampling) draw from an explicitly seeded Rng so that every
+ * experiment is exactly reproducible. The core generator is
+ * xoshiro256** which is fast, high quality, and has a tiny state that
+ * can be cheaply forked into independent streams.
+ */
+#ifndef ROG_COMMON_RNG_HPP
+#define ROG_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rog {
+
+/**
+ * Seeded xoshiro256** generator with convenience distributions.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also feed
+ * <random> distributions, but the built-in helpers are preferred for
+ * cross-platform determinism (libstdc++/libc++ distributions differ).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ull; }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential with the given rate (lambda). @pre rate > 0 */
+    double exponential(double rate);
+
+    /**
+     * A point from a symmetric Dirichlet distribution of the given
+     * dimension and concentration alpha; used for non-IID data
+     * partitioning. @pre dim > 0 && alpha > 0
+     */
+    std::vector<double> dirichlet(std::size_t dim, double alpha);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<std::size_t> &v);
+
+    /**
+     * Fork an independent child stream. The child is seeded from this
+     * generator's output so forks are reproducible but decorrelated.
+     */
+    Rng fork();
+
+  private:
+    /** Gamma(shape, 1) sampler (Marsaglia-Tsang). */
+    double gamma(double shape);
+
+    std::uint64_t s_[4];
+    double cached_gauss_ = 0.0;
+    bool has_cached_gauss_ = false;
+};
+
+} // namespace rog
+
+#endif // ROG_COMMON_RNG_HPP

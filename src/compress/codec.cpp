@@ -1,0 +1,160 @@
+#include "compress/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "compress/packbits.hpp"
+
+namespace rog {
+namespace compress {
+
+void
+IdentityCodec::transcode(std::size_t, std::size_t block_width,
+                         std::size_t offset, std::span<const float> grad,
+                         std::span<float> out)
+{
+    ROG_ASSERT(grad.size() == out.size(), "codec chunk size mismatch");
+    ROG_ASSERT(offset + grad.size() <= block_width,
+               "codec chunk exceeds block");
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        out[i] = grad[i];
+}
+
+double
+IdentityCodec::payloadBytes(std::size_t width) const
+{
+    return 4.0 * static_cast<double>(width);
+}
+
+void
+OneBitCodec::transcode(std::size_t block, std::size_t block_width,
+                       std::size_t offset, std::span<const float> grad,
+                       std::span<float> out)
+{
+    ROG_ASSERT(grad.size() == out.size(), "codec chunk size mismatch");
+    const std::size_t n = grad.size();
+    ROG_ASSERT(offset + n <= block_width, "codec chunk exceeds block");
+
+    auto &res = residual_[block];
+    if (res.empty())
+        res.assign(block_width, 0.0f);
+    ROG_ASSERT(res.size() == block_width,
+               "block width changed between calls");
+
+    // e = grad + residual; scale = mean(|e|) over the chunk.
+    float scale = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        res[offset + i] += grad[i];
+        scale += std::fabs(res[offset + i]);
+    }
+    scale /= static_cast<float>(n);
+
+    // Run the real wire path: pack sign bits, then unpack, so the
+    // decoded value is exactly what a receiver would reconstruct.
+    packed_scratch_.resize(packedBytes(n));
+    sign_scratch_.resize(n);
+    packSigns({res.data() + offset, n}, packed_scratch_);
+    unpackSigns(packed_scratch_, n, sign_scratch_);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const float q = scale * sign_scratch_[i];
+        out[i] = q;
+        res[offset + i] -= q; // error compensation for the next round.
+    }
+}
+
+double
+OneBitCodec::payloadBytes(std::size_t width) const
+{
+    // Packed sign bits + one float32 scale.
+    return static_cast<double>(packedBytes(width)) + 4.0;
+}
+
+double
+OneBitCodec::residualMeanAbs(std::size_t block) const
+{
+    auto it = residual_.find(block);
+    if (it == residual_.end() || it->second.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float v : it->second)
+        s += std::fabs(v);
+    return s / static_cast<double>(it->second.size());
+}
+
+TopKCodec::TopKCodec(double keep_fraction)
+    : keep_fraction_(keep_fraction)
+{
+    ROG_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0,
+               "top-k keep fraction must be in (0, 1]");
+}
+
+void
+TopKCodec::transcode(std::size_t block, std::size_t block_width,
+                     std::size_t offset, std::span<const float> grad,
+                     std::span<float> out)
+{
+    ROG_ASSERT(grad.size() == out.size(), "codec chunk size mismatch");
+    const std::size_t n = grad.size();
+    ROG_ASSERT(offset + n <= block_width, "codec chunk exceeds block");
+
+    auto &res = residual_[block];
+    if (res.empty())
+        res.assign(block_width, 0.0f);
+    ROG_ASSERT(res.size() == block_width,
+               "block width changed between calls");
+
+    for (std::size_t i = 0; i < n; ++i)
+        res[offset + i] += grad[i];
+
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(keep_fraction_ * static_cast<double>(n))));
+
+    // Select the `keep` largest-magnitude positions of this chunk.
+    order_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order_scratch_[i] = i;
+    std::partial_sort(order_scratch_.begin(),
+                      order_scratch_.begin() +
+                          static_cast<std::ptrdiff_t>(keep),
+                      order_scratch_.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return std::fabs(res[offset + a]) >
+                                 std::fabs(res[offset + b]);
+                      });
+
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = 0.0f;
+    for (std::size_t k = 0; k < keep; ++k) {
+        const std::size_t i = order_scratch_[k];
+        out[i] = res[offset + i];
+        res[offset + i] = 0.0f; // exact transmission: no residual left.
+    }
+}
+
+double
+TopKCodec::payloadBytes(std::size_t width) const
+{
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(keep_fraction_ * static_cast<double>(width))));
+    // Per surviving element: 4-byte index + 4-byte float32 value.
+    return 8.0 * static_cast<double>(keep);
+}
+
+std::unique_ptr<Codec>
+makeCodec(const std::string &name)
+{
+    if (name == "identity")
+        return std::make_unique<IdentityCodec>();
+    if (name == "onebit")
+        return std::make_unique<OneBitCodec>();
+    if (name == "topk")
+        return std::make_unique<TopKCodec>();
+    ROG_FATAL("unknown codec: ", name);
+}
+
+} // namespace compress
+} // namespace rog

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Gradient row codecs.
+ *
+ * The paper compresses gradients with the lossless one-bit scheme of
+ * [22]: values quantize to sign * mean(|.|) per block, the lost
+ * information is carried forward in an error-compensation residual,
+ * and the sign bits are packed (packbits) for the wire. A codec here
+ * performs encode+decode in one step — in simulation the sender and
+ * receiver share an address space — and reports the wire size the
+ * channel must carry.
+ *
+ * Codecs are stateful per (direction, peer): the error residual of the
+ * worker->server push must not mix with the server->worker pull, so
+ * each endpoint owns its own instance.
+ */
+#ifndef ROG_COMPRESS_CODEC_HPP
+#define ROG_COMPRESS_CODEC_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rog {
+namespace compress {
+
+/** Stateful gradient-block encoder/decoder. */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /**
+     * Encode the sub-range [offset, offset + grad.size()) of gradient
+     * block @p block and immediately decode into @p out (what the
+     * receiver reconstructs). The block is a compression unit — in
+     * this library always one parameter-matrix row of @p block_width
+     * elements, independent of the *transmission* granularity. Any
+     * quantization error is retained internally per block element
+     * (error compensation) and folded into the next call covering it.
+     *
+     * @pre offset + grad.size() <= block_width
+     * @pre grad.size() == out.size()
+     * @pre block_width is stable across calls for the same block.
+     */
+    virtual void transcode(std::size_t block, std::size_t block_width,
+                           std::size_t offset,
+                           std::span<const float> grad,
+                           std::span<float> out) = 0;
+
+    /**
+     * Convenience: transcode a whole block at once.
+     * @pre grad.size() == out.size()
+     */
+    void
+    transcodeRow(std::size_t block, std::span<const float> grad,
+                 std::span<float> out)
+    {
+        transcode(block, grad.size(), 0, grad, out);
+    }
+
+    /** Wire payload bytes for a transmitted chunk of @p width
+     *  elements (each chunk carries its own scale where needed). */
+    virtual double payloadBytes(std::size_t width) const = 0;
+
+    /** Codec name for logs and reports. */
+    virtual std::string name() const = 0;
+};
+
+/** No compression: float32 on the wire, zero residual. */
+class IdentityCodec : public Codec
+{
+  public:
+    void transcode(std::size_t block, std::size_t block_width,
+                   std::size_t offset, std::span<const float> grad,
+                   std::span<float> out) override;
+    double payloadBytes(std::size_t width) const override;
+    std::string name() const override { return "identity"; }
+};
+
+/**
+ * One-bit compression with error compensation [22]: per transmitted
+ * chunk of a block, q = mean(|e|) * sign(e) where e = grad + residual,
+ * and residual' = e - q. The wire carries one sign bit per element
+ * (packed) plus a 4-byte float scale per chunk.
+ */
+class OneBitCodec : public Codec
+{
+  public:
+    void transcode(std::size_t block, std::size_t block_width,
+                   std::size_t offset, std::span<const float> grad,
+                   std::span<float> out) override;
+    double payloadBytes(std::size_t width) const override;
+    std::string name() const override { return "onebit"; }
+
+    /** Residual magnitude for a block (diagnostics/tests). */
+    double residualMeanAbs(std::size_t block) const;
+
+  private:
+    std::unordered_map<std::size_t, std::vector<float>> residual_;
+    std::vector<std::uint8_t> packed_scratch_;
+    std::vector<float> sign_scratch_;
+};
+
+/**
+ * Top-k sparsification with error compensation (the "deep gradient
+ * compression" family [38] the paper contrasts with one-bit): only the
+ * k largest-magnitude elements of each chunk go on the wire (index +
+ * float32 value each), the rest accumulate in the residual. More
+ * aggressive than one-bit for very sparse gradients, but the wire cost
+ * per surviving element is 8 bytes, so the break-even depends on k.
+ */
+class TopKCodec : public Codec
+{
+  public:
+    /** @param keep_fraction fraction of each chunk kept, in (0, 1]. */
+    explicit TopKCodec(double keep_fraction = 0.1);
+
+    void transcode(std::size_t block, std::size_t block_width,
+                   std::size_t offset, std::span<const float> grad,
+                   std::span<float> out) override;
+    double payloadBytes(std::size_t width) const override;
+    std::string name() const override { return "topk"; }
+
+    double keepFraction() const { return keep_fraction_; }
+
+  private:
+    double keep_fraction_;
+    std::unordered_map<std::size_t, std::vector<float>> residual_;
+    std::vector<std::size_t> order_scratch_;
+};
+
+/** Factory by name ("identity" | "onebit" | "topk"). */
+std::unique_ptr<Codec> makeCodec(const std::string &name);
+
+} // namespace compress
+} // namespace rog
+
+#endif // ROG_COMPRESS_CODEC_HPP

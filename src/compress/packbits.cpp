@@ -1,0 +1,39 @@
+#include "compress/packbits.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace compress {
+
+std::size_t
+packedBytes(std::size_t n)
+{
+    return (n + 7) / 8;
+}
+
+void
+packSigns(std::span<const float> values, std::span<std::uint8_t> out)
+{
+    ROG_ASSERT(out.size() == packedBytes(values.size()),
+               "packSigns output size mismatch");
+    for (auto &b : out)
+        b = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        if (values[i] >= 0.0f)
+            out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+}
+
+void
+unpackSigns(std::span<const std::uint8_t> packed, std::size_t n,
+            std::span<float> out)
+{
+    ROG_ASSERT(packed.size() == packedBytes(n) && out.size() == n,
+               "unpackSigns size mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool pos = packed[i / 8] & (1u << (i % 8));
+        out[i] = pos ? 1.0f : -1.0f;
+    }
+}
+
+} // namespace compress
+} // namespace rog

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Sign-bit packing (the cupy/numpy `packbits` step of the paper's
+ * compression pipeline): one bit per element, eight elements per byte.
+ */
+#ifndef ROG_COMPRESS_PACKBITS_HPP
+#define ROG_COMPRESS_PACKBITS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rog {
+namespace compress {
+
+/** Bytes needed to hold @p n sign bits. */
+std::size_t packedBytes(std::size_t n);
+
+/**
+ * Pack the signs of @p values (bit = 1 for >= 0) into @p out.
+ * @pre out.size() == packedBytes(values.size())
+ */
+void packSigns(std::span<const float> values, std::span<std::uint8_t> out);
+
+/**
+ * Unpack @p n sign bits into +1 / -1 floats.
+ * @pre packed.size() == packedBytes(n), out.size() == n
+ */
+void unpackSigns(std::span<const std::uint8_t> packed, std::size_t n,
+                 std::span<float> out);
+
+} // namespace compress
+} // namespace rog
+
+#endif // ROG_COMPRESS_PACKBITS_HPP

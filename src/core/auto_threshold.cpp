@@ -1,0 +1,63 @@
+#include "core/auto_threshold.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+AutoThresholdController::AutoThresholdController(AutoThresholdConfig cfg)
+    : cfg_(cfg), threshold_(cfg.initial_threshold)
+{
+    ROG_ASSERT(cfg.min_threshold >= 2, "RSP thresholds start at 2");
+    ROG_ASSERT(cfg.max_threshold >= cfg.min_threshold,
+               "bad threshold bounds");
+    ROG_ASSERT(cfg.initial_threshold >= cfg.min_threshold &&
+               cfg.initial_threshold <= cfg.max_threshold,
+               "initial threshold out of bounds");
+    ROG_ASSERT(cfg.window > 0, "window must be positive");
+    ROG_ASSERT(cfg.low_stall_fraction <= cfg.high_stall_fraction,
+               "stall band inverted");
+}
+
+void
+AutoThresholdController::observe(double stall_s, double iteration_s)
+{
+    ROG_ASSERT(stall_s >= 0.0 && iteration_s >= stall_s,
+               "invalid iteration observation");
+    stall_.push_back(stall_s);
+    total_.push_back(iteration_s);
+    if (stall_.size() >= cfg_.window)
+        decide();
+}
+
+void
+AutoThresholdController::decide()
+{
+    const double stall =
+        std::accumulate(stall_.begin(), stall_.end(), 0.0);
+    const double total =
+        std::accumulate(total_.begin(), total_.end(), 0.0);
+    stall_.clear();
+    total_.clear();
+    if (total <= 0.0)
+        return;
+    const double fraction = stall / total;
+    if (fraction > cfg_.high_stall_fraction &&
+        threshold_ < cfg_.max_threshold) {
+        // Instability is binding: buy slack (multiplicatively, the
+        // useful threshold range spans an order of magnitude).
+        threshold_ = std::min(cfg_.max_threshold,
+                              threshold_ + (threshold_ + 1) / 2);
+        ++adjustments_;
+    } else if (fraction < cfg_.low_stall_fraction &&
+               threshold_ > cfg_.min_threshold) {
+        // Calm network: tighten for statistical efficiency.
+        threshold_ = std::max(cfg_.min_threshold, threshold_ - 1);
+        ++adjustments_;
+    }
+}
+
+} // namespace core
+} // namespace rog

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Automatic staleness-threshold selection (Sec. VI-C future work).
+ *
+ * The paper observes a speed/quality trade-off in ROG's threshold —
+ * small thresholds stall under instability, large ones cost late-stage
+ * statistical efficiency — and "leave[s] automatic finding the optimal
+ * threshold as future work". This controller implements the natural
+ * feedback rule: track the stall fraction of recent iterations and
+ * widen the threshold while stalls exceed a target budget, narrowing
+ * it again when the network behaves, so staleness is only spent where
+ * instability demands it.
+ */
+#ifndef ROG_CORE_AUTO_THRESHOLD_HPP
+#define ROG_CORE_AUTO_THRESHOLD_HPP
+
+#include <cstddef>
+#include <deque>
+
+namespace rog {
+namespace core {
+
+/** Controller tuning. */
+struct AutoThresholdConfig
+{
+    std::size_t initial_threshold = 4;
+    std::size_t min_threshold = 2;
+    std::size_t max_threshold = 40;
+    double high_stall_fraction = 0.10; //!< widen above this.
+    double low_stall_fraction = 0.02;  //!< narrow below this.
+    std::size_t window = 16;           //!< iterations per decision.
+};
+
+/** Stall-budget feedback controller over the RSP threshold. */
+class AutoThresholdController
+{
+  public:
+    explicit AutoThresholdController(AutoThresholdConfig cfg);
+
+    /** Report one finished iteration's stall and total duration. */
+    void observe(double stall_s, double iteration_s);
+
+    /** Current staleness threshold. */
+    std::size_t threshold() const { return threshold_; }
+
+    /** Number of threshold changes so far (diagnostics). */
+    std::size_t adjustments() const { return adjustments_; }
+
+  private:
+    void decide();
+
+    AutoThresholdConfig cfg_;
+    std::size_t threshold_;
+    std::deque<double> stall_;
+    std::deque<double> total_;
+    std::size_t adjustments_ = 0;
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_AUTO_THRESHOLD_HPP

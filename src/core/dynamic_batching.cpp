@@ -1,0 +1,108 @@
+#include "core/dynamic_batching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+namespace {
+
+BatchAssignment
+finalize(const std::vector<double> &sps,
+         std::vector<std::size_t> batches)
+{
+    BatchAssignment a;
+    a.batch_sizes = std::move(batches);
+    a.compute_seconds.resize(sps.size());
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t i = 0; i < sps.size(); ++i) {
+        a.compute_seconds[i] =
+            static_cast<double>(a.batch_sizes[i]) * sps[i];
+        lo = std::min(lo, a.compute_seconds[i]);
+        hi = std::max(hi, a.compute_seconds[i]);
+    }
+    a.iteration_seconds = hi;
+    a.imbalance = lo > 0.0 ? hi / lo : 1.0;
+    return a;
+}
+
+} // namespace
+
+BatchAssignment
+assignDynamicBatches(const std::vector<double> &seconds_per_sample,
+                     std::size_t total_batch)
+{
+    const std::size_t n = seconds_per_sample.size();
+    ROG_ASSERT(n > 0, "need at least one device");
+    ROG_ASSERT(total_batch >= n, "batch smaller than device count");
+    for (double s : seconds_per_sample)
+        ROG_ASSERT(s > 0.0, "seconds per sample must be positive");
+
+    // Ideal share: batch_i proportional to speed 1/sps_i. Floor the
+    // real-valued shares, then hand out the remainder to the devices
+    // that finish earliest (largest-remainder with a speed tiebreak).
+    double speed_sum = 0.0;
+    for (double s : seconds_per_sample)
+        speed_sum += 1.0 / s;
+
+    std::vector<std::size_t> batches(n);
+    std::vector<double> ideal(n);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ideal[i] = static_cast<double>(total_batch) *
+                   (1.0 / seconds_per_sample[i]) / speed_sum;
+        batches[i] =
+            std::max<std::size_t>(1, static_cast<std::size_t>(ideal[i]));
+        assigned += batches[i];
+    }
+    // Trim overshoot (possible due to the >=1 floor) from the slowest
+    // devices, then distribute any shortfall to minimize the maximum
+    // finish time.
+    while (assigned > total_batch) {
+        std::size_t slowest = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (batches[i] > 1 &&
+                (batches[slowest] <= 1 ||
+                 seconds_per_sample[i] > seconds_per_sample[slowest]))
+                slowest = i;
+        ROG_ASSERT(batches[slowest] > 1, "cannot trim batch below 1");
+        --batches[slowest];
+        --assigned;
+    }
+    while (assigned < total_batch) {
+        // Give the next sample to the device whose finish time after
+        // the increment stays lowest.
+        std::size_t best = 0;
+        double best_time = 1e300;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double t = static_cast<double>(batches[i] + 1) *
+                             seconds_per_sample[i];
+            if (t < best_time) {
+                best_time = t;
+                best = i;
+            }
+        }
+        ++batches[best];
+        ++assigned;
+    }
+    return finalize(seconds_per_sample, std::move(batches));
+}
+
+BatchAssignment
+assignUniformBatches(const std::vector<double> &seconds_per_sample,
+                     std::size_t total_batch)
+{
+    const std::size_t n = seconds_per_sample.size();
+    ROG_ASSERT(n > 0, "need at least one device");
+    ROG_ASSERT(total_batch >= n, "batch smaller than device count");
+    std::vector<std::size_t> batches(n, total_batch / n);
+    for (std::size_t i = 0; i < total_batch % n; ++i)
+        ++batches[i];
+    return finalize(seconds_per_sample, std::move(batches));
+}
+
+} // namespace core
+} // namespace rog

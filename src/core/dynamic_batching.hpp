@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dynamic batching for heterogeneous devices (Sec. VI, ref. [49]).
+ *
+ * The paper's testbed mixes Jetson Xavier NX robots (batch 24) with
+ * weaker laptops (batch 16) and "adopted dynamic batching to make all
+ * the involved devices spend equal time computing gradients in each
+ * iteration" — compute-power heterogeneity is explicitly out of the
+ * paper's scope, so it is equalized away. This module reproduces that
+ * equalization: given per-device compute speeds, it splits a global
+ * batch so every device finishes its share in the same time.
+ */
+#ifndef ROG_CORE_DYNAMIC_BATCHING_HPP
+#define ROG_CORE_DYNAMIC_BATCHING_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace rog {
+namespace core {
+
+/** Result of a dynamic batch split. */
+struct BatchAssignment
+{
+    /** Per-device minibatch sizes (sum == requested total). */
+    std::vector<std::size_t> batch_sizes;
+
+    /** Per-device gradient-computation seconds under the split. */
+    std::vector<double> compute_seconds;
+
+    /** max(compute_seconds): the equalized iteration compute time. */
+    double iteration_seconds = 0.0;
+
+    /** max/min of compute_seconds (1.0 = perfectly balanced). */
+    double imbalance = 1.0;
+};
+
+/**
+ * Split @p total_batch samples across devices proportionally to their
+ * speed so compute time is equalized.
+ *
+ * @param seconds_per_sample per-device cost of one sample.
+ *        @pre non-empty, all > 0
+ * @param total_batch global batch size. @pre >= device count
+ * @return assignment with every device given at least one sample.
+ */
+BatchAssignment
+assignDynamicBatches(const std::vector<double> &seconds_per_sample,
+                     std::size_t total_batch);
+
+/**
+ * The naive alternative (no dynamic batching): every device gets
+ * total_batch / devices samples; slow devices become compute
+ * stragglers. Used by the heterogeneity ablation.
+ */
+BatchAssignment
+assignUniformBatches(const std::vector<double> &seconds_per_sample,
+                     std::size_t total_batch);
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_DYNAMIC_BATCHING_HPP

@@ -1,0 +1,760 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+#include "core/flat_model.hpp"
+#include "core/importance.hpp"
+#include "core/auto_threshold.hpp"
+#include "core/dynamic_batching.hpp"
+#include "core/mta.hpp"
+#include "core/server_state.hpp"
+#include "core/version_storage.hpp"
+#include "data/dataset.hpp"
+#include "net/channel.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "sim/energy.hpp"
+#include "sim/process.hpp"
+#include "tensor/ops.hpp"
+
+namespace rog {
+namespace core {
+
+void
+RunResult::meanTimeComposition(double &compute, double &comm,
+                               double &stall) const
+{
+    compute = comm = stall = 0.0;
+    if (iterations.empty())
+        return;
+    for (const auto &r : iterations) {
+        compute += r.compute_s;
+        comm += r.comm_s;
+        stall += r.stall_s;
+    }
+    const auto n = static_cast<double>(iterations.size());
+    compute /= n;
+    comm /= n;
+    stall /= n;
+}
+
+double
+RunResult::meanEnergyJoules() const
+{
+    if (worker_energy_j.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double e : worker_energy_j)
+        s += e;
+    return s / static_cast<double>(worker_energy_j.size());
+}
+
+namespace {
+
+/** Everything one simulated robot owns. */
+struct WorkerContext
+{
+    std::size_t id = 0;
+    std::unique_ptr<nn::Model> model;
+    std::unique_ptr<FlatModel> flat;
+    std::unique_ptr<nn::SgdMomentum> opt;
+    std::unique_ptr<data::BatchSampler> sampler;
+    std::unique_ptr<compress::Codec> push_codec; //!< worker-side state.
+    std::unique_ptr<compress::Codec> pull_codec; //!< server-side state.
+    std::unique_ptr<sim::EnergyMeter> meter;
+    std::vector<std::vector<float>> accum;  //!< g' per unit (Algo 1).
+    std::vector<std::int64_t> push_iter;    //!< iters per unit.
+    Rng rng{0};
+    std::size_t cur_iter = 0;
+    bool done = false;
+
+    // Heterogeneity (dynamic batching).
+    std::size_t batch_size = 0;
+    double compute_seconds = 0.0;
+
+    // Pull bookkeeping: the pull runs as its own process (joined
+    // inline normally; overlapped with compute under pipeline_pull)
+    // and deposits its totals here for the next record that drains it.
+    std::unique_ptr<sim::Condition> pull_cond;
+    bool pull_in_flight = false;
+    double carried_pull_comm_s = 0.0;
+    double carried_bytes_pulled = 0.0;
+    std::size_t carried_units_pulled = 0;
+};
+
+/** One engine instance == one training run. */
+class Engine
+{
+  public:
+    Engine(Workload &workload, const EngineConfig &cfg,
+           const NetworkSetup &network);
+    ~Engine();
+
+    RunResult run();
+
+  private:
+    sim::Process workerProcess(WorkerContext &w);
+
+    /** One pull round (Algo 2 lines 10-13) as a detached process;
+     *  deposits totals into w.carried_* and notifies w.pull_cond. */
+    sim::Process pullProcess(WorkerContext &w);
+
+    void computeGradients(WorkerContext &w);
+    void accumulateGradients(WorkerContext &w);
+    std::vector<std::size_t> rankPushOrder(WorkerContext &w,
+                                           std::size_t iteration,
+                                           std::size_t threshold,
+                                           std::size_t &forced);
+
+    /** Staleness threshold in force for @p worker right now. */
+    std::size_t currentThreshold(std::size_t worker) const;
+
+    /**
+     * Transcode one synchronization unit through @p codec, blocking at
+     * matrix-row boundaries: compression blocks follow [22]'s
+     * block-wise scheme regardless of the transmission granularity.
+     */
+    void transcodeUnit(compress::Codec &codec, FlatModel &flat,
+                       std::size_t unit_idx, std::span<const float> in,
+                       std::span<float> out);
+    void applyPulledUnit(WorkerContext &w, std::size_t unit,
+                         std::span<const float> decoded);
+    void checkpoint(WorkerContext &w, std::size_t iteration);
+    std::int64_t stalenessBehind(const WorkerContext &w) const;
+
+    Workload &workload_;
+    EngineConfig cfg_;
+
+    // Declaration order doubles as teardown order (reverse): the
+    // channel and condition destroy any still-suspended process frames
+    // while meters/models/sim are alive; sim is destroyed last.
+    sim::Simulation sim_;
+    std::unique_ptr<RowPartition> partition_;
+    std::vector<std::unique_ptr<WorkerContext>> workers_;
+    std::unique_ptr<VersionStorage> versions_;
+    std::unique_ptr<ServerState> server_;
+    std::unique_ptr<MtaTimeTracker> tracker_;
+    std::unique_ptr<FlownScheduler> flown_;
+    std::unique_ptr<AutoThresholdController> auto_ctrl_;
+    std::vector<double> unit_bytes_;  //!< wire bytes per unit.
+    std::vector<float> scratch_;
+    RunResult result_;
+    std::size_t finished_workers_ = 0;
+    Rng rng_;
+    std::unique_ptr<sim::Condition> version_cond_;
+    std::unique_ptr<net::Channel> channel_;
+};
+
+Engine::Engine(Workload &workload, const EngineConfig &cfg,
+               const NetworkSetup &network)
+    : workload_(workload), cfg_(cfg), rng_(cfg.seed)
+{
+    const std::size_t num_workers = workload.workers();
+    ROG_ASSERT(network.link_traces.size() == num_workers,
+               "need one link trace per worker, got ",
+               network.link_traces.size(), " for ", num_workers);
+    ROG_ASSERT(cfg.iterations > 0, "need at least one iteration");
+    ROG_ASSERT(cfg.system.staleness_threshold >= 1,
+               "staleness threshold must be >= 1");
+    ROG_ASSERT(cfg.worker_departure_times.empty() ||
+               cfg.worker_departure_times.size() == num_workers,
+               "need one departure time per worker (or none)");
+
+    result_.system = cfg.system.name;
+    result_.workers = num_workers;
+    result_.worker_iterations.assign(num_workers, 0);
+    result_.worker_energy_j.assign(num_workers, 0.0);
+    result_.worker_compute_s.assign(num_workers, 0.0);
+    result_.worker_comm_s.assign(num_workers, 0.0);
+    result_.worker_stall_s.assign(num_workers, 0.0);
+
+    for (std::size_t i = 0; i < num_workers; ++i) {
+        auto w = std::make_unique<WorkerContext>();
+        w->id = i;
+        w->model = workload.buildReplica();
+        w->flat = std::make_unique<FlatModel>(*w->model);
+        w->opt = std::make_unique<nn::SgdMomentum>(
+            *w->model, workload.optimizerConfig());
+        w->sampler = std::make_unique<data::BatchSampler>(
+            workload.makeSampler(i));
+        w->push_codec = compress::makeCodec(cfg.codec);
+        w->pull_codec = compress::makeCodec(cfg.codec);
+        w->meter = std::make_unique<sim::EnergyMeter>(
+            sim_, cfg.profile.power);
+        w->rng = rng_.fork();
+        w->pull_cond = std::make_unique<sim::Condition>(sim_);
+        workers_.push_back(std::move(w));
+    }
+
+    // Per-worker batch sizes and compute times. Heterogeneous teams
+    // split the global batch with dynamic batching [49] (or uniformly
+    // for the ablation); homogeneous teams charge the profile's fixed
+    // compute time for the workload's batch size.
+    if (!cfg.heterogeneous_seconds_per_sample.empty()) {
+        ROG_ASSERT(cfg.heterogeneous_seconds_per_sample.size() ==
+                       num_workers,
+                   "need one compute speed per worker");
+        const std::size_t total_batch =
+            workload.batchSize() * num_workers;
+        const BatchAssignment assignment = cfg.dynamic_batching
+            ? assignDynamicBatches(cfg.heterogeneous_seconds_per_sample,
+                                   total_batch)
+            : assignUniformBatches(cfg.heterogeneous_seconds_per_sample,
+                                   total_batch);
+        for (std::size_t i = 0; i < num_workers; ++i) {
+            workers_[i]->batch_size = assignment.batch_sizes[i];
+            workers_[i]->compute_seconds =
+                assignment.compute_seconds[i] * cfg.profile.batch_scale +
+                cfg.profile.compress_seconds;
+        }
+    } else {
+        for (auto &w : workers_) {
+            w->batch_size = workload.batchSize();
+            w->compute_seconds = cfg.profile.iterationComputeSeconds();
+        }
+    }
+
+    partition_ = std::make_unique<RowPartition>(
+        *workers_[0]->flat, cfg.system.granularity);
+    const std::size_t units = partition_->unitCount();
+    result_.total_units = units;
+
+    for (auto &w : workers_) {
+        w->accum.resize(units);
+        for (std::size_t u = 0; u < units; ++u)
+            w->accum[u].assign(partition_->unit(u).width, 0.0f);
+        w->push_iter.assign(units, 0);
+    }
+
+    versions_ = std::make_unique<VersionStorage>(num_workers, units);
+    server_ = std::make_unique<ServerState>(num_workers, *partition_);
+    tracker_ = std::make_unique<MtaTimeTracker>(num_workers);
+    if (cfg.system.flown_dynamic) {
+        flown_ = std::make_unique<FlownScheduler>(num_workers,
+                                                  cfg.system.flown);
+    }
+    if (cfg.auto_threshold) {
+        AutoThresholdConfig at;
+        at.initial_threshold =
+            std::max<std::size_t>(2, cfg.system.staleness_threshold);
+        auto_ctrl_ = std::make_unique<AutoThresholdController>(at);
+    }
+
+    // Wire size per unit: per-row-chunk codec payloads (each chunk
+    // carries its own scale, per [22]'s block-wise compression) plus
+    // the per-unit index tag.
+    auto sizer = compress::makeCodec(cfg.codec);
+    unit_bytes_.resize(units);
+    FlatModel &flat0 = *workers_[0]->flat;
+    for (std::size_t u = 0; u < units; ++u) {
+        const Unit &unit = partition_->unit(u);
+        double bytes = partition_->perUnitOverheadBytes();
+        flat0.forEachRowChunk(unit.begin, unit.width,
+                              [&](std::size_t, std::size_t,
+                                  std::size_t count, std::size_t) {
+                                  bytes += sizer->payloadBytes(count);
+                              });
+        unit_bytes_[u] = bytes;
+    }
+
+    version_cond_ = std::make_unique<sim::Condition>(sim_);
+    channel_ = std::make_unique<net::Channel>(sim_, network.link_traces);
+}
+
+Engine::~Engine() = default;
+
+void
+Engine::computeGradients(WorkerContext &w)
+{
+    auto batch = w.sampler->sample(w.batch_size);
+    w.model->zeroGrad();
+    const tensor::Tensor &out = w.model->forward(batch.features);
+    nn::LossResult loss;
+    if (!batch.labels.empty())
+        loss = nn::softmaxCrossEntropy(out, batch.labels);
+    else
+        loss = nn::meanSquaredError(out, batch.targets);
+    w.model->backward(loss.grad);
+}
+
+void
+Engine::accumulateGradients(WorkerContext &w)
+{
+    for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
+        const Unit &unit = partition_->unit(u);
+        scratch_.resize(unit.width);
+        w.flat->gatherGrad(unit.begin, scratch_);
+        auto &acc = w.accum[u];
+        for (std::size_t j = 0; j < unit.width; ++j)
+            acc[j] += scratch_[j];
+    }
+}
+
+std::size_t
+Engine::currentThreshold(std::size_t worker) const
+{
+    if (auto_ctrl_)
+        return auto_ctrl_->threshold();
+    if (flown_)
+        return flown_->thresholdFor(worker);
+    return cfg_.system.staleness_threshold;
+}
+
+std::vector<std::size_t>
+Engine::rankPushOrder(WorkerContext &w, std::size_t iteration,
+                      std::size_t threshold, std::size_t &forced)
+{
+    const std::size_t units = partition_->unitCount();
+    std::vector<double> mags(units);
+    for (std::size_t u = 0; u < units; ++u)
+        mags[u] = tensor::meanAbs(
+            std::span<const float>(w.accum[u].data(), w.accum[u].size()));
+    auto order = rankUnits(ImportanceMode::Worker, cfg_.system.importance,
+                           mags, w.push_iter, w.rng);
+
+    // Staleness floor: a unit whose age would trigger the RSP gate if
+    // skipped again MUST be in this transmission, or the worker would
+    // stall on its own stale row — the situation the MTA inequality
+    // (1-P)^(S-1) < P is meant to rule out. Move those units to the
+    // front, oldest first, and report how many there are so the
+    // speculative transmission cannot cut them.
+    forced = 0;
+    if (cfg_.system.atp) {
+        const auto n = static_cast<std::int64_t>(iteration);
+        const auto t = static_cast<std::int64_t>(threshold);
+        std::stable_partition(order.begin(), order.end(),
+                              [&](std::size_t u) {
+                                  return n - w.push_iter[u] >= t - 1;
+                              });
+        for (std::size_t u : order) {
+            if (n - w.push_iter[u] >= t - 1)
+                ++forced;
+            else
+                break;
+        }
+        std::stable_sort(order.begin(), order.begin() + forced,
+                         [&](std::size_t a, std::size_t b) {
+                             return w.push_iter[a] < w.push_iter[b];
+                         });
+    }
+    return order;
+}
+
+void
+Engine::transcodeUnit(compress::Codec &codec, FlatModel &flat,
+                      std::size_t unit_idx, std::span<const float> in,
+                      std::span<float> out)
+{
+    const Unit &unit = partition_->unit(unit_idx);
+    ROG_ASSERT(in.size() == unit.width && out.size() == unit.width,
+               "transcode unit size mismatch");
+    flat.forEachRowChunk(
+        unit.begin, unit.width,
+        [&](std::size_t row, std::size_t col, std::size_t count,
+            std::size_t off) {
+            codec.transcode(row, flat.rowInfo(row).width, col,
+                            in.subspan(off, count),
+                            out.subspan(off, count));
+        });
+}
+
+void
+Engine::applyPulledUnit(WorkerContext &w, std::size_t unit,
+                        std::span<const float> decoded)
+{
+    const Unit &info = partition_->unit(unit);
+    w.flat->forEachRowChunk(
+        info.begin, info.width,
+        [&](std::size_t row, std::size_t col, std::size_t count,
+            std::size_t off) {
+            w.opt->applyRowRange(row, col,
+                                 {decoded.data() + off, count});
+        });
+}
+
+void
+Engine::checkpoint(WorkerContext &w, std::size_t iteration)
+{
+    CheckpointRecord c;
+    c.worker = w.id;
+    c.iteration = iteration;
+    c.time_s = sim_.now();
+    c.energy_j = w.meter->totalJoules();
+    c.metric = workload_.evaluate(*w.model);
+    result_.checkpoints.push_back(c);
+}
+
+std::int64_t
+Engine::stalenessBehind(const WorkerContext &w) const
+{
+    std::size_t fastest = 0;
+    for (const auto &other : workers_)
+        fastest = std::max(fastest, other->cur_iter);
+    return static_cast<std::int64_t>(fastest) -
+           static_cast<std::int64_t>(w.cur_iter);
+}
+
+sim::Process
+Engine::workerProcess(WorkerContext &w)
+{
+    using sim::DeviceState;
+
+    const std::size_t units = partition_->unitCount();
+    const bool atp = cfg_.system.atp;
+    const double header = cfg_.transfer_header_bytes;
+    std::vector<float> decoded;
+
+    const double departure = cfg_.worker_departure_times.empty()
+        ? std::numeric_limits<double>::infinity()
+        : cfg_.worker_departure_times[w.id];
+
+    for (std::size_t n = 1; n <= cfg_.iterations; ++n) {
+        if (sim_.now() >= cfg_.time_horizon_seconds)
+            break;
+        if (sim_.now() >= departure)
+            break; // battery dead / crashed: leave the team.
+
+        IterationRecord rec;
+        rec.worker = w.id;
+        rec.iteration = n;
+
+        // ---- Computation (Algo 1 line 2-3) ----
+        // Gradients are taken against the weights at the start of the
+        // compute window: a pipelined pull landing mid-window applies
+        // to the *next* iteration's gradients, as in Pipe-SGD [65].
+        w.meter->setState(DeviceState::Compute);
+        computeGradients(w);
+        accumulateGradients(w);
+        co_await sim::delay(sim_, w.compute_seconds);
+        rec.compute_s = w.compute_seconds;
+
+        // Radio is half-duplex: join a still-in-flight pipelined pull
+        // before pushing, and account its totals to this iteration.
+        if (w.pull_in_flight) {
+            w.meter->setState(DeviceState::Communicate);
+            while (w.pull_in_flight)
+                co_await w.pull_cond->wait();
+        }
+        rec.comm_s += w.carried_pull_comm_s;
+        rec.bytes_pulled += w.carried_bytes_pulled;
+        rec.units_pulled += w.carried_units_pulled;
+        w.carried_pull_comm_s = 0.0;
+        w.carried_bytes_pulled = 0.0;
+        w.carried_units_pulled = 0;
+
+        // ---- PushGradients (Algo 1 line 4, Algo 3+4) ----
+        const std::size_t threshold = currentThreshold(w.id);
+        std::size_t forced = 0;
+        const auto order = rankPushOrder(w, n, threshold, forced);
+        std::vector<double> prefix(units + 1, 0.0);
+        for (std::size_t i = 0; i < units; ++i)
+            prefix[i + 1] = prefix[i] + unit_bytes_[order[i]];
+
+        // The transmitted minimum is the MTA, extended if the
+        // staleness floor demands more (see rankPushOrder).
+        const std::size_t mta = atp
+            ? std::max(mtaUnits(threshold, units), forced)
+            : units;
+        const double timeout =
+            atp ? tracker_->mtaTime() : net::Channel::kNoTimeout;
+
+        // Two phases (Algo 4): the minimum transmission amount is
+        // mandatory — a straggler transmits exactly its MTA, however
+        // long the degraded bandwidth makes that take, and reports the
+        // time; a non-straggler finishes its MTA quickly and keeps
+        // transmitting more rows until the shared MTA time window
+        // closes (speculatively — the cut row is discarded).
+        w.meter->setState(DeviceState::Communicate);
+        auto res = co_await channel_->transfer(w.id, header + prefix[mta],
+                                               net::Channel::kNoTimeout);
+        std::size_t sent = mta;
+        double push_elapsed = res.elapsed;
+        double push_wire = res.bytes_sent;
+        if (atp && sent < units && push_elapsed < timeout &&
+            cfg_.per_unit_judgement_seconds <= 0.0) {
+            const double window = timeout - push_elapsed;
+            auto res2 = co_await channel_->transfer(
+                w.id, prefix[units] - prefix[mta], window);
+            while (sent < units &&
+                   prefix[sent + 1] - prefix[mta] <=
+                       res2.bytes_sent + 1e-6) {
+                ++sent;
+            }
+            push_elapsed += res2.elapsed;
+            push_wire += res2.bytes_sent;
+        } else if (atp && cfg_.per_unit_judgement_seconds > 0.0) {
+            // Judgement-insertion ablation: transmit unit by unit,
+            // checking the window between transmissions. No bytes are
+            // ever discarded, but every check burns time comparable to
+            // a row transmission (Sec. III-A's rejected alternative).
+            while (sent < units && push_elapsed < timeout) {
+                co_await sim::delay(sim_,
+                                    cfg_.per_unit_judgement_seconds);
+                push_elapsed += cfg_.per_unit_judgement_seconds;
+                if (push_elapsed >= timeout)
+                    break;
+                auto res2 = co_await channel_->transfer(
+                    w.id, unit_bytes_[order[sent]],
+                    net::Channel::kNoTimeout);
+                push_elapsed += res2.elapsed;
+                push_wire += res2.bytes_sent;
+                ++sent;
+            }
+        }
+        rec.comm_s += push_elapsed;
+        rec.bytes_pushed = push_wire;
+        rec.units_pushed = sent;
+        rec.push_fraction =
+            static_cast<double>(sent) / static_cast<double>(units);
+
+        // Server receive (Algo 2 lines 2-6).
+        for (std::size_t i = 0; i < sent; ++i) {
+            const std::size_t u = order[i];
+            decoded.resize(w.accum[u].size());
+            transcodeUnit(*w.push_codec, *w.flat, u, w.accum[u],
+                          decoded);
+            server_->accumulate(u, decoded);
+            server_->noteUpdate(u, static_cast<std::int64_t>(n));
+            versions_->update(w.id, u, static_cast<std::int64_t>(n));
+            std::fill(w.accum[u].begin(), w.accum[u].end(), 0.0f);
+            w.push_iter[u] = static_cast<std::int64_t>(n);
+        }
+        if (atp && push_elapsed > 0.0) {
+            tracker_->report(w.id, push_wire, push_elapsed,
+                             header + prefix[mta]);
+        }
+        if (flown_ && push_elapsed > 0.0)
+            flown_->reportThroughput(w.id, push_wire / push_elapsed);
+        version_cond_->notifyAll();
+
+        // ---- RSP gate (Algo 2 lines 7-9) ----
+        // RSP's two-level staleness control splits the budget:
+        //  * across workers, the rows just pushed (v_r_i = n) must stay
+        //    within t of the slowest worker's training state — enforced
+        //    here by waiting while n - min_s(iteration_s) >= t;
+        //  * within a worker, row versions must stay within t of each
+        //    other — enforced constructively by the MTA staleness floor
+        //    (see rankPushOrder), which caps row rotation at t-1.
+        // Each row's end-to-end staleness is therefore bounded, which
+        // is what Theorem 1 needs (S_max over rows).
+        const double stall_start = sim_.now();
+        w.meter->setState(DeviceState::Stall);
+        while (!versions_->retired(w.id) &&
+               static_cast<std::int64_t>(n) -
+                       versions_->minWorkerIteration() >=
+                   static_cast<std::int64_t>(threshold)) {
+            co_await version_cond_->wait();
+        }
+        rec.stall_s = sim_.now() - stall_start;
+
+        // ---- Pull averaged gradients (Algo 2 lines 10-13) ----
+        // The pull runs as its own process: joined inline normally,
+        // overlapped with the next iteration's computation when
+        // pipeline_pull is set (the Pipe-SGD-style future work of
+        // Sec. VI-D).
+        ROG_ASSERT(!w.pull_in_flight, "pull already in flight");
+        w.pull_in_flight = true;
+        pullProcess(w);
+        if (!cfg_.pipeline_pull) {
+            while (w.pull_in_flight)
+                co_await w.pull_cond->wait();
+            rec.comm_s += w.carried_pull_comm_s;
+            rec.bytes_pulled += w.carried_bytes_pulled;
+            rec.units_pulled += w.carried_units_pulled;
+            w.carried_pull_comm_s = 0.0;
+            w.carried_bytes_pulled = 0.0;
+            w.carried_units_pulled = 0;
+        }
+
+        // ---- Bookkeeping ----
+        if (auto_ctrl_) {
+            auto_ctrl_->observe(rec.stall_s, rec.compute_s + rec.comm_s +
+                                                 rec.stall_s);
+        }
+        w.cur_iter = n;
+        rec.staleness_behind = stalenessBehind(w);
+        rec.end_time_s = sim_.now();
+        result_.iterations.push_back(rec);
+        if (n % cfg_.eval_every == 0 || n == cfg_.iterations)
+            checkpoint(w, n);
+        w.meter->setState(DeviceState::Compute);
+    }
+
+    // Join any still-in-flight pipelined pull before leaving.
+    while (w.pull_in_flight)
+        co_await w.pull_cond->wait();
+
+    // Leave the run: never stall the remaining workers (Sec. IV).
+    if (w.cur_iter < cfg_.iterations && w.cur_iter > 0 &&
+        w.cur_iter % cfg_.eval_every != 0) {
+        checkpoint(w, w.cur_iter);
+    }
+    w.done = true;
+    versions_->retireWorker(w.id);
+    version_cond_->notifyAll();
+
+    // Snapshot this worker's accounting at its own departure time: a
+    // finished robot powers down and must not accrue phantom compute
+    // energy while slower teammates keep training.
+    result_.worker_iterations[w.id] = w.cur_iter;
+    result_.worker_energy_j[w.id] = w.meter->totalJoules();
+    result_.worker_compute_s[w.id] =
+        w.meter->secondsIn(sim::DeviceState::Compute);
+    result_.worker_comm_s[w.id] =
+        w.meter->secondsIn(sim::DeviceState::Communicate);
+    result_.worker_stall_s[w.id] =
+        w.meter->secondsIn(sim::DeviceState::Stall);
+    ++finished_workers_;
+    co_return;
+}
+
+sim::Process
+Engine::pullProcess(WorkerContext &w)
+{
+    using sim::DeviceState;
+
+    const std::size_t units = partition_->unitCount();
+    const bool atp = cfg_.system.atp;
+    const double header = cfg_.transfer_header_bytes;
+    std::vector<float> decoded;
+
+    std::vector<std::size_t> cand;
+    for (std::size_t u = 0; u < units; ++u)
+        if (server_->hasPending(w.id, u))
+            cand.push_back(u);
+    if (!cand.empty()) {
+        std::vector<double> mags(cand.size());
+        std::vector<std::int64_t> iters(cand.size());
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+            mags[i] = server_->pendingMeanAbs(w.id, cand[i]);
+            iters[i] = server_->lastUpdate(cand[i]);
+        }
+        const auto rank = rankUnits(ImportanceMode::Server,
+                                    cfg_.system.importance, mags, iters,
+                                    w.rng);
+        std::vector<double> pull_prefix(cand.size() + 1, 0.0);
+        for (std::size_t i = 0; i < cand.size(); ++i)
+            pull_prefix[i + 1] =
+                pull_prefix[i] + unit_bytes_[cand[rank[i]]];
+
+        const std::size_t pull_mta = atp
+            ? std::min(mtaUnits(currentThreshold(w.id), units),
+                       cand.size())
+            : cand.size();
+        const double pull_timeout =
+            atp ? tracker_->mtaTime() : net::Channel::kNoTimeout;
+
+        // When pipelined, the main process may flip the meter back to
+        // Compute while this transfer is in flight; the overlap is
+        // then charged at compute power (which dominates).
+        w.meter->setState(DeviceState::Communicate);
+        auto pres = co_await channel_->transfer(
+            w.id, header + pull_prefix[pull_mta],
+            net::Channel::kNoTimeout);
+        std::size_t pulled = pull_mta;
+        double pull_elapsed = pres.elapsed;
+        double pull_wire = pres.bytes_sent;
+        if (atp && pulled < cand.size() && pull_elapsed < pull_timeout) {
+            auto pres2 = co_await channel_->transfer(
+                w.id, pull_prefix[cand.size()] - pull_prefix[pull_mta],
+                pull_timeout - pull_elapsed);
+            while (pulled < cand.size() &&
+                   pull_prefix[pulled + 1] - pull_prefix[pull_mta] <=
+                       pres2.bytes_sent + 1e-6) {
+                ++pulled;
+            }
+            pull_elapsed += pres2.elapsed;
+            pull_wire += pres2.bytes_sent;
+        }
+        w.carried_pull_comm_s += pull_elapsed;
+        w.carried_bytes_pulled += pull_wire;
+        w.carried_units_pulled += pulled;
+
+        for (std::size_t i = 0; i < pulled; ++i) {
+            const std::size_t u = cand[rank[i]];
+            auto pending = server_->pending(w.id, u);
+            decoded.resize(pending.size());
+            transcodeUnit(*w.pull_codec, *w.flat, u, pending, decoded);
+            applyPulledUnit(w, u, decoded);
+            server_->clearPending(w.id, u);
+        }
+        if (atp && pull_elapsed > 0.0) {
+            tracker_->report(w.id, pull_wire, pull_elapsed,
+                             header + pull_prefix[pull_mta]);
+        }
+    }
+    w.pull_in_flight = false;
+    w.pull_cond->notifyAll();
+    co_return;
+}
+
+RunResult
+Engine::run()
+{
+    // Iteration-0 checkpoint: the shared starting model.
+    {
+        const double metric0 = workload_.evaluate(*workers_[0]->model);
+        for (const auto &w : workers_) {
+            CheckpointRecord c;
+            c.worker = w->id;
+            c.iteration = 0;
+            c.time_s = 0.0;
+            c.energy_j = 0.0;
+            c.metric = metric0;
+            result_.checkpoints.push_back(c);
+        }
+    }
+
+    for (auto &w : workers_)
+        workerProcess(*w);
+    sim_.run();
+    ROG_ASSERT(finished_workers_ == workers_.size(),
+               "simulation drained with unfinished workers");
+
+    result_.sim_seconds = sim_.now();
+    result_.total_bytes = channel_->totalBytesDelivered();
+    result_.completed_iterations = cfg_.iterations;
+    for (const auto &w : workers_) {
+        result_.completed_iterations =
+            std::min(result_.completed_iterations, w->cur_iter);
+    }
+    return result_;
+}
+
+} // namespace
+
+RunResult
+runDistributedTraining(Workload &workload, const EngineConfig &config,
+                       const NetworkSetup &network)
+{
+    Engine engine(workload, config, network);
+    return engine.run();
+}
+
+double
+modelWireBytes(Workload &workload, Granularity granularity,
+               const std::string &codec_name)
+{
+    auto model = workload.buildReplica();
+    FlatModel flat(*model);
+    RowPartition partition(flat, granularity);
+    auto codec = compress::makeCodec(codec_name);
+    double bytes = 0.0;
+    for (const Unit &u : partition.units()) {
+        bytes += partition.perUnitOverheadBytes();
+        flat.forEachRowChunk(u.begin, u.width,
+                             [&](std::size_t, std::size_t,
+                                 std::size_t count, std::size_t) {
+                                 bytes += codec->payloadBytes(count);
+                             });
+    }
+    return bytes;
+}
+
+} // namespace core
+} // namespace rog

@@ -1,0 +1,96 @@
+#include "core/flat_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+FlatModel::FlatModel(nn::Model &model) : model_(&model)
+{
+    params_ = model.parameters();
+    ROG_ASSERT(!params_.empty(), "model has no parameters");
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        const auto &value = params_[p]->value;
+        for (std::size_t r = 0; r < value.rows(); ++r) {
+            RowInfo info;
+            info.param = p;
+            info.local_row = r;
+            info.flat_begin = flat_size_;
+            info.width = value.cols();
+            rows_.push_back(info);
+            row_flat_begin_.push_back(info.flat_begin);
+            flat_size_ += info.width;
+        }
+    }
+}
+
+const RowInfo &
+FlatModel::rowInfo(std::size_t r) const
+{
+    ROG_ASSERT(r < rows_.size(), "row out of range");
+    return rows_[r];
+}
+
+std::size_t
+FlatModel::rowOfOffset(std::size_t off) const
+{
+    ROG_ASSERT(off < flat_size_, "flat offset out of range");
+    auto it = std::upper_bound(row_flat_begin_.begin(),
+                               row_flat_begin_.end(), off);
+    return static_cast<std::size_t>(it - row_flat_begin_.begin()) - 1;
+}
+
+void
+FlatModel::gatherGrad(std::size_t begin, std::span<float> out) const
+{
+    forEachRowChunk(
+        begin, out.size(),
+        [&](std::size_t row, std::size_t col_begin, std::size_t count,
+            std::size_t range_offset) {
+            const RowInfo &info = rows_[row];
+            const auto src =
+                params_[info.param]->grad.row(info.local_row);
+            for (std::size_t j = 0; j < count; ++j)
+                out[range_offset + j] = src[col_begin + j];
+        });
+}
+
+void
+FlatModel::forEachRowChunk(
+    std::size_t begin, std::size_t length,
+    const std::function<void(std::size_t, std::size_t, std::size_t,
+                             std::size_t)> &fn) const
+{
+    ROG_ASSERT(begin + length <= flat_size_, "flat range out of bounds");
+    std::size_t off = begin;
+    std::size_t done = 0;
+    while (done < length) {
+        const std::size_t row = rowOfOffset(off);
+        const RowInfo &info = rows_[row];
+        const std::size_t col = off - info.flat_begin;
+        const std::size_t count =
+            std::min(info.width - col, length - done);
+        fn(row, col, count, done);
+        off += count;
+        done += count;
+    }
+}
+
+std::span<float>
+FlatModel::rowValues(std::size_t r)
+{
+    const RowInfo &info = rowInfo(r);
+    return params_[info.param]->value.row(info.local_row);
+}
+
+std::span<float>
+FlatModel::rowGrad(std::size_t r)
+{
+    const RowInfo &info = rowInfo(r);
+    return params_[info.param]->grad.row(info.local_row);
+}
+
+} // namespace core
+} // namespace rog

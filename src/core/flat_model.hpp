@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flattened row-indexed view over a model's parameters.
+ *
+ * ROG "transparently inspects the underlying tensors storing parameters
+ * of the model and tracks each row's versions" (Sec. V). FlatModel is
+ * that inspection layer: it assigns every parameter-matrix row a global
+ * row index and every element a global flat offset, and translates
+ * between flat element ranges (the general synchronization unit, see
+ * row_partition.hpp) and (parameter, row, column) coordinates.
+ */
+#ifndef ROG_CORE_FLAT_MODEL_HPP
+#define ROG_CORE_FLAT_MODEL_HPP
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace rog {
+namespace core {
+
+/** Descriptor of one global matrix row. */
+struct RowInfo
+{
+    std::size_t param = 0;       //!< index into Model::parameters().
+    std::size_t local_row = 0;   //!< row within that parameter matrix.
+    std::size_t flat_begin = 0;  //!< offset of the row's first element.
+    std::size_t width = 0;       //!< elements in the row.
+};
+
+/** Flat view over a model's parameters (non-owning). */
+class FlatModel
+{
+  public:
+    /** Bind to a model; the model must outlive this view. */
+    explicit FlatModel(nn::Model &model);
+
+    /** Total number of elements across all parameters. */
+    std::size_t flatSize() const { return flat_size_; }
+
+    /** Total number of global rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Descriptor of global row @p r. @pre r < rowCount() */
+    const RowInfo &rowInfo(std::size_t r) const;
+
+    /** Global row containing flat offset @p off. @pre off<flatSize() */
+    std::size_t rowOfOffset(std::size_t off) const;
+
+    /**
+     * Copy the current parameter *gradients* of the flat range
+     * [begin, begin+out.size()) into @p out.
+     */
+    void gatherGrad(std::size_t begin, std::span<float> out) const;
+
+    /**
+     * Visit the flat range [begin, begin + length) as per-(global row,
+     * column range) chunks: fn(row, col_begin, count, range_offset)
+     * where range_offset is the chunk's offset within the visited
+     * range. Chunks are visited in ascending order and cover the range
+     * exactly once.
+     */
+    void forEachRowChunk(
+        std::size_t begin, std::size_t length,
+        const std::function<void(std::size_t row, std::size_t col_begin,
+                                 std::size_t count,
+                                 std::size_t range_offset)> &fn) const;
+
+    /** Parameter values of global row @p r (mutable). */
+    std::span<float> rowValues(std::size_t r);
+
+    /** Parameter gradients of global row @p r (mutable). */
+    std::span<float> rowGrad(std::size_t r);
+
+    nn::Model &model() { return *model_; }
+
+  private:
+    nn::Model *model_;
+    std::vector<nn::Parameter *> params_;
+    std::vector<RowInfo> rows_;
+    std::vector<std::size_t> row_flat_begin_; //!< for binary search.
+    std::size_t flat_size_ = 0;
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_FLAT_MODEL_HPP

@@ -1,0 +1,62 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace core {
+
+std::vector<std::size_t>
+rankUnits(ImportanceMode mode, const ImportanceConfig &cfg,
+          const std::vector<double> &mean_abs_grad,
+          const std::vector<std::int64_t> &iters, Rng &rng)
+{
+    ROG_ASSERT(mean_abs_grad.size() == iters.size(),
+               "importance input size mismatch");
+    const std::size_t n = mean_abs_grad.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    if (n <= 1)
+        return order;
+
+    if (cfg.random) {
+        rng.shuffle(order);
+        return order;
+    }
+
+    // Normalize the magnitude term by its mean so the two terms weigh
+    // comparable scales.
+    double mag_mean = 0.0;
+    for (double m : mean_abs_grad)
+        mag_mean += m;
+    mag_mean /= static_cast<double>(n);
+    const double mag_scale = mag_mean > 0.0 ? 1.0 / mag_mean : 0.0;
+
+    const auto [min_it, max_it] =
+        std::minmax_element(iters.begin(), iters.end());
+    const std::int64_t min_iter = *min_it;
+    const std::int64_t max_iter = *max_it;
+
+    std::vector<double> score(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mag = cfg.f1 * mean_abs_grad[i] * mag_scale;
+        const double age = (mode == ImportanceMode::Worker)
+            ? static_cast<double>(max_iter - iters[i])
+            : static_cast<double>(iters[i] - min_iter);
+        score[i] = mag + cfg.f2 * age;
+    }
+
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (score[a] != score[b])
+                             return score[a] > score[b];
+                         return a < b;
+                     });
+    return order;
+}
+
+} // namespace core
+} // namespace rog

@@ -1,0 +1,35 @@
+#include "core/mta.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace rog {
+namespace core {
+
+double
+mtaFraction(std::size_t staleness_threshold)
+{
+    if (staleness_threshold <= 1)
+        return 1.0;
+    const double s = static_cast<double>(staleness_threshold);
+    // f(P) = (1-P)^(S-1) - P is strictly decreasing on (0, 1) with
+    // f(0) = 1 and f(1) = -1, so the root is unique.
+    return bisect(
+        [s](double p) { return std::pow(1.0 - p, s - 1.0) - p; }, 0.0,
+        1.0, 1e-12);
+}
+
+std::size_t
+mtaUnits(std::size_t staleness_threshold, std::size_t total_units)
+{
+    ROG_ASSERT(total_units > 0, "mtaUnits with no units");
+    const double frac = mtaFraction(staleness_threshold);
+    const auto units = static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(total_units)));
+    return std::max<std::size_t>(1, std::min(units, total_units));
+}
+
+} // namespace core
+} // namespace rog

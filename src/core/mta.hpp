@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimum Transmission Amount (MTA) — Table I of the paper.
+ *
+ * If every transmission ships at least a fraction P of the rows
+ * (highest importance first), then after s steps at most (1-P)^s of
+ * the rows remain untransmitted. To guarantee every row is transmitted
+ * before its staleness reaches the threshold S, the paper requires
+ * (1-P)^(S-1) < P and sets MTA to the smallest such P — the solution
+ * of (1-P)^(S-1) = P.
+ */
+#ifndef ROG_CORE_MTA_HPP
+#define ROG_CORE_MTA_HPP
+
+#include <cstddef>
+
+namespace rog {
+namespace core {
+
+/**
+ * MTA fraction for a staleness threshold.
+ *
+ * Solves (1-P)^(S-1) = P. Thresholds <= 1 force P = 1 (everything must
+ * go every iteration — the BSP limit). Matches the paper's Table I:
+ * S = 2 -> 0.50, 3 -> 0.38, 4 -> 0.32, 5 -> 0.28, 6 -> 0.25,
+ * 7 -> 0.22, 8 -> 0.20.
+ */
+double mtaFraction(std::size_t staleness_threshold);
+
+/**
+ * MTA in units for a model of @p total_units rows (Algo 4 line 1:
+ * MTA <- MTATable(t) * len(g')), rounded up, at least 1.
+ */
+std::size_t mtaUnits(std::size_t staleness_threshold,
+                     std::size_t total_units);
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_MTA_HPP

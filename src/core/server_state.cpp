@@ -1,0 +1,144 @@
+#include "core/server_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+ServerState::ServerState(std::size_t workers,
+                         const RowPartition &partition)
+    : inv_workers_(1.0 / static_cast<double>(workers))
+{
+    ROG_ASSERT(workers > 0, "server needs at least one worker");
+    unit_widths_.reserve(partition.unitCount());
+    for (const Unit &u : partition.units())
+        unit_widths_.push_back(u.width);
+    last_update_.assign(partition.unitCount(), 0);
+
+    outbox_.resize(workers);
+    has_pending_.resize(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        outbox_[w].resize(partition.unitCount());
+        has_pending_[w].assign(partition.unitCount(), false);
+        for (std::size_t u = 0; u < partition.unitCount(); ++u)
+            outbox_[w][u].assign(unit_widths_[u], 0.0f);
+    }
+}
+
+void
+ServerState::accumulate(std::size_t unit, std::span<const float> decoded)
+{
+    ROG_ASSERT(unit < unit_widths_.size(), "unit out of range");
+    ROG_ASSERT(decoded.size() == unit_widths_[unit],
+               "decoded width mismatch");
+    const auto scale = static_cast<float>(inv_workers_);
+    for (std::size_t w = 0; w < outbox_.size(); ++w) {
+        auto &dst = outbox_[w][unit];
+        for (std::size_t j = 0; j < decoded.size(); ++j)
+            dst[j] += scale * decoded[j];
+        has_pending_[w][unit] = true;
+    }
+}
+
+std::span<float>
+ServerState::pending(std::size_t worker, std::size_t unit)
+{
+    ROG_ASSERT(worker < outbox_.size() && unit < unit_widths_.size(),
+               "pending index out of range");
+    return outbox_[worker][unit];
+}
+
+bool
+ServerState::hasPending(std::size_t worker, std::size_t unit) const
+{
+    ROG_ASSERT(worker < outbox_.size() && unit < unit_widths_.size(),
+               "pending index out of range");
+    return has_pending_[worker][unit];
+}
+
+void
+ServerState::clearPending(std::size_t worker, std::size_t unit)
+{
+    ROG_ASSERT(worker < outbox_.size() && unit < unit_widths_.size(),
+               "pending index out of range");
+    auto &buf = outbox_[worker][unit];
+    std::fill(buf.begin(), buf.end(), 0.0f);
+    has_pending_[worker][unit] = false;
+}
+
+double
+ServerState::pendingMeanAbs(std::size_t worker, std::size_t unit) const
+{
+    ROG_ASSERT(worker < outbox_.size() && unit < unit_widths_.size(),
+               "pending index out of range");
+    const auto &buf = outbox_[worker][unit];
+    if (buf.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float v : buf)
+        s += std::fabs(v);
+    return s / static_cast<double>(buf.size());
+}
+
+std::int64_t
+ServerState::lastUpdate(std::size_t unit) const
+{
+    ROG_ASSERT(unit < last_update_.size(), "unit out of range");
+    return last_update_[unit];
+}
+
+void
+ServerState::noteUpdate(std::size_t unit, std::int64_t iter)
+{
+    ROG_ASSERT(unit < last_update_.size(), "unit out of range");
+    last_update_[unit] = std::max(last_update_[unit], iter);
+}
+
+MtaTimeTracker::MtaTimeTracker(std::size_t workers, double alpha,
+                               double floor_seconds, double ceil_seconds)
+    : rate_(workers, Ewma(alpha)), mta_bytes_(workers, 0.0),
+      floor_seconds_(floor_seconds), ceil_seconds_(ceil_seconds)
+{
+    ROG_ASSERT(workers > 0, "tracker needs at least one worker");
+    ROG_ASSERT(floor_seconds > 0.0 && ceil_seconds > floor_seconds,
+               "bad tMTA clamp");
+}
+
+double
+MtaTimeTracker::estimateFor(std::size_t worker) const
+{
+    ROG_ASSERT(worker < rate_.size(), "worker out of range");
+    if (!rate_[worker].seeded() || mta_bytes_[worker] <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double rate = std::max(rate_[worker].value(), 1e-9);
+    return mta_bytes_[worker] / rate;
+}
+
+double
+MtaTimeTracker::mtaTime() const
+{
+    double worst = 0.0;
+    for (std::size_t w = 0; w < rate_.size(); ++w) {
+        const double est = estimateFor(w);
+        if (std::isinf(est))
+            return std::numeric_limits<double>::infinity();
+        worst = std::max(worst, est);
+    }
+    return clamp(worst, floor_seconds_, ceil_seconds_);
+}
+
+void
+MtaTimeTracker::report(std::size_t worker, double bytes_transmitted,
+                       double elapsed_seconds, double mta_bytes)
+{
+    ROG_ASSERT(worker < rate_.size(), "worker out of range");
+    ROG_ASSERT(elapsed_seconds > 0.0, "elapsed must be positive");
+    rate_[worker].observe(bytes_transmitted / elapsed_seconds);
+    mta_bytes_[worker] = mta_bytes;
+}
+
+} // namespace core
+} // namespace rog

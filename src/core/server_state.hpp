@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parameter-server state (Fig. 5, right side) and the shared MTA-time
+ * tracker of ATP.
+ *
+ * The server keeps *one gradient copy per worker* (Sec. III-B): when
+ * worker r pushes row i at iteration n, g'_i / num is accumulated into
+ * every worker's copy; when the server later sends row i to worker s,
+ * only s's copy of row i is zeroed. Together with worker-side
+ * accumulation this guarantees every computed gradient is eventually
+ * applied to every replica exactly once (gradient conservation).
+ */
+#ifndef ROG_CORE_SERVER_STATE_HPP
+#define ROG_CORE_SERVER_STATE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "core/row_partition.hpp"
+#include "core/version_storage.hpp"
+
+namespace rog {
+namespace core {
+
+/** Accumulated averaged gradients awaiting pull, per worker per unit. */
+class ServerState
+{
+  public:
+    ServerState(std::size_t workers, const RowPartition &partition);
+
+    std::size_t workers() const { return outbox_.size(); }
+    std::size_t units() const { return unit_widths_.size(); }
+
+    /**
+     * Accumulate a pushed (already decoded) gradient of @p unit from
+     * one worker into *every* worker's copy, scaled by 1/num_workers.
+     */
+    void accumulate(std::size_t unit, std::span<const float> decoded);
+
+    /** Pending averaged gradient of @p unit for @p worker (mutable). */
+    std::span<float> pending(std::size_t worker, std::size_t unit);
+
+    /** True if @p worker has a nonzero pending gradient for @p unit. */
+    bool hasPending(std::size_t worker, std::size_t unit) const;
+
+    /** Zero @p worker's copy of @p unit after it was sent. */
+    void clearPending(std::size_t worker, std::size_t unit);
+
+    /** Mean |pending| of @p unit for @p worker (importance input). */
+    double pendingMeanAbs(std::size_t worker, std::size_t unit) const;
+
+    /** Latest iteration that updated @p unit (any worker). */
+    std::int64_t lastUpdate(std::size_t unit) const;
+
+    /** Record that @p unit was updated at iteration @p iter. */
+    void noteUpdate(std::size_t unit, std::int64_t iter);
+
+  private:
+    std::vector<std::vector<std::vector<float>>> outbox_;
+    std::vector<std::vector<bool>> has_pending_;
+    std::vector<std::size_t> unit_widths_;
+    std::vector<std::int64_t> last_update_;
+    double inv_workers_;
+};
+
+/**
+ * ATP's shared MTA-time estimate (Algo 4's GetMTATime /
+ * UpdateMTATime): each device reports its observed throughput after a
+ * push/pull; the tracker estimates, per device, the seconds that
+ * device needs to transmit an MTA's worth of bytes, and tMTA is the
+ * maximum over devices — so non-stragglers keep transmitting for as
+ * long as the slowest device needs for its minimum amount, aligning
+ * transmission times.
+ */
+class MtaTimeTracker
+{
+  public:
+    /**
+     * @param workers device count.
+     * @param alpha EWMA weight for new throughput observations.
+     * @param floor_seconds / ceil_seconds clamp on tMTA.
+     */
+    explicit MtaTimeTracker(std::size_t workers, double alpha = 0.35,
+                            double floor_seconds = 0.05,
+                            double ceil_seconds = 30.0);
+
+    /**
+     * Current tMTA: max over devices of their estimated MTA
+     * transmission time; +infinity until the first report (the first
+     * iteration transmits everything, like SSP).
+     */
+    double mtaTime() const;
+
+    /**
+     * Report one observed transmission.
+     *
+     * @param worker reporting device.
+     * @param bytes_transmitted total bytes that left the device.
+     * @param elapsed_seconds wall time of the transmission. @pre > 0
+     * @param mta_bytes current size of this device's MTA in bytes.
+     */
+    void report(std::size_t worker, double bytes_transmitted,
+                double elapsed_seconds, double mta_bytes);
+
+    /** Estimated seconds for @p worker to transmit its MTA. */
+    double estimateFor(std::size_t worker) const;
+
+  private:
+    std::vector<Ewma> rate_;           //!< bytes/sec per device.
+    std::vector<double> mta_bytes_;    //!< latest MTA size per device.
+    double floor_seconds_;
+    double ceil_seconds_;
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_SERVER_STATE_HPP

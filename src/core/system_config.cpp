@@ -1,0 +1,55 @@
+#include "core/system_config.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+SystemConfig
+SystemConfig::bsp()
+{
+    SystemConfig c;
+    c.name = "BSP";
+    c.granularity = Granularity::WholeModel;
+    c.staleness_threshold = 1;
+    return c;
+}
+
+SystemConfig
+SystemConfig::ssp(std::size_t t)
+{
+    ROG_ASSERT(t >= 1, "SSP threshold must be >= 1");
+    SystemConfig c;
+    c.name = "SSP-" + std::to_string(t);
+    c.granularity = Granularity::WholeModel;
+    c.staleness_threshold = t;
+    return c;
+}
+
+SystemConfig
+SystemConfig::flownSystem(std::size_t max_threshold)
+{
+    SystemConfig c;
+    c.name = "FLOWN";
+    c.granularity = Granularity::WholeModel;
+    c.staleness_threshold = max_threshold; // gate cap; per-worker below.
+    c.flown_dynamic = true;
+    c.flown.min_threshold = 1;
+    c.flown.max_threshold = max_threshold;
+    return c;
+}
+
+SystemConfig
+SystemConfig::rog(std::size_t t)
+{
+    ROG_ASSERT(t >= 2, "ROG threshold must be >= 2 (MTA needs slack)");
+    SystemConfig c;
+    c.name = "ROG-" + std::to_string(t);
+    c.granularity = Granularity::Row;
+    c.staleness_threshold = t;
+    c.atp = true;
+    return c;
+}
+
+} // namespace core
+} // namespace rog

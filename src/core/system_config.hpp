@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Training-system configurations: BSP, SSP, FLOWN, and ROG.
+ *
+ * All four systems run on one engine (engine.hpp) — they differ only
+ * in synchronization granularity, staleness threshold, whether ATP
+ * (importance scheduling + speculative transmission + MTA alignment)
+ * is active, and whether thresholds are scheduled dynamically (FLOWN).
+ * BSP is the threshold-1 limit of the gate in Algo 2: a worker that
+ * pushed iteration n may not pull until every worker has pushed n.
+ */
+#ifndef ROG_CORE_SYSTEM_CONFIG_HPP
+#define ROG_CORE_SYSTEM_CONFIG_HPP
+
+#include <string>
+
+#include "core/flown.hpp"
+#include "core/importance.hpp"
+#include "core/row_partition.hpp"
+
+namespace rog {
+namespace core {
+
+/** Complete description of one training system under test. */
+struct SystemConfig
+{
+    std::string name = "BSP";
+
+    /** Synchronization granularity (baselines: whole model). */
+    Granularity granularity = Granularity::WholeModel;
+
+    /** RSP/SSP staleness threshold t (1 = BSP barrier). */
+    std::size_t staleness_threshold = 1;
+
+    /** Enable ATP: importance ordering, speculative transmission with
+     *  the shared MTA time, and minimum-transmission-amount flooring. */
+    bool atp = false;
+
+    /** Importance coefficients (only meaningful with atp). */
+    ImportanceConfig importance{};
+
+    /** FLOWN-style dynamic per-worker thresholds. */
+    bool flown_dynamic = false;
+    FlownConfig flown{};
+
+    /** Bulk Synchronous Parallel. */
+    static SystemConfig bsp();
+
+    /** Stale Synchronous Parallel with threshold @p t. @pre t >= 1 */
+    static SystemConfig ssp(std::size_t t);
+
+    /** Dynamic-threshold scheduling baseline [19]. */
+    static SystemConfig flownSystem(std::size_t max_threshold = 8);
+
+    /** ROG (RSP + ATP) with staleness threshold @p t. @pre t >= 2 */
+    static SystemConfig rog(std::size_t t);
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_SYSTEM_CONFIG_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Calibration constants measured on the paper's testbed.
+ *
+ * These mirror the paper's measured environment so that the simulated
+ * time/energy composition has the same proportions: compute time and
+ * compression cost from Table II / Sec. II-B, power draw from
+ * Table III, and a mean usable link bandwidth chosen so that a full
+ * compressed push+pull across four workers costs ~1.47 s, the paper's
+ * ideal-network figure (Sec. II-B).
+ */
+#ifndef ROG_CORE_TESTBED_PROFILE_HPP
+#define ROG_CORE_TESTBED_PROFILE_HPP
+
+#include "sim/energy.hpp"
+
+namespace rog {
+namespace core {
+
+/** Timing / power profile of one robot (Jetson Xavier NX class). */
+struct TestbedProfile
+{
+    /** Forward+backward time per iteration at batch scale 1 (Sec.
+     *  II-B: 2.18 s on a Jetson Xavier NX with dynamic batching). */
+    double compute_seconds = 2.18;
+
+    /** One-bit compress + decompress cost per iteration, charged as
+     *  computation (Table II: 0.42-0.51 s; we use the midpoint). */
+    double compress_seconds = 0.47;
+
+    /** Batch-size multiplier: compute time scales proportionally
+     *  (Sec. VI-C batch-size sensitivity). */
+    double batch_scale = 1.0;
+
+    /** Power model (Table III). */
+    sim::PowerModel power{};
+
+    /** Compute time for this profile's batch scale. */
+    double
+    iterationComputeSeconds() const
+    {
+        return compute_seconds * batch_scale + compress_seconds;
+    }
+};
+
+/**
+ * Mean usable link bandwidth in bytes/second, calibrated so that the
+ * BSP synchronization volume of @p model_wire_bytes per worker
+ * (push + pull for @p workers devices sharing the channel) costs about
+ * @p target_seconds — the paper's 1.47 s ideal-network figure.
+ */
+inline double
+calibratedMeanBandwidth(double model_wire_bytes, std::size_t workers,
+                        double target_seconds = 1.47)
+{
+    // Total volume on the shared medium: each worker pushes and pulls
+    // one compressed model (2 * workers * size), all over one channel.
+    const double total = 2.0 * static_cast<double>(workers) *
+                         model_wire_bytes;
+    return total / target_seconds;
+}
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_TESTBED_PROFILE_HPP

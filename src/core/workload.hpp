@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload abstraction: what the team of robots trains.
+ *
+ * A Workload owns the task data, knows how to build identically
+ * initialized model replicas (possibly pretrained), hands each worker
+ * its data shard, and evaluates a model into the paper's metric
+ * (training accuracy for CRUDA, trajectory error for CRIMP).
+ */
+#ifndef ROG_CORE_WORKLOAD_HPP
+#define ROG_CORE_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rog {
+namespace core {
+
+/** Abstract training workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Number of workers this workload was sharded for. */
+    virtual std::size_t workers() const = 0;
+
+    /**
+     * A fresh model replica with the workload's canonical initial
+     * weights (identical across calls, as every robot starts from the
+     * same pretrained model).
+     */
+    virtual std::unique_ptr<nn::Model> buildReplica() = 0;
+
+    /** Minibatch sampler over worker @p w's data shard. */
+    virtual data::BatchSampler makeSampler(std::size_t w) = 0;
+
+    /** Per-worker training minibatch size. */
+    virtual std::size_t batchSize() const = 0;
+
+    /** Optimizer hyperparameters. */
+    virtual nn::OptimizerConfig optimizerConfig() const = 0;
+
+    /** Evaluate a replica into the reported metric. */
+    virtual double evaluate(nn::Model &model) = 0;
+
+    /** Metric name, e.g. "accuracy_pct" or "trajectory_error". */
+    virtual std::string metricName() const = 0;
+
+    /** True when a smaller metric is better (CRIMP error). */
+    virtual bool lowerIsBetter() const = 0;
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_WORKLOAD_HPP

@@ -1,0 +1,180 @@
+#include "core/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "data/partition.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace rog {
+namespace core {
+
+namespace {
+
+/** Forward a dataset subset through a model in chunks. */
+template <typename PerChunk>
+void
+forwardInChunks(nn::Model &model, const data::Dataset &set,
+                std::size_t subset, std::size_t chunk, PerChunk &&fn)
+{
+    const std::size_t n = std::min(subset, set.size());
+    ROG_ASSERT(n > 0, "empty evaluation set");
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t count = std::min(chunk, n - begin);
+        tensor::Tensor x(count, set.features.cols());
+        for (std::size_t i = 0; i < count; ++i) {
+            auto src = set.features.row(begin + i);
+            auto dst = x.row(i);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+        const tensor::Tensor &out = model.forward(x);
+        fn(begin, count, out);
+    }
+}
+
+} // namespace
+
+CrudaWorkload::CrudaWorkload(const CrudaWorkloadConfig &cfg)
+    : cfg_(cfg), task_(data::makeCrudaTask(cfg.data)),
+      sampler_rng_(cfg.seed ^ 0xabcdef12345ull)
+{
+    ROG_ASSERT(cfg.workers > 0, "need at least one worker");
+
+    // Build and pretrain the canonical replica on the clean domain.
+    Rng init_rng(cfg_.seed);
+    reference_ = std::make_unique<nn::Model>(
+        nn::makeClassifier(cfg_.model, init_rng));
+
+    Rng pre_rng(cfg_.seed ^ 0x5151u);
+    std::vector<std::size_t> all(task_.clean_train.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    data::BatchSampler pre_sampler(task_.clean_train, all, pre_rng);
+    nn::SgdMomentum pre_opt(*reference_,
+                            {cfg_.pretrain_lr, cfg_.opt.momentum});
+    for (std::size_t it = 0; it < cfg_.pretrain_iters; ++it) {
+        auto batch = pre_sampler.sample(cfg_.pretrain_batch);
+        reference_->zeroGrad();
+        const auto &out = reference_->forward(batch.features);
+        auto loss = nn::softmaxCrossEntropy(out, batch.labels);
+        reference_->backward(loss.grad);
+        for (std::size_t r = 0; r < pre_opt.rowCount(); ++r) {
+            auto g = pre_opt.rowGrad(r);
+            pre_opt.applyRow(r, {g.data(), g.size()});
+        }
+    }
+
+    // Non-IID shards of the shifted-domain pool (Pachinko stand-in).
+    Rng part_rng(cfg_.seed ^ 0x77aa11u);
+    shards_ = data::dirichletPartition(task_.shifted_train, cfg_.workers,
+                                       cfg_.dirichlet_alpha, part_rng);
+}
+
+std::unique_ptr<nn::Model>
+CrudaWorkload::buildReplica()
+{
+    Rng rng(cfg_.seed); // same seed -> same architecture sizes.
+    auto m = std::make_unique<nn::Model>(
+        nn::makeClassifier(cfg_.model, rng));
+    m->copyParametersFrom(*reference_);
+    return m;
+}
+
+data::BatchSampler
+CrudaWorkload::makeSampler(std::size_t w)
+{
+    ROG_ASSERT(w < shards_.size(), "worker out of range");
+    return data::BatchSampler(task_.shifted_train, shards_[w],
+                              sampler_rng_.fork());
+}
+
+double
+CrudaWorkload::accuracyOn(nn::Model &model, const data::Dataset &set,
+                          std::size_t subset)
+{
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    forwardInChunks(model, set, subset, 256,
+                    [&](std::size_t begin, std::size_t count,
+                        const tensor::Tensor &out) {
+                        for (std::size_t i = 0; i < count; ++i) {
+                            if (tensor::argmaxRow(out, i) ==
+                                set.labels[begin + i])
+                                ++correct;
+                            ++total;
+                        }
+                    });
+    return 100.0 * static_cast<double>(correct) /
+           static_cast<double>(total);
+}
+
+double
+CrudaWorkload::evaluate(nn::Model &model)
+{
+    return accuracyOn(model, task_.shifted_test, cfg_.eval_subset);
+}
+
+double
+CrudaWorkload::initialAccuracy()
+{
+    return accuracyOn(*reference_, task_.shifted_test, cfg_.eval_subset);
+}
+
+double
+CrudaWorkload::cleanAccuracy()
+{
+    return accuracyOn(*reference_, task_.clean_train, cfg_.eval_subset);
+}
+
+CrimpWorkload::CrimpWorkload(const CrimpWorkloadConfig &cfg)
+    : cfg_(cfg), task_(data::makeCrimpTask(cfg.data)),
+      sampler_rng_(cfg.seed ^ 0x31415926ull)
+{
+    ROG_ASSERT(cfg.workers > 0, "need at least one worker");
+    Rng init_rng(cfg_.seed);
+    reference_ = std::make_unique<nn::Model>(
+        nn::makeImplicitMap(cfg_.model, init_rng));
+    shards_ = data::splitTrajectory(task_, cfg_.workers);
+}
+
+std::unique_ptr<nn::Model>
+CrimpWorkload::buildReplica()
+{
+    Rng rng(cfg_.seed);
+    auto m = std::make_unique<nn::Model>(
+        nn::makeImplicitMap(cfg_.model, rng));
+    m->copyParametersFrom(*reference_);
+    return m;
+}
+
+data::BatchSampler
+CrimpWorkload::makeSampler(std::size_t w)
+{
+    ROG_ASSERT(w < shards_.size(), "worker out of range");
+    return data::BatchSampler(task_.train, shards_[w],
+                              sampler_rng_.fork());
+}
+
+double
+CrimpWorkload::evaluate(nn::Model &model)
+{
+    double se = 0.0;
+    std::size_t total = 0;
+    forwardInChunks(
+        model, task_.eval_probes, task_.eval_probes.size(), 256,
+        [&](std::size_t begin, std::size_t count,
+            const tensor::Tensor &out) {
+            for (std::size_t i = 0; i < count; ++i) {
+                const double d = static_cast<double>(out.at(i, 0)) -
+                                 task_.eval_probes.targets.at(begin + i, 0);
+                se += d * d;
+                ++total;
+            }
+        });
+    return std::sqrt(se / static_cast<double>(total));
+}
+
+} // namespace core
+} // namespace rog

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The paper's two evaluation workloads as Workload implementations:
+ * CRUDA (unsupervised domain adaptation) and CRIMP (implicit mapping
+ * and positioning). See data/cruda.hpp and data/crimp.hpp for the
+ * synthetic-data substitutions.
+ */
+#ifndef ROG_CORE_WORKLOADS_HPP
+#define ROG_CORE_WORKLOADS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "data/crimp.hpp"
+#include "data/cruda.hpp"
+
+namespace rog {
+namespace core {
+
+/** Configuration of the CRUDA workload. */
+struct CrudaWorkloadConfig
+{
+    data::CrudaConfig data{};
+    nn::ClassifierConfig model{32, {96, 96, 48}, 20};
+    std::size_t workers = 4;
+    double dirichlet_alpha = 0.5;   //!< non-IID skew (smaller = worse).
+    std::size_t batch_size = 20;    //!< per-robot minibatch (Table II).
+    nn::OptimizerConfig opt{0.001f, 0.9f};
+    std::size_t pretrain_iters = 400;
+    std::size_t pretrain_batch = 64;
+    float pretrain_lr = 0.08f;
+    std::size_t eval_subset = 1000; //!< test samples used per eval.
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * CRUDA: the model is pretrained on the clean domain (so its shifted-
+ * domain accuracy starts degraded, as in the paper) and the team then
+ * adapts it online on non-IID shards of shifted data.
+ */
+class CrudaWorkload : public Workload
+{
+  public:
+    explicit CrudaWorkload(const CrudaWorkloadConfig &cfg);
+
+    std::size_t workers() const override { return cfg_.workers; }
+    std::unique_ptr<nn::Model> buildReplica() override;
+    data::BatchSampler makeSampler(std::size_t w) override;
+    std::size_t batchSize() const override { return cfg_.batch_size; }
+    nn::OptimizerConfig optimizerConfig() const override
+    {
+        return cfg_.opt;
+    }
+    double evaluate(nn::Model &model) override;
+    std::string metricName() const override { return "accuracy_pct"; }
+    bool lowerIsBetter() const override { return false; }
+
+    /** Shifted-domain accuracy of the pretrained (unadapted) model. */
+    double initialAccuracy();
+
+    /** Clean-domain accuracy after pretraining (diagnostics). */
+    double cleanAccuracy();
+
+  private:
+    double accuracyOn(nn::Model &model, const data::Dataset &set,
+                      std::size_t subset);
+
+    CrudaWorkloadConfig cfg_;
+    data::CrudaTask task_;
+    std::unique_ptr<nn::Model> reference_;
+    std::vector<std::vector<std::size_t>> shards_;
+    Rng sampler_rng_;
+};
+
+/** Configuration of the CRIMP workload. */
+struct CrimpWorkloadConfig
+{
+    data::CrimpConfig data{};
+    nn::ImplicitMapConfig model{};
+    std::size_t workers = 4;
+    std::size_t batch_size = 32;
+    nn::OptimizerConfig opt{0.02f, 0.9f};
+    std::uint64_t seed = 99;
+};
+
+/**
+ * CRIMP: the team cooperatively regresses the scene's implicit map
+ * from contiguous trajectory segments; the metric is the trajectory
+ * reconstruction error (RMSE over trajectory probes, lower = better).
+ */
+class CrimpWorkload : public Workload
+{
+  public:
+    explicit CrimpWorkload(const CrimpWorkloadConfig &cfg);
+
+    std::size_t workers() const override { return cfg_.workers; }
+    std::unique_ptr<nn::Model> buildReplica() override;
+    data::BatchSampler makeSampler(std::size_t w) override;
+    std::size_t batchSize() const override { return cfg_.batch_size; }
+    nn::OptimizerConfig optimizerConfig() const override
+    {
+        return cfg_.opt;
+    }
+    double evaluate(nn::Model &model) override;
+    std::string metricName() const override
+    {
+        return "trajectory_error";
+    }
+    bool lowerIsBetter() const override { return true; }
+
+  private:
+    CrimpWorkloadConfig cfg_;
+    data::CrimpTask task_;
+    std::unique_ptr<nn::Model> reference_;
+    std::vector<std::vector<std::size_t>> shards_;
+    Rng sampler_rng_;
+};
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_WORKLOADS_HPP

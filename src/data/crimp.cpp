@@ -1,0 +1,144 @@
+#include "data/crimp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace data {
+
+Scene::Scene(const CrimpConfig &cfg, Rng &rng) : room_(cfg.room_half_extent)
+{
+    ROG_ASSERT(cfg.spheres > 0, "scene needs at least one sphere");
+    spheres_.reserve(cfg.spheres);
+    for (std::size_t i = 0; i < cfg.spheres; ++i) {
+        Sphere s;
+        s.cx = static_cast<float>(rng.uniform(-0.7 * room_, 0.7 * room_));
+        s.cy = static_cast<float>(rng.uniform(-0.7 * room_, 0.7 * room_));
+        s.cz = static_cast<float>(rng.uniform(-0.7 * room_, 0.7 * room_));
+        s.r = static_cast<float>(rng.uniform(0.12 * room_, 0.3 * room_));
+        spheres_.push_back(s);
+    }
+}
+
+float
+Scene::sdf(float x, float y, float z) const
+{
+    // Union of spheres: min over sphere SDFs.
+    float d = 1e9f;
+    for (const auto &s : spheres_) {
+        const float dx = x - s.cx, dy = y - s.cy, dz = z - s.cz;
+        const float dist =
+            std::sqrt(dx * dx + dy * dy + dz * dz) - s.r;
+        d = std::min(d, dist);
+    }
+    // Intersect with the room interior (walls are surfaces too).
+    const float wall = room_ - std::max({std::fabs(x), std::fabs(y),
+                                         std::fabs(z)});
+    return std::min(d, wall);
+}
+
+namespace {
+
+/** Smooth closed trajectory (Lissajous curve inside the room). */
+void
+poseAt(double t, float room, float &x, float &y, float &z)
+{
+    x = 0.65f * room * static_cast<float>(std::sin(2.0 * M_PI * t));
+    y = 0.65f * room * static_cast<float>(
+        std::sin(4.0 * M_PI * t + 0.7));
+    z = 0.3f * room * static_cast<float>(
+        std::cos(2.0 * M_PI * t + 0.3));
+}
+
+} // namespace
+
+CrimpTask
+makeCrimpTask(const CrimpConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    Scene scene(cfg, rng);
+
+    CrimpTask task;
+    task.poses = cfg.trajectory_poses;
+    const std::size_t n = cfg.trajectory_poses * cfg.samples_per_pose;
+    task.train.features = Tensor(n, 3);
+    task.train.targets = Tensor(n, 1);
+    task.pose_of_sample.resize(n);
+
+    std::size_t k = 0;
+    for (std::size_t p = 0; p < cfg.trajectory_poses; ++p) {
+        const double t =
+            static_cast<double>(p) /
+            static_cast<double>(cfg.trajectory_poses);
+        float px, py, pz;
+        poseAt(t, cfg.room_half_extent, px, py, pz);
+        for (std::size_t s = 0; s < cfg.samples_per_pose; ++s, ++k) {
+            // Query points in a ball around the pose: what the camera
+            // observes locally.
+            const float qx = px + static_cast<float>(
+                rng.gaussian(0.0, cfg.sample_radius));
+            const float qy = py + static_cast<float>(
+                rng.gaussian(0.0, cfg.sample_radius));
+            const float qz = pz + static_cast<float>(
+                rng.gaussian(0.0, cfg.sample_radius));
+            auto f = task.train.features.row(k);
+            f[0] = qx;
+            f[1] = qy;
+            f[2] = qz;
+            task.train.targets.at(k, 0) = scene.sdf(qx, qy, qz);
+            task.pose_of_sample[k] = p;
+        }
+    }
+
+    // Evaluation probes spread along the whole trajectory.
+    task.eval_probes.features = Tensor(cfg.eval_probes, 3);
+    task.eval_probes.targets = Tensor(cfg.eval_probes, 1);
+    Rng probe_rng = rng.fork();
+    for (std::size_t i = 0; i < cfg.eval_probes; ++i) {
+        const double t = probe_rng.uniform();
+        float px, py, pz;
+        poseAt(t, cfg.room_half_extent, px, py, pz);
+        const float qx = px + static_cast<float>(
+            probe_rng.gaussian(0.0, cfg.sample_radius));
+        const float qy = py + static_cast<float>(
+            probe_rng.gaussian(0.0, cfg.sample_radius));
+        const float qz = pz + static_cast<float>(
+            probe_rng.gaussian(0.0, cfg.sample_radius));
+        auto f = task.eval_probes.features.row(i);
+        f[0] = qx;
+        f[1] = qy;
+        f[2] = qz;
+        task.eval_probes.targets.at(i, 0) = scene.sdf(qx, qy, qz);
+    }
+    return task;
+}
+
+std::vector<std::vector<std::size_t>>
+splitTrajectory(const CrimpTask &task, std::size_t workers)
+{
+    ROG_ASSERT(workers > 0, "need at least one worker");
+    std::vector<std::vector<std::size_t>> shards(workers);
+    const std::size_t poses_per_worker =
+        (task.poses + workers - 1) / workers;
+    for (std::size_t i = 0; i < task.pose_of_sample.size(); ++i) {
+        std::size_t w = task.pose_of_sample[i] / poses_per_worker;
+        w = std::min(w, workers - 1);
+        shards[w].push_back(i);
+        // The first pose is the shared starting point of mapping and
+        // positioning (paper Sec. VI: one image fixed and shared).
+        if (task.pose_of_sample[i] == 0) {
+            for (std::size_t o = 0; o < workers; ++o)
+                if (o != w)
+                    shards[o].push_back(i);
+        }
+    }
+    for (auto &s : shards)
+        ROG_ASSERT(!s.empty(), "trajectory split produced empty shard");
+    return shards;
+}
+
+} // namespace data
+} // namespace rog

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CRIMP stand-in: coordinated robotic implicit mapping and positioning.
+ *
+ * The paper trains nice-slam on a ScanNet apartment sequence; the
+ * metric is trajectory error. Our synthetic equivalent: an analytic
+ * 3-D scene (signed-distance field of spheres inside a room box) is
+ * sampled along a smooth camera trajectory; each robot receives a
+ * contiguous trajectory segment (the paper splits the image sequence
+ * the same way) and the team cooperatively regresses the scene SDF.
+ * The reported "trajectory error" is the RMSE of the implicit map
+ * evaluated at probe points along the trajectory — a pose-conditioned
+ * reconstruction error with the same decreasing-over-training shape.
+ */
+#ifndef ROG_DATA_CRIMP_HPP
+#define ROG_DATA_CRIMP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rog {
+
+class Rng;
+
+namespace data {
+
+/** Parameters of the synthetic implicit-mapping task. */
+struct CrimpConfig
+{
+    std::size_t spheres = 6;           //!< scene objects.
+    float room_half_extent = 1.0f;     //!< room is [-e, e]^3.
+    std::size_t trajectory_poses = 500; //!< camera poses (paper: 500).
+    std::size_t samples_per_pose = 24; //!< query points per pose.
+    float sample_radius = 0.45f;       //!< sampling ball around a pose.
+    std::size_t eval_probes = 2000;    //!< probes for trajectory error.
+    std::uint64_t seed = 7;
+};
+
+/** Analytic scene: union-of-spheres SDF clipped by the room box. */
+class Scene
+{
+  public:
+    /** Generate a random scene from the config. */
+    Scene(const CrimpConfig &cfg, Rng &rng);
+
+    /** Signed distance at a point (negative inside an object). */
+    float sdf(float x, float y, float z) const;
+
+  private:
+    struct Sphere { float cx, cy, cz, r; };
+    std::vector<Sphere> spheres_;
+    float room_;
+};
+
+/** One CRIMP task instance. */
+struct CrimpTask
+{
+    Dataset train;                     //!< (point -> sdf) samples.
+    Dataset eval_probes;               //!< trajectory probe points.
+    std::vector<std::size_t> pose_of_sample; //!< pose index per sample.
+    std::size_t poses = 0;
+};
+
+/**
+ * Generate a CRIMP task: trajectory, per-pose samples, and evaluation
+ * probes, all derived from cfg.seed.
+ */
+CrimpTask makeCrimpTask(const CrimpConfig &cfg);
+
+/**
+ * Split a CRIMP task into per-worker shards of *contiguous* trajectory
+ * segments (the paper separates the image sequence into continuous
+ * sub-sequences, one per robot, sharing the first frame).
+ */
+std::vector<std::vector<std::size_t>>
+splitTrajectory(const CrimpTask &task, std::size_t workers);
+
+} // namespace data
+} // namespace rog
+
+#endif // ROG_DATA_CRIMP_HPP

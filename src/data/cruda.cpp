@@ -1,0 +1,95 @@
+#include "data/cruda.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace data {
+
+namespace {
+
+/** Draw class prototypes on a scaled hypersphere so classes are
+ *  separable but overlapping under the configured spread. */
+tensor::Tensor
+makePrototypes(const CrudaConfig &cfg, Rng &rng)
+{
+    tensor::Tensor protos(cfg.classes, cfg.input_dim);
+    for (std::size_t c = 0; c < cfg.classes; ++c) {
+        auto row = protos.row(c);
+        double norm = 0.0;
+        for (auto &v : row) {
+            v = static_cast<float>(rng.gaussian());
+            norm += static_cast<double>(v) * v;
+        }
+        const float scale =
+            2.0f / static_cast<float>(std::sqrt(norm) + 1e-9);
+        for (auto &v : row)
+            v *= scale;
+    }
+    return protos;
+}
+
+/** Sample one domain: prototype + spread noise, optionally fogged. */
+Dataset
+sampleDomain(const CrudaConfig &cfg, const tensor::Tensor &protos,
+             const std::vector<float> &fog_dir, bool shifted,
+             std::size_t n, Rng &rng)
+{
+    Dataset d;
+    d.features = tensor::Tensor(n, cfg.input_dim);
+    d.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t c =
+            static_cast<std::uint32_t>(rng.uniformInt(cfg.classes));
+        d.labels[i] = c;
+        auto proto = protos.row(c);
+        auto x = d.features.row(i);
+        for (std::size_t j = 0; j < cfg.input_dim; ++j) {
+            float v = proto[j] +
+                static_cast<float>(rng.gaussian(0.0,
+                                                cfg.cluster_spread));
+            if (shifted) {
+                // Fog model: attenuate contrast, add a shared fog
+                // component plus extra sensor noise (DeepTest-style
+                // fog + brightness shift).
+                v = cfg.fog_attenuation * v +
+                    cfg.fog_strength * fog_dir[j] +
+                    static_cast<float>(rng.gaussian(0.0, cfg.fog_noise));
+            }
+            x[j] = v;
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+CrudaTask
+makeCrudaTask(const CrudaConfig &cfg)
+{
+    ROG_ASSERT(cfg.classes > 1 && cfg.input_dim > 0,
+               "invalid CRUDA config");
+    Rng rng(cfg.seed);
+    const tensor::Tensor protos = makePrototypes(cfg, rng);
+
+    std::vector<float> fog_dir(cfg.input_dim);
+    for (auto &v : fog_dir)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    CrudaTask task;
+    Rng clean_rng = rng.fork();
+    Rng shift_train_rng = rng.fork();
+    Rng shift_test_rng = rng.fork();
+    task.clean_train = sampleDomain(cfg, protos, fog_dir, false,
+                                    cfg.train_samples, clean_rng);
+    task.shifted_train = sampleDomain(cfg, protos, fog_dir, true,
+                                      cfg.train_samples, shift_train_rng);
+    task.shifted_test = sampleDomain(cfg, protos, fog_dir, true,
+                                     cfg.test_samples, shift_test_rng);
+    return task;
+}
+
+} // namespace data
+} // namespace rog

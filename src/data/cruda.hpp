@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CRUDA stand-in: coordinated robotic unsupervised domain adaptation.
+ *
+ * The paper adapts a pretrained ConvMLP on noised Fed-CIFAR100 (fog /
+ * brightness shifts generated per DeepTest). Our synthetic equivalent:
+ * a multi-class Gaussian-mixture "image feature" task whose *shifted*
+ * domain applies a global attenuation + additive structured noise (a
+ * linear fog model) to every sample. A model pretrained on the clean
+ * domain loses accuracy on the shifted domain and recovers it by online
+ * training on shifted samples — the same accuracy-recovery dynamic the
+ * paper measures (52.88% degraded, recovering toward ~70%).
+ */
+#ifndef ROG_DATA_CRUDA_HPP
+#define ROG_DATA_CRUDA_HPP
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace rog {
+
+class Rng;
+
+namespace data {
+
+/** Parameters of the synthetic domain-adaptation task. */
+struct CrudaConfig
+{
+    std::size_t input_dim = 32;       //!< feature dimensionality.
+    std::size_t classes = 20;         //!< number of object classes.
+    std::size_t train_samples = 8000; //!< shifted-domain training pool.
+    std::size_t test_samples = 2000;  //!< shifted-domain held-out set.
+    float cluster_spread = 0.6f;     //!< within-class noise stddev.
+    float fog_attenuation = 0.85f;    //!< multiplicative contrast loss.
+    float fog_strength = 0.62f;        //!< additive fog component scale.
+    float fog_noise = 0.28f;          //!< extra per-sample noise stddev.
+    std::uint64_t seed = 42;
+};
+
+/** The clean and shifted domains of one CRUDA task instance. */
+struct CrudaTask
+{
+    Dataset clean_train;   //!< clean-domain data for pretraining.
+    Dataset shifted_train; //!< online-collected noised data.
+    Dataset shifted_test;  //!< held-out noised data for accuracy.
+};
+
+/**
+ * Generate a CRUDA task. Class prototypes, fog direction, and all
+ * sample noise derive from cfg.seed, so the same config always yields
+ * the same task.
+ */
+CrudaTask makeCrudaTask(const CrudaConfig &cfg);
+
+} // namespace data
+} // namespace rog
+
+#endif // ROG_DATA_CRUDA_HPP

@@ -1,0 +1,50 @@
+#include "data/dataset.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace data {
+
+BatchSampler::BatchSampler(const Dataset &dataset,
+                           std::vector<std::size_t> shard, Rng rng)
+    : dataset_(dataset), shard_(std::move(shard)), rng_(rng)
+{
+    ROG_ASSERT(!shard_.empty(), "sampler shard must be non-empty");
+    for (std::size_t idx : shard_)
+        ROG_ASSERT(idx < dataset_.size(), "shard index out of range");
+}
+
+Batch
+BatchSampler::sample(std::size_t batch_size)
+{
+    ROG_ASSERT(batch_size > 0, "batch size must be positive");
+    Batch b;
+    const std::size_t d = dataset_.features.cols();
+    b.features = Tensor(batch_size, d);
+    if (dataset_.isClassification()) {
+        b.labels.resize(batch_size);
+    } else {
+        b.targets = Tensor(batch_size, dataset_.targets.cols());
+    }
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        const std::size_t idx =
+            shard_[rng_.uniformInt(shard_.size())];
+        auto src = dataset_.features.row(idx);
+        auto dst = b.features.row(i);
+        for (std::size_t j = 0; j < d; ++j)
+            dst[j] = src[j];
+        if (dataset_.isClassification()) {
+            b.labels[i] = dataset_.labels[idx];
+        } else {
+            auto tsrc = dataset_.targets.row(idx);
+            auto tdst = b.targets.row(i);
+            for (std::size_t j = 0; j < tsrc.size(); ++j)
+                tdst[j] = tsrc[j];
+        }
+    }
+    return b;
+}
+
+} // namespace data
+} // namespace rog

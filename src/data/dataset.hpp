@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dataset containers and minibatch sampling.
+ */
+#ifndef ROG_DATA_DATASET_HPP
+#define ROG_DATA_DATASET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rog {
+namespace data {
+
+using tensor::Tensor;
+
+/**
+ * An in-memory dataset. Classification tasks fill `labels`,
+ * regression tasks fill `targets`; exactly one is non-empty.
+ */
+struct Dataset
+{
+    Tensor features;                      //!< (n x d) inputs.
+    std::vector<std::uint32_t> labels;    //!< classification targets.
+    Tensor targets;                       //!< (n x k) regression targets.
+
+    std::size_t size() const { return features.rows(); }
+    bool isClassification() const { return !labels.empty(); }
+};
+
+/** A minibatch materialized from a dataset. */
+struct Batch
+{
+    Tensor features;
+    std::vector<std::uint32_t> labels;
+    Tensor targets;
+};
+
+/**
+ * Samples minibatches from a fixed subset (shard) of a dataset.
+ * Sampling is with replacement, matching an online stream of collected
+ * data rather than epoch-based sweeps.
+ */
+class BatchSampler
+{
+  public:
+    /**
+     * @param dataset backing data (must outlive the sampler).
+     * @param shard indices this worker may draw from. @pre non-empty
+     * @param rng sampling stream (forked per worker for determinism).
+     */
+    BatchSampler(const Dataset &dataset, std::vector<std::size_t> shard,
+                 Rng rng);
+
+    /** Draw a minibatch of the given size. @pre batch_size > 0 */
+    Batch sample(std::size_t batch_size);
+
+    std::size_t shardSize() const { return shard_.size(); }
+
+  private:
+    const Dataset &dataset_;
+    std::vector<std::size_t> shard_;
+    Rng rng_;
+};
+
+} // namespace data
+} // namespace rog
+
+#endif // ROG_DATA_DATASET_HPP

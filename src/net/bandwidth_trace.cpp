@@ -1,0 +1,71 @@
+#include "net/bandwidth_trace.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+
+BandwidthTrace::BandwidthTrace(std::vector<double> samples,
+                               double step_seconds)
+    : samples_(std::move(samples)), step_(step_seconds)
+{
+    ROG_ASSERT(!samples_.empty(), "trace needs at least one sample");
+    ROG_ASSERT(step_ > 0.0, "trace step must be positive");
+    for (double s : samples_)
+        ROG_ASSERT(s >= 0.0, "negative bandwidth sample");
+}
+
+double
+BandwidthTrace::bytesPerSecAt(double t) const
+{
+    ROG_ASSERT(!samples_.empty(), "empty trace");
+    const double dur = durationSeconds();
+    double local = std::fmod(t, dur);
+    if (local < 0.0)
+        local += dur;
+    auto idx = static_cast<std::size_t>(local / step_);
+    if (idx >= samples_.size())
+        idx = samples_.size() - 1;
+    return samples_[idx];
+}
+
+double
+BandwidthTrace::durationSeconds() const
+{
+    return step_ * static_cast<double>(samples_.size());
+}
+
+double
+BandwidthTrace::nextBoundaryAfter(double t) const
+{
+    // Boundaries sit on the global step grid; nudge past ties so the
+    // caller always advances.
+    const double eps = step_ * 1e-9;
+    const double k = std::floor((t + eps) / step_) + 1.0;
+    return k * step_;
+}
+
+double
+BandwidthTrace::meanBytesPerSec() const
+{
+    double s = 0.0;
+    for (double v : samples_)
+        s += v;
+    return s / static_cast<double>(samples_.size());
+}
+
+BandwidthTrace
+BandwidthTrace::constant(double bytes_per_sec, double duration_seconds,
+                         double step_seconds)
+{
+    const auto n = static_cast<std::size_t>(
+        std::ceil(duration_seconds / step_seconds));
+    return BandwidthTrace(std::vector<double>(std::max<std::size_t>(n, 1),
+                                              bytes_per_sec),
+                          step_seconds);
+}
+
+} // namespace net
+} // namespace rog

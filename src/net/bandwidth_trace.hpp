@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Piecewise-constant bandwidth traces.
+ *
+ * The paper measures link capacity every 0.1 s (Fig. 3) and its
+ * artifact replays those records with `tc`. A BandwidthTrace is the
+ * same object: a sequence of capacity samples at a fixed step, replayed
+ * (looping) by the channel simulator.
+ */
+#ifndef ROG_NET_BANDWIDTH_TRACE_HPP
+#define ROG_NET_BANDWIDTH_TRACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace rog {
+namespace net {
+
+/** A looping, piecewise-constant link-capacity trace. */
+class BandwidthTrace
+{
+  public:
+    BandwidthTrace() = default;
+
+    /**
+     * @param samples capacity in bytes/second per step. @pre non-empty,
+     *        all samples >= 0.
+     * @param step_seconds sample period. @pre > 0
+     */
+    BandwidthTrace(std::vector<double> samples, double step_seconds);
+
+    /** Capacity in bytes/second at absolute time @p t (loops). */
+    double bytesPerSecAt(double t) const;
+
+    /** Sample period in seconds. */
+    double stepSeconds() const { return step_; }
+
+    /** Duration of one loop in seconds. */
+    double durationSeconds() const;
+
+    /** Number of samples in one loop. */
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** Raw samples (one loop). */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /**
+     * First piecewise boundary strictly after @p t: the next time the
+     * capacity value may change.
+     */
+    double nextBoundaryAfter(double t) const;
+
+    /** Mean capacity over one loop. */
+    double meanBytesPerSec() const;
+
+    /** A constant trace (useful for tests and the "ideal network"). */
+    static BandwidthTrace constant(double bytes_per_sec,
+                                   double duration_seconds = 60.0,
+                                   double step_seconds = 0.1);
+
+  private:
+    std::vector<double> samples_;
+    double step_ = 0.1;
+};
+
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_BANDWIDTH_TRACE_HPP

@@ -1,0 +1,59 @@
+#include "net/measurement.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+
+sim::Process
+measureActiveThroughput(sim::Simulation &sim, Channel &channel,
+                        LinkId link, double duration_s,
+                        double interval_s,
+                        std::vector<ThroughputSample> &out)
+{
+    ROG_ASSERT(interval_s > 0.0 && duration_s > 0.0,
+               "invalid measurement window");
+    const double end = sim.now() + duration_s;
+
+    // Saturation: keep a large transfer in flight, cut at each
+    // sampling boundary to read out the probe's delivered volume.
+    while (sim.now() < end) {
+        const double interval_start = sim.now();
+        const double window = std::min(interval_s, end - sim.now());
+        // A payload far larger than the link can carry in the window
+        // guarantees saturation; the timeout cuts it at the boundary.
+        const double probe_bytes = 1e12;
+        auto res = co_await channel.transfer(link, probe_bytes, window);
+        ThroughputSample sample;
+        sample.time_s = interval_start;
+        sample.bytes_per_sec =
+            res.bytes_sent / std::max(res.elapsed, 1e-12);
+        out.push_back(sample);
+    }
+}
+
+PassiveLinkEstimator::PassiveLinkEstimator(const Channel &channel,
+                                           LinkId link, double ewma_alpha)
+    : channel_(channel), link_(link), avg_(ewma_alpha)
+{
+}
+
+double
+PassiveLinkEstimator::sampleAt(double t)
+{
+    last_raw_ = channel_.linkCapacityAt(link_, t);
+    avg_.observe(last_raw_);
+    return last_raw_;
+}
+
+double
+PassiveLinkEstimator::lastNormalized() const
+{
+    const double avg = runningAverage();
+    if (avg <= 0.0)
+        return 1.0;
+    return last_raw_ / avg;
+}
+
+} // namespace net
+} // namespace rog

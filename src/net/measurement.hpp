@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bandwidth measurement: active (iperf-style) and passive (iw-style).
+ *
+ * The paper measures capacity two ways. Sec. II-B saturates the link
+ * with iperf and records achieved throughput every 0.1 s — an *active*
+ * probe that consumes the channel. Sec. VI-B instead reads the
+ * physical-layer bitrate from `iw` and normalizes it by its average,
+ * because active probing "would affect the application traffic and
+ * bandwidth" — a *passive* estimate that deviates from the usable
+ * application bandwidth. Both are reproduced here against the
+ * simulated channel; FLOWN-style schedulers and the Fig. 8 analysis
+ * consume the passive estimator.
+ */
+#ifndef ROG_NET_MEASUREMENT_HPP
+#define ROG_NET_MEASUREMENT_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "net/channel.hpp"
+#include "sim/process.hpp"
+
+namespace rog {
+namespace net {
+
+/** One sample of an active (iperf-style) measurement. */
+struct ThroughputSample
+{
+    double time_s = 0.0;
+    double bytes_per_sec = 0.0;
+};
+
+/**
+ * Saturate a link for a duration and record achieved throughput per
+ * interval — iperf over the simulated channel. The probe traffic is
+ * real: it contends with any concurrent flows, exactly like running
+ * iperf next to the training job.
+ *
+ * The measurement completes inside the simulation; results are written
+ * into @p out as the simulation runs.
+ *
+ * @param interval_s sampling period (paper: 0.1 s). @pre > 0
+ */
+sim::Process
+measureActiveThroughput(sim::Simulation &sim, Channel &channel,
+                        LinkId link, double duration_s,
+                        double interval_s,
+                        std::vector<ThroughputSample> &out);
+
+/**
+ * Passive (iw-style) link estimator: samples the physical capacity of
+ * a link without injecting traffic, and reports values normalized by
+ * the running average (the paper normalizes iw's bitrate by its
+ * average because it "deviates from the actual bandwidth the
+ * application could exploit").
+ */
+class PassiveLinkEstimator
+{
+  public:
+    /**
+     * @param channel observed medium (must outlive the estimator).
+     * @param ewma_alpha weight for the running average.
+     */
+    PassiveLinkEstimator(const Channel &channel, LinkId link,
+                         double ewma_alpha = 0.05);
+
+    /** Sample the link at time @p t; updates the running average. */
+    double sampleAt(double t);
+
+    /** Last raw sample in bytes/sec. */
+    double lastRaw() const { return last_raw_; }
+
+    /** Last sample normalized by the running average (1.0 = typical). */
+    double lastNormalized() const;
+
+    /** Running average in bytes/sec (0 before the first sample). */
+    double runningAverage() const
+    {
+        return avg_.seeded() ? avg_.value() : 0.0;
+    }
+
+  private:
+    const Channel &channel_;
+    LinkId link_;
+    Ewma avg_;
+    double last_raw_ = 0.0;
+};
+
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_MEASUREMENT_HPP

@@ -1,0 +1,134 @@
+#include "net/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace net {
+
+TraceModel
+TraceModel::indoor(double mean)
+{
+    TraceModel m;
+    m.mean_bytes_per_sec = mean;
+    m.volatility = 0.36;
+    m.reversion_rate = 0.9;
+    m.occlusion_rate_hz = 0.07;        // a fade every ~14 s.
+    m.occlusion_mean_duration = 5.0;
+    m.occlusion_depth_min = 0.06;      // walls reflect: shallow fades.
+    m.occlusion_depth_max = 0.30;
+    m.outage_rate_hz = 0.004;          // long outages are rare indoors.
+    m.outage_mean_duration = 20.0;
+    m.outage_depth_min = 0.03;
+    m.outage_depth_max = 0.10;
+    return m;
+}
+
+TraceModel
+TraceModel::outdoor(double mean)
+{
+    TraceModel m;
+    m.mean_bytes_per_sec = mean;
+    m.volatility = 0.50;
+    m.reversion_rate = 0.9;
+    m.occlusion_rate_hz = 0.08;        // a fade every ~12 s.
+    m.occlusion_mean_duration = 4.0;
+    m.occlusion_depth_min = 0.02;      // open area: near-zero drops.
+    m.occlusion_depth_max = 0.15;
+    m.outage_rate_hz = 0.008;          // a long outage every ~2 min.
+    m.outage_mean_duration = 45.0;
+    m.outage_depth_min = 0.005;
+    m.outage_depth_max = 0.03;
+    return m;
+}
+
+TraceModel
+TraceModel::stable(double mean)
+{
+    TraceModel m;
+    m.mean_bytes_per_sec = mean;
+    m.volatility = 0.02;
+    m.reversion_rate = 2.0;
+    m.occlusion_rate_hz = 0.0;
+    return m;
+}
+
+BandwidthTrace
+generateTrace(const TraceModel &model, double duration_seconds,
+              std::uint64_t seed)
+{
+    ROG_ASSERT(duration_seconds > 0.0, "trace duration must be positive");
+    ROG_ASSERT(model.mean_bytes_per_sec > 0.0, "mean capacity must be > 0");
+
+    Rng rng(seed);
+    const double dt = model.step_seconds;
+    const auto n =
+        static_cast<std::size_t>(std::ceil(duration_seconds / dt));
+
+    // Pre-draw fade intervals: (start, end, depth). Two independent
+    // processes overlay: frequent short occlusions and rare long
+    // outages; overlapping fades take the deeper depth.
+    struct Fade { double start, end, depth; };
+    std::vector<Fade> fades;
+    auto draw_fades = [&](double rate_hz, double mean_duration,
+                          double depth_min, double depth_max) {
+        if (rate_hz <= 0.0)
+            return;
+        double t = rng.exponential(rate_hz);
+        while (t < duration_seconds) {
+            Fade f;
+            f.start = t;
+            f.end = t + rng.exponential(
+                1.0 / std::max(mean_duration, 1e-6));
+            f.depth = rng.uniform(depth_min, depth_max);
+            fades.push_back(f);
+            t = f.end + rng.exponential(rate_hz);
+        }
+    };
+    draw_fades(model.occlusion_rate_hz, model.occlusion_mean_duration,
+               model.occlusion_depth_min, model.occlusion_depth_max);
+    draw_fades(model.outage_rate_hz, model.outage_mean_duration,
+               model.outage_depth_min, model.outage_depth_max);
+    std::sort(fades.begin(), fades.end(),
+              [](const Fade &a, const Fade &b) {
+                  return a.start < b.start;
+              });
+
+    // OU on x = log(capacity / mean): dx = -theta*x*dt + sigma*dW.
+    // Exact discretization keeps the process well-behaved at any dt.
+    const double theta = model.reversion_rate;
+    const double sigma = model.volatility;
+    const double decay = std::exp(-theta * dt);
+    const double step_std =
+        sigma * std::sqrt((1.0 - decay * decay) / (2.0 * theta));
+
+    std::vector<double> samples(n);
+    // Start at the stationary distribution.
+    double x = rng.gaussian(0.0, sigma / std::sqrt(2.0 * theta));
+    std::size_t first_live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        x = decay * x + rng.gaussian(0.0, step_std);
+        double cap = model.mean_bytes_per_sec * std::exp(x);
+        // Fades may overlap (two processes); apply the deepest one
+        // covering t. The start-sorted list allows a rolling window.
+        while (first_live < fades.size() && fades[first_live].end <= t)
+            ++first_live;
+        double depth = 1.0;
+        for (std::size_t k = first_live;
+             k < fades.size() && fades[k].start <= t; ++k) {
+            if (t < fades[k].end)
+                depth = std::min(depth, fades[k].depth);
+        }
+        cap *= depth;
+        samples[i] = cap;
+    }
+    return BandwidthTrace(std::move(samples), dt);
+}
+
+} // namespace net
+} // namespace rog

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic robotic-IoT bandwidth trace generation.
+ *
+ * The generator reproduces the instability characteristics the paper
+ * measures in Sec. II-B / Fig. 3: frequent, sharp, random fluctuation
+ * (a ~20% swing roughly every 0.4 s and a ~40% swing roughly every
+ * 1.2 s) plus occlusion events during which capacity collapses toward
+ * zero — more frequent and deeper outdoors (no reflecting walls) than
+ * indoors. The model is a mean-reverting Ornstein-Uhlenbeck process on
+ * log-capacity (fast mobility-induced fading) overlaid with a Poisson
+ * process of occlusion fades of random depth and duration.
+ */
+#ifndef ROG_NET_TRACE_GENERATOR_HPP
+#define ROG_NET_TRACE_GENERATOR_HPP
+
+#include <cstdint>
+
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+
+class Rng;
+
+namespace net {
+
+/** Parameters of the instability model. */
+struct TraceModel
+{
+    double mean_bytes_per_sec = 50e3;  //!< long-run mean capacity.
+    double step_seconds = 0.1;         //!< sample period (paper: 0.1 s).
+
+    // Fast fading: OU process on log-capacity.
+    double volatility = 0.33;    //!< log-stddev injected per sqrt(sec).
+    double reversion_rate = 0.8; //!< pull toward the mean (1/sec).
+
+    // Occlusion fades: Poisson arrivals, exponential duration,
+    // multiplicative depth in [depth_min, depth_max].
+    double occlusion_rate_hz = 0.05;   //!< fades per second.
+    double occlusion_mean_duration = 1.5; //!< seconds.
+    double occlusion_depth_min = 0.02; //!< residual capacity fraction.
+    double occlusion_depth_max = 0.3;
+
+    // Rare long outages: a robot stuck behind an obstacle or at the
+    // edge of the hotspot's range for tens of seconds (the deep-fade
+    // stretch of Fig. 8). Same overlay mechanics, separate process.
+    double outage_rate_hz = 0.0;       //!< outages per second.
+    double outage_mean_duration = 45.0; //!< seconds.
+    double outage_depth_min = 0.005;
+    double outage_depth_max = 0.03;
+
+    /** Indoor preset: moderate instability (lab with reflections). */
+    static TraceModel indoor(double mean_bytes_per_sec);
+
+    /** Outdoor preset: severe instability (open area, deep fades). */
+    static TraceModel outdoor(double mean_bytes_per_sec);
+
+    /** Stable preset: near-constant capacity (datacenter-like). */
+    static TraceModel stable(double mean_bytes_per_sec);
+};
+
+/**
+ * Generate one trace of the given duration.
+ *
+ * @param seed all randomness derives from this seed.
+ */
+BandwidthTrace generateTrace(const TraceModel &model,
+                             double duration_seconds,
+                             std::uint64_t seed);
+
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRACE_GENERATOR_HPP

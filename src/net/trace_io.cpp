@@ -1,0 +1,91 @@
+#include "net/trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+
+namespace {
+constexpr const char *kHeader = "time_s,bytes_per_sec";
+} // namespace
+
+void
+writeTraceCsv(std::ostream &os, const BandwidthTrace &trace)
+{
+    os << kHeader << '\n';
+    const auto &samples = trace.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        os << static_cast<double>(i) * trace.stepSeconds() << ','
+           << samples[i] << '\n';
+    }
+}
+
+BandwidthTrace
+readTraceCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader)
+        ROG_FATAL("trace csv: missing '", kHeader, "' header");
+
+    std::vector<double> times;
+    std::vector<double> samples;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        double t = 0.0, v = 0.0;
+        char comma = 0;
+        if (!(row >> t >> comma >> v) || comma != ',')
+            ROG_FATAL("trace csv: malformed row at line ", line_no);
+        if (v < 0.0)
+            ROG_FATAL("trace csv: negative capacity at line ", line_no);
+        times.push_back(t);
+        samples.push_back(v);
+    }
+    if (samples.empty())
+        ROG_FATAL("trace csv: no samples");
+
+    double step = 0.1;
+    if (times.size() >= 2) {
+        step = times[1] - times[0];
+        if (step <= 0.0)
+            ROG_FATAL("trace csv: non-increasing timestamps");
+        for (std::size_t i = 1; i < times.size(); ++i) {
+            const double dt = times[i] - times[i - 1];
+            if (std::fabs(dt - step) > 1e-6 * std::max(1.0, step))
+                ROG_FATAL("trace csv: non-uniform step at line ", i + 2);
+        }
+    }
+    return BandwidthTrace(std::move(samples), step);
+}
+
+void
+saveTrace(const std::string &path, const BandwidthTrace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        ROG_FATAL("cannot open '", path, "' for writing");
+    writeTraceCsv(os, trace);
+    if (!os)
+        ROG_FATAL("write failed for '", path, "'");
+}
+
+BandwidthTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        ROG_FATAL("cannot open '", path, "' for reading");
+    return readTraceCsv(is);
+}
+
+} // namespace net
+} // namespace rog

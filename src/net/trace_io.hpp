@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bandwidth trace persistence.
+ *
+ * The paper's artifact records real bandwidth traces and replays them
+ * with `tc` so experiments are reproducible on stationary devices.
+ * These helpers give this repo the same workflow: traces round-trip
+ * through a simple CSV format (one `time_s,bytes_per_sec` row per
+ * sample) so a measured or generated trace can be saved, shared, and
+ * replayed across experiments.
+ */
+#ifndef ROG_NET_TRACE_IO_HPP
+#define ROG_NET_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+namespace net {
+
+/** Write a trace as CSV (`time_s,bytes_per_sec` with a header). */
+void writeTraceCsv(std::ostream &os, const BandwidthTrace &trace);
+
+/**
+ * Parse a trace from CSV as written by writeTraceCsv.
+ *
+ * @throws std::runtime_error (via ROG_FATAL) on malformed input:
+ *         missing header, non-numeric fields, non-uniform timestamps,
+ *         or negative capacity.
+ */
+BandwidthTrace readTraceCsv(std::istream &is);
+
+/** Convenience: save a trace to a file. @throws on I/O failure */
+void saveTrace(const std::string &path, const BandwidthTrace &trace);
+
+/** Convenience: load a trace from a file. @throws on I/O failure */
+BandwidthTrace loadTrace(const std::string &path);
+
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRACE_IO_HPP

@@ -1,0 +1,57 @@
+#include "net/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace rog {
+namespace net {
+
+double
+fluctuationIntervalSeconds(const BandwidthTrace &trace, double fraction)
+{
+    ROG_ASSERT(fraction > 0.0 && fraction < 1.0, "bad fraction");
+    const auto &s = trace.samples();
+    if (s.size() < 2)
+        return trace.durationSeconds();
+    double ref = s[0];
+    std::size_t events = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        const double base = std::max(ref, 1e-9);
+        if (std::fabs(s[i] - ref) / base >= fraction) {
+            ++events;
+            ref = s[i];
+        }
+    }
+    if (events == 0)
+        return trace.durationSeconds();
+    return trace.durationSeconds() / static_cast<double>(events);
+}
+
+TraceStats
+computeTraceStats(const BandwidthTrace &trace)
+{
+    TraceStats st;
+    const auto &s = trace.samples();
+    std::vector<double> v(s.begin(), s.end());
+    st.mean_bytes_per_sec = mean(v);
+    st.stddev_bytes_per_sec = stddev(v);
+    st.min_bytes_per_sec = *std::min_element(v.begin(), v.end());
+    st.max_bytes_per_sec = *std::max_element(v.begin(), v.end());
+    st.seconds_per_20pct_fluctuation =
+        fluctuationIntervalSeconds(trace, 0.2);
+    st.seconds_per_40pct_fluctuation =
+        fluctuationIntervalSeconds(trace, 0.4);
+    std::size_t deep = 0;
+    for (double x : v)
+        if (x < 0.1 * st.mean_bytes_per_sec)
+            ++deep;
+    st.deep_fade_fraction =
+        static_cast<double>(deep) / static_cast<double>(v.size());
+    return st;
+}
+
+} // namespace net
+} // namespace rog

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Instability statistics over bandwidth traces (the paper's Sec. II-B
+ * methodology: how often the capacity swings by a given fraction, how
+ * often it collapses toward zero).
+ */
+#ifndef ROG_NET_TRACE_STATS_HPP
+#define ROG_NET_TRACE_STATS_HPP
+
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+namespace net {
+
+/** Summary statistics of one trace. */
+struct TraceStats
+{
+    double mean_bytes_per_sec = 0.0;
+    double stddev_bytes_per_sec = 0.0;
+    double min_bytes_per_sec = 0.0;
+    double max_bytes_per_sec = 0.0;
+    /** Mean seconds between >=20% relative swings (paper: ~0.4 s). */
+    double seconds_per_20pct_fluctuation = 0.0;
+    /** Mean seconds between >=40% relative swings (paper: ~1.2 s). */
+    double seconds_per_40pct_fluctuation = 0.0;
+    /** Fraction of samples below 10% of the trace mean (deep fade). */
+    double deep_fade_fraction = 0.0;
+};
+
+/** Compute summary statistics over one loop of the trace. */
+TraceStats computeTraceStats(const BandwidthTrace &trace);
+
+/**
+ * Mean interval between relative fluctuations of at least @p fraction:
+ * scanning the samples, an event fires whenever the capacity has moved
+ * by >= fraction relative to the value at the previous event (which
+ * then becomes the new reference). @pre 0 < fraction < 1
+ */
+double fluctuationIntervalSeconds(const BandwidthTrace &trace,
+                                  double fraction);
+
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRACE_STATS_HPP

@@ -1,0 +1,204 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace rog {
+namespace nn {
+
+Conv2d::Conv2d(const std::string &name, std::size_t in_channels,
+               std::size_t height, std::size_t width,
+               std::size_t out_channels, std::size_t kernel, Rng &rng)
+    : channels_(in_channels), height_(height), width_(width),
+      out_channels_(out_channels), kernel_(kernel),
+      hw_(height * width),
+      weight_(name + ".weight", in_channels * kernel * kernel,
+              out_channels),
+      bias_(name + ".bias", 1, out_channels)
+{
+    ROG_ASSERT(kernel % 2 == 1, "same padding needs an odd kernel");
+    ROG_ASSERT(in_channels > 0 && out_channels > 0 && hw_ > 0,
+               "empty convolution geometry");
+    const float bound = std::sqrt(
+        6.0f / static_cast<float>(in_channels * kernel * kernel));
+    weight_.value.randomUniform(rng, bound);
+    bias_.value.zero();
+}
+
+std::size_t
+Conv2d::outputDim(std::size_t) const
+{
+    return out_channels_ * hw_;
+}
+
+void
+Conv2d::im2col(const float *sample, Tensor &col) const
+{
+    // col is (H*W x C*k*k): row p holds the receptive field of output
+    // pixel p, channel-major then kernel row-major.
+    const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+    const auto h = static_cast<std::ptrdiff_t>(height_);
+    const auto w = static_cast<std::ptrdiff_t>(width_);
+    std::size_t col_idx = 0;
+    for (std::ptrdiff_t y = 0; y < h; ++y) {
+        for (std::ptrdiff_t x = 0; x < w; ++x) {
+            float *dst = col.data() + col_idx * col.cols();
+            std::size_t j = 0;
+            for (std::size_t c = 0; c < channels_; ++c) {
+                const float *plane = sample + c * hw_;
+                for (std::ptrdiff_t ky = -pad; ky <= pad; ++ky) {
+                    for (std::ptrdiff_t kx = -pad; kx <= pad; ++kx) {
+                        const std::ptrdiff_t yy = y + ky;
+                        const std::ptrdiff_t xx = x + kx;
+                        dst[j++] =
+                            (yy >= 0 && yy < h && xx >= 0 && xx < w)
+                                ? plane[yy * w + xx]
+                                : 0.0f;
+                    }
+                }
+            }
+            ++col_idx;
+        }
+    }
+}
+
+void
+Conv2d::col2im(const Tensor &dcol, float *dsample) const
+{
+    const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+    const auto h = static_cast<std::ptrdiff_t>(height_);
+    const auto w = static_cast<std::ptrdiff_t>(width_);
+    std::size_t col_idx = 0;
+    for (std::ptrdiff_t y = 0; y < h; ++y) {
+        for (std::ptrdiff_t x = 0; x < w; ++x) {
+            const float *src = dcol.data() + col_idx * dcol.cols();
+            std::size_t j = 0;
+            for (std::size_t c = 0; c < channels_; ++c) {
+                float *plane = dsample + c * hw_;
+                for (std::ptrdiff_t ky = -pad; ky <= pad; ++ky) {
+                    for (std::ptrdiff_t kx = -pad; kx <= pad; ++kx) {
+                        const std::ptrdiff_t yy = y + ky;
+                        const std::ptrdiff_t xx = x + kx;
+                        if (yy >= 0 && yy < h && xx >= 0 && xx < w)
+                            plane[yy * w + xx] += src[j];
+                        ++j;
+                    }
+                }
+            }
+            ++col_idx;
+        }
+    }
+}
+
+void
+Conv2d::forward(const Tensor &in, Tensor &out)
+{
+    ROG_ASSERT(in.cols() == inputDim(), "Conv2d: input width mismatch");
+    cached_in_ = in;
+    const std::size_t batch = in.rows();
+    if (out.rows() != batch || out.cols() != outputDim(0))
+        out = Tensor(batch, outputDim(0));
+    if (col_scratch_.rows() != hw_ ||
+        col_scratch_.cols() != weight_.value.rows()) {
+        col_scratch_ = Tensor(hw_, weight_.value.rows());
+    }
+    Tensor out_mat(hw_, out_channels_);
+    for (std::size_t b = 0; b < batch; ++b) {
+        im2col(in.data() + b * in.cols(), col_scratch_);
+        tensor::matmul(col_scratch_, weight_.value, out_mat);
+        tensor::addRowBias(out_mat, bias_.value);
+        // (H*W x outC) -> channel-major (outC, H, W).
+        float *dst = out.data() + b * out.cols();
+        for (std::size_t p = 0; p < hw_; ++p)
+            for (std::size_t c = 0; c < out_channels_; ++c)
+                dst[c * hw_ + p] = out_mat.at(p, c);
+    }
+}
+
+void
+Conv2d::backward(const Tensor &dout, Tensor &din)
+{
+    ROG_ASSERT(dout.cols() == outputDim(0),
+               "Conv2d: dout width mismatch");
+    ROG_ASSERT(dout.rows() == cached_in_.rows(),
+               "Conv2d: backward without matching forward");
+    const std::size_t batch = dout.rows();
+    if (din.rows() != batch || din.cols() != inputDim())
+        din = Tensor(batch, inputDim());
+    din.zero();
+
+    if (dout_mat_scratch_.rows() != hw_ ||
+        dout_mat_scratch_.cols() != out_channels_) {
+        dout_mat_scratch_ = Tensor(hw_, out_channels_);
+    }
+    if (dcol_scratch_.rows() != hw_ ||
+        dcol_scratch_.cols() != weight_.value.rows()) {
+        dcol_scratch_ = Tensor(hw_, weight_.value.rows());
+    }
+    Tensor dw(weight_.value.rows(), weight_.value.cols());
+
+    for (std::size_t b = 0; b < batch; ++b) {
+        // Back to (H*W x outC) layout.
+        const float *src = dout.data() + b * dout.cols();
+        for (std::size_t p = 0; p < hw_; ++p)
+            for (std::size_t c = 0; c < out_channels_; ++c)
+                dout_mat_scratch_.at(p, c) = src[c * hw_ + p];
+
+        im2col(cached_in_.data() + b * cached_in_.cols(), col_scratch_);
+        // dW += col^T @ dout_mat; db += column sums; dcol = dout @ W^T.
+        tensor::matmulTransA(col_scratch_, dout_mat_scratch_, dw);
+        tensor::axpy(1.0f, dw, weight_.grad);
+        for (std::size_t p = 0; p < hw_; ++p)
+            for (std::size_t c = 0; c < out_channels_; ++c)
+                bias_.grad[c] += dout_mat_scratch_.at(p, c);
+        tensor::matmulTransB(dout_mat_scratch_, weight_.value,
+                             dcol_scratch_);
+        col2im(dcol_scratch_, din.data() + b * din.cols());
+    }
+}
+
+std::vector<Parameter *>
+Conv2d::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+std::string
+Conv2d::describe() const
+{
+    return "Conv2d(" + std::to_string(channels_) + "x" +
+           std::to_string(height_) + "x" + std::to_string(width_) +
+           " -> " + std::to_string(out_channels_) + " ch, k=" +
+           std::to_string(kernel_) + ")";
+}
+
+Model
+makeConvMlp(const ConvMlpConfig &cfg, Rng &rng)
+{
+    ROG_ASSERT(cfg.conv_layers >= 1, "ConvMLP needs a conv stage");
+    Model m;
+    std::size_t channels = cfg.channels;
+    for (std::size_t i = 0; i < cfg.conv_layers; ++i) {
+        m.add(std::make_unique<Conv2d>(
+            "conv" + std::to_string(i), channels, cfg.height, cfg.width,
+            cfg.conv_channels, cfg.kernel, rng));
+        m.add(std::make_unique<Relu>());
+        channels = cfg.conv_channels;
+    }
+    std::size_t in = channels * cfg.height * cfg.width;
+    std::size_t idx = 0;
+    for (std::size_t h : cfg.mlp_hidden) {
+        m.add(std::make_unique<Linear>("mlp" + std::to_string(idx++), in,
+                                       h, rng));
+        m.add(std::make_unique<Relu>());
+        in = h;
+    }
+    m.add(std::make_unique<Linear>("head", in, cfg.classes, rng));
+    return m;
+}
+
+} // namespace nn
+} // namespace rog

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 2-D convolution (im2col) and the ConvMLP-style model factory.
+ *
+ * The paper's CRUDA model is ConvMLP [41]: a convolutional tokenizer
+ * feeding MLP stages. Conv2d supplies the convolutional stage for a
+ * faithful miniature: stride-1, same-padding square kernels over a
+ * channel-major (C, H, W) layout flattened per sample. The im2col
+ * weight matrix has C*k*k rows of out_channels width — rows that ROG
+ * synchronizes like any other parameter rows.
+ */
+#ifndef ROG_NN_CONV_HPP
+#define ROG_NN_CONV_HPP
+
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+
+namespace rog {
+namespace nn {
+
+/** Stride-1 same-padding 2-D convolution over flattened (C,H,W). */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param name parameter-name prefix.
+     * @param in_channels / height / width input image geometry.
+     * @param out_channels filter count.
+     * @param kernel odd square kernel size (same padding). @pre odd
+     * @param rng weight init (He-uniform over fan-in).
+     */
+    Conv2d(const std::string &name, std::size_t in_channels,
+           std::size_t height, std::size_t width,
+           std::size_t out_channels, std::size_t kernel, Rng &rng);
+
+    void forward(const Tensor &in, Tensor &out) override;
+    void backward(const Tensor &dout, Tensor &din) override;
+    std::size_t outputDim(std::size_t) const override;
+    std::vector<Parameter *> parameters() override;
+    std::string describe() const override;
+
+    std::size_t inputDim() const { return channels_ * hw_; }
+
+  private:
+    /** Gather the im2col matrix (H*W x C*k*k) for one sample. */
+    void im2col(const float *sample, Tensor &col) const;
+
+    /** Scatter a column-space gradient back to image space. */
+    void col2im(const Tensor &dcol, float *dsample) const;
+
+    std::size_t channels_;
+    std::size_t height_;
+    std::size_t width_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    std::size_t hw_;
+    Parameter weight_; //!< (C*k*k x out_channels).
+    Parameter bias_;   //!< (1 x out_channels).
+    Tensor cached_in_;
+    Tensor col_scratch_;
+    Tensor dcol_scratch_;
+    Tensor dout_mat_scratch_;
+};
+
+/** Configuration of the miniature ConvMLP classifier. */
+struct ConvMlpConfig
+{
+    std::size_t channels = 3;   //!< input image channels.
+    std::size_t height = 8;     //!< input image height.
+    std::size_t width = 8;      //!< input image width.
+    std::size_t conv_channels = 8;
+    std::size_t conv_layers = 2;
+    std::size_t kernel = 3;
+    std::vector<std::size_t> mlp_hidden = {64};
+    std::size_t classes = 10;
+};
+
+/**
+ * Build the miniature ConvMLP: a convolutional tokenizer stage
+ * followed by an MLP head, as in [41]. Input is (batch x C*H*W).
+ */
+Model makeConvMlp(const ConvMlpConfig &cfg, Rng &rng);
+
+} // namespace nn
+} // namespace rog
+
+#endif // ROG_NN_CONV_HPP

@@ -1,0 +1,180 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace rog {
+namespace nn {
+
+Parameter::Parameter(std::string name_, std::size_t rows, std::size_t cols)
+    : name(std::move(name_)), value(rows, cols), grad(rows, cols)
+{
+}
+
+Linear::Linear(const std::string &name, std::size_t in_dim,
+               std::size_t out_dim, Rng &rng)
+    : in_dim_(in_dim), out_dim_(out_dim),
+      weight_(name + ".weight", in_dim, out_dim),
+      bias_(name + ".bias", 1, out_dim)
+{
+    // He-uniform init: bound = sqrt(6 / fan_in).
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(in_dim));
+    weight_.value.randomUniform(rng, bound);
+    bias_.value.zero();
+}
+
+void
+Linear::forward(const Tensor &in, Tensor &out)
+{
+    ROG_ASSERT(in.cols() == in_dim_, "Linear: input width mismatch");
+    cached_in_ = in;
+    if (out.rows() != in.rows() || out.cols() != out_dim_)
+        out = Tensor(in.rows(), out_dim_);
+    tensor::matmul(in, weight_.value, out);
+    tensor::addRowBias(out, bias_.value);
+}
+
+void
+Linear::backward(const Tensor &dout, Tensor &din)
+{
+    ROG_ASSERT(dout.cols() == out_dim_, "Linear: dout width mismatch");
+    ROG_ASSERT(dout.rows() == cached_in_.rows(),
+               "Linear: backward without matching forward");
+    // dW += in^T @ dout; db += column sums of dout; din = dout @ W^T.
+    Tensor dw(in_dim_, out_dim_);
+    tensor::matmulTransA(cached_in_, dout, dw);
+    tensor::axpy(1.0f, dw, weight_.grad);
+
+    for (std::size_t i = 0; i < dout.rows(); ++i) {
+        const float *row = dout.data() + i * out_dim_;
+        for (std::size_t j = 0; j < out_dim_; ++j)
+            bias_.grad[j] += row[j];
+    }
+
+    if (din.rows() != dout.rows() || din.cols() != in_dim_)
+        din = Tensor(dout.rows(), in_dim_);
+    tensor::matmulTransB(dout, weight_.value, din);
+}
+
+std::vector<Parameter *>
+Linear::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+std::string
+Linear::describe() const
+{
+    return "Linear(" + std::to_string(in_dim_) + " -> " +
+           std::to_string(out_dim_) + ")";
+}
+
+void
+Relu::forward(const Tensor &in, Tensor &out)
+{
+    cached_in_ = in;
+    if (!out.sameShape(in))
+        out = Tensor(in.rows(), in.cols());
+    tensor::relu(in, out);
+}
+
+void
+Relu::backward(const Tensor &dout, Tensor &din)
+{
+    if (!din.sameShape(dout))
+        din = Tensor(dout.rows(), dout.cols());
+    tensor::reluBackward(cached_in_, dout, din);
+}
+
+void
+Tanh::forward(const Tensor &in, Tensor &out)
+{
+    if (!out.sameShape(in))
+        out = Tensor(in.rows(), in.cols());
+    tensor::tanhForward(in, out);
+    cached_out_ = out;
+}
+
+void
+Tanh::backward(const Tensor &dout, Tensor &din)
+{
+    if (!din.sameShape(dout))
+        din = Tensor(dout.rows(), dout.cols());
+    tensor::tanhBackward(cached_out_, dout, din);
+}
+
+PositionalEncoding::PositionalEncoding(std::size_t frequencies)
+    : freqs_(frequencies)
+{
+    ROG_ASSERT(frequencies > 0, "positional encoding needs >= 1 octave");
+}
+
+std::size_t
+PositionalEncoding::outputDim(std::size_t d) const
+{
+    return d * (1 + 2 * freqs_);
+}
+
+void
+PositionalEncoding::forward(const Tensor &in, Tensor &out)
+{
+    cached_in_ = in;
+    const std::size_t d = in.cols();
+    const std::size_t od = outputDim(d);
+    if (out.rows() != in.rows() || out.cols() != od)
+        out = Tensor(in.rows(), od);
+    for (std::size_t i = 0; i < in.rows(); ++i) {
+        const float *src = in.data() + i * d;
+        float *dst = out.data() + i * od;
+        for (std::size_t j = 0; j < d; ++j)
+            dst[j] = src[j];
+        std::size_t k = d;
+        for (std::size_t f = 0; f < freqs_; ++f) {
+            const float w = static_cast<float>(1u << f);
+            for (std::size_t j = 0; j < d; ++j) {
+                dst[k++] = std::sin(w * src[j]);
+                dst[k++] = std::cos(w * src[j]);
+            }
+        }
+    }
+}
+
+void
+PositionalEncoding::backward(const Tensor &dout, Tensor &din)
+{
+    const std::size_t d = cached_in_.cols();
+    ROG_ASSERT(dout.cols() == outputDim(d),
+               "PositionalEncoding: dout width mismatch");
+    if (din.rows() != dout.rows() || din.cols() != d)
+        din = Tensor(dout.rows(), d);
+    for (std::size_t i = 0; i < dout.rows(); ++i) {
+        const float *src = cached_in_.data() + i * d;
+        const float *g = dout.data() + i * dout.cols();
+        float *dst = din.data() + i * d;
+        for (std::size_t j = 0; j < d; ++j)
+            dst[j] = g[j];
+        std::size_t k = d;
+        for (std::size_t f = 0; f < freqs_; ++f) {
+            const float w = static_cast<float>(1u << f);
+            for (std::size_t j = 0; j < d; ++j) {
+                const float s = g[k++];
+                const float c = g[k++];
+                dst[j] += w * (s * std::cos(w * src[j]) -
+                               c * std::sin(w * src[j]));
+            }
+        }
+    }
+}
+
+std::string
+PositionalEncoding::describe() const
+{
+    return "PositionalEncoding(L=" + std::to_string(freqs_) + ")";
+}
+
+} // namespace nn
+} // namespace rog

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Neural-network layers with analytic gradients.
+ *
+ * A deliberately small layer zoo sufficient for the paper's two
+ * workloads: an MLP classifier (CRUDA stand-in) and an implicit-map
+ * regressor with positional encoding (CRIMP stand-in). Parameters are
+ * exposed as named matrices so the core library can partition them into
+ * rows (the paper's synchronization granularity).
+ */
+#ifndef ROG_NN_LAYERS_HPP
+#define ROG_NN_LAYERS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rog {
+
+class Rng;
+
+namespace nn {
+
+using tensor::Tensor;
+
+/** A learnable matrix with its gradient accumulator. */
+struct Parameter
+{
+    /** @param name_ unique within a model, e.g. "fc1.weight". */
+    Parameter(std::string name_, std::size_t rows, std::size_t cols);
+
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    /** Zero the gradient accumulator. */
+    void zeroGrad() { grad.zero(); }
+};
+
+/**
+ * Abstract layer. forward() caches whatever backward() needs; a layer
+ * instance therefore services one (forward, backward) pair at a time,
+ * which matches minibatch SGD.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute the layer output for a batch (batch x features). */
+    virtual void forward(const Tensor &in, Tensor &out) = 0;
+
+    /**
+     * Given the loss gradient w.r.t. the output, accumulate parameter
+     * gradients and compute the gradient w.r.t. the input.
+     */
+    virtual void backward(const Tensor &dout, Tensor &din) = 0;
+
+    /** Output feature width for a given input width. */
+    virtual std::size_t outputDim(std::size_t input_dim) const = 0;
+
+    /** Learnable parameters (possibly empty). */
+    virtual std::vector<Parameter *> parameters() { return {}; }
+
+    /** Human-readable layer description. */
+    virtual std::string describe() const = 0;
+};
+
+/** Fully connected layer: out = in @ W + b. */
+class Linear : public Layer
+{
+  public:
+    /**
+     * @param name prefix for parameter names ("<name>.weight" etc.).
+     * @param rng initializer source (He-uniform for the weight).
+     */
+    Linear(const std::string &name, std::size_t in_dim, std::size_t out_dim,
+           Rng &rng);
+
+    void forward(const Tensor &in, Tensor &out) override;
+    void backward(const Tensor &dout, Tensor &din) override;
+    std::size_t outputDim(std::size_t) const override { return out_dim_; }
+    std::vector<Parameter *> parameters() override;
+    std::string describe() const override;
+
+    std::size_t inDim() const { return in_dim_; }
+    std::size_t outDim() const { return out_dim_; }
+
+  private:
+    std::size_t in_dim_;
+    std::size_t out_dim_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_in_;
+};
+
+/** Elementwise ReLU. */
+class Relu : public Layer
+{
+  public:
+    void forward(const Tensor &in, Tensor &out) override;
+    void backward(const Tensor &dout, Tensor &din) override;
+    std::size_t outputDim(std::size_t d) const override { return d; }
+    std::string describe() const override { return "Relu"; }
+
+  private:
+    Tensor cached_in_;
+};
+
+/** Elementwise tanh. */
+class Tanh : public Layer
+{
+  public:
+    void forward(const Tensor &in, Tensor &out) override;
+    void backward(const Tensor &dout, Tensor &din) override;
+    std::size_t outputDim(std::size_t d) const override { return d; }
+    std::string describe() const override { return "Tanh"; }
+
+  private:
+    Tensor cached_out_;
+};
+
+/**
+ * Sinusoidal positional encoding (NeRF-style), used by the implicit-map
+ * model: each input coordinate x is expanded to
+ * [x, sin(2^0 x), cos(2^0 x), ..., sin(2^{L-1} x), cos(2^{L-1} x)].
+ * No learnable parameters.
+ */
+class PositionalEncoding : public Layer
+{
+  public:
+    /** @param frequencies number of octaves L. @pre L > 0 */
+    explicit PositionalEncoding(std::size_t frequencies);
+
+    void forward(const Tensor &in, Tensor &out) override;
+    void backward(const Tensor &dout, Tensor &din) override;
+    std::size_t outputDim(std::size_t d) const override;
+    std::string describe() const override;
+
+  private:
+    std::size_t freqs_;
+    Tensor cached_in_;
+};
+
+} // namespace nn
+} // namespace rog
+
+#endif // ROG_NN_LAYERS_HPP

@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace rog {
+namespace nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<std::uint32_t> &labels)
+{
+    ROG_ASSERT(labels.size() == logits.rows(),
+               "label count != batch size");
+    const std::size_t batch = logits.rows();
+    const std::size_t classes = logits.cols();
+
+    LossResult res;
+    res.grad = logits;
+    tensor::softmaxRows(res.grad);
+
+    double loss = 0.0;
+    std::size_t correct = 0;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        const std::uint32_t y = labels[i];
+        ROG_ASSERT(y < classes, "label out of range");
+        float *p = res.grad.data() + i * classes;
+        // p currently holds the softmax probabilities for row i.
+        const float py = std::max(p[y], 1e-12f);
+        loss -= std::log(py);
+        if (tensor::argmaxRow(res.grad, i) == y)
+            ++correct;
+        // grad = (softmax - onehot) / batch.
+        for (std::size_t j = 0; j < classes; ++j)
+            p[j] *= inv_batch;
+        p[y] -= inv_batch;
+    }
+    res.loss = static_cast<float>(loss / static_cast<double>(batch));
+    res.accuracy = static_cast<float>(correct) /
+                   static_cast<float>(batch);
+    return res;
+}
+
+LossResult
+meanSquaredError(const Tensor &pred, const Tensor &target)
+{
+    ROG_ASSERT(pred.sameShape(target), "mse shape mismatch");
+    const std::size_t n = pred.size();
+    LossResult res;
+    res.grad = Tensor(pred.rows(), pred.cols());
+    double loss = 0.0;
+    const float scale = 2.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float d = pred[i] - target[i];
+        loss += static_cast<double>(d) * d;
+        res.grad[i] = scale * d;
+    }
+    res.loss = static_cast<float>(loss / static_cast<double>(n));
+    return res;
+}
+
+} // namespace nn
+} // namespace rog

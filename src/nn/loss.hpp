@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Loss functions: softmax cross-entropy (classification) and mean
+ * squared error (regression). Each returns the scalar loss and the
+ * gradient w.r.t. the network output, already averaged over the batch.
+ */
+#ifndef ROG_NN_LOSS_HPP
+#define ROG_NN_LOSS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rog {
+namespace nn {
+
+using tensor::Tensor;
+
+/** Result of a loss evaluation. */
+struct LossResult
+{
+    float loss = 0.0f;       //!< mean loss over the batch.
+    float accuracy = 0.0f;   //!< top-1 accuracy (classification only).
+    Tensor grad;             //!< d(loss)/d(logits or predictions).
+};
+
+/**
+ * Mean softmax cross-entropy over a batch.
+ *
+ * @param logits (batch x classes) raw scores.
+ * @param labels class index per batch item. @pre labels.size()==batch
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<std::uint32_t> &labels);
+
+/**
+ * Mean squared error over a batch.
+ *
+ * @param pred (batch x dim) predictions.
+ * @param target (batch x dim) regression targets. @pre same shape
+ */
+LossResult meanSquaredError(const Tensor &pred, const Tensor &target);
+
+} // namespace nn
+} // namespace rog
+
+#endif // ROG_NN_LOSS_HPP

@@ -1,0 +1,132 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'O', 'G', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        ROG_FATAL("model checkpoint: truncated input");
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU32(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const std::uint32_t n = readU32(is);
+    if (n > 4096)
+        ROG_FATAL("model checkpoint: implausible name length ", n);
+    std::string s(n, '\0');
+    is.read(s.data(), n);
+    if (!is)
+        ROG_FATAL("model checkpoint: truncated name");
+    return s;
+}
+
+} // namespace
+
+void
+saveModel(std::ostream &os, Model &model)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeU32(os, kVersion);
+    const auto params = model.parameters();
+    writeU32(os, static_cast<std::uint32_t>(params.size()));
+    for (Parameter *p : params) {
+        writeString(os, p->name);
+        writeU32(os, static_cast<std::uint32_t>(p->value.rows()));
+        writeU32(os, static_cast<std::uint32_t>(p->value.cols()));
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.size() *
+                                              sizeof(float)));
+    }
+    if (!os)
+        ROG_FATAL("model checkpoint: write failed");
+}
+
+void
+loadModel(std::istream &is, Model &model)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+        ROG_FATAL("model checkpoint: bad magic");
+    const std::uint32_t version = readU32(is);
+    if (version != kVersion)
+        ROG_FATAL("model checkpoint: unsupported version ", version);
+
+    const auto params = model.parameters();
+    const std::uint32_t count = readU32(is);
+    if (count != params.size()) {
+        ROG_FATAL("model checkpoint: has ", count,
+                  " parameters, model expects ", params.size());
+    }
+    for (Parameter *p : params) {
+        const std::string name = readString(is);
+        if (name != p->name)
+            ROG_FATAL("model checkpoint: parameter '", name,
+                      "' where '", p->name, "' expected");
+        const std::uint32_t rows = readU32(is);
+        const std::uint32_t cols = readU32(is);
+        if (rows != p->value.rows() || cols != p->value.cols()) {
+            ROG_FATAL("model checkpoint: shape ", rows, "x", cols,
+                      " for '", name, "', model expects ",
+                      p->value.rows(), "x", p->value.cols());
+        }
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+        if (!is)
+            ROG_FATAL("model checkpoint: truncated payload for '", name,
+                      "'");
+    }
+}
+
+void
+saveModelFile(const std::string &path, Model &model)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        ROG_FATAL("cannot open '", path, "' for writing");
+    saveModel(os, model);
+}
+
+void
+loadModelFile(const std::string &path, Model &model)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ROG_FATAL("cannot open '", path, "' for reading");
+    loadModel(is, model);
+}
+
+} // namespace nn
+} // namespace rog

@@ -1,0 +1,85 @@
+#include "sim/energy.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace sim {
+
+std::string_view
+deviceStateName(DeviceState s)
+{
+    switch (s) {
+      case DeviceState::Compute:
+        return "compute";
+      case DeviceState::Communicate:
+        return "communicate";
+      case DeviceState::Stall:
+        return "stall";
+      default:
+        return "invalid";
+    }
+}
+
+double
+PowerModel::watts(DeviceState state) const
+{
+    switch (state) {
+      case DeviceState::Compute:
+        return compute_w;
+      case DeviceState::Communicate:
+        return communicate_w;
+      case DeviceState::Stall:
+        return stall_w;
+      default:
+        ROG_PANIC("invalid device state");
+    }
+}
+
+EnergyMeter::EnergyMeter(Simulation &sim, PowerModel model)
+    : sim_(sim), model_(model), last_transition_(sim.now())
+{
+}
+
+void
+EnergyMeter::settle() const
+{
+    const double now = sim_.now();
+    ROG_ASSERT(now >= last_transition_, "time went backwards");
+    seconds_[static_cast<std::size_t>(state_)] += now - last_transition_;
+    last_transition_ = now;
+}
+
+void
+EnergyMeter::setState(DeviceState state)
+{
+    settle();
+    state_ = state;
+}
+
+double
+EnergyMeter::totalJoules() const
+{
+    settle();
+    double j = 0.0;
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(DeviceState::NumStates); ++s) {
+        j += seconds_[s] * model_.watts(static_cast<DeviceState>(s));
+    }
+    return j;
+}
+
+double
+EnergyMeter::secondsIn(DeviceState state) const
+{
+    settle();
+    return seconds_[static_cast<std::size_t>(state)];
+}
+
+double
+EnergyMeter::joulesIn(DeviceState state) const
+{
+    return secondsIn(state) * model_.watts(state);
+}
+
+} // namespace sim
+} // namespace rog

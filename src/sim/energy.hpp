@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Device power-state tracking and energy integration.
+ *
+ * The paper identifies three device states — computation,
+ * communication, and stall — and measures their power draw on a Jetson
+ * Xavier NX (Table III: 13.35 W / 4.25 W / 4.04 W; stall stays at ~30%
+ * of compute power because of static leakage). EnergyMeter reproduces
+ * the paper's methodology exactly: it matches the power model against
+ * the device's state timeline and integrates joules over virtual time.
+ */
+#ifndef ROG_SIM_ENERGY_HPP
+#define ROG_SIM_ENERGY_HPP
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace sim {
+
+/** Power state of a training device. */
+enum class DeviceState : std::size_t
+{
+    Compute = 0,      //!< running forward/backward (+ compression).
+    Communicate = 1,  //!< pushing/pulling gradients on the radio.
+    Stall = 2,        //!< blocked on a synchronization requirement.
+    NumStates
+};
+
+/** Human-readable state name. */
+std::string_view deviceStateName(DeviceState s);
+
+/** Per-state power draw in watts. Defaults are the paper's Table III. */
+struct PowerModel
+{
+    double compute_w = 13.35;
+    double communicate_w = 4.25;
+    double stall_w = 4.04;
+
+    /** Watts drawn in @p state. */
+    double watts(DeviceState state) const;
+};
+
+/**
+ * Tracks one device's state timeline and accumulates energy.
+ * The device starts in Compute (a training iteration begins by
+ * computing gradients).
+ */
+class EnergyMeter
+{
+  public:
+    /** @param sim time source; must outlive the meter. */
+    EnergyMeter(Simulation &sim, PowerModel model);
+
+    /** Transition to @p state, charging the elapsed interval first. */
+    void setState(DeviceState state);
+
+    /** Current state. */
+    DeviceState state() const { return state_; }
+
+    /** Total joules consumed up to the current virtual time. */
+    double totalJoules() const;
+
+    /** Seconds spent in @p state up to the current virtual time. */
+    double secondsIn(DeviceState state) const;
+
+    /** Joules consumed in @p state up to the current virtual time. */
+    double joulesIn(DeviceState state) const;
+
+    const PowerModel &model() const { return model_; }
+
+  private:
+    /** Charge the interval since the last transition to state_. */
+    void settle() const;
+
+    Simulation &sim_;
+    PowerModel model_;
+    DeviceState state_ = DeviceState::Compute;
+    mutable double last_transition_ = 0.0;
+    mutable std::array<double,
+                       static_cast<std::size_t>(DeviceState::NumStates)>
+        seconds_{};
+};
+
+/**
+ * RAII state scope: enters @p state on construction and restores the
+ * previous state on destruction. Keeps worker code exception-safe and
+ * mirrors the paper's "system status log" instrumentation.
+ */
+class StateScope
+{
+  public:
+    StateScope(EnergyMeter &meter, DeviceState state)
+        : meter_(meter), prev_(meter.state())
+    {
+        meter_.setState(state);
+    }
+
+    ~StateScope() { meter_.setState(prev_); }
+
+    StateScope(const StateScope &) = delete;
+    StateScope &operator=(const StateScope &) = delete;
+
+  private:
+    EnergyMeter &meter_;
+    DeviceState prev_;
+};
+
+} // namespace sim
+} // namespace rog
+
+#endif // ROG_SIM_ENERGY_HPP

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace sim {
+
+EventQueue::~EventQueue()
+{
+    // Drop handlers may schedule nothing but must not throw; give every
+    // unfired event a chance to release captured resources.
+    for (auto &[key, entry] : events_)
+        if (entry.drop)
+            entry.drop();
+}
+
+EventId
+EventQueue::schedule(double time, std::function<void()> fire,
+                     std::function<void()> drop)
+{
+    ROG_ASSERT(time >= now_, "cannot schedule into the past: ", time,
+               " < ", now_);
+    const Key key{time, next_seq_++};
+    events_.emplace(key, Entry{std::move(fire), std::move(drop)});
+    return EventId{key.time, key.seq};
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (!id.valid())
+        return;
+    auto it = events_.find(Key{id.time, id.seq});
+    if (it == events_.end())
+        return;
+    Entry entry = std::move(it->second);
+    events_.erase(it);
+    if (entry.drop)
+        entry.drop();
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    now_ = it->first.time;
+    // Move out before erasing: the callback may schedule or cancel.
+    Entry entry = std::move(it->second);
+    events_.erase(it);
+    if (entry.fire)
+        entry.fire();
+    return true;
+}
+
+double
+EventQueue::peekTime() const
+{
+    ROG_ASSERT(!events_.empty(), "peekTime on empty queue");
+    return events_.begin()->first.time;
+}
+
+} // namespace sim
+} // namespace rog

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (time, insertion sequence) so simultaneous
+ * events fire in insertion order — runs are bit-reproducible. Events
+ * may be cancelled; an event that is dropped without firing (cancelled
+ * or still pending at queue destruction) invokes its drop handler so
+ * owners of resources captured in the closure (notably suspended
+ * coroutine frames) can release them.
+ */
+#ifndef ROG_SIM_EVENT_QUEUE_HPP
+#define ROG_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace rog {
+namespace sim {
+
+/** Opaque handle to a scheduled event (for cancellation). */
+struct EventId
+{
+    double time = 0.0;
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+};
+
+/** A time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p fire at absolute @p time.
+     *
+     * @param drop invoked instead of @p fire if the event is cancelled
+     *        or destroyed unfired (may be empty).
+     * @pre time >= now()
+     */
+    EventId schedule(double time, std::function<void()> fire,
+                     std::function<void()> drop = {});
+
+    /** Cancel a pending event; no-op if it already fired. */
+    void cancel(EventId id);
+
+    /** Fire the earliest event; returns false if the queue is empty. */
+    bool step();
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Current simulated time (time of the last fired event). */
+    double now() const { return now_; }
+
+    /** Time of the earliest pending event. @pre !empty() */
+    double peekTime() const;
+
+  private:
+    struct Entry
+    {
+        std::function<void()> fire;
+        std::function<void()> drop;
+    };
+
+    struct Key
+    {
+        double time;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (time != o.time)
+                return time < o.time;
+            return seq < o.seq;
+        }
+    };
+
+    std::map<Key, Entry> events_;
+    double now_ = 0.0;
+    std::uint64_t next_seq_ = 1;
+};
+
+} // namespace sim
+} // namespace rog
+
+#endif // ROG_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,52 @@
+#include "sim/process.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace sim {
+
+void
+Process::promise_type::unhandled_exception()
+{
+    // A process body must handle its own errors; an escaped exception
+    // inside a suspended call chain cannot be propagated sensibly
+    // through the event loop.
+    ROG_PANIC("unhandled exception escaped a simulation process");
+}
+
+void
+DelayAwaiter::await_suspend(std::coroutine_handle<> h)
+{
+    ROG_ASSERT(delay_ >= 0.0, "negative process delay");
+    sim_.after(
+        delay_, [h] { h.resume(); }, [h] { h.destroy(); });
+}
+
+Condition::~Condition()
+{
+    // Processes still parked here can never be resumed; destroy their
+    // frames so captured resources are released.
+    for (auto h : waiters_)
+        h.destroy();
+}
+
+void
+Condition::Awaiter::await_suspend(std::coroutine_handle<> h)
+{
+    cond_.waiters_.push_back(h);
+}
+
+void
+Condition::notifyAll()
+{
+    // Move out first: resumed processes may wait() again immediately,
+    // and those new waiters belong to the *next* notification round.
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken)
+        sim_.after(
+            0.0, [h] { h.resume(); }, [h] { h.destroy(); });
+}
+
+} // namespace sim
+} // namespace rog

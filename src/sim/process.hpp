@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Coroutine-based simulation processes.
+ *
+ * A Process is an eagerly started, detached C++20 coroutine that runs
+ * inside a Simulation: it executes synchronously until it awaits a
+ * delay() or a Condition, at which point control returns to the event
+ * loop and the process resumes when the corresponding event fires.
+ * This lets the worker / parameter-server logic read like the paper's
+ * pseudocode (Algo 1 & 2) instead of a hand-written state machine.
+ *
+ * Lifetime: frames self-destroy on completion (final_suspend never
+ * suspends). If the simulation is torn down while a process is
+ * suspended, the pending event's drop handler destroys the frame, so
+ * nothing leaks even on early exits.
+ */
+#ifndef ROG_SIM_PROCESS_HPP
+#define ROG_SIM_PROCESS_HPP
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace sim {
+
+/** Return type of simulation-process coroutines (detached). */
+class Process
+{
+  public:
+    struct promise_type
+    {
+        Process get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        [[noreturn]] void unhandled_exception();
+    };
+};
+
+/** Awaitable that resumes after a virtual-time delay. */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(Simulation &sim, double delay)
+        : sim_(sim), delay_(delay) {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+  private:
+    Simulation &sim_;
+    double delay_;
+};
+
+/** Suspend the calling process for @p seconds. @pre seconds >= 0 */
+inline DelayAwaiter
+delay(Simulation &sim, double seconds)
+{
+    return {sim, seconds};
+}
+
+/**
+ * A broadcast condition: processes wait(); notifyAll() wakes every
+ * current waiter (at the current virtual time, in FIFO order). Typical
+ * use is a predicate loop:
+ *
+ *     while (!ready())
+ *         co_await cond.wait();
+ */
+class Condition
+{
+  public:
+    explicit Condition(Simulation &sim) : sim_(sim) {}
+    ~Condition();
+
+    Condition(const Condition &) = delete;
+    Condition &operator=(const Condition &) = delete;
+
+    class Awaiter
+    {
+      public:
+        explicit Awaiter(Condition &cond) : cond_(cond) {}
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h);
+        void await_resume() const noexcept {}
+
+      private:
+        Condition &cond_;
+    };
+
+    /** Await the next notifyAll(). */
+    Awaiter wait() { return Awaiter(*this); }
+
+    /** Wake every currently waiting process. */
+    void notifyAll();
+
+    /** Number of processes currently waiting. */
+    std::size_t waiters() const { return waiters_.size(); }
+
+  private:
+    friend class Awaiter;
+
+    Simulation &sim_;
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace sim
+} // namespace rog
+
+#endif // ROG_SIM_PROCESS_HPP

@@ -1,0 +1,39 @@
+#include "sim/simulation.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace sim {
+
+EventId
+Simulation::after(double delay, std::function<void()> fire,
+                  std::function<void()> drop)
+{
+    ROG_ASSERT(delay >= 0.0, "negative delay");
+    return queue_.schedule(now() + delay, std::move(fire),
+                           std::move(drop));
+}
+
+EventId
+Simulation::at(double time, std::function<void()> fire,
+               std::function<void()> drop)
+{
+    return queue_.schedule(time, std::move(fire), std::move(drop));
+}
+
+void
+Simulation::run()
+{
+    while (queue_.step()) {
+    }
+}
+
+void
+Simulation::runUntil(double horizon)
+{
+    while (!queue_.empty() && queue_.peekTime() <= horizon)
+        queue_.step();
+}
+
+} // namespace sim
+} // namespace rog

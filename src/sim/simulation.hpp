@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulation facade over the event queue.
+ */
+#ifndef ROG_SIM_SIMULATION_HPP
+#define ROG_SIM_SIMULATION_HPP
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace rog {
+namespace sim {
+
+/**
+ * A discrete-event simulation with virtual time in seconds.
+ *
+ * Processes (see process.hpp) suspend on awaitables that schedule their
+ * resumption here. run() executes events until the queue drains or the
+ * optional horizon is reached.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** Current virtual time in seconds. */
+    double now() const { return queue_.now(); }
+
+    /** Schedule a callback after @p delay seconds. @pre delay >= 0 */
+    EventId after(double delay, std::function<void()> fire,
+                  std::function<void()> drop = {});
+
+    /** Schedule a callback at absolute time @p time. @pre time>=now */
+    EventId at(double time, std::function<void()> fire,
+               std::function<void()> drop = {});
+
+    /** Cancel a pending event. */
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or virtual time would exceed
+     * @p horizon; events scheduled beyond the horizon stay pending (and
+     * have their drop handlers invoked at destruction).
+     */
+    void runUntil(double horizon);
+
+    /** Direct queue access (used by awaitable implementations). */
+    EventQueue &queue() { return queue_; }
+
+  private:
+    EventQueue queue_;
+};
+
+} // namespace sim
+} // namespace rog
+
+#endif // ROG_SIM_SIMULATION_HPP

@@ -1,0 +1,202 @@
+#include "stats/experiment.hpp"
+
+#include <ostream>
+
+#include "common/logging.hpp"
+#include "core/testbed_profile.hpp"
+#include "net/trace_generator.hpp"
+
+namespace rog {
+namespace stats {
+
+std::string
+environmentName(Environment env)
+{
+    switch (env) {
+      case Environment::Indoor:
+        return "indoor";
+      case Environment::Outdoor:
+        return "outdoor";
+      case Environment::Stable:
+        return "stable";
+      default:
+        return "invalid";
+    }
+}
+
+core::NetworkSetup
+makeNetwork(core::Workload &workload, const ExperimentConfig &cfg)
+{
+    // Calibrate the mean link capacity so a full compressed push+pull
+    // round for `calibration_workers` devices costs ~1.47 s (Sec.
+    // II-B), independent of how many workers this experiment uses.
+    const double wire = core::modelWireBytes(
+        workload, core::Granularity::WholeModel, "onebit");
+    const double mean_bw = core::calibratedMeanBandwidth(
+        wire, cfg.calibration_workers);
+
+    net::TraceModel model;
+    switch (cfg.env) {
+      case Environment::Indoor:
+        model = net::TraceModel::indoor(mean_bw);
+        break;
+      case Environment::Outdoor:
+        model = net::TraceModel::outdoor(mean_bw);
+        break;
+      case Environment::Stable:
+        model = net::TraceModel::stable(mean_bw);
+        break;
+    }
+
+    core::NetworkSetup network;
+    for (std::size_t w = 0; w < workload.workers(); ++w) {
+        network.link_traces.push_back(net::generateTrace(
+            model, cfg.trace_seconds,
+            cfg.network_seed + 1000 * (w + 1)));
+    }
+    return network;
+}
+
+SystemRun
+runSystem(core::Workload &workload, const core::SystemConfig &system,
+          const ExperimentConfig &cfg)
+{
+    core::EngineConfig engine;
+    engine.system = system;
+    engine.profile.batch_scale = cfg.batch_scale;
+    engine.iterations = cfg.iterations;
+    engine.time_horizon_seconds = cfg.time_horizon_seconds;
+    engine.eval_every = cfg.eval_every;
+    engine.seed = cfg.engine_seed;
+
+    const core::NetworkSetup network = makeNetwork(workload, cfg);
+    SystemRun run;
+    run.result = core::runDistributedTraining(workload, engine, network);
+    run.curve = mergeCheckpoints(run.result);
+    return run;
+}
+
+std::vector<SystemRun>
+runSystems(core::Workload &workload,
+           const std::vector<core::SystemConfig> &systems,
+           const ExperimentConfig &cfg)
+{
+    std::vector<SystemRun> out;
+    out.reserve(systems.size());
+    for (const auto &sys : systems)
+        out.push_back(runSystem(workload, sys, cfg));
+    return out;
+}
+
+Table
+timeCompositionTable(const std::string &title,
+                     const std::vector<SystemRun> &runs)
+{
+    Table t(title, {"system", "compute_s", "comm_s", "stall_s",
+                    "total_s", "stall_pct"});
+    for (const auto &run : runs) {
+        double compute, comm, stall;
+        run.result.meanTimeComposition(compute, comm, stall);
+        const double total = compute + comm + stall;
+        t.addRow({run.result.system, Table::num(compute),
+                  Table::num(comm), Table::num(stall), Table::num(total),
+                  Table::num(total > 0 ? 100.0 * stall / total : 0.0, 1)});
+    }
+    return t;
+}
+
+namespace {
+
+SeriesSet
+curveSeries(const std::string &title, const std::vector<SystemRun> &runs,
+            const std::string &x_name,
+            double (*axis)(const MergedCheckpoint &))
+{
+    SeriesSet s(title, x_name, "metric");
+    for (const auto &run : runs)
+        for (const auto &c : run.curve)
+            s.add(run.result.system, axis(c), c.mean_metric);
+    return s;
+}
+
+} // namespace
+
+SeriesSet
+metricVsIteration(const std::string &title,
+                  const std::vector<SystemRun> &runs)
+{
+    return curveSeries(title, runs, "iteration",
+                       [](const MergedCheckpoint &c) {
+                           return static_cast<double>(c.iteration);
+                       });
+}
+
+SeriesSet
+metricVsTime(const std::string &title, const std::vector<SystemRun> &runs)
+{
+    return curveSeries(title, runs, "time_s",
+                       [](const MergedCheckpoint &c) {
+                           return c.mean_time_s;
+                       });
+}
+
+SeriesSet
+metricVsEnergy(const std::string &title,
+               const std::vector<SystemRun> &runs)
+{
+    return curveSeries(title, runs, "energy_j",
+                       [](const MergedCheckpoint &c) {
+                           return c.mean_energy_j;
+                       });
+}
+
+Table
+summaryTable(const std::string &title, const std::vector<SystemRun> &runs,
+             double time_budget_s, double target_metric,
+             bool lower_is_better)
+{
+    Table t(title,
+            {"system", "iters_done", "sim_time_s", "final_metric",
+             "metric@budget", "time_to_target_s", "energy_to_target_j",
+             "mean_energy_j"});
+    for (const auto &run : runs) {
+        t.addRow({run.result.system,
+                  std::to_string(run.result.completed_iterations),
+                  Table::num(run.result.sim_seconds, 1),
+                  Table::num(run.curve.empty()
+                                 ? 0.0
+                                 : run.curve.back().mean_metric),
+                  Table::num(metricAtTime(run.curve, time_budget_s)),
+                  Table::num(timeToReach(run.curve, target_metric,
+                                         lower_is_better), 1),
+                  Table::num(energyToReach(run.curve, target_metric,
+                                           lower_is_better), 1),
+                  Table::num(run.result.meanEnergyJoules(), 1)});
+    }
+    return t;
+}
+
+void
+printExperiment(std::ostream &os, const std::string &title,
+                const std::vector<SystemRun> &runs, double time_budget_s,
+                double target_metric, bool lower_is_better)
+{
+    timeCompositionTable(title + " (a) time composition", runs)
+        .printText(os);
+    auto b = metricVsIteration(title + " (b) statistical efficiency",
+                               runs);
+    b.printSummary(os);
+    b.printCsv(os);
+    auto c = metricVsTime(title + " (c) metric vs wall-clock", runs);
+    c.printSummary(os);
+    c.printCsv(os);
+    auto d = metricVsEnergy(title + " (d) metric vs energy", runs);
+    d.printSummary(os);
+    d.printCsv(os);
+    summaryTable(title + " summary", runs, time_budget_s, target_metric,
+                 lower_is_better)
+        .printText(os);
+}
+
+} // namespace stats
+} // namespace rog

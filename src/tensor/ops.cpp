@@ -1,0 +1,214 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace tensor {
+
+void
+matmul(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    ROG_ASSERT(a.cols() == b.rows() && out.rows() == a.rows() &&
+               out.cols() == b.cols(), "matmul shape mismatch");
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    out.zero();
+    // i-k-j loop order keeps the inner loop contiguous in b and out.
+    for (std::size_t i = 0; i < m; ++i) {
+        float *out_row = out.data() + i * n;
+        const float *a_row = a.data() + i * k;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = a_row[p];
+            if (av == 0.0f)
+                continue;
+            const float *b_row = b.data() + p * n;
+            for (std::size_t j = 0; j < n; ++j)
+                out_row[j] += av * b_row[j];
+        }
+    }
+}
+
+void
+matmulTransA(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    ROG_ASSERT(a.rows() == b.rows() && out.rows() == a.cols() &&
+               out.cols() == b.cols(), "matmulTransA shape mismatch");
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    out.zero();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *a_row = a.data() + p * m;
+        const float *b_row = b.data() + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = a_row[i];
+            if (av == 0.0f)
+                continue;
+            float *out_row = out.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                out_row[j] += av * b_row[j];
+        }
+    }
+}
+
+void
+matmulTransB(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    ROG_ASSERT(a.cols() == b.cols() && out.rows() == a.rows() &&
+               out.cols() == b.rows(), "matmulTransB shape mismatch");
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *a_row = a.data() + i * k;
+        float *out_row = out.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *b_row = b.data() + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += a_row[p] * b_row[p];
+            out_row[j] = acc;
+        }
+    }
+}
+
+void
+axpy(float alpha, const Tensor &x, Tensor &y)
+{
+    ROG_ASSERT(x.sameShape(y), "axpy shape mismatch");
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+copy(const Tensor &x, Tensor &y)
+{
+    ROG_ASSERT(x.sameShape(y), "copy shape mismatch");
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = x[i];
+}
+
+void
+scale(Tensor &x, float alpha)
+{
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] *= alpha;
+}
+
+void
+addRowBias(Tensor &x, const Tensor &bias)
+{
+    ROG_ASSERT(bias.rows() == 1 && bias.cols() == x.cols(),
+               "bias shape mismatch");
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        float *row = x.data() + i * x.cols();
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            row[j] += bias[j];
+    }
+}
+
+void
+relu(const Tensor &x, Tensor &out)
+{
+    ROG_ASSERT(x.sameShape(out), "relu shape mismatch");
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void
+reluBackward(const Tensor &x, const Tensor &dout, Tensor &din)
+{
+    ROG_ASSERT(x.sameShape(dout) && x.sameShape(din),
+               "reluBackward shape mismatch");
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        din[i] = x[i] > 0.0f ? dout[i] : 0.0f;
+}
+
+void
+tanhForward(const Tensor &x, Tensor &out)
+{
+    ROG_ASSERT(x.sameShape(out), "tanh shape mismatch");
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::tanh(x[i]);
+}
+
+void
+tanhBackward(const Tensor &out, const Tensor &dout, Tensor &din)
+{
+    ROG_ASSERT(out.sameShape(dout) && out.sameShape(din),
+               "tanhBackward shape mismatch");
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n; ++i)
+        din[i] = dout[i] * (1.0f - out[i] * out[i]);
+}
+
+void
+softmaxRows(Tensor &x)
+{
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        float *row = x.data() + i * x.cols();
+        float mx = row[0];
+        for (std::size_t j = 1; j < x.cols(); ++j)
+            mx = std::max(mx, row[j]);
+        float sum = 0.0f;
+        for (std::size_t j = 0; j < x.cols(); ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        const float inv = 1.0f / sum;
+        for (std::size_t j = 0; j < x.cols(); ++j)
+            row[j] *= inv;
+    }
+}
+
+float
+meanAbs(std::span<const float> v)
+{
+    if (v.empty())
+        return 0.0f;
+    float s = 0.0f;
+    for (float x : v)
+        s += std::fabs(x);
+    return s / static_cast<float>(v.size());
+}
+
+float
+meanAbs(const Tensor &x)
+{
+    return meanAbs(std::span<const float>(x.data(), x.size()));
+}
+
+float
+maxAbs(const Tensor &x)
+{
+    float m = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+float
+frobeniusNorm(const Tensor &x)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        s += static_cast<double>(x[i]) * x[i];
+    return static_cast<float>(std::sqrt(s));
+}
+
+std::size_t
+argmaxRow(const Tensor &x, std::size_t r)
+{
+    auto row = x.row(r);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < row.size(); ++j)
+        if (row[j] > row[best])
+            best = j;
+    return best;
+}
+
+} // namespace tensor
+} // namespace rog

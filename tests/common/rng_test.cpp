@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rog {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(13);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.uniformInt(10)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(17);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianShiftScale)
+{
+    Rng rng(19);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(23);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(0.5);
+    EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, DirichletSumsToOne)
+{
+    Rng rng(29);
+    for (double alpha : {0.1, 0.5, 1.0, 10.0}) {
+        const auto v = rng.dirichlet(8, alpha);
+        ASSERT_EQ(v.size(), 8u);
+        double sum = 0.0;
+        for (double x : v) {
+            EXPECT_GE(x, 0.0);
+            sum += x;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(RngTest, DirichletSmallAlphaIsSkewed)
+{
+    Rng rng(31);
+    // With alpha = 0.05 most mass concentrates on few coordinates;
+    // with alpha = 50 the draw is near-uniform.
+    double max_small = 0.0, max_large = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        auto s = rng.dirichlet(10, 0.05);
+        auto l = rng.dirichlet(10, 50.0);
+        max_small += *std::max_element(s.begin(), s.end());
+        max_large += *std::max_element(l.begin(), l.end());
+    }
+    EXPECT_GT(max_small / 50, 0.6);
+    EXPECT_LT(max_large / 50, 0.25);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<std::size_t> v(100);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = i;
+    rng.shuffle(v);
+    std::set<std::size_t> seen(v.begin(), v.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, ShuffleActuallyMoves)
+{
+    Rng rng(41);
+    std::vector<std::size_t> v(100);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = i;
+    rng.shuffle(v);
+    int moved = 0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        if (v[i] != i)
+            ++moved;
+    EXPECT_GT(moved, 80);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic)
+{
+    Rng parent1(99);
+    Rng parent2(99);
+    Rng child1 = parent1.fork();
+    Rng child2 = parent2.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+    // Parent and child do not track each other.
+    Rng parent3(99);
+    Rng child3 = parent3.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent3.next() == child3.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+/** Property sweep: uniformInt(n) stays in range for many n. */
+class UniformIntRange : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UniformIntRange, AlwaysBelowBound)
+{
+    Rng rng(GetParam());
+    const std::uint64_t n = GetParam() % 97 + 1;
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.uniformInt(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformIntRange,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144));
+
+} // namespace
+} // namespace rog

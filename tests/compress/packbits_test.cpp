@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for sign-bit packing.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compress/packbits.hpp"
+
+namespace rog {
+namespace compress {
+namespace {
+
+TEST(PackbitsTest, PackedBytesRoundsUp)
+{
+    EXPECT_EQ(packedBytes(0), 0u);
+    EXPECT_EQ(packedBytes(1), 1u);
+    EXPECT_EQ(packedBytes(8), 1u);
+    EXPECT_EQ(packedBytes(9), 2u);
+    EXPECT_EQ(packedBytes(64), 8u);
+}
+
+TEST(PackbitsTest, KnownPattern)
+{
+    std::vector<float> v = {1.0f, -1.0f, 2.0f, -0.5f,
+                            0.0f, -3.0f, 4.0f, -5.0f};
+    std::vector<std::uint8_t> packed(1);
+    packSigns(v, packed);
+    // bits (LSB first): 1,0,1,0,1,0,1,0 -> 0b01010101 = 0x55.
+    EXPECT_EQ(packed[0], 0x55);
+}
+
+TEST(PackbitsTest, ZeroCountsAsPositive)
+{
+    std::vector<float> v = {0.0f};
+    std::vector<std::uint8_t> packed(1);
+    packSigns(v, packed);
+    std::vector<float> out(1);
+    unpackSigns(packed, 1, out);
+    EXPECT_EQ(out[0], 1.0f);
+}
+
+/** Property sweep: pack/unpack round-trips signs for many widths. */
+class PackRoundtrip : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PackRoundtrip, SignsSurvive)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 7 + 1);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    std::vector<std::uint8_t> packed(packedBytes(n));
+    packSigns(v, packed);
+    std::vector<float> out(n);
+    unpackSigns(packed, n, out);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], v[i] >= 0.0f ? 1.0f : -1.0f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackRoundtrip,
+                         ::testing::Values(1, 2, 7, 8, 9, 15, 16, 17, 31,
+                                           33, 64, 100, 127, 128, 1000));
+
+TEST(PackbitsTest, SizeMismatchDies)
+{
+    std::vector<float> v(10);
+    std::vector<std::uint8_t> packed(1); // needs 2.
+    EXPECT_DEATH(packSigns(v, packed), "size");
+}
+
+} // namespace
+} // namespace compress
+} // namespace rog

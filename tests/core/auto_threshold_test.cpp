@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the automatic staleness-threshold controller.
+ */
+#include <gtest/gtest.h>
+
+#include "core/auto_threshold.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+AutoThresholdConfig
+smallWindow()
+{
+    AutoThresholdConfig cfg;
+    cfg.window = 4;
+    return cfg;
+}
+
+TEST(AutoThresholdTest, StartsAtInitial)
+{
+    AutoThresholdController c(smallWindow());
+    EXPECT_EQ(c.threshold(), 4u);
+    EXPECT_EQ(c.adjustments(), 0u);
+}
+
+TEST(AutoThresholdTest, WidensUnderHeavyStall)
+{
+    AutoThresholdController c(smallWindow());
+    for (int i = 0; i < 4; ++i)
+        c.observe(5.0, 10.0); // 50% stall.
+    EXPECT_GT(c.threshold(), 4u);
+    EXPECT_EQ(c.adjustments(), 1u);
+}
+
+TEST(AutoThresholdTest, KeepsWideningWhileStallPersists)
+{
+    AutoThresholdConfig cfg = smallWindow();
+    AutoThresholdController c(cfg);
+    for (int round = 0; round < 20; ++round)
+        for (int i = 0; i < 4; ++i)
+            c.observe(5.0, 10.0);
+    EXPECT_EQ(c.threshold(), cfg.max_threshold);
+}
+
+TEST(AutoThresholdTest, NarrowsWhenCalm)
+{
+    AutoThresholdConfig cfg = smallWindow();
+    cfg.initial_threshold = 10;
+    AutoThresholdController c(cfg);
+    for (int i = 0; i < 4; ++i)
+        c.observe(0.0, 10.0);
+    EXPECT_EQ(c.threshold(), 9u);
+}
+
+TEST(AutoThresholdTest, NeverLeavesBounds)
+{
+    AutoThresholdConfig cfg = smallWindow();
+    cfg.min_threshold = 3;
+    cfg.max_threshold = 12;
+    cfg.initial_threshold = 3;
+    AutoThresholdController c(cfg);
+    for (int round = 0; round < 50; ++round)
+        for (int i = 0; i < 4; ++i)
+            c.observe(0.0, 1.0);
+    EXPECT_EQ(c.threshold(), 3u);
+    for (int round = 0; round < 50; ++round)
+        for (int i = 0; i < 4; ++i)
+            c.observe(1.0, 1.0);
+    EXPECT_EQ(c.threshold(), 12u);
+}
+
+TEST(AutoThresholdTest, ModerateStallHolds)
+{
+    AutoThresholdConfig cfg = smallWindow();
+    AutoThresholdController c(cfg);
+    for (int round = 0; round < 10; ++round)
+        for (int i = 0; i < 4; ++i)
+            c.observe(0.5, 10.0); // 5%: inside the band.
+    EXPECT_EQ(c.threshold(), cfg.initial_threshold);
+    EXPECT_EQ(c.adjustments(), 0u);
+}
+
+TEST(AutoThresholdTest, DecisionsOnlyAtWindowBoundaries)
+{
+    AutoThresholdController c(smallWindow());
+    c.observe(5.0, 10.0);
+    c.observe(5.0, 10.0);
+    c.observe(5.0, 10.0);
+    EXPECT_EQ(c.threshold(), 4u); // window not full yet.
+    c.observe(5.0, 10.0);
+    EXPECT_GT(c.threshold(), 4u);
+}
+
+TEST(AutoThresholdTest, BadConfigDies)
+{
+    AutoThresholdConfig cfg;
+    cfg.min_threshold = 1;
+    EXPECT_DEATH(AutoThresholdController c1(cfg), "thresholds");
+    AutoThresholdConfig cfg2;
+    cfg2.initial_threshold = 100;
+    EXPECT_DEATH(AutoThresholdController c2(cfg2), "initial");
+    AutoThresholdConfig cfg3;
+    cfg3.window = 0;
+    EXPECT_DEATH(AutoThresholdController c3(cfg3), "window");
+}
+
+TEST(AutoThresholdTest, InvalidObservationDies)
+{
+    AutoThresholdController c(smallWindow());
+    EXPECT_DEATH(c.observe(5.0, 3.0), "observation");
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Empirical checks of Theorem 1 (SGD under RSP): regret stays under
+ * the closed-form bound and vanishes per-iteration, across staleness
+ * levels and worker counts.
+ */
+#include <gtest/gtest.h>
+
+#include "core/convergence.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+TEST(ConvergenceTest, SynchronousRegretVanishes)
+{
+    RegretConfig cfg;
+    cfg.staleness = 0;
+    cfg.iterations = 3000;
+    const auto res = simulateRspRegret(cfg);
+    EXPECT_TRUE(res.within_bound);
+    EXPECT_LT(res.average_regret, 0.5);
+    EXPECT_EQ(res.max_realized_staleness, 0u);
+}
+
+TEST(ConvergenceTest, AverageRegretDecreasesWithHorizon)
+{
+    RegretConfig small;
+    small.staleness = 4;
+    small.iterations = 500;
+    RegretConfig large = small;
+    large.iterations = 8000;
+    const auto r_small = simulateRspRegret(small);
+    const auto r_large = simulateRspRegret(large);
+    EXPECT_LT(r_large.average_regret, r_small.average_regret);
+}
+
+TEST(ConvergenceTest, StalenessIsActuallyExercised)
+{
+    RegretConfig cfg;
+    cfg.staleness = 6;
+    cfg.iterations = 1000;
+    const auto res = simulateRspRegret(cfg);
+    EXPECT_GE(res.max_realized_staleness, 3u);
+    EXPECT_LE(res.max_realized_staleness, 6u);
+}
+
+/** Property sweep: the theorem bound holds across (S, P) settings. */
+struct BoundCase
+{
+    std::size_t staleness;
+    std::size_t workers;
+    std::uint64_t seed;
+};
+
+class TheoremBound : public ::testing::TestWithParam<BoundCase>
+{
+};
+
+TEST_P(TheoremBound, RegretWithinBound)
+{
+    const auto c = GetParam();
+    RegretConfig cfg;
+    cfg.staleness = c.staleness;
+    cfg.workers = c.workers;
+    cfg.seed = c.seed;
+    cfg.iterations = 2000;
+    const auto res = simulateRspRegret(cfg);
+    EXPECT_TRUE(res.within_bound)
+        << "S=" << c.staleness << " P=" << c.workers << " regret "
+        << res.cumulative_regret.back() << " bound "
+        << res.theorem_bound;
+    // And the regret trajectory is o(T): the last-quarter average is
+    // below the first-quarter average.
+    const std::size_t q = cfg.iterations / 4;
+    const double first = res.cumulative_regret[q - 1] / q;
+    const double last = (res.cumulative_regret.back() -
+                         res.cumulative_regret[3 * q - 1]) /
+                        q;
+    EXPECT_LT(last, first + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremBound,
+    ::testing::Values(BoundCase{0, 1, 1}, BoundCase{2, 4, 2},
+                      BoundCase{4, 4, 3}, BoundCase{8, 4, 4},
+                      BoundCase{20, 4, 5}, BoundCase{4, 8, 6},
+                      BoundCase{4, 2, 7}));
+
+TEST(ConvergenceTest, InvalidConfigDies)
+{
+    RegretConfig cfg;
+    cfg.rows = 0;
+    EXPECT_DEATH(simulateRspRegret(cfg), "invalid");
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

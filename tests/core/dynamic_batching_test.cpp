@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for dynamic batching across heterogeneous devices.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/dynamic_batching.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+std::size_t
+total(const BatchAssignment &a)
+{
+    return std::accumulate(a.batch_sizes.begin(), a.batch_sizes.end(),
+                           std::size_t{0});
+}
+
+TEST(DynamicBatchingTest, HomogeneousSplitsEvenly)
+{
+    const auto a = assignDynamicBatches({0.1, 0.1, 0.1, 0.1}, 80);
+    EXPECT_EQ(total(a), 80u);
+    for (auto b : a.batch_sizes)
+        EXPECT_EQ(b, 20u);
+    EXPECT_NEAR(a.imbalance, 1.0, 1e-9);
+}
+
+TEST(DynamicBatchingTest, FasterDeviceGetsMoreSamples)
+{
+    // Device 1 is twice as fast.
+    const auto a = assignDynamicBatches({0.2, 0.1}, 30);
+    EXPECT_EQ(total(a), 30u);
+    EXPECT_EQ(a.batch_sizes[0], 10u);
+    EXPECT_EQ(a.batch_sizes[1], 20u);
+    EXPECT_NEAR(a.imbalance, 1.0, 1e-9);
+}
+
+TEST(DynamicBatchingTest, EqualizesComputeTimes)
+{
+    // Jetson vs laptop-style mix (paper: batch 24 vs 16).
+    const auto a = assignDynamicBatches({0.09, 0.09, 0.09, 0.135}, 88);
+    EXPECT_EQ(total(a), 88u);
+    // Times within ~1 sample of each other.
+    EXPECT_LT(a.imbalance, 1.15);
+}
+
+TEST(DynamicBatchingTest, EveryDeviceGetsAtLeastOneSample)
+{
+    const auto a = assignDynamicBatches({0.001, 10.0, 10.0}, 10);
+    EXPECT_EQ(total(a), 10u);
+    for (auto b : a.batch_sizes)
+        EXPECT_GE(b, 1u);
+}
+
+TEST(DynamicBatchingTest, UniformSplitIgnoresSpeed)
+{
+    const auto a = assignUniformBatches({0.1, 0.4}, 20);
+    EXPECT_EQ(a.batch_sizes[0], 10u);
+    EXPECT_EQ(a.batch_sizes[1], 10u);
+    // 4x-slower device makes the iteration 4x imbalanced.
+    EXPECT_NEAR(a.imbalance, 4.0, 1e-9);
+    EXPECT_NEAR(a.iteration_seconds, 4.0, 1e-9);
+}
+
+TEST(DynamicBatchingTest, DynamicBeatsUniformOnIterationTime)
+{
+    const std::vector<double> speeds = {0.05, 0.08, 0.08, 0.2};
+    const auto dynamic = assignDynamicBatches(speeds, 96);
+    const auto uniform = assignUniformBatches(speeds, 96);
+    EXPECT_LT(dynamic.iteration_seconds, uniform.iteration_seconds);
+    EXPECT_LT(dynamic.imbalance, uniform.imbalance);
+}
+
+TEST(DynamicBatchingTest, RemainderIsDistributed)
+{
+    const auto a = assignDynamicBatches({0.1, 0.1, 0.1}, 100);
+    EXPECT_EQ(total(a), 100u);
+}
+
+TEST(DynamicBatchingTest, InvalidInputsDie)
+{
+    EXPECT_DEATH(assignDynamicBatches({}, 10), "device");
+    EXPECT_DEATH(assignDynamicBatches({0.1, 0.1}, 1), "batch");
+    EXPECT_DEATH(assignDynamicBatches({0.1, -0.1}, 10), "positive");
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

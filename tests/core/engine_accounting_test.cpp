@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cross-validation of the engine's two independent accounting paths:
+ * per-iteration records (compute/comm/stall durations) against the
+ * energy meter's state timeline (which integrates the same states in
+ * virtual time), plus calibration-constant checks.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "core/testbed_profile.hpp"
+#include "core/workloads.hpp"
+#include "net/trace_generator.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+CrudaWorkloadConfig
+tinyCruda(std::size_t workers)
+{
+    CrudaWorkloadConfig cfg;
+    cfg.data.train_samples = 800;
+    cfg.data.test_samples = 200;
+    cfg.model.hidden = {16, 12};
+    cfg.workers = workers;
+    cfg.pretrain_iters = 40;
+    cfg.eval_subset = 200;
+    cfg.batch_size = 8;
+    return cfg;
+}
+
+NetworkSetup
+outdoorNetwork(std::size_t workers)
+{
+    NetworkSetup net;
+    const auto model = net::TraceModel::outdoor(20e3);
+    for (std::size_t i = 0; i < workers; ++i)
+        net.link_traces.push_back(
+            net::generateTrace(model, 120.0, 91 + i * 1000));
+    return net;
+}
+
+/** Records and meter must agree per worker, for every system. */
+class AccountingAgreement
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AccountingAgreement, RecordsMatchMeterTimeline)
+{
+    const std::string name = GetParam();
+    SystemConfig sys;
+    if (name == "BSP")
+        sys = SystemConfig::bsp();
+    else if (name == "SSP")
+        sys = SystemConfig::ssp(4);
+    else if (name == "FLOWN")
+        sys = SystemConfig::flownSystem();
+    else
+        sys = SystemConfig::rog(4);
+
+    CrudaWorkload workload(tinyCruda(3));
+    EngineConfig cfg;
+    cfg.system = sys;
+    cfg.iterations = 20;
+    cfg.eval_every = 100;
+    const auto res = runDistributedTraining(workload, cfg,
+                                            outdoorNetwork(3));
+
+    for (std::size_t w = 0; w < 3; ++w) {
+        double compute = 0.0, comm = 0.0, stall = 0.0;
+        for (const auto &r : res.iterations) {
+            if (r.worker != w)
+                continue;
+            compute += r.compute_s;
+            comm += r.comm_s;
+            stall += r.stall_s;
+        }
+        // The meter runs to teardown (its final Compute segment after
+        // the last iteration is empty since time stops), so the two
+        // paths must agree tightly.
+        EXPECT_NEAR(res.worker_compute_s[w], compute,
+                    0.01 * compute + 0.1)
+            << name << " worker " << w;
+        EXPECT_NEAR(res.worker_comm_s[w], comm, 0.01 * comm + 0.1)
+            << name << " worker " << w;
+        EXPECT_NEAR(res.worker_stall_s[w], stall, 0.01 * stall + 0.1)
+            << name << " worker " << w;
+        // And the states tile the worker's lifetime: their sum is its
+        // last-iteration end time.
+        double last_end = 0.0;
+        for (const auto &r : res.iterations)
+            if (r.worker == w)
+                last_end = std::max(last_end, r.end_time_s);
+        EXPECT_NEAR(res.worker_compute_s[w] + res.worker_comm_s[w] +
+                        res.worker_stall_s[w],
+                    last_end, 0.01 * last_end + 0.1)
+            << name << " worker " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, AccountingAgreement,
+                         ::testing::Values("BSP", "SSP", "FLOWN",
+                                           "ROG"));
+
+TEST(AccountingTest, BatchScaleScalesComputeOnly)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    auto run = [&](double scale) {
+        EngineConfig cfg;
+        cfg.system = SystemConfig::ssp(4);
+        cfg.iterations = 5;
+        cfg.eval_every = 100;
+        cfg.profile.batch_scale = scale;
+        NetworkSetup net;
+        for (int i = 0; i < 2; ++i)
+            net.link_traces.push_back(
+                net::BandwidthTrace::constant(50e3));
+        return runDistributedTraining(workload, cfg, net);
+    };
+    const auto x1 = run(1.0);
+    const auto x2 = run(2.0);
+    double c1, m1, s1, c2, m2, s2;
+    x1.meanTimeComposition(c1, m1, s1);
+    x2.meanTimeComposition(c2, m2, s2);
+    const TestbedProfile profile;
+    EXPECT_NEAR(c1, profile.compute_seconds + profile.compress_seconds,
+                1e-9);
+    EXPECT_NEAR(c2, 2.0 * profile.compute_seconds +
+                        profile.compress_seconds,
+                1e-9);
+    EXPECT_NEAR(m1, m2, 1e-6); // same bytes, same network.
+}
+
+TEST(AccountingTest, CalibratedBandwidthFormula)
+{
+    // 8 transfers of X bytes at the calibrated rate take the target.
+    const double bw = calibratedMeanBandwidth(1000.0, 4, 2.0);
+    EXPECT_NEAR(8.0 * 1000.0 / bw, 2.0, 1e-12);
+    const double default_bw = calibratedMeanBandwidth(1000.0, 4);
+    EXPECT_NEAR(8.0 * 1000.0 / default_bw, 1.47, 1e-12);
+}
+
+TEST(AccountingTest, TotalBytesMatchesPerIterationSums)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    EngineConfig cfg;
+    cfg.system = SystemConfig::rog(4);
+    cfg.iterations = 15;
+    cfg.eval_every = 100;
+    const auto res = runDistributedTraining(workload, cfg,
+                                            outdoorNetwork(2));
+    double sum = 0.0;
+    for (const auto &r : res.iterations)
+        sum += r.bytes_pushed + r.bytes_pulled;
+    EXPECT_NEAR(res.total_bytes, sum, 0.01 * sum + 1.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Integration tests for the distributed-training engine: protocol
+ * invariants (staleness bounds, MTA floor, BSP lockstep), determinism,
+ * bookkeeping consistency, and equivalence with plain SGD in the
+ * single-worker identity-codec limit.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/workloads.hpp"
+#include "core/mta.hpp"
+#include "net/trace_generator.hpp"
+#include "nn/loss.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+CrudaWorkloadConfig
+tinyCruda(std::size_t workers)
+{
+    CrudaWorkloadConfig cfg;
+    cfg.data.train_samples = 800;
+    cfg.data.test_samples = 200;
+    cfg.model.hidden = {16, 12};
+    cfg.workers = workers;
+    cfg.pretrain_iters = 60;
+    cfg.eval_subset = 200;
+    cfg.batch_size = 8;
+    cfg.opt.learning_rate = 0.01f; // fast-converging test setting.
+    return cfg;
+}
+
+NetworkSetup
+unstableNetwork(std::size_t workers, double mean = 20e3)
+{
+    NetworkSetup net;
+    const auto model = net::TraceModel::outdoor(mean);
+    for (std::size_t i = 0; i < workers; ++i)
+        net.link_traces.push_back(
+            net::generateTrace(model, 120.0, 17 + i * 1000));
+    return net;
+}
+
+NetworkSetup
+stableNetwork(std::size_t workers, double rate = 50e3)
+{
+    NetworkSetup net;
+    for (std::size_t i = 0; i < workers; ++i)
+        net.link_traces.push_back(net::BandwidthTrace::constant(rate));
+    return net;
+}
+
+EngineConfig
+baseConfig(SystemConfig system, std::size_t iterations = 25)
+{
+    EngineConfig cfg;
+    cfg.system = std::move(system);
+    cfg.iterations = iterations;
+    cfg.eval_every = 10;
+    return cfg;
+}
+
+/** Sweep the four systems through the same invariant checks. */
+class SystemInvariants : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    SystemConfig
+    system() const
+    {
+        const std::string name = GetParam();
+        if (name == "BSP")
+            return SystemConfig::bsp();
+        if (name == "SSP")
+            return SystemConfig::ssp(4);
+        if (name == "FLOWN")
+            return SystemConfig::flownSystem();
+        return SystemConfig::rog(4);
+    }
+};
+
+TEST_P(SystemInvariants, CompletesAllIterationsWithSaneRecords)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    const auto cfg = baseConfig(system());
+    const auto res = runDistributedTraining(workload, cfg,
+                                            unstableNetwork(3));
+    EXPECT_EQ(res.completed_iterations, cfg.iterations);
+    EXPECT_EQ(res.iterations.size(), cfg.iterations * 3);
+    for (const auto &r : res.iterations) {
+        EXPECT_GT(r.compute_s, 0.0);
+        EXPECT_GT(r.comm_s, 0.0);
+        EXPECT_GE(r.stall_s, 0.0);
+        EXPECT_GT(r.bytes_pushed, 0.0);
+        EXPECT_GE(r.units_pushed, 1u);
+        EXPECT_LE(r.units_pushed, res.total_units);
+    }
+}
+
+TEST_P(SystemInvariants, StalenessNeverExceedsThreshold)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    const auto sys = system();
+    const auto res = runDistributedTraining(workload, baseConfig(sys),
+                                            unstableNetwork(3));
+    // RSP/SSP gate: a worker can be at most `threshold` iterations
+    // behind the fastest one (FLOWN: at most its max threshold).
+    const auto bound = static_cast<std::int64_t>(
+        sys.flown_dynamic ? sys.flown.max_threshold
+                          : sys.staleness_threshold);
+    for (const auto &r : res.iterations)
+        EXPECT_LE(r.staleness_behind, bound)
+            << res.system << " iter " << r.iteration;
+}
+
+TEST_P(SystemInvariants, PerWorkerTimeIsMonotone)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    const auto res = runDistributedTraining(workload,
+                                            baseConfig(system()),
+                                            unstableNetwork(2));
+    std::vector<double> last(2, 0.0);
+    for (const auto &r : res.iterations) {
+        EXPECT_GE(r.end_time_s, last[r.worker]);
+        last[r.worker] = r.end_time_s;
+    }
+}
+
+TEST_P(SystemInvariants, EnergyAccountingIsConsistent)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    const auto res = runDistributedTraining(workload,
+                                            baseConfig(system()),
+                                            unstableNetwork(2));
+    ASSERT_EQ(res.worker_energy_j.size(), 2u);
+    const sim::PowerModel power{};
+    for (std::size_t w = 0; w < 2; ++w) {
+        // State durations sum to the worker's lifetime and reproduce
+        // the reported joules.
+        const double joules = res.worker_compute_s[w] * power.compute_w +
+                              res.worker_comm_s[w] * power.communicate_w +
+                              res.worker_stall_s[w] * power.stall_w;
+        EXPECT_NEAR(res.worker_energy_j[w], joules,
+                    1e-6 * std::max(1.0, joules));
+        EXPECT_GT(res.worker_energy_j[w], 0.0);
+    }
+}
+
+TEST_P(SystemInvariants, DeterministicAcrossRuns)
+{
+    const auto sys = system();
+    CrudaWorkload workload_a(tinyCruda(2));
+    CrudaWorkload workload_b(tinyCruda(2));
+    const auto a = runDistributedTraining(workload_a, baseConfig(sys),
+                                          unstableNetwork(2));
+    const auto b = runDistributedTraining(workload_b, baseConfig(sys),
+                                          unstableNetwork(2));
+    ASSERT_EQ(a.iterations.size(), b.iterations.size());
+    for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+        EXPECT_EQ(a.iterations[i].worker, b.iterations[i].worker);
+        EXPECT_DOUBLE_EQ(a.iterations[i].comm_s, b.iterations[i].comm_s);
+        EXPECT_DOUBLE_EQ(a.iterations[i].stall_s,
+                         b.iterations[i].stall_s);
+    }
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SystemInvariants,
+                         ::testing::Values("BSP", "SSP", "FLOWN", "ROG"));
+
+TEST(EngineTest, BspRunsInLockstep)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    const auto res = runDistributedTraining(
+        workload, baseConfig(SystemConfig::bsp()), unstableNetwork(3));
+    for (const auto &r : res.iterations)
+        EXPECT_LE(r.staleness_behind, 1) << r.iteration;
+}
+
+TEST(EngineTest, BaselinesPushWholeModelEveryIteration)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    const auto res = runDistributedTraining(
+        workload, baseConfig(SystemConfig::ssp(4)), unstableNetwork(2));
+    EXPECT_EQ(res.total_units, 1u);
+    for (const auto &r : res.iterations) {
+        EXPECT_EQ(r.units_pushed, 1u);
+        EXPECT_DOUBLE_EQ(r.push_fraction, 1.0);
+    }
+}
+
+TEST(EngineTest, RogRespectsMtaFloor)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    const auto res = runDistributedTraining(
+        workload, baseConfig(SystemConfig::rog(4)), unstableNetwork(3));
+    const std::size_t floor = mtaUnits(4, res.total_units);
+    for (const auto &r : res.iterations)
+        EXPECT_GE(r.units_pushed, floor) << r.iteration;
+}
+
+TEST(EngineTest, RogTransmitsPartiallyUnderPressure)
+{
+    // Over an unstable network, ROG must sometimes ship less than the
+    // full row set (that is the whole point).
+    CrudaWorkload workload(tinyCruda(3));
+    auto cfg = baseConfig(SystemConfig::rog(4), 40);
+    const auto res = runDistributedTraining(workload, cfg,
+                                            unstableNetwork(3, 8e3));
+    bool partial = false;
+    for (const auto &r : res.iterations)
+        if (r.units_pushed < res.total_units)
+            partial = true;
+    EXPECT_TRUE(partial);
+}
+
+TEST(EngineTest, RowGranularityHasManyUnits)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    const auto res = runDistributedTraining(
+        workload, baseConfig(SystemConfig::rog(4), 3),
+        stableNetwork(2));
+    auto replica = workload.buildReplica();
+    EXPECT_EQ(res.total_units, replica->rowCount());
+}
+
+TEST(EngineTest, TimeHorizonStopsTheRun)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    auto cfg = baseConfig(SystemConfig::bsp(), 10000);
+    cfg.time_horizon_seconds = 60.0;
+    const auto res = runDistributedTraining(workload, cfg,
+                                            stableNetwork(2));
+    EXPECT_LT(res.completed_iterations, 10000u);
+    EXPECT_GT(res.completed_iterations, 5u);
+    // All workers end shortly after the horizon.
+    EXPECT_LT(res.sim_seconds, 120.0);
+}
+
+TEST(EngineTest, CheckpointsCoverEveryWorkerAndIterationZero)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    auto cfg = baseConfig(SystemConfig::ssp(2), 20);
+    cfg.eval_every = 5;
+    const auto res = runDistributedTraining(workload, cfg,
+                                            stableNetwork(2));
+    std::size_t zero_count = 0;
+    std::size_t final_count = 0;
+    for (const auto &c : res.checkpoints) {
+        if (c.iteration == 0)
+            ++zero_count;
+        if (c.iteration == 20)
+            ++final_count;
+    }
+    EXPECT_EQ(zero_count, 2u);
+    EXPECT_EQ(final_count, 2u);
+}
+
+TEST(EngineTest, TrainingImprovesMetric)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    auto cfg = baseConfig(SystemConfig::rog(4), 120);
+    cfg.eval_every = 30;
+    const auto res = runDistributedTraining(workload, cfg,
+                                            unstableNetwork(3));
+    double first = 0.0, last = 0.0;
+    std::size_t max_iter = 0;
+    for (const auto &c : res.checkpoints) {
+        if (c.iteration == 0)
+            first = c.metric;
+        if (c.iteration >= max_iter) {
+            max_iter = c.iteration;
+            last = c.metric;
+        }
+    }
+    EXPECT_GT(last, first + 5.0); // online adaptation recovers accuracy.
+}
+
+TEST(EngineTest, SingleWorkerBspMatchesSequentialSgd)
+{
+    // With one worker, identity codec, and a stable network, the
+    // distributed run must reproduce plain SGD-momentum exactly.
+    auto wcfg = tinyCruda(1);
+    CrudaWorkload workload(wcfg);
+    auto cfg = baseConfig(SystemConfig::bsp(), 15);
+    cfg.codec = "identity";
+    const auto res = runDistributedTraining(workload, cfg,
+                                            stableNetwork(1));
+    EXPECT_EQ(res.completed_iterations, 15u);
+
+    // Reference: same workload instance sequence, local updates.
+    CrudaWorkload ref_workload(wcfg);
+    auto model = ref_workload.buildReplica();
+    nn::SgdMomentum opt(*model, ref_workload.optimizerConfig());
+    auto sampler = ref_workload.makeSampler(0);
+    for (int it = 0; it < 15; ++it) {
+        auto batch = sampler.sample(ref_workload.batchSize());
+        model->zeroGrad();
+        auto loss = nn::softmaxCrossEntropy(model->forward(batch.features),
+                                            batch.labels);
+        model->backward(loss.grad);
+        for (std::size_t r = 0; r < opt.rowCount(); ++r) {
+            auto g = opt.rowGrad(r);
+            opt.applyRow(r, {g.data(), g.size()});
+        }
+    }
+    const double ref_metric = ref_workload.evaluate(*model);
+    double engine_metric = 0.0;
+    for (const auto &c : res.checkpoints)
+        if (c.iteration == 15)
+            engine_metric = c.metric;
+    EXPECT_NEAR(engine_metric, ref_metric, 1e-9);
+}
+
+TEST(EngineTest, WrongTraceCountDies)
+{
+    CrudaWorkload workload(tinyCruda(3));
+    EXPECT_DEATH(runDistributedTraining(workload,
+                                        baseConfig(SystemConfig::bsp()),
+                                        stableNetwork(2)),
+                 "trace");
+}
+
+TEST(EngineTest, ModelWireBytesOrdering)
+{
+    CrudaWorkload workload(tinyCruda(2));
+    const double whole =
+        modelWireBytes(workload, Granularity::WholeModel, "onebit");
+    const double row =
+        modelWireBytes(workload, Granularity::Row, "onebit");
+    const double elem =
+        modelWireBytes(workload, Granularity::Element, "onebit");
+    const double raw =
+        modelWireBytes(workload, Granularity::WholeModel, "identity");
+    EXPECT_LT(whole, row);
+    EXPECT_LT(row, elem);
+    EXPECT_LT(whole, 0.1 * raw); // ~3.2% compression.
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the flattened model view.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/flat_model.hpp"
+#include "nn/model.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+nn::Model
+testModel()
+{
+    Rng rng(2);
+    nn::ClassifierConfig cfg;
+    cfg.input_dim = 4;
+    cfg.hidden = {5};
+    cfg.classes = 3;
+    return nn::makeClassifier(cfg, rng);
+}
+
+TEST(FlatModelTest, SizesMatchModel)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    EXPECT_EQ(flat.flatSize(), m.parameterCount());
+    EXPECT_EQ(flat.rowCount(), m.rowCount());
+}
+
+TEST(FlatModelTest, RowInfoIsContiguous)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    std::size_t expect = 0;
+    for (std::size_t r = 0; r < flat.rowCount(); ++r) {
+        const RowInfo &info = flat.rowInfo(r);
+        EXPECT_EQ(info.flat_begin, expect);
+        expect += info.width;
+    }
+    EXPECT_EQ(expect, flat.flatSize());
+}
+
+TEST(FlatModelTest, RowOfOffsetInvertsRowInfo)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    for (std::size_t r = 0; r < flat.rowCount(); ++r) {
+        const RowInfo &info = flat.rowInfo(r);
+        EXPECT_EQ(flat.rowOfOffset(info.flat_begin), r);
+        EXPECT_EQ(flat.rowOfOffset(info.flat_begin + info.width - 1), r);
+    }
+}
+
+TEST(FlatModelTest, RowValuesAliasParameters)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    auto params = m.parameters();
+    flat.rowValues(0)[0] = 123.0f;
+    EXPECT_EQ(params[0]->value.at(0, 0), 123.0f);
+}
+
+TEST(FlatModelTest, GatherGradReadsGradients)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    auto params = m.parameters();
+    // Mark every gradient element with its flat index.
+    std::size_t flat_idx = 0;
+    for (auto *p : params)
+        for (std::size_t i = 0; i < p->grad.size(); ++i)
+            p->grad[i] = static_cast<float>(flat_idx++);
+    std::vector<float> out(10);
+    flat.gatherGrad(3, out);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<float>(3 + i));
+}
+
+TEST(FlatModelTest, ForEachRowChunkTilesRange)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    // A range spanning several rows.
+    const std::size_t begin = 2;
+    const std::size_t length = flat.flatSize() - 5;
+    std::size_t covered = 0;
+    std::size_t last_off = 0;
+    flat.forEachRowChunk(begin, length,
+                         [&](std::size_t row, std::size_t col,
+                             std::size_t count, std::size_t off) {
+                             const RowInfo &info = flat.rowInfo(row);
+                             EXPECT_EQ(info.flat_begin + col,
+                                       begin + off);
+                             EXPECT_LE(col + count, info.width);
+                             EXPECT_EQ(off, last_off);
+                             last_off = off + count;
+                             covered += count;
+                         });
+    EXPECT_EQ(covered, length);
+}
+
+TEST(FlatModelTest, ForEachRowChunkSingleElement)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    int calls = 0;
+    flat.forEachRowChunk(7, 1,
+                         [&](std::size_t, std::size_t, std::size_t count,
+                             std::size_t) {
+                             EXPECT_EQ(count, 1u);
+                             ++calls;
+                         });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(FlatModelTest, OutOfBoundsDies)
+{
+    nn::Model m = testModel();
+    FlatModel flat(m);
+    EXPECT_DEATH(flat.rowOfOffset(flat.flatSize()), "range");
+    std::vector<float> big(flat.flatSize() + 1);
+    EXPECT_DEATH(flat.gatherGrad(0, big), "bounds");
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for ATP's importance metric (Algo 3).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/importance.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+TEST(ImportanceTest, WorkerModePrioritizesStaleRows)
+{
+    // Equal magnitudes: oldest push wins on a worker.
+    ImportanceConfig cfg;
+    Rng rng(1);
+    std::vector<double> mags = {1.0, 1.0, 1.0};
+    std::vector<std::int64_t> iters = {5, 1, 3}; // last pushed iter.
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ImportanceTest, ServerModePrioritizesFreshRows)
+{
+    ImportanceConfig cfg;
+    Rng rng(2);
+    std::vector<double> mags = {1.0, 1.0, 1.0};
+    std::vector<std::int64_t> iters = {5, 1, 3}; // last updated iter.
+    const auto order =
+        rankUnits(ImportanceMode::Server, cfg, mags, iters, rng);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(ImportanceTest, MagnitudeBreaksTiesAmongEquallyStale)
+{
+    ImportanceConfig cfg;
+    Rng rng(3);
+    std::vector<double> mags = {0.1, 0.9, 0.5};
+    std::vector<std::int64_t> iters = {2, 2, 2};
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ImportanceTest, F2ZeroIgnoresStaleness)
+{
+    ImportanceConfig cfg;
+    cfg.f2 = 0.0;
+    Rng rng(4);
+    std::vector<double> mags = {0.1, 0.9};
+    std::vector<std::int64_t> iters = {0, 100};
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(ImportanceTest, F1ZeroIgnoresMagnitude)
+{
+    ImportanceConfig cfg;
+    cfg.f1 = 0.0;
+    Rng rng(5);
+    std::vector<double> mags = {100.0, 0.001};
+    std::vector<std::int64_t> iters = {10, 0};
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    EXPECT_EQ(order.front(), 1u); // the stale one.
+}
+
+TEST(ImportanceTest, StalenessTermDominatesLargeAges)
+{
+    // Magnitude is mean-normalized, so a row 5 iterations stale beats
+    // a 3x-average-magnitude fresh row with default coefficients.
+    ImportanceConfig cfg;
+    Rng rng(6);
+    std::vector<double> mags = {3.0, 1.0, 1.0};
+    std::vector<std::int64_t> iters = {10, 5, 10};
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    EXPECT_EQ(order.front(), 1u);
+}
+
+TEST(ImportanceTest, ResultIsAlwaysAPermutation)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> mags(50);
+        std::vector<std::int64_t> iters(50);
+        for (std::size_t i = 0; i < 50; ++i) {
+            mags[i] = rng.uniform();
+            iters[i] = static_cast<std::int64_t>(rng.uniformInt(20));
+        }
+        ImportanceConfig cfg;
+        const auto order =
+            rankUnits(trial % 2 ? ImportanceMode::Worker
+                                : ImportanceMode::Server,
+                      cfg, mags, iters, rng);
+        std::set<std::size_t> seen(order.begin(), order.end());
+        EXPECT_EQ(seen.size(), 50u);
+    }
+}
+
+TEST(ImportanceTest, RandomModeShuffles)
+{
+    ImportanceConfig cfg;
+    cfg.random = true;
+    Rng rng(8);
+    std::vector<double> mags(100, 1.0);
+    std::vector<std::int64_t> iters(100, 0);
+    const auto order =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng);
+    std::set<std::size_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 100u);
+    int displaced = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        if (order[i] != i)
+            ++displaced;
+    EXPECT_GT(displaced, 50);
+}
+
+TEST(ImportanceTest, DeterministicTieBreaking)
+{
+    ImportanceConfig cfg;
+    Rng rng_a(9), rng_b(10);
+    std::vector<double> mags(10, 1.0);
+    std::vector<std::int64_t> iters(10, 3);
+    const auto a =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng_a);
+    const auto b =
+        rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng_b);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(a[i], i); // ties resolve to ascending index.
+}
+
+TEST(ImportanceTest, SizeMismatchDies)
+{
+    ImportanceConfig cfg;
+    Rng rng(11);
+    std::vector<double> mags(3);
+    std::vector<std::int64_t> iters(4);
+    EXPECT_DEATH(rankUnits(ImportanceMode::Worker, cfg, mags, iters, rng),
+                 "size");
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

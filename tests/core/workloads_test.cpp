@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the CRUDA / CRIMP workloads.
+ */
+#include <gtest/gtest.h>
+
+#include "core/workloads.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+CrudaWorkloadConfig
+smallCruda()
+{
+    CrudaWorkloadConfig cfg;
+    cfg.data.train_samples = 1200;
+    cfg.data.test_samples = 400;
+    cfg.model.hidden = {24, 16};
+    cfg.workers = 3;
+    cfg.pretrain_iters = 150;
+    cfg.eval_subset = 400;
+    return cfg;
+}
+
+TEST(CrudaWorkloadTest, PretrainingRecoversCleanAccuracy)
+{
+    CrudaWorkload wl(smallCruda());
+    // Pretrained model: strong on clean data, degraded on shifted.
+    EXPECT_GT(wl.cleanAccuracy(), 70.0);
+    EXPECT_LT(wl.initialAccuracy(), wl.cleanAccuracy() - 10.0);
+    EXPECT_GT(wl.initialAccuracy(), 10.0);
+}
+
+TEST(CrudaWorkloadTest, ReplicasShareInitialWeights)
+{
+    CrudaWorkload wl(smallCruda());
+    auto a = wl.buildReplica();
+    auto b = wl.buildReplica();
+    auto pa = a->parameters();
+    auto pb = b->parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        for (std::size_t j = 0; j < pa[i]->value.size(); ++j)
+            EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    // And evaluate identically.
+    EXPECT_DOUBLE_EQ(wl.evaluate(*a), wl.evaluate(*b));
+}
+
+TEST(CrudaWorkloadTest, MetricConventions)
+{
+    CrudaWorkload wl(smallCruda());
+    EXPECT_EQ(wl.metricName(), "accuracy_pct");
+    EXPECT_FALSE(wl.lowerIsBetter());
+    EXPECT_EQ(wl.workers(), 3u);
+    EXPECT_EQ(wl.batchSize(), smallCruda().batch_size);
+}
+
+TEST(CrudaWorkloadTest, SamplersDrawFromDistinctShards)
+{
+    CrudaWorkload wl(smallCruda());
+    auto s0 = wl.makeSampler(0);
+    auto s1 = wl.makeSampler(1);
+    EXPECT_GT(s0.shardSize(), 0u);
+    EXPECT_GT(s1.shardSize(), 0u);
+    auto b = s0.sample(8);
+    EXPECT_EQ(b.features.rows(), 8u);
+    EXPECT_EQ(b.labels.size(), 8u);
+}
+
+TEST(CrudaWorkloadTest, OutOfRangeWorkerDies)
+{
+    CrudaWorkload wl(smallCruda());
+    EXPECT_DEATH(wl.makeSampler(99), "range");
+}
+
+CrimpWorkloadConfig
+smallCrimp()
+{
+    CrimpWorkloadConfig cfg;
+    cfg.data.trajectory_poses = 80;
+    cfg.data.samples_per_pose = 6;
+    cfg.data.eval_probes = 200;
+    cfg.model.hidden = {24};
+    cfg.workers = 4;
+    return cfg;
+}
+
+TEST(CrimpWorkloadTest, ErrorMetricConventions)
+{
+    CrimpWorkload wl(smallCrimp());
+    EXPECT_EQ(wl.metricName(), "trajectory_error");
+    EXPECT_TRUE(wl.lowerIsBetter());
+}
+
+TEST(CrimpWorkloadTest, UntrainedModelHasLargeError)
+{
+    CrimpWorkload wl(smallCrimp());
+    auto m = wl.buildReplica();
+    EXPECT_GT(wl.evaluate(*m), 0.2);
+}
+
+TEST(CrimpWorkloadTest, SamplersProduceRegressionBatches)
+{
+    CrimpWorkload wl(smallCrimp());
+    auto s = wl.makeSampler(2);
+    auto b = s.sample(5);
+    EXPECT_EQ(b.features.rows(), 5u);
+    EXPECT_EQ(b.features.cols(), 3u);
+    EXPECT_EQ(b.targets.rows(), 5u);
+    EXPECT_TRUE(b.labels.empty());
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the CRIMP synthetic implicit-mapping task.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "data/crimp.hpp"
+
+namespace rog {
+namespace data {
+namespace {
+
+CrimpConfig
+smallConfig()
+{
+    CrimpConfig cfg;
+    cfg.trajectory_poses = 60;
+    cfg.samples_per_pose = 4;
+    cfg.eval_probes = 100;
+    return cfg;
+}
+
+TEST(CrimpTest, SceneSdfSigns)
+{
+    CrimpConfig cfg;
+    Rng rng(1);
+    Scene scene(cfg, rng);
+    // Outside the room the wall SDF is negative.
+    EXPECT_LT(scene.sdf(5.0f, 5.0f, 5.0f), 0.0f);
+    // Near a wall, |sdf| is small; at room center it depends on
+    // spheres but must be finite.
+    const float center = scene.sdf(0.0f, 0.0f, 0.0f);
+    EXPECT_TRUE(std::isfinite(center));
+    EXPECT_LT(std::fabs(center), 2.0f * cfg.room_half_extent);
+}
+
+TEST(CrimpTest, TaskShapes)
+{
+    const auto task = makeCrimpTask(smallConfig());
+    EXPECT_EQ(task.train.size(), 60u * 4u);
+    EXPECT_EQ(task.train.features.cols(), 3u);
+    EXPECT_EQ(task.train.targets.cols(), 1u);
+    EXPECT_FALSE(task.train.isClassification());
+    EXPECT_EQ(task.eval_probes.size(), 100u);
+    EXPECT_EQ(task.pose_of_sample.size(), task.train.size());
+}
+
+TEST(CrimpTest, TargetsMatchAnalyticScene)
+{
+    // Targets are finite and bounded by the room scale.
+    const auto task = makeCrimpTask(smallConfig());
+    for (std::size_t i = 0; i < task.train.size(); ++i) {
+        const float t = task.train.targets.at(i, 0);
+        EXPECT_TRUE(std::isfinite(t));
+        EXPECT_LT(std::fabs(t), 4.0f);
+    }
+}
+
+TEST(CrimpTest, DeterministicForSameSeed)
+{
+    const auto a = makeCrimpTask(smallConfig());
+    const auto b = makeCrimpTask(smallConfig());
+    for (std::size_t i = 0; i < a.train.features.size(); ++i)
+        EXPECT_EQ(a.train.features[i], b.train.features[i]);
+}
+
+TEST(CrimpTest, SplitCoversEverySampleOnce)
+{
+    const auto task = makeCrimpTask(smallConfig());
+    const auto shards = splitTrajectory(task, 4);
+    ASSERT_EQ(shards.size(), 4u);
+    std::vector<int> seen(task.train.size(), 0);
+    for (const auto &shard : shards)
+        for (auto idx : shard)
+            seen[idx]++;
+    // Every sample appears at least once; pose-0 samples are shared
+    // by every worker (the common starting frame).
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        if (task.pose_of_sample[i] == 0)
+            EXPECT_EQ(seen[i], 4) << i;
+        else
+            EXPECT_EQ(seen[i], 1) << i;
+    }
+}
+
+TEST(CrimpTest, SplitIsContiguousByPose)
+{
+    const auto task = makeCrimpTask(smallConfig());
+    const auto shards = splitTrajectory(task, 3);
+    for (const auto &shard : shards) {
+        std::set<std::size_t> poses;
+        for (auto idx : shard)
+            poses.insert(task.pose_of_sample[idx]);
+        // Ignoring the shared pose 0, poses form a contiguous range.
+        poses.erase(0);
+        if (poses.empty())
+            continue;
+        const std::size_t lo = *poses.begin();
+        const std::size_t hi = *poses.rbegin();
+        EXPECT_EQ(poses.size(), hi - lo + 1);
+    }
+}
+
+TEST(CrimpTest, SplitSingleWorkerGetsEverything)
+{
+    const auto task = makeCrimpTask(smallConfig());
+    const auto shards = splitTrajectory(task, 1);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].size(), task.train.size());
+}
+
+} // namespace
+} // namespace data
+} // namespace rog

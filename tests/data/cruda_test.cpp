@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the CRUDA synthetic domain-adaptation task.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/cruda.hpp"
+
+namespace rog {
+namespace data {
+namespace {
+
+CrudaConfig
+smallConfig()
+{
+    CrudaConfig cfg;
+    cfg.input_dim = 16;
+    cfg.classes = 5;
+    cfg.train_samples = 500;
+    cfg.test_samples = 200;
+    return cfg;
+}
+
+TEST(CrudaTest, ShapesAndLabelRanges)
+{
+    const auto task = makeCrudaTask(smallConfig());
+    EXPECT_EQ(task.clean_train.size(), 500u);
+    EXPECT_EQ(task.shifted_train.size(), 500u);
+    EXPECT_EQ(task.shifted_test.size(), 200u);
+    EXPECT_EQ(task.clean_train.features.cols(), 16u);
+    EXPECT_TRUE(task.clean_train.isClassification());
+    for (auto y : task.shifted_train.labels)
+        EXPECT_LT(y, 5u);
+}
+
+TEST(CrudaTest, DeterministicForSameSeed)
+{
+    const auto a = makeCrudaTask(smallConfig());
+    const auto b = makeCrudaTask(smallConfig());
+    ASSERT_EQ(a.clean_train.size(), b.clean_train.size());
+    for (std::size_t i = 0; i < a.clean_train.features.size(); ++i)
+        EXPECT_EQ(a.clean_train.features[i], b.clean_train.features[i]);
+    for (std::size_t i = 0; i < a.shifted_test.features.size(); ++i)
+        EXPECT_EQ(a.shifted_test.features[i], b.shifted_test.features[i]);
+}
+
+TEST(CrudaTest, DifferentSeedsDiffer)
+{
+    auto cfg = smallConfig();
+    const auto a = makeCrudaTask(cfg);
+    cfg.seed = 777;
+    const auto b = makeCrudaTask(cfg);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.clean_train.features.size(); ++i)
+        diff += std::fabs(a.clean_train.features[i] -
+                          b.clean_train.features[i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+/** Class centroids of a dataset. */
+std::vector<std::vector<double>>
+centroids(const Dataset &d, std::size_t classes)
+{
+    const std::size_t dim = d.features.cols();
+    std::vector<std::vector<double>> centroid(
+        classes, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> count(classes, 0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        auto row = d.features.row(i);
+        for (std::size_t j = 0; j < dim; ++j)
+            centroid[d.labels[i]][j] += row[j];
+        ++count[d.labels[i]];
+    }
+    for (std::size_t c = 0; c < classes; ++c)
+        for (std::size_t j = 0; j < dim; ++j)
+            centroid[c][j] /= std::max<double>(1.0, count[c]);
+    return centroid;
+}
+
+/** Nearest-centroid accuracy of @p d against given class centroids. */
+double
+centroidAccuracy(const Dataset &d,
+                 const std::vector<std::vector<double>> &centroid)
+{
+    const std::size_t dim = d.features.cols();
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        auto row = d.features.row(i);
+        double best = 1e18;
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < centroid.size(); ++c) {
+            double dist = 0.0;
+            for (std::size_t j = 0; j < dim; ++j) {
+                const double v = row[j] - centroid[c][j];
+                dist += v * v;
+            }
+            if (dist < best) {
+                best = dist;
+                best_c = c;
+            }
+        }
+        if (best_c == d.labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+TEST(CrudaTest, BothDomainsAreLearnableAndCentroidsMove)
+{
+    // Data-level guarantees: each domain is separable with its own
+    // decision rule (so training can succeed on either side), and the
+    // fog moves the class centroids substantially (so a model fit on
+    // clean features faces a genuinely shifted input distribution —
+    // the NN-level accuracy drop is asserted in workloads_test).
+    const auto cfg = smallConfig();
+    const auto task = makeCrudaTask(cfg);
+    const auto clean_rule = centroids(task.clean_train, cfg.classes);
+    const auto shifted_rule = centroids(task.shifted_train, cfg.classes);
+
+    EXPECT_GT(centroidAccuracy(task.clean_train, clean_rule), 0.7);
+    EXPECT_GT(centroidAccuracy(task.shifted_train, shifted_rule), 0.6);
+
+    double moved = 0.0;
+    for (std::size_t c = 0; c < clean_rule.size(); ++c) {
+        double d = 0.0;
+        for (std::size_t j = 0; j < clean_rule[c].size(); ++j) {
+            const double v = clean_rule[c][j] - shifted_rule[c][j];
+            d += v * v;
+        }
+        moved += std::sqrt(d);
+    }
+    moved /= static_cast<double>(clean_rule.size());
+    EXPECT_GT(moved, 1.0); // centroids displaced by > 1 unit on avg.
+}
+
+TEST(CrudaTest, ShiftedDomainIsBiased)
+{
+    // The fog component shifts the feature mean away from zero.
+    const auto task = makeCrudaTask(smallConfig());
+    auto mean_norm = [](const Dataset &d) {
+        std::vector<double> m(d.features.cols(), 0.0);
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            auto row = d.features.row(i);
+            for (std::size_t j = 0; j < row.size(); ++j)
+                m[j] += row[j];
+        }
+        double norm = 0.0;
+        for (double v : m) {
+            v /= static_cast<double>(d.size());
+            norm += v * v;
+        }
+        return std::sqrt(norm);
+    };
+    EXPECT_GT(mean_norm(task.shifted_train),
+              mean_norm(task.clean_train) + 0.3);
+}
+
+TEST(CrudaTest, InvalidConfigDies)
+{
+    CrudaConfig cfg = smallConfig();
+    cfg.classes = 1;
+    EXPECT_DEATH(makeCrudaTask(cfg), "invalid");
+}
+
+} // namespace
+} // namespace data
+} // namespace rog

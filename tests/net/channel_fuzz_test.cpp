@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Randomized property tests of the fluid-flow channel: under arbitrary
+ * interleavings of transfers, timeouts, and fluctuating traces, the
+ * channel must conserve bytes, never over-deliver, keep time monotone,
+ * and complete every untimed transfer.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "net/trace_generator.hpp"
+#include "sim/process.hpp"
+
+namespace rog {
+namespace net {
+namespace {
+
+struct FuzzOutcome
+{
+    std::vector<TransferResult> results;
+    double total_delivered = 0.0;
+    double final_time = 0.0;
+};
+
+FuzzOutcome
+runFuzz(std::uint64_t seed, std::size_t links, std::size_t transfers)
+{
+    Rng rng(seed);
+    sim::Simulation sim;
+    std::vector<BandwidthTrace> traces;
+    for (std::size_t l = 0; l < links; ++l) {
+        traces.push_back(generateTrace(
+            TraceModel::outdoor(rng.uniform(5e3, 50e3)), 120.0,
+            seed * 100 + l));
+    }
+    FuzzOutcome out;
+    out.results.resize(transfers);
+    {
+        Channel ch(sim, std::move(traces));
+        // Spawn starters at random times with random sizes/timeouts.
+        for (std::size_t i = 0; i < transfers; ++i) {
+            const double start = rng.uniform(0.0, 30.0);
+            const auto link = rng.uniformInt(links);
+            const double bytes = rng.uniform(10.0, 50e3);
+            const bool timed = rng.uniform() < 0.5;
+            const double timeout =
+                timed ? rng.uniform(0.01, 3.0) : Channel::kNoTimeout;
+            sim.after(start, [&ch, &out, i, link, bytes, timeout] {
+                ch.startTransfer(link, bytes, timeout,
+                                 [&out, i](TransferResult r) {
+                                     out.results[i] = r;
+                                 });
+            });
+        }
+        sim.run();
+        out.total_delivered = ch.totalBytesDelivered();
+        out.final_time = sim.now();
+    }
+    return out;
+}
+
+class ChannelFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChannelFuzz, ConservationAndSanity)
+{
+    const auto out = runFuzz(GetParam(), 3, 40);
+    double sum = 0.0;
+    for (const auto &r : out.results) {
+        // Every transfer got a result (completed or timed out).
+        EXPECT_GT(r.bytes_requested, 0.0);
+        EXPECT_GE(r.bytes_sent, 0.0);
+        EXPECT_LE(r.bytes_sent, r.bytes_requested + 1e-6);
+        EXPECT_GE(r.elapsed, 0.0);
+        if (r.completed) {
+            EXPECT_NEAR(r.bytes_sent, r.bytes_requested, 1e-6);
+        }
+        sum += r.bytes_sent;
+    }
+    EXPECT_NEAR(out.total_delivered, sum, 1.0);
+    EXPECT_GT(out.final_time, 0.0);
+}
+
+TEST_P(ChannelFuzz, UntimedTransfersAlwaysComplete)
+{
+    Rng rng(GetParam() ^ 0xbeef);
+    sim::Simulation sim;
+    Channel ch(sim, {generateTrace(TraceModel::outdoor(20e3), 120.0,
+                                   GetParam())});
+    std::vector<TransferResult> results(15);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const double start = rng.uniform(0.0, 20.0);
+        const double bytes = rng.uniform(100.0, 30e3);
+        sim.after(start, [&ch, &results, i, bytes] {
+            ch.startTransfer(0, bytes, Channel::kNoTimeout,
+                             [&results, i](TransferResult r) {
+                                 results[i] = r;
+                             });
+        });
+    }
+    sim.run();
+    for (const auto &r : results)
+        EXPECT_TRUE(r.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+} // namespace
+} // namespace net
+} // namespace rog

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for active (iperf-style) and passive (iw-style) link
+ * measurement over the simulated channel.
+ */
+#include <gtest/gtest.h>
+
+#include "net/measurement.hpp"
+#include "net/trace_generator.hpp"
+
+namespace rog {
+namespace net {
+namespace {
+
+TEST(MeasurementTest, ActiveProbeReadsConstantCapacity)
+{
+    sim::Simulation sim;
+    Channel ch(sim, {BandwidthTrace::constant(1000.0, 60.0)});
+    std::vector<ThroughputSample> samples;
+    measureActiveThroughput(sim, ch, 0, 2.0, 0.5, samples);
+    sim.run();
+    ASSERT_EQ(samples.size(), 4u);
+    for (const auto &s : samples)
+        EXPECT_NEAR(s.bytes_per_sec, 1000.0, 1.0);
+}
+
+TEST(MeasurementTest, ActiveProbeTracksSteps)
+{
+    // 100 B/s for 1 s, then 400 B/s.
+    sim::Simulation sim;
+    std::vector<double> v(10, 100.0);
+    v.resize(40, 400.0);
+    Channel ch(sim, {BandwidthTrace(v, 0.1)});
+    std::vector<ThroughputSample> samples;
+    measureActiveThroughput(sim, ch, 0, 2.0, 1.0, samples);
+    sim.run();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_NEAR(samples[0].bytes_per_sec, 100.0, 1.0);
+    EXPECT_NEAR(samples[1].bytes_per_sec, 400.0, 1.0);
+}
+
+TEST(MeasurementTest, ActiveProbeContendsWithTraffic)
+{
+    // The probe is real traffic: a concurrent flow halves its share —
+    // the reason the paper switched to passive measurement.
+    sim::Simulation sim;
+    Channel ch(sim, {BandwidthTrace::constant(1000.0, 60.0),
+                     BandwidthTrace::constant(1000.0, 60.0)});
+    // Saturate link 1 for the whole window.
+    ch.startTransfer(1, 1e9, Channel::kNoTimeout, [](TransferResult) {});
+    std::vector<ThroughputSample> samples;
+    measureActiveThroughput(sim, ch, 0, 1.0, 0.5, samples);
+    sim.runUntil(2.0);
+    ASSERT_GE(samples.size(), 2u);
+    EXPECT_NEAR(samples[0].bytes_per_sec, 500.0, 5.0);
+}
+
+TEST(MeasurementTest, PassiveEstimatorDoesNotLoadChannel)
+{
+    sim::Simulation sim;
+    Channel ch(sim, {BandwidthTrace::constant(777.0, 60.0)});
+    PassiveLinkEstimator est(ch, 0);
+    est.sampleAt(0.0);
+    EXPECT_DOUBLE_EQ(est.lastRaw(), 777.0);
+    EXPECT_EQ(ch.activeFlows(), 0u);
+    EXPECT_DOUBLE_EQ(ch.totalBytesDelivered(), 0.0);
+}
+
+TEST(MeasurementTest, PassiveNormalizationConvergesToOne)
+{
+    sim::Simulation sim;
+    const auto trace =
+        generateTrace(TraceModel::outdoor(50e3), 120.0, 3);
+    Channel ch(sim, {trace});
+    PassiveLinkEstimator est(ch, 0, 0.05);
+    double sum_norm = 0.0;
+    int n = 0;
+    for (double t = 0.0; t < 120.0; t += 0.1) {
+        est.sampleAt(t);
+        if (t > 60.0) { // after warm-up.
+            sum_norm += est.lastNormalized();
+            ++n;
+        }
+    }
+    // Normalized output hovers around 1.0 on average.
+    EXPECT_NEAR(sum_norm / n, 1.0, 0.5);
+    EXPECT_GT(est.runningAverage(), 0.0);
+}
+
+TEST(MeasurementTest, PassiveTracksFades)
+{
+    sim::Simulation sim;
+    std::vector<double> v(100, 1000.0);
+    v[50] = 10.0; // a deep dip.
+    Channel ch(sim, {BandwidthTrace(v, 0.1)});
+    PassiveLinkEstimator est(ch, 0, 0.2);
+    for (double t = 0.0; t < 5.0; t += 0.1)
+        est.sampleAt(t);
+    est.sampleAt(5.02); // inside the dip.
+    EXPECT_LT(est.lastNormalized(), 0.1);
+}
+
+} // namespace
+} // namespace net
+} // namespace rog

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for bandwidth-trace CSV persistence.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/trace_generator.hpp"
+#include "net/trace_io.hpp"
+
+namespace rog {
+namespace net {
+namespace {
+
+TEST(TraceIoTest, CsvRoundTrip)
+{
+    const auto trace = generateTrace(TraceModel::outdoor(40e3), 10.0, 5);
+    std::stringstream ss;
+    writeTraceCsv(ss, trace);
+    const auto loaded = readTraceCsv(ss);
+    ASSERT_EQ(loaded.sampleCount(), trace.sampleCount());
+    EXPECT_DOUBLE_EQ(loaded.stepSeconds(), trace.stepSeconds());
+    for (std::size_t i = 0; i < trace.sampleCount(); ++i)
+        EXPECT_NEAR(loaded.samples()[i], trace.samples()[i],
+                    1e-3 * trace.samples()[i] + 1e-9);
+}
+
+TEST(TraceIoTest, HeaderIsWritten)
+{
+    std::stringstream ss;
+    writeTraceCsv(ss, BandwidthTrace::constant(10.0, 1.0, 0.5));
+    std::string line;
+    std::getline(ss, line);
+    EXPECT_EQ(line, "time_s,bytes_per_sec");
+}
+
+TEST(TraceIoTest, MissingHeaderThrows)
+{
+    std::stringstream ss("0,100\n0.1,200\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, MalformedRowThrows)
+{
+    std::stringstream ss("time_s,bytes_per_sec\n0,abc\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, NegativeCapacityThrows)
+{
+    std::stringstream ss("time_s,bytes_per_sec\n0,-5\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, NonUniformStepThrows)
+{
+    std::stringstream ss(
+        "time_s,bytes_per_sec\n0,1\n0.1,2\n0.35,3\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, EmptyBodyThrows)
+{
+    std::stringstream ss("time_s,bytes_per_sec\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, SingleSampleDefaultsStep)
+{
+    std::stringstream ss("time_s,bytes_per_sec\n0,42\n");
+    const auto t = readTraceCsv(ss);
+    EXPECT_EQ(t.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(t.samples()[0], 42.0);
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    const std::string path = "/tmp/rog_trace_io_test.csv";
+    const auto trace = generateTrace(TraceModel::indoor(20e3), 5.0, 9);
+    saveTrace(path, trace);
+    const auto loaded = loadTrace(path);
+    EXPECT_EQ(loaded.sampleCount(), trace.sampleCount());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileThrows)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/dir/trace.csv"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace net
+} // namespace rog

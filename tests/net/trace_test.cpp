@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for bandwidth traces, the synthetic instability
+ * generator, and the Fig. 3 calibration statistics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/trace_generator.hpp"
+#include "net/trace_stats.hpp"
+
+namespace rog {
+namespace net {
+namespace {
+
+TEST(TraceTest, LookupIsPiecewiseConstant)
+{
+    BandwidthTrace t({10.0, 20.0, 30.0}, 1.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(2.5), 30.0);
+}
+
+TEST(TraceTest, LookupLoops)
+{
+    BandwidthTrace t({10.0, 20.0}, 1.0);
+    EXPECT_DOUBLE_EQ(t.durationSeconds(), 2.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(2.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(3.5), 20.0);
+    EXPECT_DOUBLE_EQ(t.bytesPerSecAt(100.0), 10.0);
+}
+
+TEST(TraceTest, NextBoundaryAdvances)
+{
+    BandwidthTrace t({1.0, 2.0}, 0.1);
+    EXPECT_NEAR(t.nextBoundaryAfter(0.0), 0.1, 1e-12);
+    EXPECT_NEAR(t.nextBoundaryAfter(0.05), 0.1, 1e-12);
+    // From exactly a boundary, the next one is strictly later.
+    EXPECT_NEAR(t.nextBoundaryAfter(0.1), 0.2, 1e-12);
+}
+
+TEST(TraceTest, MeanAndConstant)
+{
+    const auto t = BandwidthTrace::constant(5000.0, 10.0, 0.1);
+    EXPECT_DOUBLE_EQ(t.meanBytesPerSec(), 5000.0);
+    EXPECT_EQ(t.sampleCount(), 100u);
+}
+
+TEST(TraceTest, GeneratorIsDeterministic)
+{
+    const auto model = TraceModel::outdoor(50e3);
+    const auto a = generateTrace(model, 30.0, 42);
+    const auto b = generateTrace(model, 30.0, 42);
+    ASSERT_EQ(a.sampleCount(), b.sampleCount());
+    for (std::size_t i = 0; i < a.sampleCount(); ++i)
+        EXPECT_EQ(a.samples()[i], b.samples()[i]);
+}
+
+TEST(TraceTest, GeneratorSeedsDiffer)
+{
+    const auto model = TraceModel::outdoor(50e3);
+    const auto a = generateTrace(model, 30.0, 1);
+    const auto b = generateTrace(model, 30.0, 2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.sampleCount(); ++i)
+        diff += std::fabs(a.samples()[i] - b.samples()[i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(TraceTest, SamplesArePositive)
+{
+    for (auto model : {TraceModel::indoor(50e3),
+                       TraceModel::outdoor(50e3),
+                       TraceModel::stable(50e3)}) {
+        const auto t = generateTrace(model, 60.0, 9);
+        for (double s : t.samples())
+            EXPECT_GT(s, 0.0);
+    }
+}
+
+TEST(TraceTest, StablePresetIsNearlyConstant)
+{
+    const auto t = generateTrace(TraceModel::stable(50e3), 120.0, 11);
+    const auto st = computeTraceStats(t);
+    EXPECT_LT(st.stddev_bytes_per_sec, 0.05 * st.mean_bytes_per_sec);
+    EXPECT_EQ(st.deep_fade_fraction, 0.0);
+}
+
+/**
+ * Fig. 3 calibration (property sweep over seeds): the outdoor preset
+ * must reproduce the paper's instability statistics — a ~20%
+ * fluctuation every ~0.4 s and a ~40% fluctuation every ~1.2 s — and
+ * be more unstable than indoor, with more deep fades.
+ */
+class Fig3Calibration : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Fig3Calibration, OutdoorMatchesPaperBands)
+{
+    const auto t =
+        generateTrace(TraceModel::outdoor(50e3), 300.0, GetParam());
+    const auto st = computeTraceStats(t);
+    EXPECT_GT(st.seconds_per_20pct_fluctuation, 0.15);
+    EXPECT_LT(st.seconds_per_20pct_fluctuation, 0.8);
+    EXPECT_GT(st.seconds_per_40pct_fluctuation, 0.5);
+    EXPECT_LT(st.seconds_per_40pct_fluctuation, 2.5);
+    EXPECT_GT(st.deep_fade_fraction, 0.02);
+}
+
+TEST_P(Fig3Calibration, OutdoorMoreUnstableThanIndoor)
+{
+    const auto out =
+        computeTraceStats(generateTrace(TraceModel::outdoor(50e3),
+                                        300.0, GetParam()));
+    const auto in =
+        computeTraceStats(generateTrace(TraceModel::indoor(50e3),
+                                        300.0, GetParam()));
+    EXPECT_GT(out.deep_fade_fraction, in.deep_fade_fraction);
+    // Outdoor swings faster (shorter interval between 40% moves).
+    EXPECT_LT(out.seconds_per_40pct_fluctuation,
+              in.seconds_per_40pct_fluctuation + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig3Calibration,
+                         ::testing::Values(1, 7, 13, 42, 99, 123, 777));
+
+TEST(TraceStatsTest, FluctuationIntervalOnSyntheticSquareWave)
+{
+    // Alternating 100/50 every step: a 50% change at every sample.
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i)
+        samples.push_back(i % 2 == 0 ? 100.0 : 50.0);
+    BandwidthTrace t(samples, 0.1);
+    EXPECT_NEAR(fluctuationIntervalSeconds(t, 0.4), 10.0 / 99.0, 0.01);
+}
+
+TEST(TraceStatsTest, NoFluctuationReturnsDuration)
+{
+    const auto t = BandwidthTrace::constant(100.0, 5.0, 0.1);
+    EXPECT_DOUBLE_EQ(fluctuationIntervalSeconds(t, 0.2), 5.0);
+}
+
+} // namespace
+} // namespace net
+} // namespace rog

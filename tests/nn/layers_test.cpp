@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Layer tests, including numerical gradient checks that validate every
+ * analytic backward pass against finite differences.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+
+namespace rog {
+namespace nn {
+namespace {
+
+/** Scalar loss of a model output: sum of squares (easy derivative). */
+float
+sumSquares(const Tensor &out)
+{
+    float s = 0.0f;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        s += out[i] * out[i];
+    return 0.5f * s;
+}
+
+Tensor
+sumSquaresGrad(const Tensor &out)
+{
+    Tensor g(out.rows(), out.cols());
+    for (std::size_t i = 0; i < g.size(); ++i)
+        g[i] = out[i];
+    return g;
+}
+
+/**
+ * Check d(sumSquares(model(x)))/d(param) numerically for a sample of
+ * parameter coordinates.
+ */
+void
+gradCheck(Model &model, const Tensor &x, float tol = 2e-2f)
+{
+    model.zeroGrad();
+    const Tensor &out = model.forward(x);
+    model.backward(sumSquaresGrad(out));
+
+    Rng pick(12345);
+    for (Parameter *p : model.parameters()) {
+        // Sample up to 12 coordinates per parameter.
+        for (int k = 0; k < 12; ++k) {
+            const std::size_t i = pick.uniformInt(p->value.size());
+            const float eps = 1e-3f;
+            const float orig = p->value[i];
+            p->value[i] = orig + eps;
+            const float up = sumSquares(model.forward(x));
+            p->value[i] = orig - eps;
+            const float down = sumSquares(model.forward(x));
+            p->value[i] = orig;
+            const float numeric = (up - down) / (2.0f * eps);
+            const float analytic = p->grad[i];
+            const float scale =
+                std::max({std::fabs(numeric), std::fabs(analytic), 1.0f});
+            EXPECT_NEAR(numeric / scale, analytic / scale, tol)
+                << p->name << "[" << i << "]";
+        }
+    }
+}
+
+TEST(LayersTest, LinearForwardKnownValues)
+{
+    Rng rng(1);
+    Linear lin("t", 2, 2, rng);
+    auto params = lin.parameters();
+    // W = [[1, 2], [3, 4]], b = [10, 20].
+    params[0]->value[0] = 1;
+    params[0]->value[1] = 2;
+    params[0]->value[2] = 3;
+    params[0]->value[3] = 4;
+    params[1]->value[0] = 10;
+    params[1]->value[1] = 20;
+
+    Tensor x(1, 2);
+    x[0] = 1.0f;
+    x[1] = 1.0f;
+    Tensor out;
+    lin.forward(x, out);
+    EXPECT_FLOAT_EQ(out[0], 14.0f); // 1+3+10
+    EXPECT_FLOAT_EQ(out[1], 26.0f); // 2+4+20
+}
+
+TEST(LayersTest, LinearParameterNamesAndShapes)
+{
+    Rng rng(2);
+    Linear lin("fc", 5, 7, rng);
+    auto params = lin.parameters();
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0]->name, "fc.weight");
+    EXPECT_EQ(params[1]->name, "fc.bias");
+    EXPECT_EQ(params[0]->value.rows(), 5u);
+    EXPECT_EQ(params[0]->value.cols(), 7u);
+    EXPECT_EQ(params[1]->value.rows(), 1u);
+}
+
+TEST(LayersTest, LinearGradCheck)
+{
+    Rng rng(3);
+    Model m;
+    m.add(std::make_unique<Linear>("l", 4, 3, rng));
+    Tensor x(5, 4);
+    x.randomNormal(rng, 1.0f);
+    gradCheck(m, x);
+}
+
+TEST(LayersTest, ReluGradCheck)
+{
+    Rng rng(4);
+    Model m;
+    m.add(std::make_unique<Linear>("l", 4, 6, rng));
+    m.add(std::make_unique<Relu>());
+    Tensor x(3, 4);
+    x.randomNormal(rng, 1.0f);
+    gradCheck(m, x);
+}
+
+TEST(LayersTest, TanhGradCheck)
+{
+    Rng rng(5);
+    Model m;
+    m.add(std::make_unique<Linear>("l", 4, 6, rng));
+    m.add(std::make_unique<Tanh>());
+    m.add(std::make_unique<Linear>("l2", 6, 2, rng));
+    Tensor x(3, 4);
+    x.randomNormal(rng, 1.0f);
+    gradCheck(m, x);
+}
+
+TEST(LayersTest, PositionalEncodingGradCheck)
+{
+    Rng rng(6);
+    Model m;
+    m.add(std::make_unique<PositionalEncoding>(3));
+    m.add(std::make_unique<Linear>("l", 3 * 7, 2, rng));
+    Tensor x(4, 3);
+    x.randomNormal(rng, 0.5f);
+    gradCheck(m, x);
+}
+
+TEST(LayersTest, PositionalEncodingDims)
+{
+    PositionalEncoding enc(4);
+    EXPECT_EQ(enc.outputDim(3), 3u * 9u);
+    Tensor x(2, 3);
+    Tensor out;
+    enc.forward(x, out);
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 27u);
+}
+
+TEST(LayersTest, PositionalEncodingValues)
+{
+    PositionalEncoding enc(1);
+    Tensor x(1, 1);
+    x[0] = 0.5f;
+    Tensor out;
+    enc.forward(x, out);
+    ASSERT_EQ(out.cols(), 3u);
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_NEAR(out[1], std::sin(0.5f), 1e-6f);
+    EXPECT_NEAR(out[2], std::cos(0.5f), 1e-6f);
+}
+
+TEST(LayersTest, DeepMlpGradCheck)
+{
+    Rng rng(7);
+    ClassifierConfig cfg;
+    cfg.input_dim = 6;
+    cfg.hidden = {8, 8};
+    cfg.classes = 4;
+    Model m = makeClassifier(cfg, rng);
+    Tensor x(5, 6);
+    x.randomNormal(rng, 1.0f);
+    gradCheck(m, x);
+}
+
+/** Cross-entropy gradient check against finite differences. */
+TEST(LayersTest, CrossEntropyGradCheck)
+{
+    Rng rng(8);
+    Tensor logits(3, 5);
+    logits.randomNormal(rng, 1.0f);
+    std::vector<std::uint32_t> labels = {1, 4, 2};
+
+    auto res = softmaxCrossEntropy(logits, labels);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        Tensor up = logits, down = logits;
+        up[i] += eps;
+        down[i] -= eps;
+        const float numeric = (softmaxCrossEntropy(up, labels).loss -
+                               softmaxCrossEntropy(down, labels).loss) /
+                              (2.0f * eps);
+        // res.grad is d(mean loss)/d(logit).
+        EXPECT_NEAR(numeric, res.grad[i] * 3.0f / 3.0f, 2e-2f) << i;
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace rog

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for model checkpointing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+
+namespace rog {
+namespace nn {
+namespace {
+
+Model
+makeModelA(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ClassifierConfig cfg;
+    cfg.input_dim = 5;
+    cfg.hidden = {7};
+    cfg.classes = 3;
+    return makeClassifier(cfg, rng);
+}
+
+TEST(SerializeTest, RoundTripPreservesWeights)
+{
+    Model a = makeModelA(1);
+    Model b = makeModelA(2); // different init.
+    std::stringstream ss;
+    saveModel(ss, a);
+    loadModel(ss, b);
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        for (std::size_t j = 0; j < pa[i]->value.size(); ++j)
+            EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions)
+{
+    Model a = makeModelA(3);
+    Model b = makeModelA(4);
+    std::stringstream ss;
+    saveModel(ss, a);
+    loadModel(ss, b);
+    Rng rng(5);
+    tensor::Tensor x(4, 5);
+    x.randomNormal(rng, 1.0f);
+    const tensor::Tensor out_a = a.forward(x);
+    const tensor::Tensor &out_b = b.forward(x);
+    for (std::size_t i = 0; i < out_a.size(); ++i)
+        EXPECT_EQ(out_a[i], out_b[i]);
+}
+
+TEST(SerializeTest, BadMagicThrows)
+{
+    Model m = makeModelA(6);
+    std::stringstream ss("NOPE....");
+    EXPECT_THROW(loadModel(ss, m), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows)
+{
+    Model a = makeModelA(7);
+    std::stringstream ss;
+    saveModel(ss, a);
+    std::string data = ss.str();
+    data.resize(data.size() / 2);
+    std::stringstream cut(data);
+    EXPECT_THROW(loadModel(cut, a), std::runtime_error);
+}
+
+TEST(SerializeTest, ArchitectureMismatchThrows)
+{
+    Model a = makeModelA(8);
+    Rng rng(9);
+    ClassifierConfig other;
+    other.input_dim = 5;
+    other.hidden = {9}; // different hidden width.
+    other.classes = 3;
+    Model b = makeClassifier(other, rng);
+    std::stringstream ss;
+    saveModel(ss, a);
+    EXPECT_THROW(loadModel(ss, b), std::runtime_error);
+}
+
+TEST(SerializeTest, FileRoundTrip)
+{
+    const std::string path = "/tmp/rog_serialize_test.bin";
+    Model a = makeModelA(10);
+    Model b = makeModelA(11);
+    saveModelFile(path, a);
+    loadModelFile(path, b);
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    EXPECT_EQ(pa[0]->value[0], pb[0]->value[0]);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows)
+{
+    Model m = makeModelA(12);
+    EXPECT_THROW(loadModelFile("/nonexistent/model.bin", m),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace nn
+} // namespace rog

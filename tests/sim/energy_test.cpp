@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the energy meter, including the paper's Table III
+ * power model.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+
+namespace rog {
+namespace sim {
+namespace {
+
+TEST(EnergyTest, DefaultPowerMatchesTableIII)
+{
+    const PowerModel m;
+    EXPECT_DOUBLE_EQ(m.watts(DeviceState::Compute), 13.35);
+    EXPECT_DOUBLE_EQ(m.watts(DeviceState::Communicate), 4.25);
+    EXPECT_DOUBLE_EQ(m.watts(DeviceState::Stall), 4.04);
+}
+
+TEST(EnergyTest, StallIsAboutThirtyPercentOfCompute)
+{
+    // Sec. II-C: a stalling robot consumes almost one third of the
+    // computing power (leakage keeps the chips warm).
+    const PowerModel m;
+    const double ratio =
+        m.watts(DeviceState::Stall) / m.watts(DeviceState::Compute);
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 0.35);
+}
+
+TEST(EnergyTest, StateNames)
+{
+    EXPECT_EQ(deviceStateName(DeviceState::Compute), "compute");
+    EXPECT_EQ(deviceStateName(DeviceState::Communicate), "communicate");
+    EXPECT_EQ(deviceStateName(DeviceState::Stall), "stall");
+}
+
+TEST(EnergyTest, IntegratesSingleState)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, PowerModel{});
+    sim.after(10.0, [] {});
+    sim.run();
+    // 10 s of Compute at 13.35 W.
+    EXPECT_NEAR(meter.totalJoules(), 133.5, 1e-9);
+    EXPECT_NEAR(meter.secondsIn(DeviceState::Compute), 10.0, 1e-12);
+}
+
+TEST(EnergyTest, IntegratesStateTimeline)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, PowerModel{});
+    sim.after(2.0,
+              [&] { meter.setState(DeviceState::Communicate); });
+    sim.after(5.0, [&] { meter.setState(DeviceState::Stall); });
+    sim.after(9.0, [&] { meter.setState(DeviceState::Compute); });
+    sim.after(10.0, [] {});
+    sim.run();
+    EXPECT_NEAR(meter.secondsIn(DeviceState::Compute), 3.0, 1e-12);
+    EXPECT_NEAR(meter.secondsIn(DeviceState::Communicate), 3.0, 1e-12);
+    EXPECT_NEAR(meter.secondsIn(DeviceState::Stall), 4.0, 1e-12);
+    const double expected =
+        3.0 * 13.35 + 3.0 * 4.25 + 4.0 * 4.04;
+    EXPECT_NEAR(meter.totalJoules(), expected, 1e-9);
+    EXPECT_NEAR(meter.joulesIn(DeviceState::Stall), 4.0 * 4.04, 1e-9);
+}
+
+TEST(EnergyTest, RepeatedQueriesAreStable)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, PowerModel{});
+    sim.after(4.0, [] {});
+    sim.run();
+    const double a = meter.totalJoules();
+    const double b = meter.totalJoules();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(EnergyTest, StateScopeRestoresPreviousState)
+{
+    Simulation sim;
+    EnergyMeter meter(sim, PowerModel{});
+    EXPECT_EQ(meter.state(), DeviceState::Compute);
+    {
+        StateScope scope(meter, DeviceState::Stall);
+        EXPECT_EQ(meter.state(), DeviceState::Stall);
+        {
+            StateScope inner(meter, DeviceState::Communicate);
+            EXPECT_EQ(meter.state(), DeviceState::Communicate);
+        }
+        EXPECT_EQ(meter.state(), DeviceState::Stall);
+    }
+    EXPECT_EQ(meter.state(), DeviceState::Compute);
+}
+
+TEST(EnergyTest, CustomPowerModel)
+{
+    Simulation sim;
+    PowerModel m;
+    m.compute_w = 1.0;
+    m.communicate_w = 2.0;
+    m.stall_w = 3.0;
+    EnergyMeter meter(sim, m);
+    sim.after(1.0, [&] { meter.setState(DeviceState::Stall); });
+    sim.after(2.0, [] {});
+    sim.run();
+    EXPECT_NEAR(meter.totalJoules(), 1.0 * 1.0 + 1.0 * 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace sim
+} // namespace rog

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace rog {
+namespace sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NowAdvancesOnlyOnFire)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    q.step();
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, CancelPreventsFire)
+{
+    EventQueue q;
+    bool fired = false;
+    bool dropped = false;
+    const EventId id = q.schedule(
+        1.0, [&] { fired = true; }, [&] { dropped = true; });
+    q.cancel(id);
+    while (q.step()) {
+    }
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(dropped);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    int fires = 0;
+    const EventId id = q.schedule(1.0, [&] { ++fires; });
+    q.step();
+    q.cancel(id);
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop)
+{
+    EventQueue q;
+    q.cancel(EventId{});
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DestructorRunsDropHandlers)
+{
+    int drops = 0;
+    {
+        EventQueue q;
+        q.schedule(1.0, [] {}, [&] { ++drops; });
+        q.schedule(2.0, [] {}, [&] { ++drops; });
+    }
+    EXPECT_EQ(drops, 2);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule)
+{
+    EventQueue q;
+    std::vector<double> times;
+    q.schedule(1.0, [&] {
+        times.push_back(q.now());
+        q.schedule(2.0, [&] { times.push_back(q.now()); });
+    });
+    while (q.step()) {
+    }
+    EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueueTest, CallbackMayCancelLaterEvent)
+{
+    EventQueue q;
+    bool late_fired = false;
+    EventId late = q.schedule(5.0, [&] { late_fired = true; });
+    q.schedule(1.0, [&] { q.cancel(late); });
+    while (q.step()) {
+    }
+    EXPECT_FALSE(late_fired);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastDies)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.step();
+    EXPECT_DEATH(q.schedule(1.0, [] {}), "past");
+}
+
+TEST(EventQueueTest, PeekTime)
+{
+    EventQueue q;
+    q.schedule(7.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_DOUBLE_EQ(q.peekTime(), 2.0);
+}
+
+TEST(EventQueueTest, SizeTracksPending)
+{
+    EventQueue q;
+    EXPECT_EQ(q.size(), 0u);
+    q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.step();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace rog

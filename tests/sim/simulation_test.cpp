@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the Simulation facade (scheduling helpers, horizons).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace sim {
+namespace {
+
+TEST(SimulationTest, AfterSchedulesRelativeToNow)
+{
+    Simulation sim;
+    std::vector<double> fired;
+    sim.after(2.0, [&] {
+        fired.push_back(sim.now());
+        sim.after(3.0, [&] { fired.push_back(sim.now()); });
+    });
+    sim.run();
+    EXPECT_EQ(fired, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(SimulationTest, AtSchedulesAbsolute)
+{
+    Simulation sim;
+    double fired_at = -1.0;
+    sim.at(7.5, [&] { fired_at = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulationTest, NegativeDelayDies)
+{
+    Simulation sim;
+    EXPECT_DEATH(sim.after(-1.0, [] {}), "negative");
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon)
+{
+    Simulation sim;
+    int fired = 0;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        sim.at(t, [&] { ++fired; });
+    sim.runUntil(2.5);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    // Remaining events still fire on a later run().
+    sim.run();
+    EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulationTest, RunUntilIncludesBoundary)
+{
+    Simulation sim;
+    bool fired = false;
+    sim.at(3.0, [&] { fired = true; });
+    sim.runUntil(3.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, CancelViaFacade)
+{
+    Simulation sim;
+    bool fired = false;
+    const EventId id = sim.after(1.0, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, EmptyRunLeavesTimeAtZero)
+{
+    Simulation sim;
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace rog

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Integration tests for the experiment harness.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/workloads.hpp"
+#include "stats/experiment.hpp"
+
+namespace rog {
+namespace stats {
+namespace {
+
+core::CrudaWorkloadConfig
+tinyCruda()
+{
+    core::CrudaWorkloadConfig cfg;
+    cfg.data.train_samples = 800;
+    cfg.data.test_samples = 200;
+    cfg.model.hidden = {16, 12};
+    cfg.workers = 2;
+    cfg.pretrain_iters = 60;
+    cfg.eval_subset = 200;
+    cfg.batch_size = 8;
+    return cfg;
+}
+
+ExperimentConfig
+tinyExperiment()
+{
+    ExperimentConfig cfg;
+    cfg.iterations = 12;
+    cfg.eval_every = 6;
+    cfg.trace_seconds = 60.0;
+    return cfg;
+}
+
+TEST(ExperimentTest, MakeNetworkProducesOneTracePerWorker)
+{
+    core::CrudaWorkload workload(tinyCruda());
+    const auto net = makeNetwork(workload, tinyExperiment());
+    EXPECT_EQ(net.link_traces.size(), 2u);
+    for (const auto &t : net.link_traces)
+        EXPECT_GT(t.meanBytesPerSec(), 0.0);
+}
+
+TEST(ExperimentTest, NetworkIsCalibratedToCompressedModel)
+{
+    // A full BSP round (push+pull for `calibration_workers` devices)
+    // at the mean rate should take roughly the paper's 1.47 s.
+    core::CrudaWorkload workload(tinyCruda());
+    auto cfg = tinyExperiment();
+    cfg.env = Environment::Stable;
+    const auto net = makeNetwork(workload, cfg);
+    const double wire = core::modelWireBytes(
+        workload, core::Granularity::WholeModel, "onebit");
+    const double mean = net.link_traces[0].meanBytesPerSec();
+    const double round =
+        2.0 * static_cast<double>(cfg.calibration_workers) * wire / mean;
+    EXPECT_NEAR(round, 1.47, 0.15);
+}
+
+TEST(ExperimentTest, SameSeedSameTraces)
+{
+    core::CrudaWorkload workload(tinyCruda());
+    const auto a = makeNetwork(workload, tinyExperiment());
+    const auto b = makeNetwork(workload, tinyExperiment());
+    for (std::size_t i = 0; i < a.link_traces.size(); ++i)
+        EXPECT_EQ(a.link_traces[i].samples(), b.link_traces[i].samples());
+}
+
+TEST(ExperimentTest, RunSystemsProducesComparableRuns)
+{
+    core::CrudaWorkload workload(tinyCruda());
+    const auto runs = runSystems(
+        workload,
+        {core::SystemConfig::bsp(), core::SystemConfig::rog(4)},
+        tinyExperiment());
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].result.system, "BSP");
+    EXPECT_EQ(runs[1].result.system, "ROG-4");
+    for (const auto &run : runs) {
+        EXPECT_EQ(run.result.completed_iterations, 12u);
+        EXPECT_FALSE(run.curve.empty());
+    }
+}
+
+TEST(ExperimentTest, TablesAndSeriesRender)
+{
+    core::CrudaWorkload workload(tinyCruda());
+    const auto runs =
+        runSystems(workload, {core::SystemConfig::ssp(2)},
+                   tinyExperiment());
+    std::ostringstream os;
+    printExperiment(os, "tiny", runs, 100.0, 50.0, false);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("time composition"), std::string::npos);
+    EXPECT_NE(out.find("SSP-2"), std::string::npos);
+    EXPECT_NE(out.find("series,"), std::string::npos);
+    EXPECT_NE(out.find("summary"), std::string::npos);
+}
+
+TEST(ExperimentTest, EnvironmentNames)
+{
+    EXPECT_EQ(environmentName(Environment::Indoor), "indoor");
+    EXPECT_EQ(environmentName(Environment::Outdoor), "outdoor");
+    EXPECT_EQ(environmentName(Environment::Stable), "stable");
+}
+
+} // namespace
+} // namespace stats
+} // namespace rog

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for timeline reconstruction and utilization summaries.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/timeline.hpp"
+
+namespace rog {
+namespace stats {
+namespace {
+
+core::RunResult
+sampleRun()
+{
+    core::RunResult r;
+    r.system = "TEST";
+    r.workers = 2;
+    auto add = [&](std::size_t w, std::size_t it, double c, double m,
+                   double s, double end) {
+        core::IterationRecord rec;
+        rec.worker = w;
+        rec.iteration = it;
+        rec.compute_s = c;
+        rec.comm_s = m;
+        rec.stall_s = s;
+        rec.end_time_s = end;
+        r.iterations.push_back(rec);
+    };
+    add(0, 1, 2.0, 1.0, 0.5, 3.5);
+    add(0, 2, 2.0, 1.5, 0.0, 7.0);
+    add(1, 1, 2.0, 0.5, 1.0, 3.5);
+    r.worker_compute_s = {4.0, 2.0};
+    r.worker_comm_s = {2.5, 0.5};
+    r.worker_stall_s = {0.5, 1.0};
+    return r;
+}
+
+TEST(TimelineTest, SegmentsCoverIterationExactly)
+{
+    const auto segs = buildTimeline(sampleRun());
+    // Iteration (0,1): compute [0,2), comm [2,3), stall [3,3.5).
+    ASSERT_GE(segs.size(), 3u);
+    EXPECT_EQ(segs[0].phase, "compute");
+    EXPECT_DOUBLE_EQ(segs[0].start_s, 0.0);
+    EXPECT_DOUBLE_EQ(segs[0].duration_s, 2.0);
+    EXPECT_EQ(segs[1].phase, "communicate");
+    EXPECT_DOUBLE_EQ(segs[1].start_s, 2.0);
+    EXPECT_EQ(segs[2].phase, "stall");
+    EXPECT_DOUBLE_EQ(segs[2].start_s + segs[2].duration_s, 3.5);
+}
+
+TEST(TimelineTest, ZeroDurationPhasesAreSkipped)
+{
+    const auto segs = buildTimeline(sampleRun());
+    for (const auto &s : segs)
+        EXPECT_GT(s.duration_s, 0.0);
+    // Iteration (0,2) has no stall segment: 2 phases only.
+    int count = 0;
+    for (const auto &s : segs)
+        if (s.worker == 0 && s.iteration == 2)
+            ++count;
+    EXPECT_EQ(count, 2);
+}
+
+TEST(TimelineTest, CsvHasHeaderAndRows)
+{
+    std::ostringstream os;
+    writeTimelineCsv(os, buildTimeline(sampleRun()));
+    const std::string out = os.str();
+    EXPECT_NE(out.find("worker,iteration,phase,start_s,duration_s"),
+              std::string::npos);
+    EXPECT_NE(out.find("0,1,compute,0,2"), std::string::npos);
+}
+
+TEST(TimelineTest, UtilizationShares)
+{
+    const auto run = sampleRun();
+    Table t = utilizationTable("util", {run});
+    std::ostringstream os;
+    t.printText(os);
+    // compute 6.0 / total 10.5 = 57.1%.
+    EXPECT_NE(os.str().find("57.1"), std::string::npos);
+    EXPECT_NE(os.str().find("TEST"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace rog
