@@ -1,57 +1,85 @@
 /**
  * @file
- * Extension — robot churn: a team member's battery dies mid-mission
- * (the failure mode the paper's artifact guards against by keeping
- * devices charged, Sec. VI-D / Appendix G). A departing worker retires
- * from the RSP gate, so the survivors must keep training without
- * stalling on its frozen versions — in every system.
+ * Extension — robot churn through the fault-injection layer: a team
+ * member's battery dies mid-mission (the failure mode the paper's
+ * artifact guards against by keeping devices charged, Sec. VI-D /
+ * Appendix G). Churn is now declared as a fault::FaultPlan — a graceful
+ * leave, and a silent crash with later rejoin — replayed by the
+ * injector, with the InvariantChecker auditing every run: survivors
+ * must keep training without stalling on frozen versions, and the
+ * protocol state must stay consistent through every membership change.
  */
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
 
 int
 main()
 {
     using namespace rog;
-    bench::banner("Extension: robot churn (one robot dies mid-run)");
+    bench::banner("Extension: robot churn (fault-injected mid-run)");
 
     core::CrudaWorkload workload(bench::paperCruda());
     auto ecfg = bench::paperExperiment(stats::Environment::Outdoor, 300);
 
-    Table t("One robot departs at t=600s (outdoor)",
-            {"system", "churn", "survivor_iters", "departed_iters",
-             "sec_per_iter", "final_acc"});
+    struct Scenario
+    {
+        const char *name;
+        const char *spec; // FaultPlan text spec (empty = fault-free).
+    };
+    const Scenario scenarios[] = {
+        {"none", ""},
+        {"leave", "leave worker=3 at=600\n"},
+        {"crash+rejoin",
+         "crash worker=3 at=600 rejoin=900 detect=30\n"},
+    };
+
+    std::size_t total_violations = 0;
+    Table t("Robot 3 churns mid-run (outdoor)",
+            {"system", "churn", "survivor_iters", "churned_iters",
+             "sec_per_iter", "final_acc", "invariants"});
     for (const auto &sys :
          {core::SystemConfig::bsp(), core::SystemConfig::ssp(4),
           core::SystemConfig::rog(4)}) {
-        for (bool churn : {false, true}) {
+        for (const auto &sc : scenarios) {
+            const fault::FaultPlan plan =
+                fault::FaultPlan::parse(sc.spec);
+            fault::InvariantChecker checker;
             core::EngineConfig engine;
             engine.system = sys;
             engine.iterations = ecfg.iterations;
             engine.eval_every = ecfg.eval_every;
-            if (churn)
-                engine.worker_departure_times = {1e12, 1e12, 1e12,
-                                                 600.0};
+            engine.invariants = &checker;
+            if (!plan.empty())
+                engine.fault_plan = &plan;
             const auto network = stats::makeNetwork(workload, ecfg);
             auto res =
                 core::runDistributedTraining(workload, engine, network);
-            const auto curve = stats::mergeCheckpoints(res);
             double comp, comm, stall;
             res.meanTimeComposition(comp, comm, stall);
             double best = 0.0;
             for (const auto &c : res.checkpoints)
                 best = std::max(best, c.metric);
-            t.addRow({res.system, churn ? "yes" : "no",
+            if (!checker.clean()) {
+                total_violations += checker.violationCount();
+                std::cerr << res.system << "/" << sc.name
+                          << " invariant violations:\n"
+                          << checker.report();
+            }
+            t.addRow({res.system, sc.name,
                       std::to_string(res.worker_iterations[0]),
                       std::to_string(res.worker_iterations[3]),
                       Table::num(comp + comm + stall, 2),
-                      Table::num(best, 2)});
+                      Table::num(best, 2),
+                      checker.clean() ? "clean" : "VIOLATED"});
         }
     }
     t.printText(std::cout);
     std::cout << "(survivors finish all iterations; losing a robot "
-                 "costs gradient volume, not liveness)\n";
-    return 0;
+                 "costs gradient volume, not liveness; a rejoining "
+                 "robot resyncs to the current model)\n";
+    return total_violations == 0 ? 0 : 1;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer in a separate build tree.
+#
+#   scripts/run_sanitized.sh [extra ctest args...]
+#
+# Uses build-asan/ next to the regular build/ so the two configurations
+# never fight over a cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DROG_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:abort_on_error=1
+export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

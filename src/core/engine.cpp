@@ -15,6 +15,9 @@
 #include "core/server_state.hpp"
 #include "core/version_storage.hpp"
 #include "data/dataset.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
 #include "net/channel.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -73,6 +76,13 @@ struct WorkerContext
     std::size_t cur_iter = 0;
     bool done = false;
 
+    // Churn (fault injection): a crashed worker discards its in-flight
+    // rows and either waits for rejoin_time or leaves for good; a
+    // leaving worker finishes its current iteration first.
+    bool crashed = false;
+    bool leaving = false;
+    double rejoin_time = std::numeric_limits<double>::infinity();
+
     // Heterogeneity (dynamic batching).
     std::size_t batch_size = 0;
     double compute_seconds = 0.0;
@@ -127,6 +137,13 @@ class Engine
     void checkpoint(WorkerContext &w, std::size_t iteration);
     std::int64_t stalenessBehind(const WorkerContext &w) const;
 
+    // Churn event handlers (fired by the fault injector) and the
+    // rejoin resync performed inside the worker's own coroutine.
+    void onCrashEvent(const fault::ChurnEvent &e);
+    void onDetectEvent(const fault::ChurnEvent &e);
+    void onLeaveEvent(const fault::ChurnEvent &e);
+    void rejoinResync(WorkerContext &w, std::size_t &n);
+
     Workload &workload_;
     EngineConfig cfg_;
 
@@ -147,6 +164,7 @@ class Engine
     std::size_t finished_workers_ = 0;
     Rng rng_;
     std::unique_ptr<sim::Condition> version_cond_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<net::Channel> channel_;
 };
 
@@ -263,7 +281,52 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
     }
 
     version_cond_ = std::make_unique<sim::Condition>(sim_);
-    channel_ = std::make_unique<net::Channel>(sim_, network.link_traces);
+
+    // Fault injection: bake the plan's link blackouts / bandwidth
+    // collapses into the traces, install the per-transfer policy, and
+    // schedule the churn events.
+    std::vector<net::BandwidthTrace> traces = network.link_traces;
+    if (cfg.fault_plan) {
+        const fault::FaultPlan &plan = *cfg.fault_plan;
+        plan.validate();
+        for (const auto &f : plan.link_faults)
+            ROG_ASSERT(f.link < traces.size(),
+                       "fault plan names link ", f.link, " but the run "
+                       "has ", traces.size());
+        for (const auto &e : plan.churn)
+            ROG_ASSERT(e.worker < num_workers,
+                       "fault plan names worker ", e.worker,
+                       " but the run has ", num_workers);
+        if (!plan.link_faults.empty()) {
+            double horizon = plan.maxLinkFaultEnd() + 1.0;
+            if (std::isfinite(cfg.time_horizon_seconds))
+                horizon = std::max(horizon, cfg.time_horizon_seconds);
+            for (std::size_t l = 0; l < traces.size(); ++l)
+                traces[l] = fault::applyLinkFaults(
+                    traces[l], plan.link_faults, l, horizon);
+        }
+    }
+    channel_ = std::make_unique<net::Channel>(sim_, std::move(traces));
+    if (cfg.fault_plan) {
+        injector_ =
+            std::make_unique<fault::FaultInjector>(sim_,
+                                                   *cfg.fault_plan);
+        injector_->attach(*channel_);
+        fault::ChurnHooks hooks;
+        hooks.on_crash = [this](const fault::ChurnEvent &e) {
+            onCrashEvent(e);
+        };
+        hooks.on_detect = [this](const fault::ChurnEvent &e) {
+            onDetectEvent(e);
+        };
+        hooks.on_leave = [this](const fault::ChurnEvent &e) {
+            onLeaveEvent(e);
+        };
+        // Rejoin is driven from inside the worker coroutine (it must
+        // not be resynced while suspended mid-iteration), so no
+        // on_rejoin hook is needed.
+        injector_->scheduleChurn(std::move(hooks));
+    }
 }
 
 Engine::~Engine() = default;
@@ -413,11 +476,42 @@ Engine::workerProcess(WorkerContext &w)
         ? std::numeric_limits<double>::infinity()
         : cfg_.worker_departure_times[w.id];
 
-    for (std::size_t n = 1; n <= cfg_.iterations; ++n) {
+    std::size_t n = 0;
+    while (n < cfg_.iterations) {
+        // Crash limbo (fault injection): the iteration in flight when
+        // the crash hit was discarded. Wait out the outage and resync
+        // to the current model, or exit for good when the plan never
+        // brings this worker back (or only after the horizon).
+        if (w.crashed) {
+            w.meter->setState(DeviceState::Stall);
+            while (w.pull_in_flight)
+                co_await w.pull_cond->wait();
+            w.carried_pull_comm_s = 0.0;
+            w.carried_bytes_pulled = 0.0;
+            w.carried_units_pulled = 0;
+            if (!std::isfinite(w.rejoin_time)) {
+                // Permanent silent crash: stay dark — peers keep
+                // stalling on this ghost — until the server's failure
+                // detector retires it, then exit (plan validation
+                // guarantees detection is finite here).
+                while (!versions_->retired(w.id))
+                    co_await version_cond_->wait();
+                break;
+            }
+            if (sim_.now() < w.rejoin_time) {
+                co_await sim::delay(sim_, w.rejoin_time - sim_.now());
+                continue;
+            }
+            rejoinResync(w, n);
+            continue;
+        }
         if (sim_.now() >= cfg_.time_horizon_seconds)
             break;
         if (sim_.now() >= departure)
             break; // battery dead / crashed: leave the team.
+        if (w.leaving)
+            break; // announced graceful departure (fault plan).
+        ++n;
 
         IterationRecord rec;
         rec.worker = w.id;
@@ -431,6 +525,8 @@ Engine::workerProcess(WorkerContext &w)
         computeGradients(w);
         accumulateGradients(w);
         co_await sim::delay(sim_, w.compute_seconds);
+        if (w.crashed)
+            continue; // crashed mid-compute: the iteration is lost.
         rec.compute_s = w.compute_seconds;
 
         // Radio is half-duplex: join a still-in-flight pipelined pull
@@ -440,6 +536,8 @@ Engine::workerProcess(WorkerContext &w)
             while (w.pull_in_flight)
                 co_await w.pull_cond->wait();
         }
+        if (w.crashed)
+            continue;
         rec.comm_s += w.carried_pull_comm_s;
         rec.bytes_pulled += w.carried_bytes_pulled;
         rec.units_pulled += w.carried_units_pulled;
@@ -473,9 +571,18 @@ Engine::workerProcess(WorkerContext &w)
         auto res = co_await channel_->transfer(w.id, header + prefix[mta],
                                                net::Channel::kNoTimeout);
         std::size_t sent = mta;
+        if (!res.completed) {
+            // A fault (truncation / forced timeout) cut the mandatory
+            // transfer: only rows whose bytes fully arrived count.
+            sent = 0;
+            while (sent < mta &&
+                   header + prefix[sent + 1] <= res.bytes_sent + 1e-6)
+                ++sent;
+        }
         double push_elapsed = res.elapsed;
         double push_wire = res.bytes_sent;
-        if (atp && sent < units && push_elapsed < timeout &&
+        if (atp && res.completed && sent < units &&
+            push_elapsed < timeout &&
             cfg_.per_unit_judgement_seconds <= 0.0) {
             const double window = timeout - push_elapsed;
             auto res2 = co_await channel_->transfer(
@@ -506,6 +613,11 @@ Engine::workerProcess(WorkerContext &w)
                 ++sent;
             }
         }
+        // A crash anywhere in the push discards the iteration: the
+        // transferred bytes never reached the server, so no row of it
+        // is accumulated or versioned.
+        if (w.crashed)
+            continue;
         rec.comm_s += push_elapsed;
         rec.bytes_pushed = push_wire;
         rec.units_pushed = sent;
@@ -521,6 +633,11 @@ Engine::workerProcess(WorkerContext &w)
             server_->accumulate(u, decoded);
             server_->noteUpdate(u, static_cast<std::int64_t>(n));
             versions_->update(w.id, u, static_cast<std::int64_t>(n));
+            if (cfg_.invariants) {
+                cfg_.invariants->onPush(w.id, u,
+                                        static_cast<std::int64_t>(n),
+                                        versions_->get(w.id, u));
+            }
             std::fill(w.accum[u].begin(), w.accum[u].end(), 0.0f);
             w.push_iter[u] = static_cast<std::int64_t>(n);
         }
@@ -542,15 +659,42 @@ Engine::workerProcess(WorkerContext &w)
         //    (see rankPushOrder), which caps row rotation at t-1.
         // Each row's end-to-end staleness is therefore bounded, which
         // is what Theorem 1 needs (S_max over rows).
+        // The wait is on the slowest *other* live worker: a worker's
+        // own state is never ahead of itself, and waiting on one's own
+        // (possibly fault-truncated) pushed versions could deadlock.
+        // Fault-free this is identical to the global minimum, because a
+        // full push always advances the worker's own versions to n.
+        const auto gate_floor = [this, &w]() {
+            std::int64_t m = std::numeric_limits<std::int64_t>::max();
+            for (const auto &other : workers_) {
+                if (other->id == w.id ||
+                    versions_->retired(other->id))
+                    continue;
+                m = std::min(m,
+                             versions_->maxVersionOfWorker(other->id));
+            }
+            return m;
+        };
         const double stall_start = sim_.now();
         w.meter->setState(DeviceState::Stall);
-        while (!versions_->retired(w.id) &&
-               static_cast<std::int64_t>(n) -
-                       versions_->minWorkerIteration() >=
+        while (!w.crashed && !versions_->retired(w.id) &&
+               static_cast<std::int64_t>(n) - gate_floor() >=
                    static_cast<std::int64_t>(threshold)) {
             co_await version_cond_->wait();
         }
+        if (w.crashed)
+            continue; // crashed while stalling; the push stands.
         rec.stall_s = sim_.now() - stall_start;
+        if (cfg_.invariants) {
+            std::int64_t gate_min = gate_floor();
+            if (gate_min == std::numeric_limits<std::int64_t>::max())
+                gate_min = static_cast<std::int64_t>(n); // alone.
+            cfg_.invariants->onGatePass(
+                w.id, static_cast<std::int64_t>(n),
+                std::min(gate_min, static_cast<std::int64_t>(n)),
+                static_cast<std::int64_t>(threshold),
+                versions_->retired(w.id));
+        }
 
         // ---- Pull averaged gradients (Algo 2 lines 10-13) ----
         // The pull runs as its own process: joined inline normally,
@@ -563,6 +707,8 @@ Engine::workerProcess(WorkerContext &w)
         if (!cfg_.pipeline_pull) {
             while (w.pull_in_flight)
                 co_await w.pull_cond->wait();
+            if (w.crashed)
+                continue;
             rec.comm_s += w.carried_pull_comm_s;
             rec.bytes_pulled += w.carried_bytes_pulled;
             rec.units_pulled += w.carried_units_pulled;
@@ -579,6 +725,8 @@ Engine::workerProcess(WorkerContext &w)
         w.cur_iter = n;
         rec.staleness_behind = stalenessBehind(w);
         rec.end_time_s = sim_.now();
+        if (cfg_.invariants)
+            cfg_.invariants->onTimeAdvance(rec.end_time_s);
         result_.iterations.push_back(rec);
         if (n % cfg_.eval_every == 0 || n == cfg_.iterations)
             checkpoint(w, n);
@@ -595,7 +743,11 @@ Engine::workerProcess(WorkerContext &w)
         checkpoint(w, w.cur_iter);
     }
     w.done = true;
-    versions_->retireWorker(w.id);
+    if (!versions_->retired(w.id)) {
+        versions_->retireWorker(w.id);
+        if (cfg_.invariants)
+            cfg_.invariants->onRetire(w.id);
+    }
     version_cond_->notifyAll();
 
     // Snapshot this worker's accounting at its own departure time: a
@@ -657,9 +809,19 @@ Engine::pullProcess(WorkerContext &w)
             w.id, header + pull_prefix[pull_mta],
             net::Channel::kNoTimeout);
         std::size_t pulled = pull_mta;
+        if (!pres.completed) {
+            // Faulted pull: only fully delivered units are applied;
+            // the rest stay pending at the server for the next round.
+            pulled = 0;
+            while (pulled < pull_mta &&
+                   header + pull_prefix[pulled + 1] <=
+                       pres.bytes_sent + 1e-6)
+                ++pulled;
+        }
         double pull_elapsed = pres.elapsed;
         double pull_wire = pres.bytes_sent;
-        if (atp && pulled < cand.size() && pull_elapsed < pull_timeout) {
+        if (atp && pres.completed && pulled < cand.size() &&
+            pull_elapsed < pull_timeout) {
             auto pres2 = co_await channel_->transfer(
                 w.id, pull_prefix[cand.size()] - pull_prefix[pull_mta],
                 pull_timeout - pull_elapsed);
@@ -671,12 +833,23 @@ Engine::pullProcess(WorkerContext &w)
             pull_elapsed += pres2.elapsed;
             pull_wire += pres2.bytes_sent;
         }
+        if (w.crashed) {
+            // Crash mid-pull: nothing is applied; the server keeps the
+            // pending copies for the rejoin resync to clear.
+            w.pull_in_flight = false;
+            w.pull_cond->notifyAll();
+            co_return;
+        }
         w.carried_pull_comm_s += pull_elapsed;
         w.carried_bytes_pulled += pull_wire;
         w.carried_units_pulled += pulled;
 
         for (std::size_t i = 0; i < pulled; ++i) {
             const std::size_t u = cand[rank[i]];
+            if (cfg_.invariants) {
+                cfg_.invariants->onApply(w.id, u,
+                                         server_->hasPending(w.id, u));
+            }
             auto pending = server_->pending(w.id, u);
             decoded.resize(pending.size());
             transcodeUnit(*w.pull_codec, *w.flat, u, pending, decoded);
@@ -691,6 +864,92 @@ Engine::pullProcess(WorkerContext &w)
     w.pull_in_flight = false;
     w.pull_cond->notifyAll();
     co_return;
+}
+
+void
+Engine::onCrashEvent(const fault::ChurnEvent &e)
+{
+    WorkerContext &w = *workers_[e.worker];
+    if (w.done)
+        return; // already left on its own.
+    w.crashed = true;
+    w.rejoin_time = e.rejoin_s;
+    // Waiters must observe the crash promptly: the worker itself may
+    // be parked in the staleness gate or a pull join, and peers must
+    // re-check membership once detection retires it.
+    version_cond_->notifyAll();
+    w.pull_cond->notifyAll();
+}
+
+void
+Engine::onDetectEvent(const fault::ChurnEvent &e)
+{
+    WorkerContext &w = *workers_[e.worker];
+    // Detection can race a rejoin or a natural exit; only a worker
+    // that is still down gets retired from the gate's membership.
+    if (w.done || !w.crashed || versions_->retired(w.id))
+        return;
+    versions_->retireWorker(w.id);
+    if (cfg_.invariants)
+        cfg_.invariants->onRetire(w.id);
+    version_cond_->notifyAll();
+}
+
+void
+Engine::onLeaveEvent(const fault::ChurnEvent &e)
+{
+    WorkerContext &w = *workers_[e.worker];
+    if (w.done)
+        return;
+    w.leaving = true; // finish the current iteration, then retire.
+}
+
+void
+Engine::rejoinResync(WorkerContext &w, std::size_t &n)
+{
+    // A rejoining robot downloads the current model instead of
+    // replaying what it missed: weights come from the most advanced
+    // live replica, and optimizer/codec state restarts fresh (its
+    // momentum and error feedback described the lost trajectory).
+    WorkerContext *src = nullptr;
+    for (const auto &other : workers_) {
+        if (other->id == w.id || other->crashed)
+            continue;
+        if (!src || other->cur_iter > src->cur_iter)
+            src = other.get();
+    }
+    std::int64_t resume = static_cast<std::int64_t>(w.cur_iter);
+    if (src && src->cur_iter > w.cur_iter)
+        resume = static_cast<std::int64_t>(src->cur_iter);
+    // The worker may have pushed iteration n and crashed while
+    // stalling: those rows stand at the server, so versions cannot
+    // move backwards through the rejoin.
+    resume = std::max(resume, versions_->maxVersionOfWorker(w.id));
+    if (src) {
+        for (std::size_t r = 0; r < w.flat->rowCount(); ++r) {
+            const auto from = src->flat->rowValues(r);
+            const auto to = w.flat->rowValues(r);
+            std::copy(from.begin(), from.end(), to.begin());
+        }
+    }
+    w.opt = std::make_unique<nn::SgdMomentum>(
+        *w.model, workload_.optimizerConfig());
+    w.push_codec = compress::makeCodec(cfg_.codec);
+    w.pull_codec = compress::makeCodec(cfg_.codec);
+    for (auto &acc : w.accum)
+        std::fill(acc.begin(), acc.end(), 0.0f);
+    w.push_iter.assign(w.push_iter.size(), resume);
+    // The resynced model already reflects every averaged gradient the
+    // server was still holding for this worker.
+    server_->clearWorker(w.id);
+    versions_->rejoinWorker(w.id, resume);
+    if (cfg_.invariants)
+        cfg_.invariants->onRejoin(w.id, resume);
+    w.cur_iter = static_cast<std::size_t>(resume);
+    n = w.cur_iter;
+    w.crashed = false;
+    w.rejoin_time = std::numeric_limits<double>::infinity();
+    version_cond_->notifyAll();
 }
 
 RunResult

@@ -27,6 +27,12 @@
 #include "net/bandwidth_trace.hpp"
 
 namespace rog {
+
+namespace fault {
+class FaultPlan;
+class InvariantChecker;
+} // namespace fault
+
 namespace core {
 
 /** Engine knobs independent of the system under test. */
@@ -88,6 +94,24 @@ struct EngineConfig
      * at the cost of applying pulled updates one iteration late.
      */
     bool pipeline_pull = false;
+
+    /**
+     * Fault injection (src/fault): a deterministic schedule of link
+     * blackouts / bandwidth collapses (baked into the link traces),
+     * per-transfer truncations and forced timeouts (applied by the
+     * channel), and worker churn — silent crashes whose in-flight rows
+     * are discarded, detection-delayed retirement from the staleness
+     * gate, rejoins that resync to the current model version, and
+     * announced graceful leaves. Non-owning; must outlive the run.
+     */
+    const fault::FaultPlan *fault_plan = nullptr;
+
+    /**
+     * Optional conservation-invariant observer (src/fault); the engine
+     * reports pushes, applies, gate passes, and membership changes to
+     * it. Non-owning; must outlive the run.
+     */
+    fault::InvariantChecker *invariants = nullptr;
 
     std::uint64_t seed = 2022;          //!< engine-local randomness.
 };

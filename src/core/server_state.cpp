@@ -69,6 +69,14 @@ ServerState::clearPending(std::size_t worker, std::size_t unit)
     has_pending_[worker][unit] = false;
 }
 
+void
+ServerState::clearWorker(std::size_t worker)
+{
+    ROG_ASSERT(worker < outbox_.size(), "worker out of range");
+    for (std::size_t u = 0; u < unit_widths_.size(); ++u)
+        clearPending(worker, u);
+}
+
 double
 ServerState::pendingMeanAbs(std::size_t worker, std::size_t unit) const
 {

@@ -49,6 +49,13 @@ class ServerState
     /** Zero @p worker's copy of @p unit after it was sent. */
     void clearPending(std::size_t worker, std::size_t unit);
 
+    /**
+     * Drop every pending copy held for @p worker — used when a crashed
+     * worker rejoins from the current model version, which already
+     * reflects the averaged gradients it missed.
+     */
+    void clearWorker(std::size_t worker);
+
     /** Mean |pending| of @p unit for @p worker (importance input). */
     double pendingMeanAbs(std::size_t worker, std::size_t unit) const;
 

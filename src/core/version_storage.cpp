@@ -87,6 +87,18 @@ VersionStorage::retired(std::size_t worker) const
     return retired_[worker];
 }
 
+void
+VersionStorage::rejoinWorker(std::size_t worker, std::int64_t iter)
+{
+    ROG_ASSERT(worker < retired_.size(), "worker out of range");
+    for (std::int64_t &v : versions_[worker]) {
+        ROG_ASSERT(iter >= v, "rejoin would move a version backwards");
+        v = iter;
+    }
+    retired_[worker] = false;
+    dirty_ = true;
+}
+
 std::int64_t
 VersionStorage::minVersionOfWorker(std::size_t worker) const
 {

@@ -58,6 +58,14 @@ class VersionStorage
 
     bool retired(std::size_t worker) const;
 
+    /**
+     * Re-admit a previously retired (crashed) worker that resynced to
+     * the model at iteration @p iter: its versions jump to @p iter so
+     * the gate treats it as freshly caught up, not eternally stale.
+     * @pre iter >= every version the worker pushed before the crash.
+     */
+    void rejoinWorker(std::size_t worker, std::int64_t iter);
+
     /** Oldest version among @p worker's own units (diagnostics). */
     std::int64_t minVersionOfWorker(std::size_t worker) const;
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Replays a FaultPlan onto a running simulation.
+ *
+ * The injector is the glue between the declarative plan and the live
+ * system: it implements net::TransferFaultPolicy so the channel asks
+ * it about every starting transfer, and it schedules the plan's churn
+ * events on the event queue so the engine's hooks fire at exactly the
+ * planned virtual times. All decisions are pure functions of the plan
+ * and the query time — replaying the same plan gives the same run.
+ */
+#ifndef ROG_FAULT_FAULT_INJECTOR_HPP
+#define ROG_FAULT_FAULT_INJECTOR_HPP
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace fault {
+
+/** Engine-side callbacks for worker churn (any may be empty). */
+struct ChurnHooks
+{
+    /** A silent crash at the event's time (in-flight rows are lost). */
+    std::function<void(const ChurnEvent &)> on_crash;
+
+    /**
+     * The server detects the crash (at_s + detect_s): the staleness
+     * gate should re-evaluate membership. Fires even if the worker
+     * rejoined in the meantime; the receiver must check.
+     */
+    std::function<void(const ChurnEvent &)> on_detect;
+
+    /** The crashed worker comes back at rejoin_s. */
+    std::function<void(const ChurnEvent &)> on_rejoin;
+
+    /** An announced, graceful departure. */
+    std::function<void(const ChurnEvent &)> on_leave;
+};
+
+/** Binds a FaultPlan to a simulation and (optionally) a channel. */
+class FaultInjector final : public net::TransferFaultPolicy
+{
+  public:
+    /** @param sim / @param plan must outlive the injector. */
+    FaultInjector(sim::Simulation &sim, const FaultPlan &plan);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install this injector as @p channel's fault policy. */
+    void attach(net::Channel &channel);
+
+    /**
+     * Schedule every churn event of the plan; the hooks fire from the
+     * event loop at the planned times. Call at most once, before
+     * sim.run().
+     */
+    void scheduleChurn(ChurnHooks hooks);
+
+    /**
+     * Perturb one worker's base trace with the plan's link faults (see
+     * applyLinkFaults); @p horizon_s should cover the run.
+     */
+    net::BandwidthTrace perturbTrace(const net::BandwidthTrace &base,
+                                     std::size_t link,
+                                     double horizon_s) const;
+
+    // net::TransferFaultPolicy
+    net::FaultDecision onTransferStart(net::LinkId link, double bytes,
+                                       double now) override;
+
+    /** How many transfer-fault rules have fired so far. */
+    std::size_t rulesFired() const { return rules_fired_; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    sim::Simulation &sim_;
+    const FaultPlan &plan_;
+    std::vector<bool> rule_used_;
+    std::size_t rules_fired_ = 0;
+    ChurnHooks hooks_;
+    bool churn_scheduled_ = false;
+};
+
+} // namespace fault
+} // namespace rog
+
+#endif // ROG_FAULT_FAULT_INJECTOR_HPP

@@ -1,0 +1,340 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace rog {
+namespace fault {
+
+namespace {
+
+/** Render a double so the spec round-trips exactly. */
+std::string
+num(double v)
+{
+    if (std::isinf(v))
+        return "inf";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+double
+parseNum(const std::string &s, const std::string &line)
+{
+    if (s == "inf")
+        return std::numeric_limits<double>::infinity();
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(s, &pos);
+    } catch (...) {
+        ROG_FATAL("bad number '", s, "' in fault spec line: ", line);
+    }
+    if (pos != s.size())
+        ROG_FATAL("bad number '", s, "' in fault spec line: ", line);
+    return v;
+}
+
+/** key=value fields of one spec line, after the event keyword. */
+struct Fields
+{
+    std::string keyword;
+    std::vector<std::pair<std::string, std::string>> kv;
+
+    double
+    get(const std::string &key, const std::string &line) const
+    {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return parseNum(v, line);
+        ROG_FATAL("fault spec line missing '", key, "=': ", line);
+    }
+
+    double
+    getOr(const std::string &key, double fallback,
+          const std::string &line) const
+    {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return parseNum(v, line);
+        return fallback;
+    }
+};
+
+Fields
+splitLine(const std::string &line)
+{
+    Fields f;
+    std::istringstream is(line);
+    is >> f.keyword;
+    std::string tok;
+    while (is >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            ROG_FATAL("expected key=value in fault spec line: ", line);
+        f.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return f;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, const FaultPlanConfig &cfg)
+{
+    ROG_ASSERT(cfg.horizon_s > 0.0, "fault horizon must be positive");
+    Rng rng(seed);
+    FaultPlan plan;
+
+    for (std::size_t l = 0; l < cfg.links; ++l) {
+        const auto blackouts =
+            rng.uniformInt(cfg.max_blackouts_per_link + 1);
+        for (std::uint64_t i = 0; i < blackouts; ++i) {
+            LinkFault f;
+            f.link = l;
+            f.start_s = rng.uniform(0.0, cfg.horizon_s);
+            f.duration_s =
+                rng.uniform(cfg.blackout_min_s, cfg.blackout_max_s);
+            f.factor = 0.0;
+            plan.link_faults.push_back(f);
+        }
+        const auto degrades =
+            rng.uniformInt(cfg.max_degrades_per_link + 1);
+        for (std::uint64_t i = 0; i < degrades; ++i) {
+            LinkFault f;
+            f.link = l;
+            f.start_s = rng.uniform(0.0, cfg.horizon_s);
+            f.duration_s =
+                rng.uniform(cfg.degrade_min_s, cfg.degrade_max_s);
+            f.factor = rng.uniform(cfg.degrade_min_factor,
+                                   cfg.degrade_max_factor);
+            plan.link_faults.push_back(f);
+        }
+        const auto truncations =
+            rng.uniformInt(cfg.max_truncations_per_link + 1);
+        for (std::uint64_t i = 0; i < truncations; ++i) {
+            TransferFaultRule r;
+            r.link = l;
+            r.at_s = rng.uniform(0.0, cfg.horizon_s);
+            r.truncate_bytes = rng.uniform(cfg.truncate_min_bytes,
+                                           cfg.truncate_max_bytes);
+            plan.transfer_faults.push_back(r);
+        }
+        const auto timeouts =
+            rng.uniformInt(cfg.max_timeouts_per_link + 1);
+        for (std::uint64_t i = 0; i < timeouts; ++i) {
+            TransferFaultRule r;
+            r.link = l;
+            r.at_s = rng.uniform(0.0, cfg.horizon_s);
+            r.force_timeout_s =
+                rng.uniform(cfg.timeout_min_s, cfg.timeout_max_s);
+            plan.transfer_faults.push_back(r);
+        }
+    }
+
+    for (std::size_t w = 0; w < cfg.workers; ++w) {
+        if (rng.uniform() < cfg.crash_prob) {
+            ChurnEvent e;
+            e.worker = w;
+            e.at_s = rng.uniform(0.0, cfg.horizon_s);
+            e.detect_s = cfg.detect_s;
+            if (rng.uniform() < cfg.rejoin_prob)
+                e.rejoin_s =
+                    e.at_s + rng.uniform(1.0, 0.5 * cfg.horizon_s);
+            plan.churn.push_back(e);
+        } else if (rng.uniform() < cfg.leave_prob) {
+            ChurnEvent e;
+            e.worker = w;
+            e.at_s = rng.uniform(0.0, cfg.horizon_s);
+            e.graceful = true;
+            plan.churn.push_back(e);
+        }
+    }
+
+    plan.validate();
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::istringstream is(spec);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const Fields f = splitLine(line);
+        if (f.keyword == "blackout" || f.keyword == "degrade") {
+            LinkFault lf;
+            lf.link = static_cast<std::size_t>(f.get("link", line));
+            lf.start_s = f.get("start", line);
+            lf.duration_s = f.get("dur", line);
+            lf.factor = f.keyword == "blackout"
+                            ? 0.0
+                            : f.get("factor", line);
+            plan.link_faults.push_back(lf);
+        } else if (f.keyword == "truncate") {
+            TransferFaultRule r;
+            r.link = static_cast<std::size_t>(f.get("link", line));
+            r.at_s = f.get("at", line);
+            r.truncate_bytes = f.get("bytes", line);
+            plan.transfer_faults.push_back(r);
+        } else if (f.keyword == "timeout") {
+            TransferFaultRule r;
+            r.link = static_cast<std::size_t>(f.get("link", line));
+            r.at_s = f.get("at", line);
+            r.force_timeout_s = f.get("after", line);
+            plan.transfer_faults.push_back(r);
+        } else if (f.keyword == "crash") {
+            ChurnEvent e;
+            e.worker = static_cast<std::size_t>(f.get("worker", line));
+            e.at_s = f.get("at", line);
+            e.rejoin_s = f.getOr("rejoin", kNever, line);
+            e.detect_s = f.getOr("detect", kNever, line);
+            plan.churn.push_back(e);
+        } else if (f.keyword == "leave") {
+            ChurnEvent e;
+            e.worker = static_cast<std::size_t>(f.get("worker", line));
+            e.at_s = f.get("at", line);
+            e.graceful = true;
+            plan.churn.push_back(e);
+        } else {
+            ROG_FATAL("unknown fault spec keyword '", f.keyword,
+                  "' in line: ", line);
+        }
+    }
+    plan.validate();
+    return plan;
+}
+
+std::string
+FaultPlan::toSpec() const
+{
+    std::ostringstream os;
+    for (const auto &f : link_faults) {
+        if (f.factor == 0.0) {
+            os << "blackout link=" << f.link << " start="
+               << num(f.start_s) << " dur=" << num(f.duration_s)
+               << '\n';
+        } else {
+            os << "degrade link=" << f.link << " start="
+               << num(f.start_s) << " dur=" << num(f.duration_s)
+               << " factor=" << num(f.factor) << '\n';
+        }
+    }
+    for (const auto &r : transfer_faults) {
+        if (std::isfinite(r.truncate_bytes)) {
+            os << "truncate link=" << r.link << " at=" << num(r.at_s)
+               << " bytes=" << num(r.truncate_bytes) << '\n';
+        }
+        if (std::isfinite(r.force_timeout_s)) {
+            os << "timeout link=" << r.link << " at=" << num(r.at_s)
+               << " after=" << num(r.force_timeout_s) << '\n';
+        }
+    }
+    for (const auto &e : churn) {
+        if (e.graceful) {
+            os << "leave worker=" << e.worker << " at=" << num(e.at_s)
+               << '\n';
+        } else {
+            os << "crash worker=" << e.worker << " at=" << num(e.at_s);
+            if (std::isfinite(e.rejoin_s))
+                os << " rejoin=" << num(e.rejoin_s);
+            if (std::isfinite(e.detect_s))
+                os << " detect=" << num(e.detect_s);
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+bool
+FaultPlan::empty() const
+{
+    return link_faults.empty() && transfer_faults.empty() &&
+           churn.empty();
+}
+
+void
+FaultPlan::validate() const
+{
+    for (const auto &f : link_faults) {
+        ROG_ASSERT(f.start_s >= 0.0 && f.duration_s >= 0.0,
+                   "link fault times must be non-negative");
+        ROG_ASSERT(f.factor >= 0.0 && f.factor <= 1.0,
+                   "link fault factor must be in [0, 1], got ",
+                   f.factor);
+    }
+    for (const auto &r : transfer_faults) {
+        ROG_ASSERT(r.at_s >= 0.0, "transfer fault time negative");
+        ROG_ASSERT(r.truncate_bytes >= 0.0,
+                   "truncation bytes negative");
+        ROG_ASSERT(r.force_timeout_s > 0.0,
+                   "forced timeout must be positive");
+    }
+    for (const auto &e : churn) {
+        ROG_ASSERT(e.at_s >= 0.0, "churn time negative");
+        if (e.graceful)
+            continue;
+        ROG_ASSERT(std::isfinite(e.rejoin_s) ||
+                       std::isfinite(e.detect_s),
+                   "silent crash of worker ", e.worker,
+                   " needs a finite rejoin or detect time, or peers "
+                   "could stall forever on the ghost");
+        if (std::isfinite(e.rejoin_s))
+            ROG_ASSERT(e.rejoin_s >= e.at_s,
+                       "rejoin must not precede the crash");
+        if (std::isfinite(e.detect_s))
+            ROG_ASSERT(e.detect_s >= 0.0,
+                       "detection delay negative");
+    }
+}
+
+double
+FaultPlan::maxLinkFaultEnd() const
+{
+    double end = 0.0;
+    for (const auto &f : link_faults)
+        end = std::max(end, f.endS());
+    return end;
+}
+
+net::BandwidthTrace
+applyLinkFaults(const net::BandwidthTrace &base,
+                std::span<const LinkFault> faults, std::size_t link,
+                double horizon_s)
+{
+    const double step = base.stepSeconds();
+    double span = std::max(horizon_s, base.durationSeconds());
+    for (const auto &f : faults)
+        if (f.link == link)
+            span = std::max(span, f.endS());
+    const auto samples =
+        static_cast<std::size_t>(std::ceil(span / step - 1e-9));
+    std::vector<double> out(std::max<std::size_t>(samples, 1));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const double t_mid = (static_cast<double>(i) + 0.5) * step;
+        double v = base.bytesPerSecAt(t_mid);
+        for (const auto &f : faults) {
+            if (f.link == link && t_mid >= f.start_s &&
+                t_mid < f.endS()) {
+                v *= f.factor;
+            }
+        }
+        out[i] = v;
+    }
+    return net::BandwidthTrace(std::move(out), step);
+}
+
+} // namespace fault
+} // namespace rog

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic fault plans for the wireless channel and the training
+ * engine.
+ *
+ * The paper's defining workload is *instability*: links black out,
+ * bandwidth collapses, robots crash mid-iteration, rejoin, or leave for
+ * good (Sec. II, Sec. VI-D). A FaultPlan is a typed, fully explicit
+ * schedule of such events — built either from a seeded RNG (property /
+ * fuzz testing) or parsed from a small line-based text spec (curated
+ * scenarios) — that the FaultInjector replays onto a sim::Simulation.
+ * Because the plan is data, the same seed always produces the same
+ * faults and therefore the same run, byte for byte.
+ *
+ * Spec format (one event per line, '#' comments, blank lines ignored):
+ *
+ *     blackout link=1 start=10 dur=2.5
+ *     degrade  link=0 start=5 dur=10 factor=0.2
+ *     truncate link=2 at=12 bytes=1000
+ *     timeout  link=0 at=30 after=0.5
+ *     crash    worker=3 at=600 rejoin=700 detect=30
+ *     leave    worker=2 at=400
+ */
+#ifndef ROG_FAULT_FAULT_PLAN_HPP
+#define ROG_FAULT_FAULT_PLAN_HPP
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+namespace fault {
+
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/**
+ * Multiply one link's capacity by @p factor over
+ * [start_s, start_s + duration_s). factor = 0 is a blackout; a factor
+ * in (0, 1) is a bandwidth collapse.
+ */
+struct LinkFault
+{
+    std::size_t link = 0;
+    double start_s = 0.0;
+    double duration_s = 0.0;
+    double factor = 0.0;
+
+    double endS() const { return start_s + duration_s; }
+};
+
+/**
+ * Sabotage the first transfer that starts at or after @p at_s on
+ * @p link: deliver at most @p truncate_bytes (the link dies mid-flow
+ * and the tail is lost), and/or cut the transfer @p force_timeout_s
+ * seconds after it starts regardless of the caller's own timeout. Each
+ * rule fires at most once.
+ */
+struct TransferFaultRule
+{
+    std::size_t link = 0;
+    double at_s = 0.0;
+    double truncate_bytes = std::numeric_limits<double>::infinity();
+    double force_timeout_s = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * One worker-churn event.
+ *
+ * A graceful leave is announced: the worker finishes its current
+ * iteration and retires from the staleness gate (a robot heading home
+ * on low battery). A crash is silent: the worker stops mid-iteration,
+ * its in-flight rows are discarded, and the server only learns of the
+ * failure @p detect_s seconds later, when the gate re-evaluates
+ * membership. A finite @p rejoin_s brings the worker back, resuming
+ * from the current model version.
+ *
+ * @invariant a non-graceful event has a finite rejoin_s or a finite
+ *            detect_s — otherwise peers could stall forever on a ghost.
+ */
+struct ChurnEvent
+{
+    std::size_t worker = 0;
+    double at_s = 0.0;
+    double rejoin_s = kNever;
+    double detect_s = kNever;
+    bool graceful = false;
+};
+
+/** Knobs for FaultPlan::random (all counts are per-link maxima). */
+struct FaultPlanConfig
+{
+    std::size_t links = 0;
+    std::size_t workers = 0;
+    double horizon_s = 120.0;          //!< faults land in [0, horizon).
+
+    std::size_t max_blackouts_per_link = 2;
+    double blackout_min_s = 0.2;
+    double blackout_max_s = 3.0;
+
+    std::size_t max_degrades_per_link = 2;
+    double degrade_min_factor = 0.05;
+    double degrade_max_factor = 0.5;
+    double degrade_min_s = 1.0;
+    double degrade_max_s = 10.0;
+
+    std::size_t max_truncations_per_link = 2;
+    double truncate_min_bytes = 100.0;
+    double truncate_max_bytes = 50e3;
+
+    std::size_t max_timeouts_per_link = 2;
+    double timeout_min_s = 0.05;
+    double timeout_max_s = 2.0;
+
+    double crash_prob = 0.0;           //!< per worker.
+    double rejoin_prob = 0.5;          //!< given a crash.
+    double leave_prob = 0.0;           //!< per worker (graceful).
+    double detect_s = 5.0;             //!< failure-detection delay.
+};
+
+/** A deterministic schedule of typed fault events. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Seed-driven plan: same (seed, config) ⇒ identical plan. */
+    static FaultPlan random(std::uint64_t seed,
+                            const FaultPlanConfig &config);
+
+    /** Parse the line-based spec format (see file header). */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Render as a spec that parse() reads back identically. */
+    std::string toSpec() const;
+
+    bool empty() const;
+
+    /** Validate cross-field invariants; dies on violation. */
+    void validate() const;
+
+    std::vector<LinkFault> link_faults;
+    std::vector<TransferFaultRule> transfer_faults;
+    std::vector<ChurnEvent> churn;
+
+    /** Latest end time of any link fault (0 if none). */
+    double maxLinkFaultEnd() const;
+};
+
+/**
+ * Bake the plan's faults for @p link into a trace: capacity is the base
+ * trace's (looped) value times the product of every covering fault's
+ * factor. The result spans at least @p horizon_s so that — as long as
+ * the simulation stays within the horizon — each fault happens exactly
+ * once instead of recurring with the base trace's loop.
+ */
+net::BandwidthTrace applyLinkFaults(const net::BandwidthTrace &base,
+                                    std::span<const LinkFault> faults,
+                                    std::size_t link, double horizon_s);
+
+} // namespace fault
+} // namespace rog
+
+#endif // ROG_FAULT_FAULT_PLAN_HPP

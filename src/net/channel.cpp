@@ -78,10 +78,14 @@ Channel::finish(FlowIter it, double elapsed)
     sim_.cancel(it->timeout_event);
     TransferResult res;
     res.bytes_requested = it->requested;
-    res.bytes_sent = it->requested - std::max(it->remaining, 0.0);
-    res.completed = it->remaining <= kByteEpsilon;
-    if (res.completed)
-        res.bytes_sent = res.bytes_requested;
+    res.bytes_sent = it->deliverable - std::max(it->remaining, 0.0);
+    // A truncated flow drains its deliverable cap but never completes:
+    // the tail the fault swallowed counts as lost, like a timeout cut.
+    if (it->remaining <= kByteEpsilon) {
+        res.bytes_sent = it->deliverable;
+        res.completed = it->deliverable >= it->requested - kByteEpsilon;
+    }
+    res.faulted = it->faulted;
     res.elapsed = elapsed;
     Callback done = std::move(it->done);
     flows_.erase(it);
@@ -105,6 +109,13 @@ Channel::reschedule()
     // Sample rates just after `now` (the segment the flows are in).
     const double t_probe = 0.5 * (now + boundary);
     for (const auto &flow : flows_) {
+        // A flow whose deliverable cap is already drained (e.g. a
+        // zero-byte truncation) must be delivered without waiting for
+        // the next trace boundary.
+        if (flow.remaining <= kByteEpsilon) {
+            wake = now;
+            break;
+        }
         const double rate = flowRate(flow, t_probe);
         if (rate <= 0.0)
             continue;
@@ -158,12 +169,27 @@ Channel::startTransfer(LinkId link, double bytes, double timeout,
 
     settle();
 
+    double deliverable = bytes;
+    bool faulted = false;
+    if (fault_policy_) {
+        const FaultDecision d =
+            fault_policy_->onTransferStart(link, bytes, sim_.now());
+        faulted = d.faulty();
+        deliverable =
+            std::min(bytes, std::max(d.deliverable_bytes, 0.0));
+        timeout = std::min(timeout, d.forced_timeout);
+        if (faulted)
+            ++faulted_transfers_;
+    }
+
     Flow flow;
     flow.id = next_flow_id_++;
     flow.link = link;
     flow.requested = bytes;
-    flow.remaining = bytes;
+    flow.deliverable = deliverable;
+    flow.remaining = deliverable;
     flow.start_time = sim_.now();
+    flow.faulted = faulted;
     flow.done = std::move(done);
     flow.drop = std::move(drop);
     if (std::isfinite(timeout)) {

@@ -40,6 +40,42 @@ struct TransferResult
     double bytes_sent = 0.0;
     bool completed = false;   //!< all requested bytes delivered.
     double elapsed = 0.0;     //!< seconds from start to end/timeout.
+    bool faulted = false;     //!< a fault policy sabotaged this flow.
+};
+
+/**
+ * What a fault policy does to one starting transfer: cap the bytes
+ * that will ever get through (the link dies mid-flow and the tail is
+ * lost) and/or cut the flow after a forced timeout, whichever the
+ * caller's own timeout doesn't hit first. Both default to "no fault".
+ */
+struct FaultDecision
+{
+    double deliverable_bytes = std::numeric_limits<double>::infinity();
+    double forced_timeout = std::numeric_limits<double>::infinity();
+
+    bool
+    faulty() const
+    {
+        return deliverable_bytes !=
+                   std::numeric_limits<double>::infinity() ||
+               forced_timeout != std::numeric_limits<double>::infinity();
+    }
+};
+
+/**
+ * Per-transfer fault injection hook (see src/fault). The channel
+ * consults the policy once per startTransfer; the policy must be
+ * deterministic for runs to replay byte-identically.
+ */
+class TransferFaultPolicy
+{
+  public:
+    virtual ~TransferFaultPolicy() = default;
+
+    /** Decide the fate of a transfer starting now on @p link. */
+    virtual FaultDecision onTransferStart(LinkId link, double bytes,
+                                          double now) = 0;
 };
 
 /** Shared wireless channel connecting every device to the server. */
@@ -71,6 +107,19 @@ class Channel
 
     /** Total bytes delivered since construction (all links). */
     double totalBytesDelivered() const { return bytes_delivered_; }
+
+    /**
+     * Install a per-transfer fault policy (nullptr to remove). The
+     * policy is non-owning and must outlive the channel's transfers;
+     * it only affects transfers started after installation.
+     */
+    void setFaultPolicy(TransferFaultPolicy *policy)
+    {
+        fault_policy_ = policy;
+    }
+
+    /** Number of transfers a fault policy sabotaged. */
+    std::size_t faultedTransfers() const { return faulted_transfers_; }
 
     /**
      * Start a transfer (callback form).
@@ -122,8 +171,10 @@ class Channel
         std::uint64_t id;
         LinkId link;
         double requested;
-        double remaining;
+        double deliverable; //!< fault cap: <= requested bytes get through.
+        double remaining;   //!< counts down from deliverable.
         double start_time;
+        bool faulted;
         Callback done;
         std::function<void()> drop;
         sim::EventId timeout_event;
@@ -153,6 +204,8 @@ class Channel
     double bytes_delivered_ = 0.0;
     sim::EventId wake_event_;
     std::uint64_t next_flow_id_ = 1;
+    TransferFaultPolicy *fault_policy_ = nullptr;
+    std::size_t faulted_transfers_ = 0;
 };
 
 } // namespace net

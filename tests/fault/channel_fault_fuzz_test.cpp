@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property/fuzz harness for the channel under fault injection: 1000
+ * seeded random fault schedules (blackouts, bandwidth collapses,
+ * truncations, forced timeouts) against random transfer workloads.
+ * Under every schedule the channel must conserve bytes, never
+ * over-deliver, fire every completion callback exactly once, and share
+ * airtime fairly between symmetric flows.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/channel.hpp"
+#include "net/trace_generator.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace fault {
+namespace {
+
+constexpr std::size_t kLinks = 2;
+constexpr std::size_t kTransfers = 12;
+
+FaultPlanConfig
+channelFaultConfig()
+{
+    FaultPlanConfig cfg;
+    cfg.links = kLinks;
+    cfg.workers = 0; // channel-level only: no churn.
+    cfg.horizon_s = 40.0;
+    return cfg;
+}
+
+struct FuzzOutcome
+{
+    std::vector<net::TransferResult> results;
+    std::vector<int> callback_count;
+    double total_delivered = 0.0;
+    double final_time = 0.0;
+    std::size_t rules_fired = 0;
+    std::size_t rules_planned = 0;
+    std::size_t channel_faulted = 0;
+};
+
+FuzzOutcome
+runFaultFuzz(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const FaultPlan plan = FaultPlan::random(seed, channelFaultConfig());
+    plan.validate();
+
+    sim::Simulation sim;
+    FaultInjector injector(sim, plan);
+    std::vector<net::BandwidthTrace> traces;
+    for (std::size_t l = 0; l < kLinks; ++l) {
+        const auto base = net::generateTrace(
+            net::TraceModel::outdoor(rng.uniform(5e3, 40e3)), 60.0,
+            seed * 100 + l);
+        traces.push_back(injector.perturbTrace(base, l, 80.0));
+    }
+
+    FuzzOutcome out;
+    out.results.resize(kTransfers);
+    out.callback_count.assign(kTransfers, 0);
+    out.rules_planned = plan.transfer_faults.size();
+    {
+        net::Channel ch(sim, std::move(traces));
+        injector.attach(ch);
+        for (std::size_t i = 0; i < kTransfers; ++i) {
+            const double start = rng.uniform(0.0, 30.0);
+            const auto link = rng.uniformInt(kLinks);
+            const double bytes = rng.uniform(10.0, 40e3);
+            const bool timed = rng.uniform() < 0.3;
+            const double timeout = timed ? rng.uniform(0.01, 2.0)
+                                         : net::Channel::kNoTimeout;
+            sim.after(start, [&ch, &out, i, link, bytes, timeout] {
+                ch.startTransfer(link, bytes, timeout,
+                                 [&out, i](net::TransferResult r) {
+                                     out.results[i] = r;
+                                     ++out.callback_count[i];
+                                 });
+            });
+        }
+        sim.run();
+        out.total_delivered = ch.totalBytesDelivered();
+        out.final_time = sim.now();
+        out.rules_fired = injector.rulesFired();
+        out.channel_faulted = ch.faultedTransfers();
+    }
+    return out;
+}
+
+class ChannelFaultFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+// 8 params x 125 seeds each = 1000 random fault schedules.
+TEST_P(ChannelFaultFuzz, ConservationUnderRandomFaultSchedules)
+{
+    for (std::uint64_t k = 0; k < 125; ++k) {
+        const std::uint64_t seed = GetParam() * 1000 + k;
+        const auto out = runFaultFuzz(seed);
+
+        double sum = 0.0;
+        for (std::size_t i = 0; i < out.results.size(); ++i) {
+            const auto &r = out.results[i];
+            // Exactly one completion per transfer, fault or not.
+            ASSERT_EQ(out.callback_count[i], 1)
+                << "seed " << seed << " transfer " << i;
+            EXPECT_GT(r.bytes_requested, 0.0) << "seed " << seed;
+            EXPECT_GE(r.bytes_sent, 0.0) << "seed " << seed;
+            // Never over-deliver, faulted or not.
+            EXPECT_LE(r.bytes_sent, r.bytes_requested + 1e-6)
+                << "seed " << seed;
+            EXPECT_GE(r.elapsed, 0.0) << "seed " << seed;
+            if (r.completed) {
+                EXPECT_NEAR(r.bytes_sent, r.bytes_requested, 1e-6)
+                    << "seed " << seed;
+            }
+            sum += r.bytes_sent;
+        }
+        // Byte conservation: the channel's delivery ledger equals the
+        // per-transfer results.
+        EXPECT_NEAR(out.total_delivered, sum, 1.0) << "seed " << seed;
+        // A rule fires at most once, and only planned rules fire.
+        EXPECT_LE(out.rules_fired, out.rules_planned)
+            << "seed " << seed;
+        EXPECT_EQ(out.channel_faulted, out.rules_fired)
+            << "seed " << seed;
+    }
+}
+
+TEST_P(ChannelFaultFuzz, SymmetricFlowsShareAirtimeFairly)
+{
+    // Two identical, simultaneous, untimed flows on the same faulty
+    // link are indistinguishable, so airtime fairness must give them
+    // byte-identical outcomes — under any link-fault schedule.
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        const std::uint64_t seed = GetParam() * 5000 + k;
+        FaultPlanConfig cfg;
+        cfg.links = 1;
+        cfg.horizon_s = 40.0;
+        cfg.max_truncations_per_link = 0; // rules are one-shot, which
+        cfg.max_timeouts_per_link = 0;    // would break the symmetry.
+        const FaultPlan plan = FaultPlan::random(seed, cfg);
+
+        sim::Simulation sim;
+        FaultInjector injector(sim, plan);
+        const auto base = net::BandwidthTrace::constant(20e3, 60.0);
+        std::vector<net::BandwidthTrace> traces{
+            injector.perturbTrace(base, 0, 80.0)};
+        net::Channel ch(sim, std::move(traces));
+        injector.attach(ch);
+
+        std::vector<net::TransferResult> res(2);
+        for (std::size_t i = 0; i < 2; ++i) {
+            ch.startTransfer(0, 30e3, net::Channel::kNoTimeout,
+                             [&res, i](net::TransferResult r) {
+                                 res[i] = r;
+                             });
+        }
+        sim.run();
+        EXPECT_TRUE(res[0].completed) << "seed " << seed;
+        EXPECT_TRUE(res[1].completed) << "seed " << seed;
+        EXPECT_DOUBLE_EQ(res[0].elapsed, res[1].elapsed)
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(res[0].bytes_sent, res[1].bytes_sent)
+            << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelFaultFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace fault
+} // namespace rog

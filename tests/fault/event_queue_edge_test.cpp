@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Edge-case tests of the deterministic event queue, the substrate the
+ * fault injector schedules on: cancelling already-fired events, drop
+ * handlers on cancellation and on horizon cutoff, and FIFO order of
+ * same-timestamp events (bit-reproducibility).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace sim {
+namespace {
+
+TEST(EventQueueEdge, CancelAfterFireIsNoOp)
+{
+    EventQueue q;
+    int fired = 0;
+    int dropped = 0;
+    const EventId id = q.schedule(1.0, [&] { ++fired; },
+                                  [&] { ++dropped; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    q.cancel(id); // already fired: must not re-fire or drop.
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(dropped, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueEdge, CancelInvokesDropExactlyOnce)
+{
+    EventQueue q;
+    int fired = 0;
+    int dropped = 0;
+    const EventId id = q.schedule(1.0, [&] { ++fired; },
+                                  [&] { ++dropped; });
+    q.cancel(id);
+    EXPECT_EQ(dropped, 1);
+    q.cancel(id); // double-cancel: no-op.
+    EXPECT_EQ(dropped, 1);
+    EXPECT_EQ(fired, 0);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueEdge, CancelInvalidIdIsNoOp)
+{
+    EventQueue q;
+    q.cancel(EventId{}); // default id never fires nor crashes.
+    EXPECT_FALSE(EventId{}.valid());
+}
+
+TEST(EventQueueEdge, DestructionDropsUnfiredEvents)
+{
+    int fired = 0;
+    int dropped = 0;
+    {
+        EventQueue q;
+        q.schedule(1.0, [&] { ++fired; }, [&] { ++dropped; });
+        q.schedule(2.0, [&] { ++fired; }, [&] { ++dropped; });
+        q.step();
+    }
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(dropped, 1);
+}
+
+TEST(EventQueueEdge, SameTimestampFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    // Interleave two timestamps; within each, insertion order rules.
+    q.schedule(5.0, [&] { order.push_back(10); });
+    q.schedule(1.0, [&] { order.push_back(0); });
+    q.schedule(5.0, [&] { order.push_back(11); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(5.0, [&] { order.push_back(12); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 12}));
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueEdge, EventScheduledFromHandlerAtSameTimeRunsAfter)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] {
+        order.push_back(0);
+        q.schedule(1.0, [&] { order.push_back(2); });
+    });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueEdge, RunUntilLeavesBeyondHorizonPendingThenDrops)
+{
+    int fired = 0;
+    int dropped = 0;
+    {
+        Simulation sim;
+        sim.after(1.0, [&] { ++fired; });
+        sim.after(10.0, [&] { ++fired; }, [&] { ++dropped; });
+        sim.runUntil(5.0);
+        EXPECT_EQ(fired, 1);
+        EXPECT_EQ(dropped, 0); // still pending, not dropped yet.
+        EXPECT_EQ(sim.queue().size(), 1u);
+        EXPECT_LE(sim.now(), 5.0);
+    }
+    // Destruction dropped the beyond-horizon event exactly once.
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(dropped, 1);
+}
+
+TEST(EventQueueEdge, RunUntilThenRunResumesCleanly)
+{
+    Simulation sim;
+    std::vector<double> times;
+    sim.after(1.0, [&] { times.push_back(sim.now()); });
+    sim.after(10.0, [&] { times.push_back(sim.now()); });
+    sim.runUntil(5.0);
+    sim.run(); // picks up the beyond-horizon remainder.
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 10.0);
+}
+
+TEST(EventQueueEdge, CancelOneOfManySameTimestamp)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(0); });
+    const EventId mid = q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(1.0, [&] { order.push_back(2); });
+    q.cancel(mid);
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+} // namespace
+} // namespace sim
+} // namespace rog

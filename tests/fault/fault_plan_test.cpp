@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests of the declarative fault-plan layer: seeded generation is
+ * deterministic, the text spec round-trips, validation catches broken
+ * plans, and applyLinkFaults bakes blackouts/degrades into a trace
+ * exactly over their windows.
+ */
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+namespace fault {
+namespace {
+
+FaultPlanConfig
+busyConfig()
+{
+    FaultPlanConfig cfg;
+    cfg.links = 3;
+    cfg.workers = 4;
+    cfg.horizon_s = 60.0;
+    cfg.crash_prob = 0.5;
+    cfg.leave_prob = 0.3;
+    return cfg;
+}
+
+TEST(FaultPlan, SameSeedSamePlan)
+{
+    const auto cfg = busyConfig();
+    const FaultPlan a = FaultPlan::random(7, cfg);
+    const FaultPlan b = FaultPlan::random(7, cfg);
+    EXPECT_EQ(a.toSpec(), b.toSpec());
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge)
+{
+    const auto cfg = busyConfig();
+    // Over many seeds at least most plans must differ from seed 1's.
+    const std::string base = FaultPlan::random(1, cfg).toSpec();
+    std::size_t distinct = 0;
+    for (std::uint64_t s = 2; s < 12; ++s)
+        if (FaultPlan::random(s, cfg).toSpec() != base)
+            ++distinct;
+    EXPECT_GE(distinct, 8u);
+}
+
+TEST(FaultPlan, RandomPlansValidate)
+{
+    const auto cfg = busyConfig();
+    for (std::uint64_t s = 0; s < 50; ++s) {
+        const FaultPlan p = FaultPlan::random(s, cfg);
+        p.validate(); // dies on violation.
+        for (const auto &f : p.link_faults) {
+            EXPECT_LT(f.link, cfg.links);
+            EXPECT_GE(f.factor, 0.0);
+            EXPECT_LE(f.factor, 1.0);
+            EXPECT_GT(f.duration_s, 0.0);
+        }
+        for (const auto &e : p.churn)
+            EXPECT_LT(e.worker, cfg.workers);
+    }
+}
+
+TEST(FaultPlan, SpecRoundTrips)
+{
+    const FaultPlan p = FaultPlan::random(42, busyConfig());
+    const std::string spec = p.toSpec();
+    const FaultPlan q = FaultPlan::parse(spec);
+    EXPECT_EQ(spec, q.toSpec());
+    EXPECT_EQ(p.link_faults.size(), q.link_faults.size());
+    EXPECT_EQ(p.transfer_faults.size(), q.transfer_faults.size());
+    EXPECT_EQ(p.churn.size(), q.churn.size());
+}
+
+TEST(FaultPlan, ParseReadsCommentsAndBlanks)
+{
+    const FaultPlan p = FaultPlan::parse(
+        "# a curated scenario\n"
+        "\n"
+        "blackout link=1 start=10 dur=2.5\n"
+        "degrade link=0 start=5 dur=10 factor=0.2\n"
+        "truncate link=2 at=12 bytes=1000\n"
+        "timeout link=0 at=30 after=0.5\n"
+        "crash worker=3 at=600 rejoin=700 detect=30\n"
+        "leave worker=2 at=400\n");
+    ASSERT_EQ(p.link_faults.size(), 2u);
+    EXPECT_EQ(p.link_faults[0].link, 1u);
+    EXPECT_DOUBLE_EQ(p.link_faults[0].factor, 0.0);
+    EXPECT_DOUBLE_EQ(p.link_faults[0].endS(), 12.5);
+    EXPECT_DOUBLE_EQ(p.link_faults[1].factor, 0.2);
+    ASSERT_EQ(p.transfer_faults.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.transfer_faults[0].truncate_bytes, 1000.0);
+    EXPECT_DOUBLE_EQ(p.transfer_faults[1].force_timeout_s, 0.5);
+    ASSERT_EQ(p.churn.size(), 2u);
+    EXPECT_FALSE(p.churn[0].graceful);
+    EXPECT_DOUBLE_EQ(p.churn[0].rejoin_s, 700.0);
+    EXPECT_DOUBLE_EQ(p.churn[0].detect_s, 30.0);
+    EXPECT_TRUE(p.churn[1].graceful);
+    p.validate();
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsGhostCrash)
+{
+    // A silent crash with neither rejoin nor detection would stall the
+    // survivors forever.
+    FaultPlan p;
+    ChurnEvent e;
+    e.worker = 0;
+    e.at_s = 10.0;
+    p.churn.push_back(e);
+    EXPECT_DEATH(p.validate(), "");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsBadFactor)
+{
+    FaultPlan p;
+    LinkFault f;
+    f.factor = 1.5;
+    f.duration_s = 1.0;
+    p.link_faults.push_back(f);
+    EXPECT_DEATH(p.validate(), "");
+}
+
+TEST(ApplyLinkFaults, BlackoutZeroesWindow)
+{
+    const auto base = net::BandwidthTrace::constant(1000.0, 60.0);
+    LinkFault f;
+    f.link = 0;
+    f.start_s = 10.0;
+    f.duration_s = 5.0;
+    f.factor = 0.0;
+    const auto out = applyLinkFaults(base, {&f, 1}, 0, 60.0);
+    EXPECT_NEAR(out.bytesPerSecAt(5.0), 1000.0, 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(12.0), 0.0, 1e-9);
+    EXPECT_NEAR(out.bytesPerSecAt(20.0), 1000.0, 1e-6);
+}
+
+TEST(ApplyLinkFaults, CoveringFactorsMultiply)
+{
+    const auto base = net::BandwidthTrace::constant(1000.0, 60.0);
+    std::vector<LinkFault> fs(2);
+    fs[0] = {0, 10.0, 20.0, 0.5};
+    fs[1] = {0, 15.0, 10.0, 0.5};
+    const auto out = applyLinkFaults(base, fs, 0, 60.0);
+    EXPECT_NEAR(out.bytesPerSecAt(12.0), 500.0, 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(20.0), 250.0, 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(27.0), 500.0, 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(40.0), 1000.0, 1e-6);
+}
+
+TEST(ApplyLinkFaults, OtherLinksUntouched)
+{
+    const auto base = net::BandwidthTrace::constant(1000.0, 60.0);
+    LinkFault f;
+    f.link = 1;
+    f.start_s = 0.0;
+    f.duration_s = 60.0;
+    f.factor = 0.0;
+    const auto out = applyLinkFaults(base, {&f, 1}, 0, 60.0);
+    EXPECT_NEAR(out.bytesPerSecAt(30.0), 1000.0, 1e-6);
+}
+
+TEST(ApplyLinkFaults, ResultSpansHorizonSoFaultsDontRecur)
+{
+    // The base trace loops every 60 s; the perturbed trace must span
+    // the horizon so a 10-15 s blackout does not come back at 70 s.
+    const auto base = net::BandwidthTrace::constant(1000.0, 60.0);
+    LinkFault f;
+    f.link = 0;
+    f.start_s = 10.0;
+    f.duration_s = 5.0;
+    f.factor = 0.0;
+    const auto out = applyLinkFaults(base, {&f, 1}, 0, 200.0);
+    EXPECT_GE(out.durationSeconds(), 200.0 - 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(72.0), 1000.0, 1e-6);
+    EXPECT_NEAR(out.bytesPerSecAt(132.0), 1000.0, 1e-6);
+}
+
+} // namespace
+} // namespace fault
+} // namespace rog
