@@ -10,6 +10,7 @@
 #ifndef ROG_BENCH_BENCH_UTIL_HPP
 #define ROG_BENCH_BENCH_UTIL_HPP
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "core/system_config.hpp"
 #include "core/workloads.hpp"
+#include "parallel/parallel_for.hpp"
 #include "stats/experiment.hpp"
 
 namespace rog {
@@ -74,6 +76,26 @@ paperExperiment(stats::Environment env, std::size_t iterations)
     cfg.eval_every = 50;
     cfg.time_horizon_seconds = 1e9; // iteration-bounded runs.
     return cfg;
+}
+
+/**
+ * Run fn(seed) for every seed, fanning the replicates out over the
+ * global thread pool (ROG_THREADS), and return the results in seed
+ * order. Each replicate must be self-contained (own engine/workload
+ * state); the returned vector is identical for any thread count.
+ */
+template <typename Fn>
+auto
+runReplicates(const std::vector<std::uint64_t> &seeds, const Fn &fn)
+    -> std::vector<decltype(fn(std::uint64_t{}))>
+{
+    std::vector<decltype(fn(std::uint64_t{}))> out(seeds.size());
+    parallel::parallelFor(0, seeds.size(), 1,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  out[i] = fn(seeds[i]);
+                          });
+    return out;
 }
 
 /** Banner separating bench sections in combined output. */

@@ -32,29 +32,45 @@ main()
     SeriesSet series("Fig.3 bandwidth traces (downsampled)", "time_s",
                      "bandwidth_mbps");
 
+    const std::vector<std::uint64_t> seeds{7, 21};
     for (auto [name, model] :
          {std::pair<const char *, net::TraceModel>{
               "indoor", net::TraceModel::indoor(mean_bps)},
           {"outdoor", net::TraceModel::outdoor(mean_bps)}}) {
-        for (std::uint64_t seed : {7u, 21u}) {
-            const auto trace = net::generateTrace(model, 300.0, seed);
-            const auto st = net::computeTraceStats(trace);
-            const double to_mbps = 8.0 / 1e6;
+        // Generate the per-seed replicates on the pool; results come
+        // back in seed order so the report is thread-count invariant.
+        struct Replicate
+        {
+            net::TraceStats stats;
+            std::vector<double> series_mbps; // 1 Hz, seed 7 only.
+        };
+        const double to_mbps = 8.0 / 1e6;
+        const auto reps = bench::runReplicates(
+            seeds, [&](std::uint64_t seed) {
+                const auto trace = net::generateTrace(model, 300.0, seed);
+                Replicate r;
+                r.stats = net::computeTraceStats(trace);
+                if (seed == 7) {
+                    // Downsample to 1 Hz for the plotted series.
+                    const auto &s = trace.samples();
+                    for (std::size_t i = 0; i < s.size(); i += 10)
+                        r.series_mbps.push_back(s[i] * to_mbps);
+                }
+                return r;
+            });
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            const auto &st = reps[i].stats;
             stats_table.addRow(
-                {name, std::to_string(seed),
+                {name, std::to_string(seeds[i]),
                  Table::num(st.mean_bytes_per_sec * to_mbps, 1),
                  Table::num(st.stddev_bytes_per_sec * to_mbps, 1),
                  Table::num(st.seconds_per_20pct_fluctuation, 2),
                  Table::num(st.seconds_per_40pct_fluctuation, 2),
                  Table::num(100.0 * st.deep_fade_fraction, 1),
                  Table::num(st.min_bytes_per_sec * to_mbps, 2)});
-            if (seed == 7) {
-                // Downsample to 1 Hz for the plotted series.
-                const auto &s = trace.samples();
-                for (std::size_t i = 0; i < s.size(); i += 10)
-                    series.add(name, static_cast<double>(i) * 0.1,
-                               s[i] * to_mbps);
-            }
+            for (std::size_t j = 0; j < reps[i].series_mbps.size(); ++j)
+                series.add(name, static_cast<double>(j),
+                           reps[i].series_mbps[j]);
         }
     }
 

@@ -19,8 +19,17 @@ namespace {
 
 using namespace rog;
 
+/**
+ * GEMM benchmark harness. The "Scalar" variants run the seed's
+ * reference kernels (tensor::ref, compiled without -march=native);
+ * the plain variants run the blocked/register-tiled kernels, which
+ * also fan out across the pool when ROG_THREADS > 1 — so one binary
+ * run per ROG_THREADS value covers scalar vs blocked vs parallel.
+ */
+template <void (*Gemm)(const tensor::Tensor &, const tensor::Tensor &,
+                       tensor::Tensor &)>
 void
-BM_Matmul(benchmark::State &state)
+gemmBench(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(1);
@@ -28,12 +37,100 @@ BM_Matmul(benchmark::State &state)
     a.randomNormal(rng, 1.0f);
     b.randomNormal(rng, 1.0f);
     for (auto _ : state) {
-        tensor::matmul(a, b, out);
+        Gemm(a, b, out);
         benchmark::DoNotOptimize(out.data());
     }
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_MatmulScalar(benchmark::State &state)
+{
+    gemmBench<tensor::ref::matmul>(state);
+}
+BENCHMARK(BM_MatmulScalar)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    gemmBench<tensor::matmul>(state);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulTransAScalar(benchmark::State &state)
+{
+    gemmBench<tensor::ref::matmulTransA>(state);
+}
+BENCHMARK(BM_MatmulTransAScalar)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulTransA(benchmark::State &state)
+{
+    gemmBench<tensor::matmulTransA>(state);
+}
+BENCHMARK(BM_MatmulTransA)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulTransBScalar(benchmark::State &state)
+{
+    gemmBench<tensor::ref::matmulTransB>(state);
+}
+BENCHMARK(BM_MatmulTransBScalar)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulTransB(benchmark::State &state)
+{
+    gemmBench<tensor::matmulTransB>(state);
+}
+BENCHMARK(BM_MatmulTransB)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Axpy(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    tensor::Tensor x(1, n), y(1, n);
+    x.randomNormal(rng, 1.0f);
+    y.randomNormal(rng, 1.0f);
+    for (auto _ : state) {
+        tensor::axpy(0.5f, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_MeanAbs(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    tensor::Tensor x(1, n);
+    x.randomNormal(rng, 1.0f);
+    const std::span<const float> v(x.data(), n);
+    for (auto _ : state) {
+        float m = tensor::meanAbs(v);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MeanAbs)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_SoftmaxRows(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    tensor::Tensor x(n, 64);
+    x.randomNormal(rng, 1.0f);
+    for (auto _ : state) {
+        tensor::softmaxRows(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 64);
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(512);
 
 void
 BM_OneBitTranscode(benchmark::State &state)

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Build the microbenchmarks in Release mode and emit a machine-readable
+# BENCH_micro.json: one record per (op, size, threads) with ns/op and
+# items/s. The scalar-vs-blocked GEMM comparison is BM_MatmulScalar
+# (seed reference kernels) vs BM_Matmul (blocked/register-tiled; also
+# pool-parallel when ROG_THREADS > 1) — the script runs the binary once
+# per thread count so all three variants land in one file.
+#
+#   BUILD_DIR            build directory (default build-bench)
+#   OUT                  output path (default BENCH_micro.json)
+#   ROG_BENCH_THREADS    thread counts to sweep (default "1 <nproc>")
+#   ROG_BENCH_MIN_TIME   google-benchmark min time per case (default 0.05)
+#   ROG_BENCH_FILTER     benchmark filter regex (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${OUT:-BENCH_micro.json}
+MIN_TIME=${ROG_BENCH_MIN_TIME:-0.05}
+FILTER=${ROG_BENCH_FILTER:-}
+THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 $(nproc)}" | tr ' ' '\n' |
+               sort -un | tr '\n' ' ')
+
+echo ">> configuring $BUILD_DIR (Release)"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target micro_ops_bench -j"$(nproc)" \
+    >/dev/null
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for t in $THREADS_LIST; do
+    echo ">> micro_ops_bench ROG_THREADS=$t"
+    ROG_THREADS=$t "$BUILD_DIR/bench/micro_ops_bench" \
+        --benchmark_format=json \
+        --benchmark_min_time="$MIN_TIME" \
+        ${FILTER:+--benchmark_filter="$FILTER"} \
+        >"$tmpdir/bench_$t.json"
+done
+
+python3 - "$OUT" "$tmpdir" <<'EOF'
+import glob
+import json
+import os
+import re
+import sys
+
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+records = []
+for path in sorted(glob.glob(os.path.join(tmpdir, "bench_*.json"))):
+    threads = int(re.search(r"bench_(\d+)\.json$", path).group(1))
+    with open(path) as f:
+        data = json.load(f)
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        op, _, size = b["name"].partition("/")
+        records.append({
+            "op": op,
+            "size": int(size) if size else None,
+            "threads": threads,
+            "ns_per_op": b["real_time"] * TO_NS[b.get("time_unit", "ns")],
+            "items_per_s": b.get("items_per_second"),
+        })
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+print(f">> wrote {out_path} ({len(records)} records)")
+
+def best(op, size):
+    rows = [r for r in records if r["op"] == op and r["size"] == size]
+    return min((r["ns_per_op"] for r in rows), default=None)
+
+for size in (128, 256):
+    scalar = best("BM_MatmulScalar", size)
+    blocked = best("BM_Matmul", size)
+    if scalar and blocked:
+        print(f">> matmul {size}x{size}: scalar {scalar:.0f} ns, "
+              f"blocked+parallel {blocked:.0f} ns "
+              f"-> {scalar / blocked:.2f}x")
+EOF

@@ -1,23 +1,65 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer in a separate build tree.
+# Build and run the test suite under sanitizers in separate build
+# trees:
 #
-#   scripts/run_sanitized.sh [extra ctest args...]
+#   phase 1 (asan):  AddressSanitizer + UBSan over the full suite.
+#   phase 2 (tsan):  ThreadSanitizer over the parallel-runtime tests
+#                    (thread pool, kernels, codec, engine) with
+#                    ROG_THREADS > 1 so pool workers actually run.
 #
-# Uses build-asan/ next to the regular build/ so the two configurations
-# never fight over a cache.
+#   scripts/run_sanitized.sh [asan|tsan|all] [extra ctest args...]
+#
+# Each phase uses its own build directory (build-asan/, build-tsan/)
+# next to the regular build/ so configurations never fight over a
+# cache. TSan and ASan cannot be combined in one binary, hence the
+# split.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-asan
+PHASE=${1:-all}
+case "$PHASE" in
+asan | tsan | all) shift || true ;;
+*) PHASE=all ;;
+esac
 
-cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DROG_SANITIZE=address,undefined
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+run_asan() {
+    local dir=build-asan
+    cmake -B "$dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DROG_SANITIZE=address,undefined
+    cmake --build "$dir" -j "$(nproc)"
 
-export ASAN_OPTIONS=detect_leaks=1:abort_on_error=1
-export UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+    ASAN_OPTIONS=detect_leaks=1:abort_on_error=1 \
+        UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+        ctest --test-dir "$dir" --output-on-failure -j "$(nproc)" "$@"
+}
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+run_tsan() {
+    local dir=build-tsan
+    cmake -B "$dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DROG_SANITIZE=thread
+    cmake --build "$dir" -j "$(nproc)" --target \
+        thread_pool_test kernel_equivalence_test ops_test conv_test \
+        codec_test engine_test replay_determinism_test
+
+    # Run with a real worker count: with ROG_THREADS=1 the pool paths
+    # are inline and TSan has nothing to check.
+    local t
+    for t in thread_pool_test kernel_equivalence_test ops_test \
+        conv_test codec_test engine_test replay_determinism_test; do
+        echo ">> tsan: $t (ROG_THREADS=4)"
+        ROG_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+            "$dir/tests/$t" --gtest_brief=1
+    done
+}
+
+case "$PHASE" in
+asan) run_asan "$@" ;;
+tsan) run_tsan ;;
+all)
+    run_asan "$@"
+    run_tsan
+    ;;
+esac

@@ -28,6 +28,58 @@ IdentityCodec::payloadBytes(std::size_t width) const
 }
 
 void
+Codec::prepare(std::size_t, std::size_t)
+{
+    // Stateless by default.
+}
+
+void
+OneBitCodec::prepare(std::size_t block, std::size_t block_width)
+{
+    residualFor(block, block_width);
+}
+
+std::vector<float> &
+OneBitCodec::residualFor(std::size_t block, std::size_t block_width)
+{
+    // find-first: after prepare() the lookup is read-only, so
+    // concurrent transcodes of distinct prepared blocks never touch
+    // the map structure.
+    auto it = residual_.find(block);
+    if (it == residual_.end()) {
+        it = residual_
+                 .emplace(block, std::vector<float>(block_width, 0.0f))
+                 .first;
+    }
+    ROG_ASSERT(it->second.size() == block_width,
+               "block width changed between calls");
+    return it->second;
+}
+
+void
+TopKCodec::prepare(std::size_t block, std::size_t block_width)
+{
+    residualFor(block, block_width);
+}
+
+std::vector<float> &
+TopKCodec::residualFor(std::size_t block, std::size_t block_width)
+{
+    // find-first: after prepare() the lookup is read-only, so
+    // concurrent transcodes of distinct prepared blocks never touch
+    // the map structure.
+    auto it = residual_.find(block);
+    if (it == residual_.end()) {
+        it = residual_
+                 .emplace(block, std::vector<float>(block_width, 0.0f))
+                 .first;
+    }
+    ROG_ASSERT(it->second.size() == block_width,
+               "block width changed between calls");
+    return it->second;
+}
+
+void
 OneBitCodec::transcode(std::size_t block, std::size_t block_width,
                        std::size_t offset, std::span<const float> grad,
                        std::span<float> out)
@@ -36,11 +88,7 @@ OneBitCodec::transcode(std::size_t block, std::size_t block_width,
     const std::size_t n = grad.size();
     ROG_ASSERT(offset + n <= block_width, "codec chunk exceeds block");
 
-    auto &res = residual_[block];
-    if (res.empty())
-        res.assign(block_width, 0.0f);
-    ROG_ASSERT(res.size() == block_width,
-               "block width changed between calls");
+    auto &res = residualFor(block, block_width);
 
     // e = grad + residual; scale = mean(|e|) over the chunk.
     float scale = 0.0f;
@@ -52,13 +100,17 @@ OneBitCodec::transcode(std::size_t block, std::size_t block_width,
 
     // Run the real wire path: pack sign bits, then unpack, so the
     // decoded value is exactly what a receiver would reconstruct.
-    packed_scratch_.resize(packedBytes(n));
-    sign_scratch_.resize(n);
-    packSigns({res.data() + offset, n}, packed_scratch_);
-    unpackSigns(packed_scratch_, n, sign_scratch_);
+    // Scratch is thread-local so distinct blocks can transcode
+    // concurrently (see the threading note in the header).
+    thread_local std::vector<std::uint8_t> packed;
+    thread_local std::vector<float> signs;
+    packed.resize(packedBytes(n));
+    signs.resize(n);
+    packSigns({res.data() + offset, n}, packed);
+    unpackSigns(packed, n, signs);
 
     for (std::size_t i = 0; i < n; ++i) {
-        const float q = scale * sign_scratch_[i];
+        const float q = scale * signs[i];
         out[i] = q;
         res[offset + i] -= q; // error compensation for the next round.
     }
@@ -99,11 +151,7 @@ TopKCodec::transcode(std::size_t block, std::size_t block_width,
     const std::size_t n = grad.size();
     ROG_ASSERT(offset + n <= block_width, "codec chunk exceeds block");
 
-    auto &res = residual_[block];
-    if (res.empty())
-        res.assign(block_width, 0.0f);
-    ROG_ASSERT(res.size() == block_width,
-               "block width changed between calls");
+    auto &res = residualFor(block, block_width);
 
     for (std::size_t i = 0; i < n; ++i)
         res[offset + i] += grad[i];
@@ -113,13 +161,14 @@ TopKCodec::transcode(std::size_t block, std::size_t block_width,
                std::ceil(keep_fraction_ * static_cast<double>(n))));
 
     // Select the `keep` largest-magnitude positions of this chunk.
-    order_scratch_.resize(n);
+    // Thread-local so distinct blocks can transcode concurrently.
+    thread_local std::vector<std::size_t> order;
+    order.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        order_scratch_[i] = i;
-    std::partial_sort(order_scratch_.begin(),
-                      order_scratch_.begin() +
-                          static_cast<std::ptrdiff_t>(keep),
-                      order_scratch_.end(),
+        order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(keep),
+                      order.end(),
                       [&](std::size_t a, std::size_t b) {
                           return std::fabs(res[offset + a]) >
                                  std::fabs(res[offset + b]);
@@ -128,7 +177,7 @@ TopKCodec::transcode(std::size_t block, std::size_t block_width,
     for (std::size_t i = 0; i < n; ++i)
         out[i] = 0.0f;
     for (std::size_t k = 0; k < keep; ++k) {
-        const std::size_t i = order_scratch_[k];
+        const std::size_t i = order[k];
         out[i] = res[offset + i];
         res[offset + i] = 0.0f; // exact transmission: no residual left.
     }

@@ -13,6 +13,11 @@
  * Codecs are stateful per (direction, peer): the error residual of the
  * worker->server push must not mix with the server->worker pull, so
  * each endpoint owns its own instance.
+ *
+ * Threading: distinct *blocks* of one codec may be transcoded
+ * concurrently once prepare() has created their state (scratch
+ * buffers are thread-local); the same block must never be transcoded
+ * by two threads at once — its residual is a sequential stream.
  */
 #ifndef ROG_COMPRESS_CODEC_HPP
 #define ROG_COMPRESS_CODEC_HPP
@@ -49,6 +54,16 @@ class Codec
                            std::size_t offset,
                            std::span<const float> grad,
                            std::span<float> out) = 0;
+
+    /**
+     * Pre-create any per-block state (e.g. the error residual) for
+     * @p block. Calling transcode without prepare still works on a
+     * single thread; *concurrent* transcodes of distinct blocks are
+     * only safe after every involved block has been prepared, because
+     * lazy creation would mutate the shared block map mid-flight.
+     * Default: no per-block state, no-op.
+     */
+    virtual void prepare(std::size_t block, std::size_t block_width);
 
     /**
      * Convenience: transcode a whole block at once.
@@ -92,6 +107,7 @@ class OneBitCodec : public Codec
     void transcode(std::size_t block, std::size_t block_width,
                    std::size_t offset, std::span<const float> grad,
                    std::span<float> out) override;
+    void prepare(std::size_t block, std::size_t block_width) override;
     double payloadBytes(std::size_t width) const override;
     std::string name() const override { return "onebit"; }
 
@@ -99,9 +115,10 @@ class OneBitCodec : public Codec
     double residualMeanAbs(std::size_t block) const;
 
   private:
+    std::vector<float> &residualFor(std::size_t block,
+                                    std::size_t block_width);
+
     std::unordered_map<std::size_t, std::vector<float>> residual_;
-    std::vector<std::uint8_t> packed_scratch_;
-    std::vector<float> sign_scratch_;
 };
 
 /**
@@ -121,15 +138,18 @@ class TopKCodec : public Codec
     void transcode(std::size_t block, std::size_t block_width,
                    std::size_t offset, std::span<const float> grad,
                    std::span<float> out) override;
+    void prepare(std::size_t block, std::size_t block_width) override;
     double payloadBytes(std::size_t width) const override;
     std::string name() const override { return "topk"; }
 
     double keepFraction() const { return keep_fraction_; }
 
   private:
+    std::vector<float> &residualFor(std::size_t block,
+                                    std::size_t block_width);
+
     double keep_fraction_;
     std::unordered_map<std::size_t, std::vector<float>> residual_;
-    std::vector<std::size_t> order_scratch_;
 };
 
 /** Factory by name ("identity" | "onebit" | "topk"). */

@@ -21,6 +21,7 @@
 #include "net/channel.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sim/energy.hpp"
 #include "sim/process.hpp"
 #include "tensor/ops.hpp"
@@ -159,7 +160,6 @@ class Engine
     std::unique_ptr<FlownScheduler> flown_;
     std::unique_ptr<AutoThresholdController> auto_ctrl_;
     std::vector<double> unit_bytes_;  //!< wire bytes per unit.
-    std::vector<float> scratch_;
     RunResult result_;
     std::size_t finished_workers_ = 0;
     Rng rng_;
@@ -348,14 +348,17 @@ Engine::computeGradients(WorkerContext &w)
 void
 Engine::accumulateGradients(WorkerContext &w)
 {
-    for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
-        const Unit &unit = partition_->unit(u);
-        scratch_.resize(unit.width);
-        w.flat->gatherGrad(unit.begin, scratch_);
-        auto &acc = w.accum[u];
-        for (std::size_t j = 0; j < unit.width; ++j)
-            acc[j] += scratch_[j];
-    }
+    // Units are disjoint flat ranges, so accumulating them touches
+    // disjoint accumulators — safe to fan out across the pool.
+    parallel::parallelFor(
+        0, partition_->unitCount(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t u = lo; u < hi; ++u) {
+                const Unit &unit = partition_->unit(u);
+                auto &acc = w.accum[u];
+                w.flat->accumulateGrad(unit.begin,
+                                       {acc.data(), unit.width});
+            }
+        });
 }
 
 std::size_t
@@ -374,9 +377,17 @@ Engine::rankPushOrder(WorkerContext &w, std::size_t iteration,
 {
     const std::size_t units = partition_->unitCount();
     std::vector<double> mags(units);
-    for (std::size_t u = 0; u < units; ++u)
-        mags[u] = tensor::meanAbs(
-            std::span<const float>(w.accum[u].data(), w.accum[u].size()));
+    // Each unit's magnitude is independent; the nested meanAbs runs
+    // inline inside the pool region, so the value per unit is the
+    // same as the sequential loop's.
+    parallel::parallelFor(0, units, 1,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t u = lo; u < hi; ++u)
+                                  mags[u] = tensor::meanAbs(
+                                      std::span<const float>(
+                                          w.accum[u].data(),
+                                          w.accum[u].size()));
+                          });
     auto order = rankUnits(ImportanceMode::Worker, cfg_.system.importance,
                            mags, w.push_iter, w.rng);
 
@@ -416,13 +427,31 @@ Engine::transcodeUnit(compress::Codec &codec, FlatModel &flat,
     const Unit &unit = partition_->unit(unit_idx);
     ROG_ASSERT(in.size() == unit.width && out.size() == unit.width,
                "transcode unit size mismatch");
+
+    // Collect the (row, column-range) chunks first: each chunk is a
+    // distinct codec block, so after prepare() they can transcode
+    // concurrently without racing on the codec's block map.
+    struct Chunk
+    {
+        std::size_t row, col, count, off;
+    };
+    std::vector<Chunk> chunks;
     flat.forEachRowChunk(
         unit.begin, unit.width,
         [&](std::size_t row, std::size_t col, std::size_t count,
             std::size_t off) {
-            codec.transcode(row, flat.rowInfo(row).width, col,
-                            in.subspan(off, count),
-                            out.subspan(off, count));
+            chunks.push_back({row, col, count, off});
+        });
+    for (const Chunk &c : chunks)
+        codec.prepare(c.row, flat.rowInfo(c.row).width);
+    parallel::parallelFor(
+        0, chunks.size(), 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const Chunk &c = chunks[i];
+                codec.transcode(c.row, flat.rowInfo(c.row).width, c.col,
+                                in.subspan(c.off, c.count),
+                                out.subspan(c.off, c.count));
+            }
         });
 }
 

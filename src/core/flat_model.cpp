@@ -58,6 +58,21 @@ FlatModel::gatherGrad(std::size_t begin, std::span<float> out) const
 }
 
 void
+FlatModel::accumulateGrad(std::size_t begin, std::span<float> acc) const
+{
+    forEachRowChunk(
+        begin, acc.size(),
+        [&](std::size_t row, std::size_t col_begin, std::size_t count,
+            std::size_t range_offset) {
+            const RowInfo &info = rows_[row];
+            const auto src =
+                params_[info.param]->grad.row(info.local_row);
+            for (std::size_t j = 0; j < count; ++j)
+                acc[range_offset + j] += src[col_begin + j];
+        });
+}
+
+void
 FlatModel::forEachRowChunk(
     std::size_t begin, std::size_t length,
     const std::function<void(std::size_t, std::size_t, std::size_t,

@@ -56,6 +56,12 @@ class FlatModel
     void gatherGrad(std::size_t begin, std::span<float> out) const;
 
     /**
+     * Add the current parameter *gradients* of the flat range
+     * [begin, begin+acc.size()) into @p acc (acc[i] += grad[i]).
+     */
+    void accumulateGrad(std::size_t begin, std::span<float> acc) const;
+
+    /**
      * Visit the flat range [begin, begin + length) as per-(global row,
      * column range) chunks: fn(row, col_begin, count, range_offset)
      * where range_offset is the chunk's offset within the visited

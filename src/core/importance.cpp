@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace rog {
 namespace core {
@@ -40,14 +41,18 @@ rankUnits(ImportanceMode mode, const ImportanceConfig &cfg,
     const std::int64_t min_iter = *min_it;
     const std::int64_t max_iter = *max_it;
 
+    // Scores are independent per unit; chunks write disjoint slices.
     std::vector<double> score(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const double mag = cfg.f1 * mean_abs_grad[i] * mag_scale;
-        const double age = (mode == ImportanceMode::Worker)
-            ? static_cast<double>(max_iter - iters[i])
-            : static_cast<double>(iters[i] - min_iter);
-        score[i] = mag + cfg.f2 * age;
-    }
+    parallel::parallelFor(
+        0, n, 256, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const double mag = cfg.f1 * mean_abs_grad[i] * mag_scale;
+                const double age = (mode == ImportanceMode::Worker)
+                    ? static_cast<double>(max_iter - iters[i])
+                    : static_cast<double>(iters[i] - min_iter);
+                score[i] = mag + cfg.f2 * age;
+            }
+        });
 
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {

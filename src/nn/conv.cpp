@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tensor/ops.hpp"
 
 namespace rog {
@@ -35,17 +36,18 @@ Conv2d::outputDim(std::size_t) const
 }
 
 void
-Conv2d::im2col(const float *sample, Tensor &col) const
+Conv2d::im2col(const float *sample, float *col) const
 {
-    // col is (H*W x C*k*k): row p holds the receptive field of output
-    // pixel p, channel-major then kernel row-major.
+    // col rows: row p holds the receptive field of output pixel p,
+    // channel-major then kernel row-major, C*k*k wide.
+    const std::size_t ckk = channels_ * kernel_ * kernel_;
     const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
     const auto h = static_cast<std::ptrdiff_t>(height_);
     const auto w = static_cast<std::ptrdiff_t>(width_);
     std::size_t col_idx = 0;
     for (std::ptrdiff_t y = 0; y < h; ++y) {
         for (std::ptrdiff_t x = 0; x < w; ++x) {
-            float *dst = col.data() + col_idx * col.cols();
+            float *dst = col + col_idx * ckk;
             std::size_t j = 0;
             for (std::size_t c = 0; c < channels_; ++c) {
                 const float *plane = sample + c * hw_;
@@ -66,15 +68,16 @@ Conv2d::im2col(const float *sample, Tensor &col) const
 }
 
 void
-Conv2d::col2im(const Tensor &dcol, float *dsample) const
+Conv2d::col2im(const float *dcol, float *dsample) const
 {
+    const std::size_t ckk = channels_ * kernel_ * kernel_;
     const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
     const auto h = static_cast<std::ptrdiff_t>(height_);
     const auto w = static_cast<std::ptrdiff_t>(width_);
     std::size_t col_idx = 0;
     for (std::ptrdiff_t y = 0; y < h; ++y) {
         for (std::ptrdiff_t x = 0; x < w; ++x) {
-            const float *src = dcol.data() + col_idx * dcol.cols();
+            const float *src = dcol + col_idx * ckk;
             std::size_t j = 0;
             for (std::size_t c = 0; c < channels_; ++c) {
                 float *plane = dsample + c * hw_;
@@ -99,22 +102,53 @@ Conv2d::forward(const Tensor &in, Tensor &out)
     ROG_ASSERT(in.cols() == inputDim(), "Conv2d: input width mismatch");
     cached_in_ = in;
     const std::size_t batch = in.rows();
+    const std::size_t ckk = weight_.value.rows();
     if (out.rows() != batch || out.cols() != outputDim(0))
         out = Tensor(batch, outputDim(0));
-    if (col_scratch_.rows() != hw_ ||
-        col_scratch_.cols() != weight_.value.rows()) {
-        col_scratch_ = Tensor(hw_, weight_.value.rows());
+
+    // Batched im2col+GEMM: gather up to kSampleBlock samples into one
+    // tall col matrix and run a single GEMM over the block instead of
+    // one small GEMM per sample.
+    const std::size_t bs = std::min<std::size_t>(batch, kSampleBlock);
+    if (col_scratch_.rows() != bs * hw_ || col_scratch_.cols() != ckk)
+        col_scratch_ = Tensor(bs * hw_, ckk);
+    if (out_mat_scratch_.rows() != bs * hw_ ||
+        out_mat_scratch_.cols() != out_channels_) {
+        out_mat_scratch_ = Tensor(bs * hw_, out_channels_);
     }
-    Tensor out_mat(hw_, out_channels_);
-    for (std::size_t b = 0; b < batch; ++b) {
-        im2col(in.data() + b * in.cols(), col_scratch_);
-        tensor::matmul(col_scratch_, weight_.value, out_mat);
+
+    for (std::size_t b0 = 0; b0 < batch; b0 += bs) {
+        const std::size_t cur = std::min(bs, batch - b0);
+        Tensor block_col;
+        Tensor block_out;
+        // The ragged tail (if any) gets right-sized temporaries; full
+        // blocks reuse the member scratch.
+        Tensor &col = cur == bs ? col_scratch_
+                                : (block_col = Tensor(cur * hw_, ckk));
+        Tensor &out_mat = cur == bs
+            ? out_mat_scratch_
+            : (block_out = Tensor(cur * hw_, out_channels_));
+
+        parallel::parallelFor(
+            0, cur, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s)
+                    im2col(in.data() + (b0 + s) * in.cols(),
+                           col.data() + s * hw_ * ckk);
+            });
+        tensor::matmul(col, weight_.value, out_mat);
         tensor::addRowBias(out_mat, bias_.value);
-        // (H*W x outC) -> channel-major (outC, H, W).
-        float *dst = out.data() + b * out.cols();
-        for (std::size_t p = 0; p < hw_; ++p)
-            for (std::size_t c = 0; c < out_channels_; ++c)
-                dst[c * hw_ + p] = out_mat.at(p, c);
+        // (H*W x outC) -> channel-major (outC, H, W) per sample.
+        parallel::parallelFor(
+            0, cur, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s) {
+                    const float *src =
+                        out_mat.data() + s * hw_ * out_channels_;
+                    float *dst = out.data() + (b0 + s) * out.cols();
+                    for (std::size_t p = 0; p < hw_; ++p)
+                        for (std::size_t c = 0; c < out_channels_; ++c)
+                            dst[c * hw_ + p] = src[p * out_channels_ + c];
+                }
+            });
     }
 }
 
@@ -126,37 +160,72 @@ Conv2d::backward(const Tensor &dout, Tensor &din)
     ROG_ASSERT(dout.rows() == cached_in_.rows(),
                "Conv2d: backward without matching forward");
     const std::size_t batch = dout.rows();
+    const std::size_t ckk = weight_.value.rows();
     if (din.rows() != batch || din.cols() != inputDim())
         din = Tensor(batch, inputDim());
     din.zero();
 
-    if (dout_mat_scratch_.rows() != hw_ ||
+    const std::size_t bs = std::min<std::size_t>(batch, kSampleBlock);
+    if (col_scratch_.rows() != bs * hw_ || col_scratch_.cols() != ckk)
+        col_scratch_ = Tensor(bs * hw_, ckk);
+    if (dout_mat_scratch_.rows() != bs * hw_ ||
         dout_mat_scratch_.cols() != out_channels_) {
-        dout_mat_scratch_ = Tensor(hw_, out_channels_);
+        dout_mat_scratch_ = Tensor(bs * hw_, out_channels_);
     }
-    if (dcol_scratch_.rows() != hw_ ||
-        dcol_scratch_.cols() != weight_.value.rows()) {
-        dcol_scratch_ = Tensor(hw_, weight_.value.rows());
+    if (dcol_scratch_.rows() != bs * hw_ || dcol_scratch_.cols() != ckk)
+        dcol_scratch_ = Tensor(bs * hw_, ckk);
+    if (dw_scratch_.rows() != ckk ||
+        dw_scratch_.cols() != weight_.value.cols()) {
+        dw_scratch_ = Tensor(ckk, weight_.value.cols());
     }
-    Tensor dw(weight_.value.rows(), weight_.value.cols());
 
-    for (std::size_t b = 0; b < batch; ++b) {
-        // Back to (H*W x outC) layout.
-        const float *src = dout.data() + b * dout.cols();
-        for (std::size_t p = 0; p < hw_; ++p)
-            for (std::size_t c = 0; c < out_channels_; ++c)
-                dout_mat_scratch_.at(p, c) = src[c * hw_ + p];
+    for (std::size_t b0 = 0; b0 < batch; b0 += bs) {
+        const std::size_t cur = std::min(bs, batch - b0);
+        Tensor block_col, block_dout, block_dcol;
+        Tensor &col = cur == bs ? col_scratch_
+                                : (block_col = Tensor(cur * hw_, ckk));
+        Tensor &dout_mat = cur == bs
+            ? dout_mat_scratch_
+            : (block_dout = Tensor(cur * hw_, out_channels_));
+        Tensor &dcol = cur == bs
+            ? dcol_scratch_
+            : (block_dcol = Tensor(cur * hw_, ckk));
 
-        im2col(cached_in_.data() + b * cached_in_.cols(), col_scratch_);
-        // dW += col^T @ dout_mat; db += column sums; dcol = dout @ W^T.
-        tensor::matmulTransA(col_scratch_, dout_mat_scratch_, dw);
-        tensor::axpy(1.0f, dw, weight_.grad);
-        for (std::size_t p = 0; p < hw_; ++p)
+        // Per sample: re-lay dout to (H*W x outC) rows and gather the
+        // forward col rows. Disjoint row ranges -> parallel over
+        // samples.
+        parallel::parallelFor(
+            0, cur, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s) {
+                    const float *src =
+                        dout.data() + (b0 + s) * dout.cols();
+                    float *dst =
+                        dout_mat.data() + s * hw_ * out_channels_;
+                    for (std::size_t p = 0; p < hw_; ++p)
+                        for (std::size_t c = 0; c < out_channels_; ++c)
+                            dst[p * out_channels_ + c] = src[c * hw_ + p];
+                    im2col(cached_in_.data() +
+                               (b0 + s) * cached_in_.cols(),
+                           col.data() + s * hw_ * ckk);
+                }
+            });
+
+        // One GEMM per block: dW += col^T @ dout_mat; db += column
+        // sums; dcol = dout_mat @ W^T.
+        tensor::matmulTransA(col, dout_mat, dw_scratch_);
+        tensor::axpy(1.0f, dw_scratch_, weight_.grad);
+        for (std::size_t p = 0; p < cur * hw_; ++p) {
+            const float *row = dout_mat.data() + p * out_channels_;
             for (std::size_t c = 0; c < out_channels_; ++c)
-                bias_.grad[c] += dout_mat_scratch_.at(p, c);
-        tensor::matmulTransB(dout_mat_scratch_, weight_.value,
-                             dcol_scratch_);
-        col2im(dcol_scratch_, din.data() + b * din.cols());
+                bias_.grad[c] += row[c];
+        }
+        tensor::matmulTransB(dout_mat, weight_.value, dcol);
+        parallel::parallelFor(
+            0, cur, 1, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t s = lo; s < hi; ++s)
+                    col2im(dcol.data() + s * hw_ * ckk,
+                           din.data() + (b0 + s) * din.cols());
+            });
     }
 }
 

@@ -8,6 +8,10 @@
  * channel-major (C, H, W) layout flattened per sample. The im2col
  * weight matrix has C*k*k rows of out_channels width — rows that ROG
  * synchronizes like any other parameter rows.
+ *
+ * Forward/backward batch the im2col gather over blocks of samples and
+ * run one GEMM per block (per-sample gathers/scatters fan out over the
+ * parallel runtime with deterministic per-sample boundaries).
  */
 #ifndef ROG_NN_CONV_HPP
 #define ROG_NN_CONV_HPP
@@ -42,11 +46,19 @@ class Conv2d : public Layer
     std::size_t inputDim() const { return channels_ * hw_; }
 
   private:
-    /** Gather the im2col matrix (H*W x C*k*k) for one sample. */
-    void im2col(const float *sample, Tensor &col) const;
+    /**
+     * Gather one sample's im2col rows: @p col points at the first of
+     * hw_ consecutive rows of width C*k*k inside the batched matrix.
+     */
+    void im2col(const float *sample, float *col) const;
 
-    /** Scatter a column-space gradient back to image space. */
-    void col2im(const Tensor &dcol, float *dsample) const;
+    /** Scatter one sample's hw_ column-space gradient rows (@p dcol)
+     *  back to image space. */
+    void col2im(const float *dcol, float *dsample) const;
+
+    /** Samples per GEMM block: batches im2col+GEMM over up to this
+     *  many samples so the col matrix stays cache-sized. */
+    static constexpr std::size_t kSampleBlock = 64;
 
     std::size_t channels_;
     std::size_t height_;
@@ -57,9 +69,11 @@ class Conv2d : public Layer
     Parameter weight_; //!< (C*k*k x out_channels).
     Parameter bias_;   //!< (1 x out_channels).
     Tensor cached_in_;
-    Tensor col_scratch_;
-    Tensor dcol_scratch_;
-    Tensor dout_mat_scratch_;
+    Tensor col_scratch_;      //!< (block*H*W x C*k*k) im2col rows.
+    Tensor dcol_scratch_;     //!< (block*H*W x C*k*k) column grads.
+    Tensor out_mat_scratch_;  //!< (block*H*W x outC) forward GEMM out.
+    Tensor dout_mat_scratch_; //!< (block*H*W x outC) re-laid dout.
+    Tensor dw_scratch_;       //!< (C*k*k x outC) per-block dW.
 };
 
 /** Configuration of the miniature ConvMLP classifier. */

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-size thread pool for in-process data parallelism.
+ *
+ * ROG's reproduction is a deterministic discrete-event simulation; the
+ * wall-clock hot path (forward/backward kernels, gradient transcodes,
+ * per-seed bench replicates) is embarrassingly parallel but must never
+ * perturb a replayed timeline. The pool therefore exposes only
+ * fork-join regions over *index ranges*: the caller hands out disjoint
+ * task indices, every task writes disjoint state, and the region
+ * barrier makes the result independent of which OS thread ran which
+ * task. Higher-level determinism (fixed chunk boundaries, ordered
+ * reductions) lives in parallel_for.hpp.
+ *
+ * Concurrency is set once per process by the `ROG_THREADS` environment
+ * variable (or programmatically before first use); `ROG_THREADS=1`
+ * executes every region inline on the caller with no threads spawned,
+ * reproducing the single-threaded library exactly.
+ */
+#ifndef ROG_PARALLEL_THREAD_POOL_HPP
+#define ROG_PARALLEL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rog {
+namespace parallel {
+
+/**
+ * A fixed team of worker threads executing fork-join index regions.
+ *
+ * `threads` counts the caller: a pool of 4 spawns 3 workers and the
+ * calling thread takes part in every region. Regions are blocking —
+ * run() returns only after every task index has executed — and
+ * non-reentrant (a task must not start another region on the same
+ * pool).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total concurrency incl. caller. @pre threads>=1 */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (worker threads + the caller). */
+    std::size_t threads() const { return threads_; }
+
+    /**
+     * Execute fn(0), fn(1), ..., fn(tasks - 1), in unspecified order
+     * across the team, and return when all have finished. Tasks must
+     * touch disjoint state; exceptions escaping @p fn terminate.
+     */
+    void run(std::size_t tasks, const std::function<void(std::size_t)> &fn);
+
+    /**
+     * The process-wide pool, sized by resolveThreads() on first use.
+     * Lives until process exit; safe to use from any thread that is
+     * not itself a pool worker.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Concurrency the global pool will use: the last setThreads()
+     * value, else the ROG_THREADS environment variable, else 1.
+     * Invalid/zero values fall back to 1.
+     */
+    static std::size_t resolveThreads();
+
+    /**
+     * Override the global concurrency (benches/tests). Takes effect
+     * only before the first global() call; later calls are ignored so
+     * a live pool is never resized mid-run.
+     */
+    static void setThreads(std::size_t threads);
+
+  private:
+    void workerLoop();
+
+    const std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    // One region at a time: tasks claim indices via next_ under mu_;
+    // generation_ wakes workers for a new region, done_ wakes the
+    // caller when the last task of the region retires.
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t task_count_ = 0;
+    std::size_t next_ = 0;
+    std::size_t pending_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace parallel
+} // namespace rog
+
+#endif // ROG_PARALLEL_THREAD_POOL_HPP

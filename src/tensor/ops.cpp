@@ -1,11 +1,173 @@
+/**
+ * @file
+ * Blocked, vectorizable, pool-parallel tensor kernels.
+ *
+ * Every kernel here obeys the parallel runtime's determinism contract
+ * (parallel_for.hpp): work splits at *fixed* boundaries that depend
+ * only on the tensor shape, each chunk writes disjoint output (or
+ * reduces through parallelReduce's ordered tree), and the per-element
+ * floating-point operation order never depends on ROG_THREADS. The
+ * original scalar kernels survive in ops_ref.cpp as the equivalence
+ * baseline.
+ *
+ * GEMM layout: outputs are computed in MR x NR register tiles with the
+ * k loop innermost-but-one, so the accumulators live in registers for
+ * the whole reduction and the inner loop is a contiguous
+ * multiply-accumulate the compiler auto-vectorizes. There is no
+ * data-dependent branch in the dense path (the seed skipped av == 0
+ * rows, which costs a branch per scalar and defeats vectorization),
+ * and the first k-slice *writes* the tile so the output needs no
+ * zero-fill pass.
+ */
 #include "tensor/ops.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace rog {
 namespace tensor {
+
+namespace {
+
+// Register tile: MR output rows x NR output columns per microkernel.
+// NR = 16 floats spans a full AVX-512 register (or 2 AVX2 / 4 SSE
+// registers); MR = 4 keeps MR * NR accumulators within the 16-32
+// vector registers of x86-64 while reusing each loaded b value 4x.
+constexpr std::size_t MR = 4;
+constexpr std::size_t NR = 16;
+
+// Rows of output per parallel chunk. A multiple of MR so full tiles
+// never straddle a chunk boundary; boundaries depend only on the
+// shape, never on the thread count.
+constexpr std::size_t kRowGrain = 32;
+
+// Elementwise grain (see parallel_for.hpp).
+constexpr std::size_t kGrain = parallel::kDefaultGrain;
+
+/**
+ * MR x NR microkernel: out[i0..i0+MR) x [j0..j0+NR) = A-panel @ B-panel
+ * with A addressed as a[row_stride_a * (i0 + r) + p * col_stride_a] —
+ * col_stride_a = 1 addresses A (m x k) directly, row_stride_a = 1 with
+ * col_stride_a = lda addresses A^T without materializing it.
+ */
+inline void
+gemmTile(const float *a, std::size_t row_stride_a,
+         std::size_t col_stride_a, const float *b, std::size_t ldb,
+         float *out, std::size_t ldo, std::size_t i0, std::size_t j0,
+         std::size_t k)
+{
+    float acc[MR][NR] = {};
+    const float *a0 = a + (i0 + 0) * row_stride_a;
+    const float *a1 = a + (i0 + 1) * row_stride_a;
+    const float *a2 = a + (i0 + 2) * row_stride_a;
+    const float *a3 = a + (i0 + 3) * row_stride_a;
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *b_row = b + p * ldb + j0;
+        const float av0 = a0[p * col_stride_a];
+        const float av1 = a1[p * col_stride_a];
+        const float av2 = a2[p * col_stride_a];
+        const float av3 = a3[p * col_stride_a];
+        for (std::size_t c = 0; c < NR; ++c) {
+            const float bv = b_row[c];
+            acc[0][c] += av0 * bv;
+            acc[1][c] += av1 * bv;
+            acc[2][c] += av2 * bv;
+            acc[3][c] += av3 * bv;
+        }
+    }
+    for (std::size_t r = 0; r < MR; ++r) {
+        float *o = out + (i0 + r) * ldo + j0;
+        for (std::size_t c = 0; c < NR; ++c)
+            o[c] = acc[r][c];
+    }
+}
+
+/** Ragged edge of the tile grid: any rows x cols block, accumulators
+ *  still in registers, same p-ascending per-element order. */
+inline void
+gemmEdge(const float *a, std::size_t row_stride_a,
+         std::size_t col_stride_a, const float *b, std::size_t ldb,
+         float *out, std::size_t ldo, std::size_t i0, std::size_t i1,
+         std::size_t j0, std::size_t j1, std::size_t k)
+{
+    for (std::size_t i = i0; i < i1; ++i) {
+        const float *a_row = a + i * row_stride_a;
+        float *o = out + i * ldo;
+        for (std::size_t j = j0; j < j1; ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += a_row[p * col_stride_a] * b[p * ldb + j];
+            o[j] = acc;
+        }
+    }
+}
+
+/** Shared GEMM driver over output rows [lo, hi). */
+void
+gemmRows(const float *a, std::size_t row_stride_a,
+         std::size_t col_stride_a, const float *b, std::size_t ldb,
+         float *out, std::size_t ldo, std::size_t lo, std::size_t hi,
+         std::size_t n, std::size_t k)
+{
+    std::size_t i = lo;
+    for (; i + MR <= hi; i += MR) {
+        std::size_t j = 0;
+        for (; j + NR <= n; j += NR)
+            gemmTile(a, row_stride_a, col_stride_a, b, ldb, out, ldo, i,
+                     j, k);
+        if (j < n)
+            gemmEdge(a, row_stride_a, col_stride_a, b, ldb, out, ldo, i,
+                     i + MR, j, n, k);
+    }
+    if (i < hi)
+        gemmEdge(a, row_stride_a, col_stride_a, b, ldb, out, ldo, i, hi,
+                 0, n, k);
+}
+
+/** Parallel GEMM over the output's rows with fixed row chunks. */
+void
+gemmParallel(const float *a, std::size_t row_stride_a,
+             std::size_t col_stride_a, const float *b, std::size_t ldb,
+             float *out, std::size_t ldo, std::size_t m, std::size_t n,
+             std::size_t k)
+{
+    if (k == 0) {
+        for (std::size_t i = 0; i < m; ++i)
+            std::memset(out + i * ldo, 0, n * sizeof(float));
+        return;
+    }
+    parallel::parallelFor(0, m, kRowGrain,
+                          [&](std::size_t lo, std::size_t hi) {
+                              gemmRows(a, row_stride_a, col_stride_a, b,
+                                       ldb, out, ldo, lo, hi, n, k);
+                          });
+}
+
+// Lane count for deterministic vectorized dot products: k is split
+// across 16 independent accumulators (elementwise, so the compiler
+// vectorizes it), then folded in a fixed pairwise tree.
+constexpr std::size_t kDotLanes = 16;
+
+inline float
+dotLanes(const float *x, const float *y, std::size_t k)
+{
+    float acc[kDotLanes] = {};
+    std::size_t p = 0;
+    for (; p + kDotLanes <= k; p += kDotLanes)
+        for (std::size_t l = 0; l < kDotLanes; ++l)
+            acc[l] += x[p + l] * y[p + l];
+    for (std::size_t l = 0; p < k; ++p, ++l)
+        acc[l] += x[p] * y[p];
+    for (std::size_t w = kDotLanes / 2; w > 0; w /= 2)
+        for (std::size_t l = 0; l < w; ++l)
+            acc[l] += acc[l + w];
+    return acc[0];
+}
+
+} // namespace
 
 void
 matmul(const Tensor &a, const Tensor &b, Tensor &out)
@@ -13,20 +175,8 @@ matmul(const Tensor &a, const Tensor &b, Tensor &out)
     ROG_ASSERT(a.cols() == b.rows() && out.rows() == a.rows() &&
                out.cols() == b.cols(), "matmul shape mismatch");
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    out.zero();
-    // i-k-j loop order keeps the inner loop contiguous in b and out.
-    for (std::size_t i = 0; i < m; ++i) {
-        float *out_row = out.data() + i * n;
-        const float *a_row = a.data() + i * k;
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = a_row[p];
-            if (av == 0.0f)
-                continue;
-            const float *b_row = b.data() + p * n;
-            for (std::size_t j = 0; j < n; ++j)
-                out_row[j] += av * b_row[j];
-        }
-    }
+    gemmParallel(a.data(), /*row_stride_a=*/k, /*col_stride_a=*/1,
+                 b.data(), n, out.data(), n, m, n, k);
 }
 
 void
@@ -35,19 +185,11 @@ matmulTransA(const Tensor &a, const Tensor &b, Tensor &out)
     ROG_ASSERT(a.rows() == b.rows() && out.rows() == a.cols() &&
                out.cols() == b.cols(), "matmulTransA shape mismatch");
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    out.zero();
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *a_row = a.data() + p * m;
-        const float *b_row = b.data() + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = a_row[i];
-            if (av == 0.0f)
-                continue;
-            float *out_row = out.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                out_row[j] += av * b_row[j];
-        }
-    }
+    // A^T is addressed in place: element (i, p) of A^T is a[p * m + i],
+    // i.e. row stride 1 and column stride m. The microkernel's av0..av3
+    // loads then touch 4 *contiguous* floats of a row of A.
+    gemmParallel(a.data(), /*row_stride_a=*/1, /*col_stride_a=*/m,
+                 b.data(), n, out.data(), n, m, n, k);
 }
 
 void
@@ -56,43 +198,51 @@ matmulTransB(const Tensor &a, const Tensor &b, Tensor &out)
     ROG_ASSERT(a.cols() == b.cols() && out.rows() == a.rows() &&
                out.cols() == b.rows(), "matmulTransB shape mismatch");
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *a_row = a.data() + i * k;
-        float *out_row = out.data() + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *b_row = b.data() + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += a_row[p] * b_row[p];
-            out_row[j] = acc;
-        }
-    }
+    const float *adata = a.data();
+    const float *bdata = b.data();
+    float *odata = out.data();
+    // Both operands are traversed along contiguous rows of length k, so
+    // each output element is a lane-accumulated dot product.
+    parallel::parallelFor(
+        0, m, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const float *a_row = adata + i * k;
+                float *out_row = odata + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    out_row[j] = dotLanes(a_row, bdata + j * k, k);
+            }
+        });
 }
 
 void
 axpy(float alpha, const Tensor &x, Tensor &y)
 {
     ROG_ASSERT(x.sameShape(y), "axpy shape mismatch");
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        y[i] += alpha * x[i];
+    const float *xd = x.data();
+    float *yd = y.data();
+    parallel::parallelFor(0, x.size(), kGrain,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  yd[i] += alpha * xd[i];
+                          });
 }
 
 void
 copy(const Tensor &x, Tensor &y)
 {
     ROG_ASSERT(x.sameShape(y), "copy shape mismatch");
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        y[i] = x[i];
+    std::memcpy(y.data(), x.data(), x.size() * sizeof(float));
 }
 
 void
 scale(Tensor &x, float alpha)
 {
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        x[i] *= alpha;
+    float *xd = x.data();
+    parallel::parallelFor(0, x.size(), kGrain,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  xd[i] *= alpha;
+                          });
 }
 
 void
@@ -100,20 +250,30 @@ addRowBias(Tensor &x, const Tensor &bias)
 {
     ROG_ASSERT(bias.rows() == 1 && bias.cols() == x.cols(),
                "bias shape mismatch");
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-        float *row = x.data() + i * x.cols();
-        for (std::size_t j = 0; j < x.cols(); ++j)
-            row[j] += bias[j];
-    }
+    const std::size_t cols = x.cols();
+    float *xd = x.data();
+    const float *bd = bias.data();
+    parallel::parallelFor(
+        0, x.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                float *row = xd + i * cols;
+                for (std::size_t j = 0; j < cols; ++j)
+                    row[j] += bd[j];
+            }
+        });
 }
 
 void
 relu(const Tensor &x, Tensor &out)
 {
     ROG_ASSERT(x.sameShape(out), "relu shape mismatch");
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    const float *xd = x.data();
+    float *od = out.data();
+    parallel::parallelFor(0, x.size(), kGrain,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  od[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+                          });
 }
 
 void
@@ -121,18 +281,27 @@ reluBackward(const Tensor &x, const Tensor &dout, Tensor &din)
 {
     ROG_ASSERT(x.sameShape(dout) && x.sameShape(din),
                "reluBackward shape mismatch");
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        din[i] = x[i] > 0.0f ? dout[i] : 0.0f;
+    const float *xd = x.data();
+    const float *dd = dout.data();
+    float *od = din.data();
+    parallel::parallelFor(
+        0, x.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                od[i] = xd[i] > 0.0f ? dd[i] : 0.0f;
+        });
 }
 
 void
 tanhForward(const Tensor &x, Tensor &out)
 {
     ROG_ASSERT(x.sameShape(out), "tanh shape mismatch");
-    const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = std::tanh(x[i]);
+    const float *xd = x.data();
+    float *od = out.data();
+    parallel::parallelFor(0, x.size(), kGrain,
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  od[i] = std::tanh(xd[i]);
+                          });
 }
 
 void
@@ -140,28 +309,38 @@ tanhBackward(const Tensor &out, const Tensor &dout, Tensor &din)
 {
     ROG_ASSERT(out.sameShape(dout) && out.sameShape(din),
                "tanhBackward shape mismatch");
-    const std::size_t n = out.size();
-    for (std::size_t i = 0; i < n; ++i)
-        din[i] = dout[i] * (1.0f - out[i] * out[i]);
+    const float *od = out.data();
+    const float *dd = dout.data();
+    float *id = din.data();
+    parallel::parallelFor(
+        0, out.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                id[i] = dd[i] * (1.0f - od[i] * od[i]);
+        });
 }
 
 void
 softmaxRows(Tensor &x)
 {
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-        float *row = x.data() + i * x.cols();
-        float mx = row[0];
-        for (std::size_t j = 1; j < x.cols(); ++j)
-            mx = std::max(mx, row[j]);
-        float sum = 0.0f;
-        for (std::size_t j = 0; j < x.cols(); ++j) {
-            row[j] = std::exp(row[j] - mx);
-            sum += row[j];
-        }
-        const float inv = 1.0f / sum;
-        for (std::size_t j = 0; j < x.cols(); ++j)
-            row[j] *= inv;
-    }
+    const std::size_t cols = x.cols();
+    float *xd = x.data();
+    parallel::parallelFor(
+        0, x.rows(), kRowGrain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                float *row = xd + i * cols;
+                float mx = row[0];
+                for (std::size_t j = 1; j < cols; ++j)
+                    mx = std::max(mx, row[j]);
+                float sum = 0.0f;
+                for (std::size_t j = 0; j < cols; ++j) {
+                    row[j] = std::exp(row[j] - mx);
+                    sum += row[j];
+                }
+                const float inv = 1.0f / sum;
+                for (std::size_t j = 0; j < cols; ++j)
+                    row[j] *= inv;
+            }
+        });
 }
 
 float
@@ -169,10 +348,20 @@ meanAbs(std::span<const float> v)
 {
     if (v.empty())
         return 0.0f;
-    float s = 0.0f;
-    for (float x : v)
-        s += std::fabs(x);
-    return s / static_cast<float>(v.size());
+    const float *d = v.data();
+    // Double accumulation (like frobeniusNorm): float accumulation
+    // drifts measurably by ~10^6 elements, and the importance ranking
+    // compares these values across units of very different sizes.
+    const double s = parallel::parallelReduce(
+        std::size_t{0}, v.size(), kGrain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+            double partial = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                partial += std::fabs(static_cast<double>(d[i]));
+            return partial;
+        },
+        [](double a, double b) { return a + b; });
+    return static_cast<float>(s / static_cast<double>(v.size()));
 }
 
 float
@@ -184,18 +373,31 @@ meanAbs(const Tensor &x)
 float
 maxAbs(const Tensor &x)
 {
-    float m = 0.0f;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        m = std::max(m, std::fabs(x[i]));
-    return m;
+    const float *d = x.data();
+    return parallel::parallelReduce(
+        std::size_t{0}, x.size(), kGrain, 0.0f,
+        [&](std::size_t lo, std::size_t hi) {
+            float partial = 0.0f;
+            for (std::size_t i = lo; i < hi; ++i)
+                partial = std::max(partial, std::fabs(d[i]));
+            return partial;
+        },
+        [](float a, float b) { return std::max(a, b); });
 }
 
 float
 frobeniusNorm(const Tensor &x)
 {
-    double s = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i)
-        s += static_cast<double>(x[i]) * x[i];
+    const float *d = x.data();
+    const double s = parallel::parallelReduce(
+        std::size_t{0}, x.size(), kGrain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+            double partial = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                partial += static_cast<double>(d[i]) * d[i];
+            return partial;
+        },
+        [](double a, double b) { return a + b; });
     return static_cast<float>(std::sqrt(s));
 }
 

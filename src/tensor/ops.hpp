@@ -68,6 +68,20 @@ float frobeniusNorm(const Tensor &x);
 /** Index of the max element of row r. */
 std::size_t argmaxRow(const Tensor &x, std::size_t r);
 
+/**
+ * Scalar reference kernels: the seed library's original triple-loop
+ * implementations (ops_ref.cpp, built with default flags). Baseline
+ * for the kernel-equivalence tests and the micro benchmarks; never
+ * used on the hot path.
+ */
+namespace ref {
+
+void matmul(const Tensor &a, const Tensor &b, Tensor &out);
+void matmulTransA(const Tensor &a, const Tensor &b, Tensor &out);
+void matmulTransB(const Tensor &a, const Tensor &b, Tensor &out);
+
+} // namespace ref
+
 } // namespace tensor
 } // namespace rog
 

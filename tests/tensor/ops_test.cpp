@@ -170,6 +170,31 @@ TEST(OpsTest, MeanAbsOfEmptySpanIsZero)
     EXPECT_EQ(meanAbs(std::span<const float>{}), 0.0f);
 }
 
+/**
+ * meanAbs accumulates in double (like frobeniusNorm): on a large
+ * tensor whose exact mean is representable, a float accumulator would
+ * drift visibly, a double one is exact. Pins the value so a revert to
+ * float accumulation fails loudly.
+ */
+TEST(OpsTest, MeanAbsLargeTensorIsDoubleAccurate)
+{
+    // 1e6 elements alternating +/- around |v| = 0.1: exact mean(|v|)
+    // is 0.1, but sum in float loses ~1e-3 relative accuracy here.
+    const std::size_t n = 1'000'000;
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = (i % 2 == 0) ? 0.1f : -0.1f;
+    const float m = meanAbs(std::span<const float>(v.data(), n));
+    EXPECT_FLOAT_EQ(m, 0.1f);
+
+    // And a harder mix: values spanning orders of magnitude.
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = (i % 4 == 0) ? 1000.0f : 0.001f;
+    const double exact = (250000.0 * 1000.0 + 750000.0 * 0.001) / 1e6;
+    const float got = meanAbs(std::span<const float>(v.data(), n));
+    EXPECT_NEAR(got, static_cast<float>(exact), 1e-3f);
+}
+
 } // namespace
 } // namespace tensor
 } // namespace rog
