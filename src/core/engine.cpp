@@ -96,6 +96,9 @@ struct WorkerContext
     double carried_pull_comm_s = 0.0;
     double carried_bytes_pulled = 0.0;
     std::size_t carried_units_pulled = 0;
+    std::size_t carried_pull_retries = 0;
+    double carried_pull_backoff_s = 0.0;
+    double carried_pull_retransmitted = 0.0;
 };
 
 /** One engine instance == one training run. */
@@ -165,7 +168,12 @@ class Engine
     Rng rng_;
     std::unique_ptr<sim::Condition> version_cond_;
     std::unique_ptr<fault::FaultInjector> injector_;
+    // The transport wraps the channel and must be destroyed after it
+    // (channel teardown drops in-flight sends through the transport's
+    // callbacks), hence declared before channel_.
+    std::unique_ptr<net::transport::ReliableLink> transport_;
     std::unique_ptr<net::Channel> channel_;
+    std::uint64_t msg_seq_ = 0; //!< unique transport message tags.
 };
 
 Engine::Engine(Workload &workload, const EngineConfig &cfg,
@@ -307,6 +315,10 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
         }
     }
     channel_ = std::make_unique<net::Channel>(sim_, std::move(traces));
+    if (cfg.reliable_transport) {
+        transport_ = std::make_unique<net::transport::ReliableLink>(
+            sim_, *channel_, cfg.transport, cfg.invariants);
+    }
     if (cfg.fault_plan) {
         injector_ =
             std::make_unique<fault::FaultInjector>(sim_,
@@ -518,6 +530,9 @@ Engine::workerProcess(WorkerContext &w)
             w.carried_pull_comm_s = 0.0;
             w.carried_bytes_pulled = 0.0;
             w.carried_units_pulled = 0;
+            w.carried_pull_retries = 0;
+            w.carried_pull_backoff_s = 0.0;
+            w.carried_pull_retransmitted = 0.0;
             if (!std::isfinite(w.rejoin_time)) {
                 // Permanent silent crash: stay dark — peers keep
                 // stalling on this ghost — until the server's failure
@@ -570,9 +585,15 @@ Engine::workerProcess(WorkerContext &w)
         rec.comm_s += w.carried_pull_comm_s;
         rec.bytes_pulled += w.carried_bytes_pulled;
         rec.units_pulled += w.carried_units_pulled;
+        rec.retries += w.carried_pull_retries;
+        rec.backoff_s += w.carried_pull_backoff_s;
+        rec.bytes_retransmitted += w.carried_pull_retransmitted;
         w.carried_pull_comm_s = 0.0;
         w.carried_bytes_pulled = 0.0;
         w.carried_units_pulled = 0;
+        w.carried_pull_retries = 0;
+        w.carried_pull_backoff_s = 0.0;
+        w.carried_pull_retransmitted = 0.0;
 
         // ---- PushGradients (Algo 1 line 4, Algo 3+4) ----
         const std::size_t threshold = currentThreshold(w.id);
@@ -597,9 +618,49 @@ Engine::workerProcess(WorkerContext &w)
         // transmitting more rows until the shared MTA time window
         // closes (speculatively — the cut row is discarded).
         w.meter->setState(DeviceState::Communicate);
+        double push_elapsed = 0.0;
+        double push_wire = 0.0;
+        std::vector<std::size_t> arrived; //!< units the server holds.
+        std::size_t sent = 0;
+        if (transport_) {
+            // Reliable path: each unit is one framed, checksummed
+            // message. Mandatory (MTA) units retry without a deadline
+            // (bounded by the transport's attempt cap); speculative
+            // units carry the MTA window as an absolute deadline. A
+            // failed unit stays accumulated — it rides the next push,
+            // late but intact. The judgement-insertion ablation only
+            // applies to the legacy bulk path.
+            const double push_start = sim_.now();
+            for (std::size_t i = 0; i < units && !w.crashed; ++i) {
+                const bool mandatory = i < mta;
+                if (!mandatory &&
+                    (!atp || sim_.now() >= push_start + timeout))
+                    break;
+                net::transport::MessageKey key;
+                key.worker = static_cast<std::uint16_t>(w.id);
+                key.version = static_cast<std::int64_t>(msg_seq_++);
+                key.row = static_cast<std::uint32_t>(order[i]);
+                key.pull = false;
+                const double deadline = mandatory
+                    ? net::transport::kNoDeadline
+                    : push_start + timeout;
+                auto tres = co_await transport_->send(
+                    w.id, key, unit_bytes_[order[i]], deadline);
+                push_elapsed += tres.elapsed_s;
+                push_wire += tres.bytes_sent;
+                rec.retries += tres.retries;
+                rec.backoff_s += tres.backoff_s;
+                rec.bytes_retransmitted += tres.retransmitted_bytes;
+                if (tres.delivered)
+                    arrived.push_back(order[i]);
+                else if (!mandatory && tres.deadline_expired)
+                    break; // the speculative window closed.
+            }
+            sent = arrived.size();
+        } else {
         auto res = co_await channel_->transfer(w.id, header + prefix[mta],
                                                net::Channel::kNoTimeout);
-        std::size_t sent = mta;
+        sent = mta;
         if (!res.completed) {
             // A fault (truncation / forced timeout) cut the mandatory
             // transfer: only rows whose bytes fully arrived count.
@@ -608,8 +669,8 @@ Engine::workerProcess(WorkerContext &w)
                    header + prefix[sent + 1] <= res.bytes_sent + 1e-6)
                 ++sent;
         }
-        double push_elapsed = res.elapsed;
-        double push_wire = res.bytes_sent;
+        push_elapsed = res.elapsed;
+        push_wire = res.bytes_sent;
         if (atp && res.completed && sent < units &&
             push_elapsed < timeout &&
             cfg_.per_unit_judgement_seconds <= 0.0) {
@@ -642,6 +703,9 @@ Engine::workerProcess(WorkerContext &w)
                 ++sent;
             }
         }
+        for (std::size_t i = 0; i < sent; ++i)
+            arrived.push_back(order[i]);
+        } // legacy bulk path.
         // A crash anywhere in the push discards the iteration: the
         // transferred bytes never reached the server, so no row of it
         // is accumulated or versioned.
@@ -649,13 +713,13 @@ Engine::workerProcess(WorkerContext &w)
             continue;
         rec.comm_s += push_elapsed;
         rec.bytes_pushed = push_wire;
-        rec.units_pushed = sent;
-        rec.push_fraction =
-            static_cast<double>(sent) / static_cast<double>(units);
+        rec.units_pushed = arrived.size();
+        rec.push_fraction = static_cast<double>(arrived.size()) /
+                            static_cast<double>(units);
 
-        // Server receive (Algo 2 lines 2-6).
-        for (std::size_t i = 0; i < sent; ++i) {
-            const std::size_t u = order[i];
+        // Server receive (Algo 2 lines 2-6): exactly the units whose
+        // bytes verifiably arrived.
+        for (const std::size_t u : arrived) {
             decoded.resize(w.accum[u].size());
             transcodeUnit(*w.push_codec, *w.flat, u, w.accum[u],
                           decoded);
@@ -741,9 +805,15 @@ Engine::workerProcess(WorkerContext &w)
             rec.comm_s += w.carried_pull_comm_s;
             rec.bytes_pulled += w.carried_bytes_pulled;
             rec.units_pulled += w.carried_units_pulled;
+            rec.retries += w.carried_pull_retries;
+            rec.backoff_s += w.carried_pull_backoff_s;
+            rec.bytes_retransmitted += w.carried_pull_retransmitted;
             w.carried_pull_comm_s = 0.0;
             w.carried_bytes_pulled = 0.0;
             w.carried_units_pulled = 0;
+            w.carried_pull_retries = 0;
+            w.carried_pull_backoff_s = 0.0;
+            w.carried_pull_retransmitted = 0.0;
         }
 
         // ---- Bookkeeping ----
@@ -834,6 +904,42 @@ Engine::pullProcess(WorkerContext &w)
         // Compute while this transfer is in flight; the overlap is
         // then charged at compute power (which dominates).
         w.meter->setState(DeviceState::Communicate);
+        double pull_elapsed = 0.0;
+        double pull_wire = 0.0;
+        std::vector<std::size_t> fetched; //!< units delivered intact.
+        if (transport_) {
+            // Reliable path: mirror of the push — mandatory pull units
+            // retry until intact, speculative ones race the window.
+            // An undelivered unit stays pending at the server.
+            const double pull_start = sim_.now();
+            for (std::size_t i = 0; i < cand.size() && !w.crashed;
+                 ++i) {
+                const bool mandatory = i < pull_mta;
+                if (!mandatory &&
+                    (!atp || sim_.now() >= pull_start + pull_timeout))
+                    break;
+                net::transport::MessageKey key;
+                key.worker = static_cast<std::uint16_t>(w.id);
+                key.version = static_cast<std::int64_t>(msg_seq_++);
+                key.row = static_cast<std::uint32_t>(cand[rank[i]]);
+                key.pull = true;
+                const double deadline = mandatory
+                    ? net::transport::kNoDeadline
+                    : pull_start + pull_timeout;
+                auto tres = co_await transport_->send(
+                    w.id, key, unit_bytes_[cand[rank[i]]], deadline);
+                pull_elapsed += tres.elapsed_s;
+                pull_wire += tres.bytes_sent;
+                w.carried_pull_retries += tres.retries;
+                w.carried_pull_backoff_s += tres.backoff_s;
+                w.carried_pull_retransmitted +=
+                    tres.retransmitted_bytes;
+                if (tres.delivered)
+                    fetched.push_back(cand[rank[i]]);
+                else if (!mandatory && tres.deadline_expired)
+                    break;
+            }
+        } else {
         auto pres = co_await channel_->transfer(
             w.id, header + pull_prefix[pull_mta],
             net::Channel::kNoTimeout);
@@ -847,8 +953,8 @@ Engine::pullProcess(WorkerContext &w)
                        pres.bytes_sent + 1e-6)
                 ++pulled;
         }
-        double pull_elapsed = pres.elapsed;
-        double pull_wire = pres.bytes_sent;
+        pull_elapsed = pres.elapsed;
+        pull_wire = pres.bytes_sent;
         if (atp && pres.completed && pulled < cand.size() &&
             pull_elapsed < pull_timeout) {
             auto pres2 = co_await channel_->transfer(
@@ -862,6 +968,9 @@ Engine::pullProcess(WorkerContext &w)
             pull_elapsed += pres2.elapsed;
             pull_wire += pres2.bytes_sent;
         }
+        for (std::size_t i = 0; i < pulled; ++i)
+            fetched.push_back(cand[rank[i]]);
+        } // legacy bulk path.
         if (w.crashed) {
             // Crash mid-pull: nothing is applied; the server keeps the
             // pending copies for the rejoin resync to clear.
@@ -871,10 +980,9 @@ Engine::pullProcess(WorkerContext &w)
         }
         w.carried_pull_comm_s += pull_elapsed;
         w.carried_bytes_pulled += pull_wire;
-        w.carried_units_pulled += pulled;
+        w.carried_units_pulled += fetched.size();
 
-        for (std::size_t i = 0; i < pulled; ++i) {
-            const std::size_t u = cand[rank[i]];
+        for (const std::size_t u : fetched) {
             if (cfg_.invariants) {
                 cfg_.invariants->onApply(w.id, u,
                                          server_->hasPending(w.id, u));
@@ -1010,6 +1118,15 @@ Engine::run()
     for (const auto &w : workers_) {
         result_.completed_iterations =
             std::min(result_.completed_iterations, w->cur_iter);
+    }
+    if (transport_) {
+        const auto &t = transport_->totals();
+        result_.transport_retries = t.retries;
+        result_.transport_backoff_s = t.backoff_s;
+        result_.transport_retransmitted_bytes = t.retransmitted_bytes;
+        result_.transport_corrupt_chunks = t.corrupt_chunks;
+        result_.transport_duplicate_chunks = t.duplicate_chunks;
+        result_.transport_reordered_chunks = t.reordered_chunks;
     }
     return result_;
 }

@@ -25,6 +25,7 @@
 #include "core/testbed_profile.hpp"
 #include "core/workload.hpp"
 #include "net/bandwidth_trace.hpp"
+#include "net/transport/reliable_link.hpp"
 
 namespace rog {
 
@@ -96,6 +97,20 @@ struct EngineConfig
     bool pipeline_pull = false;
 
     /**
+     * Robustness: route every gradient push and pull through the
+     * reliable transport sublayer (net/transport) instead of raw bulk
+     * transfers. Each synchronization unit travels as one framed,
+     * checksummed, chunked message: mandatory (MTA) units retry with
+     * deadline-free backoff until delivered intact or out of attempts,
+     * speculative units carry the MTA window as an absolute deadline.
+     * A unit whose send fails stays accumulated and rides the next
+     * iteration's push — late but intact, never corrupted. Opt-in: the
+     * legacy bulk path (off) replays byte-identically.
+     */
+    bool reliable_transport = false;
+    net::transport::TransportConfig transport{};
+
+    /**
      * Fault injection (src/fault): a deterministic schedule of link
      * blackouts / bandwidth collapses (baked into the link traces),
      * per-transfer truncations and forced timeouts (applied by the
@@ -137,6 +152,12 @@ struct IterationRecord
     double push_fraction = 0.0;   //!< units pushed / total units.
     std::int64_t staleness_behind = 0; //!< fastest worker iter - mine.
     double end_time_s = 0.0;      //!< virtual time when iter finished.
+
+    // Reliable-transport accounting (zero on the legacy bulk path).
+    std::size_t retries = 0;          //!< chunk retransmission attempts.
+    double backoff_s = 0.0;           //!< seconds spent backing off
+                                      //!< (included in comm_s).
+    double bytes_retransmitted = 0.0; //!< bytes delivered more than once.
 };
 
 /** Per-(worker, checkpoint) metric record. */
@@ -165,6 +186,14 @@ struct RunResult
     double sim_seconds = 0.0;                //!< virtual run length.
     std::size_t completed_iterations = 0;    //!< min over workers.
     double total_bytes = 0.0;                //!< delivered on channel.
+
+    // Reliable-transport aggregate (all zero on the legacy path).
+    std::size_t transport_retries = 0;
+    double transport_backoff_s = 0.0;
+    double transport_retransmitted_bytes = 0.0;
+    std::size_t transport_corrupt_chunks = 0;
+    std::size_t transport_duplicate_chunks = 0;
+    std::size_t transport_reordered_chunks = 0;
 
     /** Mean per-iteration (compute, comm, stall) seconds. */
     void meanTimeComposition(double &compute, double &comm,

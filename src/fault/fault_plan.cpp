@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -24,63 +25,115 @@ num(double v)
     return os.str();
 }
 
-double
-parseNum(const std::string &s, const std::string &line)
-{
-    if (s == "inf")
-        return std::numeric_limits<double>::infinity();
-    std::size_t pos = 0;
-    double v = 0.0;
-    try {
-        v = std::stod(s, &pos);
-    } catch (...) {
-        ROG_FATAL("bad number '", s, "' in fault spec line: ", line);
-    }
-    if (pos != s.size())
-        ROG_FATAL("bad number '", s, "' in fault spec line: ", line);
-    return v;
-}
-
 /** key=value fields of one spec line, after the event keyword. */
 struct Fields
 {
     std::string keyword;
+    std::size_t line_no = 0;
+    std::string line;
     std::vector<std::pair<std::string, std::string>> kv;
+    std::string error; //!< sticky: first problem wins.
 
-    double
-    get(const std::string &key, const std::string &line) const
+    void
+    fail(const std::string &what)
     {
-        for (const auto &[k, v] : kv)
-            if (k == key)
-                return parseNum(v, line);
-        ROG_FATAL("fault spec line missing '", key, "=': ", line);
+        if (error.empty()) {
+            error = detail::concat("fault spec line ", line_no, ": ",
+                                   what, " in: ", line);
+        }
     }
 
     double
-    getOr(const std::string &key, double fallback,
-          const std::string &line) const
+    number(const std::string &text)
+    {
+        if (text == "inf")
+            return std::numeric_limits<double>::infinity();
+        std::size_t pos = 0;
+        double v = 0.0;
+        try {
+            v = std::stod(text, &pos);
+        } catch (...) {
+            pos = 0;
+        }
+        if (pos != text.size() || text.empty() || std::isnan(v)) {
+            fail(detail::concat("bad number '", text, "'"));
+            return 0.0;
+        }
+        return v;
+    }
+
+    double
+    get(const std::string &key)
     {
         for (const auto &[k, v] : kv)
             if (k == key)
-                return parseNum(v, line);
+                return number(v);
+        fail(detail::concat("missing '", key, "='"));
+        return 0.0;
+    }
+
+    double
+    getOr(const std::string &key, double fallback)
+    {
+        for (const auto &[k, v] : kv)
+            if (k == key)
+                return number(v);
         return fallback;
+    }
+
+    /** Reject typoed/stray keys so nothing is silently ignored. */
+    void
+    allowOnly(std::initializer_list<const char *> keys)
+    {
+        std::set<std::string> seen;
+        for (const auto &[k, v] : kv) {
+            (void)v;
+            if (std::find_if(keys.begin(), keys.end(),
+                             [&](const char *a) { return k == a; }) ==
+                keys.end()) {
+                fail(detail::concat("unknown key '", k, "'"));
+            }
+            if (!seen.insert(k).second)
+                fail(detail::concat("duplicate key '", k, "'"));
+        }
     }
 };
 
 Fields
-splitLine(const std::string &line)
+splitLine(const std::string &line, std::size_t line_no)
 {
     Fields f;
+    f.line = line;
+    f.line_no = line_no;
     std::istringstream is(line);
     is >> f.keyword;
     std::string tok;
     while (is >> tok) {
         const auto eq = tok.find('=');
-        if (eq == std::string::npos || eq == 0)
-            ROG_FATAL("expected key=value in fault spec line: ", line);
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == tok.size()) {
+            f.fail(detail::concat("expected key=value, got '", tok,
+                                  "'"));
+            continue;
+        }
         f.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
     }
     return f;
+}
+
+/** Non-negative link/worker index (rejects negatives and fractions). */
+std::size_t
+index(Fields &f, const std::string &key)
+{
+    const double v = f.get(key);
+    if (!f.error.empty())
+        return 0;
+    if (v < 0.0 || v != std::floor(v) || !std::isfinite(v)) {
+        f.fail(detail::concat("'", key, "' must be a non-negative "
+                              "integer, got ", num(v)));
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
 }
 
 } // namespace
@@ -136,6 +189,41 @@ FaultPlan::random(std::uint64_t seed, const FaultPlanConfig &cfg)
                 rng.uniform(cfg.timeout_min_s, cfg.timeout_max_s);
             plan.transfer_faults.push_back(r);
         }
+        // Corruption-class rules are guarded so a zero knob draws no
+        // RNG values: plans from pre-transport seeds stay identical.
+        if (cfg.max_corruptions_per_link > 0) {
+            const auto n =
+                rng.uniformInt(cfg.max_corruptions_per_link + 1);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                TransferFaultRule r;
+                r.link = l;
+                r.at_s = rng.uniform(0.0, cfg.horizon_s);
+                r.corrupt = true;
+                plan.transfer_faults.push_back(r);
+            }
+        }
+        if (cfg.max_duplicates_per_link > 0) {
+            const auto n =
+                rng.uniformInt(cfg.max_duplicates_per_link + 1);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                TransferFaultRule r;
+                r.link = l;
+                r.at_s = rng.uniform(0.0, cfg.horizon_s);
+                r.duplicate = true;
+                plan.transfer_faults.push_back(r);
+            }
+        }
+        if (cfg.max_reorders_per_link > 0) {
+            const auto n =
+                rng.uniformInt(cfg.max_reorders_per_link + 1);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                TransferFaultRule r;
+                r.link = l;
+                r.at_s = rng.uniform(0.0, cfg.horizon_s);
+                r.reorder = true;
+                plan.transfer_faults.push_back(r);
+            }
+        }
     }
 
     for (std::size_t w = 0; w < cfg.workers; ++w) {
@@ -161,60 +249,94 @@ FaultPlan::random(std::uint64_t seed, const FaultPlanConfig &cfg)
     return plan;
 }
 
-FaultPlan
-FaultPlan::parse(const std::string &spec)
+FaultPlan::ParseResult
+FaultPlan::tryParse(const std::string &spec)
 {
-    FaultPlan plan;
+    ParseResult out;
     std::istringstream is(spec);
     std::string line;
+    std::size_t line_no = 0;
     while (std::getline(is, line)) {
+        ++line_no;
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
-        const Fields f = splitLine(line);
+        Fields f = splitLine(line, line_no);
         if (f.keyword == "blackout" || f.keyword == "degrade") {
+            const bool degrade = f.keyword == "degrade";
+            degrade ? f.allowOnly({"link", "start", "dur", "factor"})
+                    : f.allowOnly({"link", "start", "dur"});
             LinkFault lf;
-            lf.link = static_cast<std::size_t>(f.get("link", line));
-            lf.start_s = f.get("start", line);
-            lf.duration_s = f.get("dur", line);
-            lf.factor = f.keyword == "blackout"
-                            ? 0.0
-                            : f.get("factor", line);
-            plan.link_faults.push_back(lf);
+            lf.link = index(f, "link");
+            lf.start_s = f.get("start");
+            lf.duration_s = f.get("dur");
+            lf.factor = degrade ? f.get("factor") : 0.0;
+            out.plan.link_faults.push_back(lf);
         } else if (f.keyword == "truncate") {
+            f.allowOnly({"link", "at", "bytes"});
             TransferFaultRule r;
-            r.link = static_cast<std::size_t>(f.get("link", line));
-            r.at_s = f.get("at", line);
-            r.truncate_bytes = f.get("bytes", line);
-            plan.transfer_faults.push_back(r);
+            r.link = index(f, "link");
+            r.at_s = f.get("at");
+            r.truncate_bytes = f.get("bytes");
+            out.plan.transfer_faults.push_back(r);
         } else if (f.keyword == "timeout") {
+            f.allowOnly({"link", "at", "after"});
             TransferFaultRule r;
-            r.link = static_cast<std::size_t>(f.get("link", line));
-            r.at_s = f.get("at", line);
-            r.force_timeout_s = f.get("after", line);
-            plan.transfer_faults.push_back(r);
+            r.link = index(f, "link");
+            r.at_s = f.get("at");
+            r.force_timeout_s = f.get("after");
+            out.plan.transfer_faults.push_back(r);
+        } else if (f.keyword == "corrupt" || f.keyword == "duplicate" ||
+                   f.keyword == "reorder") {
+            f.allowOnly({"link", "at"});
+            TransferFaultRule r;
+            r.link = index(f, "link");
+            r.at_s = f.get("at");
+            r.corrupt = f.keyword == "corrupt";
+            r.duplicate = f.keyword == "duplicate";
+            r.reorder = f.keyword == "reorder";
+            out.plan.transfer_faults.push_back(r);
         } else if (f.keyword == "crash") {
+            f.allowOnly({"worker", "at", "rejoin", "detect"});
             ChurnEvent e;
-            e.worker = static_cast<std::size_t>(f.get("worker", line));
-            e.at_s = f.get("at", line);
-            e.rejoin_s = f.getOr("rejoin", kNever, line);
-            e.detect_s = f.getOr("detect", kNever, line);
-            plan.churn.push_back(e);
+            e.worker = index(f, "worker");
+            e.at_s = f.get("at");
+            e.rejoin_s = f.getOr("rejoin", kNever);
+            e.detect_s = f.getOr("detect", kNever);
+            out.plan.churn.push_back(e);
         } else if (f.keyword == "leave") {
+            f.allowOnly({"worker", "at"});
             ChurnEvent e;
-            e.worker = static_cast<std::size_t>(f.get("worker", line));
-            e.at_s = f.get("at", line);
+            e.worker = index(f, "worker");
+            e.at_s = f.get("at");
             e.graceful = true;
-            plan.churn.push_back(e);
+            out.plan.churn.push_back(e);
         } else {
-            ROG_FATAL("unknown fault spec keyword '", f.keyword,
-                  "' in line: ", line);
+            f.fail(detail::concat("unknown keyword '", f.keyword, "'"));
+        }
+        if (!f.error.empty()) {
+            out.error = f.error;
+            out.plan = FaultPlan{};
+            return out;
         }
     }
-    plan.validate();
-    return plan;
+    std::string invalid = out.plan.validationError();
+    if (!invalid.empty()) {
+        out.error = std::move(invalid);
+        out.plan = FaultPlan{};
+    }
+    return out;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    ParseResult res = tryParse(spec);
+    if (!res.ok())
+        ROG_FATAL(res.error);
+    return std::move(res.plan);
 }
 
 std::string
@@ -241,6 +363,18 @@ FaultPlan::toSpec() const
             os << "timeout link=" << r.link << " at=" << num(r.at_s)
                << " after=" << num(r.force_timeout_s) << '\n';
         }
+        if (r.corrupt) {
+            os << "corrupt link=" << r.link << " at=" << num(r.at_s)
+               << '\n';
+        }
+        if (r.duplicate) {
+            os << "duplicate link=" << r.link << " at=" << num(r.at_s)
+               << '\n';
+        }
+        if (r.reorder) {
+            os << "reorder link=" << r.link << " at=" << num(r.at_s)
+               << '\n';
+        }
     }
     for (const auto &e : churn) {
         if (e.graceful) {
@@ -265,39 +399,61 @@ FaultPlan::empty() const
            churn.empty();
 }
 
+std::string
+FaultPlan::validationError() const
+{
+    for (const auto &f : link_faults) {
+        if (!(f.start_s >= 0.0))
+            return detail::concat("link fault start must be "
+                                  "non-negative, got ", num(f.start_s));
+        if (!(f.duration_s >= 0.0))
+            return detail::concat("link fault duration must be "
+                                  "non-negative, got ",
+                                  num(f.duration_s));
+        if (!(f.factor >= 0.0 && f.factor <= 1.0))
+            return detail::concat("link fault factor must be in "
+                                  "[0, 1], got ", num(f.factor));
+    }
+    for (const auto &r : transfer_faults) {
+        if (!(r.at_s >= 0.0))
+            return detail::concat("transfer fault time must be "
+                                  "non-negative, got ", num(r.at_s));
+        if (!(r.truncate_bytes >= 0.0))
+            return detail::concat("truncation bytes must be "
+                                  "non-negative, got ",
+                                  num(r.truncate_bytes));
+        if (!(r.force_timeout_s > 0.0))
+            return detail::concat("forced timeout must be positive, "
+                                  "got ", num(r.force_timeout_s));
+    }
+    for (const auto &e : churn) {
+        if (!(e.at_s >= 0.0))
+            return detail::concat("churn time must be non-negative, "
+                                  "got ", num(e.at_s));
+        if (e.graceful)
+            continue;
+        if (!std::isfinite(e.rejoin_s) && !std::isfinite(e.detect_s))
+            return detail::concat(
+                "silent crash of worker ", e.worker,
+                " needs a finite rejoin or detect time, or peers "
+                "could stall forever on the ghost");
+        if (std::isfinite(e.rejoin_s) && !(e.rejoin_s >= e.at_s))
+            return detail::concat("rejoin (", num(e.rejoin_s),
+                                  ") must not precede the crash (",
+                                  num(e.at_s), ")");
+        if (std::isfinite(e.detect_s) && !(e.detect_s >= 0.0))
+            return detail::concat("detection delay must be "
+                                  "non-negative, got ",
+                                  num(e.detect_s));
+    }
+    return {};
+}
+
 void
 FaultPlan::validate() const
 {
-    for (const auto &f : link_faults) {
-        ROG_ASSERT(f.start_s >= 0.0 && f.duration_s >= 0.0,
-                   "link fault times must be non-negative");
-        ROG_ASSERT(f.factor >= 0.0 && f.factor <= 1.0,
-                   "link fault factor must be in [0, 1], got ",
-                   f.factor);
-    }
-    for (const auto &r : transfer_faults) {
-        ROG_ASSERT(r.at_s >= 0.0, "transfer fault time negative");
-        ROG_ASSERT(r.truncate_bytes >= 0.0,
-                   "truncation bytes negative");
-        ROG_ASSERT(r.force_timeout_s > 0.0,
-                   "forced timeout must be positive");
-    }
-    for (const auto &e : churn) {
-        ROG_ASSERT(e.at_s >= 0.0, "churn time negative");
-        if (e.graceful)
-            continue;
-        ROG_ASSERT(std::isfinite(e.rejoin_s) ||
-                       std::isfinite(e.detect_s),
-                   "silent crash of worker ", e.worker,
-                   " needs a finite rejoin or detect time, or peers "
-                   "could stall forever on the ghost");
-        if (std::isfinite(e.rejoin_s))
-            ROG_ASSERT(e.rejoin_s >= e.at_s,
-                       "rejoin must not precede the crash");
-        if (std::isfinite(e.detect_s))
-            ROG_ASSERT(e.detect_s >= 0.0,
-                       "detection delay negative");
-    }
+    const std::string err = validationError();
+    ROG_ASSERT(err.empty(), "invalid fault plan: ", err);
 }
 
 double

@@ -119,6 +119,63 @@ InvariantChecker::onRejoin(std::size_t worker, std::int64_t iter)
         row.assign(1, iter);
 }
 
+void
+InvariantChecker::onTransportChunk(std::size_t worker,
+                                   std::int64_t version,
+                                   std::size_t row,
+                                   std::uint32_t chunk_seq, bool crc_ok,
+                                   bool accepted_fresh, bool pull)
+{
+    ++checks_;
+    if (!accepted_fresh)
+        return;
+    const char *dir = pull ? "pull" : "push";
+    if (!crc_ok) {
+        fail(detail::concat("transport accepted a corrupted chunk: ",
+                            dir, " worker ", worker, " version ",
+                            version, " row ", row, " chunk ",
+                            chunk_seq));
+    }
+    const TransportKey key{worker, version, row, chunk_seq, pull};
+    if (!accepted_chunks_.insert(key).second) {
+        fail(detail::concat("transport accepted a chunk twice "
+                            "(duplicate delivery applied): ", dir,
+                            " worker ", worker, " version ", version,
+                            " row ", row, " chunk ", chunk_seq));
+    }
+}
+
+void
+InvariantChecker::onTransportDeliver(std::size_t worker,
+                                     std::int64_t version,
+                                     std::size_t row, bool pull)
+{
+    ++checks_;
+    const TransportKey key{worker, version, row, kAnyChunk, pull};
+    if (!delivered_.insert(key).second) {
+        fail(detail::concat("transport delivered a message twice: ",
+                            pull ? "pull" : "push", " worker ", worker,
+                            " version ", version, " row ", row));
+    }
+}
+
+void
+InvariantChecker::onTransportResume(std::size_t worker,
+                                    std::int64_t version,
+                                    std::size_t row,
+                                    double resumed_bytes,
+                                    double requested_bytes, bool pull)
+{
+    ++checks_;
+    if (resumed_bytes > requested_bytes + 1e-6 || resumed_bytes < 0.0) {
+        fail(detail::concat("transport resumed ", resumed_bytes,
+                            " bytes of a ", requested_bytes,
+                            "-byte chunk: ", pull ? "pull" : "push",
+                            " worker ", worker, " version ", version,
+                            " row ", row));
+    }
+}
+
 std::string
 InvariantChecker::report() const
 {

@@ -19,20 +19,28 @@
  *    pending (no row applied twice: applying clears the pending copy);
  *  - the RSP staleness bound is never exceeded at a gate pass;
  *  - membership transitions are sane (no retired worker pushes, a
- *    rejoin lands at or beyond the worker's last pushed iteration).
+ *    rejoin lands at or beyond the worker's last pushed iteration);
+ *  - the reliable transport (net/transport) applies every chunk at
+ *    most once even when the link duplicates deliveries, never accepts
+ *    a chunk whose CRC check failed, never delivers one message twice,
+ *    and never resumes a retry beyond the bytes actually requested.
  */
 #ifndef ROG_FAULT_INVARIANT_CHECKER_HPP
 #define ROG_FAULT_INVARIANT_CHECKER_HPP
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "net/transport/observer.hpp"
 
 namespace rog {
 namespace fault {
 
 /** Collects violations of the engine's conservation invariants. */
-class InvariantChecker
+class InvariantChecker final : public net::transport::TransportObserver
 {
   public:
     InvariantChecker() = default;
@@ -68,6 +76,37 @@ class InvariantChecker
     /** @p worker rejoined, resynced to model iteration @p iter. */
     void onRejoin(std::size_t worker, std::int64_t iter);
 
+    /**
+     * The transport receiver handled one chunk of the message keyed
+     * (worker, version, row, pull-direction). @p crc_ok is the
+     * receiver-side checksum verdict; @p accepted_fresh is whether the
+     * receiver treated the chunk as new payload (as opposed to a
+     * dedup'd duplicate or a discard). Accepting a corrupted chunk, or
+     * accepting the same @p chunk_seq fresh twice, is a violation.
+     */
+    void onTransportChunk(std::size_t worker, std::int64_t version,
+                          std::size_t row, std::uint32_t chunk_seq,
+                          bool crc_ok, bool accepted_fresh,
+                          bool pull) override;
+
+    /**
+     * The transport delivered the complete message (worker, version,
+     * row, pull-direction) to the application. A second delivery of
+     * the same message is a violation (exactly-once apply).
+     */
+    void onTransportDeliver(std::size_t worker, std::int64_t version,
+                            std::size_t row, bool pull) override;
+
+    /**
+     * A retry of (worker, version, row) resumed from a byte offset:
+     * @p resumed_bytes were skipped as already delivered out of
+     * @p requested_bytes for the chunk. Resuming past the request is a
+     * violation (the transport would be inventing delivered bytes).
+     */
+    void onTransportResume(std::size_t worker, std::int64_t version,
+                           std::size_t row, double resumed_bytes,
+                           double requested_bytes, bool pull) override;
+
     /** True if no invariant was violated. */
     bool clean() const { return violation_count_ == 0; }
 
@@ -87,6 +126,17 @@ class InvariantChecker
     std::vector<std::vector<std::int64_t>> last_push_;
     std::vector<std::uint8_t> retired_;
     double last_time_ = 0.0;
+
+    // Transport shadow state: which chunks were accepted fresh and
+    // which messages were delivered, keyed by
+    // (worker, version, row, chunk_seq, pull). kAnyChunk marks a
+    // whole-message (delivery) entry.
+    using TransportKey =
+        std::tuple<std::size_t, std::int64_t, std::size_t,
+                   std::uint32_t, bool>;
+    static constexpr std::uint32_t kAnyChunk = ~0u;
+    std::set<TransportKey> accepted_chunks_;
+    std::set<TransportKey> delivered_;
 
     std::vector<std::string> violations_; //!< capped sample.
     std::size_t violation_count_ = 0;

@@ -86,6 +86,9 @@ Channel::finish(FlowIter it, double elapsed)
         res.completed = it->deliverable >= it->requested - kByteEpsilon;
     }
     res.faulted = it->faulted;
+    res.corrupted = it->corrupted;
+    res.duplicated = it->duplicated;
+    res.reordered = it->reordered;
     res.elapsed = elapsed;
     Callback done = std::move(it->done);
     flows_.erase(it);
@@ -170,15 +173,14 @@ Channel::startTransfer(LinkId link, double bytes, double timeout,
     settle();
 
     double deliverable = bytes;
-    bool faulted = false;
+    FaultDecision decision;
     if (fault_policy_) {
-        const FaultDecision d =
+        decision =
             fault_policy_->onTransferStart(link, bytes, sim_.now());
-        faulted = d.faulty();
         deliverable =
-            std::min(bytes, std::max(d.deliverable_bytes, 0.0));
-        timeout = std::min(timeout, d.forced_timeout);
-        if (faulted)
+            std::min(bytes, std::max(decision.deliverable_bytes, 0.0));
+        timeout = std::min(timeout, decision.forced_timeout);
+        if (decision.faulty())
             ++faulted_transfers_;
     }
 
@@ -189,7 +191,10 @@ Channel::startTransfer(LinkId link, double bytes, double timeout,
     flow.deliverable = deliverable;
     flow.remaining = deliverable;
     flow.start_time = sim_.now();
-    flow.faulted = faulted;
+    flow.faulted = decision.faulty();
+    flow.corrupted = decision.corrupt;
+    flow.duplicated = decision.duplicate;
+    flow.reordered = decision.reorder;
     flow.done = std::move(done);
     flow.drop = std::move(drop);
     if (std::isfinite(timeout)) {

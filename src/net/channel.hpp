@@ -41,25 +41,40 @@ struct TransferResult
     bool completed = false;   //!< all requested bytes delivered.
     double elapsed = 0.0;     //!< seconds from start to end/timeout.
     bool faulted = false;     //!< a fault policy sabotaged this flow.
+    bool corrupted = false;   //!< payload arrived bit-flipped (CRC will
+                              //!< fail on whatever this flow carried).
+    bool duplicated = false;  //!< the link delivered this payload twice.
+    bool reordered = false;   //!< delivery overtaken by a later send.
 };
 
 /**
  * What a fault policy does to one starting transfer: cap the bytes
  * that will ever get through (the link dies mid-flow and the tail is
- * lost) and/or cut the flow after a forced timeout, whichever the
- * caller's own timeout doesn't hit first. Both default to "no fault".
+ * lost), cut the flow after a forced timeout (whichever the caller's
+ * own timeout doesn't hit first), and/or mark the delivered payload as
+ * corrupted / duplicated / reordered. The channel itself only moves
+ * byte counts, so the last three are flags carried through to the
+ * TransferResult for the reliability sublayer (net/transport) to act
+ * on: a corrupted delivery fails its CRC check at the receiver, a
+ * duplicated one is handed to the receiver twice, a reordered one is
+ * delivered after its successor. Everything defaults to "no fault".
  */
 struct FaultDecision
 {
     double deliverable_bytes = std::numeric_limits<double>::infinity();
     double forced_timeout = std::numeric_limits<double>::infinity();
+    bool corrupt = false;
+    bool duplicate = false;
+    bool reorder = false;
 
     bool
     faulty() const
     {
         return deliverable_bytes !=
                    std::numeric_limits<double>::infinity() ||
-               forced_timeout != std::numeric_limits<double>::infinity();
+               forced_timeout !=
+                   std::numeric_limits<double>::infinity() ||
+               corrupt || duplicate || reorder;
     }
 };
 
@@ -175,6 +190,9 @@ class Channel
         double remaining;   //!< counts down from deliverable.
         double start_time;
         bool faulted;
+        bool corrupted;
+        bool duplicated;
+        bool reordered;
         Callback done;
         std::function<void()> drop;
         sim::EventId timeout_event;

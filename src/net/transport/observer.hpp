@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Observation interface for reliable-transport receiver decisions.
+ *
+ * The transport lives in the net layer and must not depend on the
+ * fault layer (which depends on net); invariant checking plugs in
+ * through this interface instead. Every hook describes one receiver
+ * decision for the message keyed (worker, version, row, direction).
+ */
+#ifndef ROG_NET_TRANSPORT_OBSERVER_HPP
+#define ROG_NET_TRANSPORT_OBSERVER_HPP
+
+#include <cstdint>
+
+namespace rog {
+namespace net {
+namespace transport {
+
+/** Receives one callback per transport receiver decision. */
+class TransportObserver
+{
+  public:
+    virtual ~TransportObserver() = default;
+
+    /**
+     * One chunk was handled: @p crc_ok is the receiver-side checksum
+     * verdict, @p accepted_fresh whether the chunk was applied as new
+     * payload (as opposed to dedup'd or discarded).
+     */
+    virtual void onTransportChunk(std::size_t worker,
+                                  std::int64_t version, std::size_t row,
+                                  std::uint32_t chunk_seq, bool crc_ok,
+                                  bool accepted_fresh, bool pull) = 0;
+
+    /** The complete message was delivered to the application. */
+    virtual void onTransportDeliver(std::size_t worker,
+                                    std::int64_t version,
+                                    std::size_t row, bool pull) = 0;
+
+    /**
+     * A retry resumed from a byte offset: @p resumed_bytes skipped as
+     * already delivered out of @p requested_bytes for the chunk.
+     */
+    virtual void onTransportResume(std::size_t worker,
+                                   std::int64_t version, std::size_t row,
+                                   double resumed_bytes,
+                                   double requested_bytes, bool pull) = 0;
+};
+
+} // namespace transport
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRANSPORT_OBSERVER_HPP

@@ -1,0 +1,563 @@
+#include "net/transport/reliable_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "net/transport/crc32c.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/** splitmix64 step, for seeding and synthesized payload bytes. */
+std::uint64_t
+mix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+keySeed(std::uint64_t base, const MessageKey &key, std::uint64_t extra)
+{
+    std::uint64_t s = base;
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.worker);
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.version);
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.row);
+    s ^= mix64(s) + (key.pull ? 0x70756c6cull : 0x70757368ull);
+    s ^= mix64(s) + extra;
+    return s;
+}
+
+/** Integer byte length of a (possibly fractional) simulated length. */
+std::size_t
+byteLen(double len)
+{
+    return static_cast<std::size_t>(
+        std::max(1.0, std::ceil(len - kEps)));
+}
+
+const char *
+kindName(TransportEvent::Kind k)
+{
+    switch (k) {
+    case TransportEvent::Kind::Attempt: return "attempt";
+    case TransportEvent::Kind::Resume: return "resume";
+    case TransportEvent::Kind::Backoff: return "backoff";
+    case TransportEvent::Kind::Accept: return "accept";
+    case TransportEvent::Kind::Duplicate: return "duplicate";
+    case TransportEvent::Kind::CorruptDrop: return "corrupt-drop";
+    case TransportEvent::Kind::ReorderHold: return "reorder-hold";
+    case TransportEvent::Kind::Deliver: return "deliver";
+    case TransportEvent::Kind::Fail: return "fail";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toString(const TransportEvent &ev)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "t=" << ev.t << ' ' << kindName(ev.kind) << " link="
+       << ev.link << " w=" << ev.key.worker << " v=" << ev.key.version
+       << " row=" << ev.key.row << " dir="
+       << (ev.key.pull ? "pull" : "push") << " seq=" << ev.chunk_seq
+       << " a=" << ev.a << " b=" << ev.b;
+    return os.str();
+}
+
+/** State of one in-flight message send. */
+struct ReliableLink::SendOp
+{
+    std::uint64_t id = 0;
+    LinkId link = 0;
+    MessageKey key;
+    double payload_bytes = 0.0;
+    double deadline = kNoDeadline;
+    std::span<const std::uint8_t> payload; //!< empty => synthesized.
+    Callback done;
+    std::function<void()> drop;
+    Rng jitter;
+    double start_time = 0.0;
+
+    std::uint32_t chunk_count = 1;
+    std::uint32_t seq = 0;        //!< chunk currently being sent.
+    double chunk_len = 0.0;       //!< payload bytes of that chunk.
+    double resume_off = 0.0;      //!< intact delivered prefix.
+    double high_water = 0.0;      //!< most ever delivered (retransmit acct).
+    bool garbled = false;         //!< a corrupted fragment contributed.
+    std::size_t chunk_attempts = 0;
+    std::size_t backoff_exp = 0;
+
+    std::set<std::uint32_t> accepted;
+    bool hold_pending = false;
+    FrameHeader hold_hdr;
+    bool hold_duplicated = false;
+
+    std::vector<std::uint8_t> assembled; //!< payload-mode reassembly.
+    std::vector<std::uint8_t> wire;      //!< current attempt's header.
+
+    sim::EventId backoff_event;
+    SendResult res;
+};
+
+ReliableLink::ReliableLink(sim::Simulation &sim, Channel &channel,
+                           const TransportConfig &config,
+                           TransportObserver *observer)
+    : sim_(sim), channel_(channel), config_(config), observer_(observer)
+{
+    ROG_ASSERT(config_.chunk_bytes > 0.0,
+               "transport chunk size must be positive");
+    ROG_ASSERT(config_.backoff_base_s > 0.0,
+               "transport backoff base must be positive");
+    ROG_ASSERT(config_.jitter_frac >= 0.0 && config_.jitter_frac < 1.0,
+               "transport jitter fraction must be in [0, 1)");
+}
+
+ReliableLink::~ReliableLink()
+{
+    *alive_ = false;
+    for (auto &[id, op] : ops_) {
+        sim_.cancel(op->backoff_event);
+        if (op->drop)
+            op->drop();
+    }
+}
+
+double
+ReliableLink::chunkLen(const SendOp &op, std::uint32_t seq) const
+{
+    if (seq + 1 < op.chunk_count)
+        return config_.chunk_bytes;
+    return op.payload_bytes -
+           config_.chunk_bytes * static_cast<double>(op.chunk_count - 1);
+}
+
+std::vector<std::uint8_t>
+ReliableLink::chunkPayload(const SendOp &op, std::uint32_t seq) const
+{
+    if (!op.payload.empty()) {
+        const auto ci = byteLen(config_.chunk_bytes);
+        const std::size_t off = static_cast<std::size_t>(seq) * ci;
+        const std::size_t len =
+            std::min(ci, op.payload.size() - off);
+        return {op.payload.begin() + off, op.payload.begin() + off + len};
+    }
+    const std::size_t len = byteLen(chunkLen(op, seq));
+    std::vector<std::uint8_t> out(len);
+    std::uint64_t state = keySeed(0xc0ffee123ull, op.key, seq);
+    for (std::size_t i = 0; i < len; i += 8) {
+        const std::uint64_t v = mix64(state);
+        for (std::size_t b = 0; b < 8 && i + b < len; ++b)
+            out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    return out;
+}
+
+void
+ReliableLink::startSend(LinkId link, const MessageKey &key,
+                        double payload_bytes, double deadline_s,
+                        Callback done, std::function<void()> drop)
+{
+    ROG_ASSERT(payload_bytes > 0.0, "send needs positive payload bytes");
+    startSendImpl(link, key, payload_bytes, {}, deadline_s,
+                  std::move(done), std::move(drop));
+}
+
+void
+ReliableLink::startSendPayload(LinkId link, const MessageKey &key,
+                               std::span<const std::uint8_t> payload,
+                               double deadline_s, Callback done,
+                               std::function<void()> drop)
+{
+    ROG_ASSERT(!payload.empty(), "payload send needs bytes");
+    startSendImpl(link, key, static_cast<double>(payload.size()),
+                  payload, deadline_s, std::move(done), std::move(drop));
+}
+
+void
+ReliableLink::startSendImpl(LinkId link, const MessageKey &key,
+                            double payload_bytes,
+                            std::span<const std::uint8_t> payload,
+                            double deadline_s, Callback done,
+                            std::function<void()> drop)
+{
+    auto op = std::make_unique<SendOp>();
+    op->id = next_op_id_++;
+    op->link = link;
+    op->key = key;
+    op->payload_bytes = payload_bytes;
+    op->deadline = deadline_s;
+    op->payload = payload;
+    op->done = std::move(done);
+    op->drop = std::move(drop);
+    op->jitter = Rng(keySeed(config_.jitter_seed, key, 0));
+    op->start_time = sim_.now();
+    op->chunk_count = static_cast<std::uint32_t>(std::max(
+        1.0, std::ceil(payload_bytes / config_.chunk_bytes - kEps)));
+    op->chunk_len = chunkLen(*op, 0);
+    if (!payload.empty())
+        op->assembled.assign(payload.size(), 0);
+    op->res.payload_bytes = payload_bytes;
+    op->res.chunks = op->chunk_count;
+    op->wire.resize(FrameHeader::kWireSize);
+    ++totals_.sends;
+
+    SendOp &ref = *op;
+    ops_.emplace(ref.id, std::move(op));
+    attempt(ref);
+}
+
+void
+ReliableLink::attempt(SendOp &op)
+{
+    const double now = sim_.now();
+    if (now >= op.deadline) {
+        finish(op, false, true);
+        return;
+    }
+
+    const double frag_len = op.chunk_len - op.resume_off;
+    const auto chunk = chunkPayload(op, op.seq);
+
+    FrameHeader hdr;
+    hdr.flags = op.key.pull ? kFlagPull : 0;
+    hdr.worker = op.key.worker;
+    hdr.version = op.key.version;
+    hdr.row = op.key.row;
+    hdr.chunk_seq = op.seq;
+    hdr.chunk_count = op.chunk_count;
+    hdr.payload_off =
+        static_cast<std::uint64_t>(std::llround(op.resume_off));
+    hdr.payload_len = static_cast<std::uint32_t>(byteLen(frag_len));
+    hdr.payload_crc = crc32c(chunk);
+    hdr.serialize(op.wire);
+
+    const double wire_bytes = FrameHeader::kWireSize + frag_len;
+    const double timeout = std::isfinite(op.deadline)
+                               ? std::max(kEps, op.deadline - now)
+                               : Channel::kNoTimeout;
+
+    ++op.res.attempts;
+    ++op.chunk_attempts;
+    logEvent(TransportEvent::Kind::Attempt, op, op.seq, wire_bytes,
+             op.resume_off);
+
+    const std::uint64_t id = op.id;
+    channel_.startTransfer(
+        op.link, wire_bytes, timeout,
+        [this, alive = alive_, id](TransferResult r) {
+            if (*alive)
+                onTransferDone(id, r);
+        },
+        [this, alive = alive_, id] {
+            if (*alive)
+                dropOp(id);
+        });
+}
+
+void
+ReliableLink::dropOp(std::uint64_t op_id)
+{
+    auto it = ops_.find(op_id);
+    if (it == ops_.end())
+        return;
+    sim_.cancel(it->second->backoff_event);
+    std::function<void()> drop = std::move(it->second->drop);
+    ops_.erase(it);
+    if (drop)
+        drop();
+}
+
+void
+ReliableLink::onTransferDone(std::uint64_t op_id, const TransferResult &r)
+{
+    auto it = ops_.find(op_id);
+    if (it == ops_.end())
+        return;
+    SendOp &op = *it->second;
+
+    const double delivered = r.bytes_sent;
+    const double hdr_delivered =
+        std::min(delivered, double(FrameHeader::kWireSize));
+    const double payload_delivered =
+        std::max(0.0, delivered - FrameHeader::kWireSize);
+    op.res.bytes_sent += delivered;
+
+    // Anything delivered on a retry that had already been delivered
+    // before is retransmission: the header every time, plus the
+    // overlap of this fragment with the chunk's high-water mark.
+    if (op.chunk_attempts > 1) {
+        const double overlap =
+            std::max(0.0, std::min(op.resume_off + payload_delivered,
+                                   op.high_water) -
+                              op.resume_off);
+        op.res.retransmitted_bytes += hdr_delivered + overlap;
+    }
+    op.high_water =
+        std::max(op.high_water, op.resume_off + payload_delivered);
+    if (r.corrupted)
+        op.garbled = true;
+
+    if (r.completed) {
+        receiveChunk(op, r.duplicated, r.reordered);
+        return;
+    }
+
+    // Cut mid-flow (truncation, forced timeout, or deadline): keep the
+    // intact prefix and resume, or restart from scratch in baseline
+    // mode. New bytes arriving counts as progress and resets the
+    // backoff exponent.
+    const bool progress = payload_delivered > kEps;
+    if (config_.resume_from_offset) {
+        op.resume_off =
+            std::min(op.chunk_len, op.resume_off + payload_delivered);
+        if (observer_)
+            observer_->onTransportResume(op.key.worker, op.key.version,
+                                         op.key.row, op.resume_off,
+                                         op.chunk_len, op.key.pull);
+        logEvent(TransportEvent::Kind::Resume, op, op.seq,
+                 op.resume_off, op.chunk_len);
+    } else {
+        op.resume_off = 0.0;
+        op.garbled = false;
+    }
+    if (progress)
+        op.backoff_exp = 0;
+
+    if (config_.max_attempts_per_chunk > 0 &&
+        op.chunk_attempts >= config_.max_attempts_per_chunk) {
+        finish(op, false, false);
+        return;
+    }
+    scheduleRetry(op);
+}
+
+void
+ReliableLink::receiveChunk(SendOp &op, bool duplicated, bool reordered)
+{
+    // The receiver re-parses the header exactly as it was framed.
+    const auto hdr = FrameHeader::parse(op.wire);
+    ROG_ASSERT(hdr.has_value(), "transport framed an unparsable header");
+
+    // Checksum verdict over the reassembled chunk. A corrupted
+    // fragment garbled the buffer; flip a deterministic byte so the
+    // CRC genuinely fails.
+    auto received = chunkPayload(op, op.seq);
+    if (op.garbled)
+        received[op.seq % received.size()] ^= 0x40;
+    const bool crc_ok = crc32c(received) == hdr->payload_crc;
+
+    if (!crc_ok) {
+        ++op.res.corrupt_chunks;
+        if (observer_)
+            observer_->onTransportChunk(op.key.worker, op.key.version,
+                                        op.key.row, op.seq, false,
+                                        false, op.key.pull);
+        logEvent(TransportEvent::Kind::CorruptDrop, op, op.seq,
+                 op.chunk_len);
+        // Discard: the prefix is untrustworthy, restart the chunk.
+        op.resume_off = 0.0;
+        op.garbled = false;
+        if (config_.max_attempts_per_chunk > 0 &&
+            op.chunk_attempts >= config_.max_attempts_per_chunk) {
+            finish(op, false, false);
+            return;
+        }
+        scheduleRetry(op);
+        return;
+    }
+
+    if (reordered && !op.hold_pending && op.seq + 1 < op.chunk_count) {
+        // Delivery overtaken by the next send: hold the (intact)
+        // chunk and apply it after its successor.
+        op.hold_pending = true;
+        op.hold_hdr = *hdr;
+        op.hold_duplicated = duplicated;
+        ++op.res.reordered_chunks;
+        logEvent(TransportEvent::Kind::ReorderHold, op, op.seq);
+        advanceChunk(op);
+        return;
+    }
+
+    acceptOnce(op, *hdr);
+    if (duplicated)
+        acceptOnce(op, *hdr); // the link delivered the frame twice.
+    if (op.hold_pending)
+        flushHold(op);
+    advanceChunk(op);
+}
+
+void
+ReliableLink::acceptOnce(SendOp &op, const FrameHeader &hdr)
+{
+    const bool fresh = op.accepted.insert(hdr.chunk_seq).second;
+    if (observer_)
+        observer_->onTransportChunk(op.key.worker, op.key.version,
+                                    op.key.row, hdr.chunk_seq, true,
+                                    fresh, op.key.pull);
+    if (!fresh) {
+        ++op.res.duplicate_chunks;
+        logEvent(TransportEvent::Kind::Duplicate, op, hdr.chunk_seq);
+        return;
+    }
+    logEvent(TransportEvent::Kind::Accept, op, hdr.chunk_seq,
+             chunkLen(op, hdr.chunk_seq));
+    if (!op.payload.empty()) {
+        const auto chunk = chunkPayload(op, hdr.chunk_seq);
+        const std::size_t off = static_cast<std::size_t>(hdr.chunk_seq) *
+                                byteLen(config_.chunk_bytes);
+        std::copy(chunk.begin(), chunk.end(),
+                  op.assembled.begin() + off);
+    }
+}
+
+void
+ReliableLink::flushHold(SendOp &op)
+{
+    op.hold_pending = false;
+    acceptOnce(op, op.hold_hdr);
+    if (op.hold_duplicated)
+        acceptOnce(op, op.hold_hdr);
+}
+
+void
+ReliableLink::advanceChunk(SendOp &op)
+{
+    ++op.seq;
+    op.resume_off = 0.0;
+    op.high_water = 0.0;
+    op.garbled = false;
+    op.chunk_attempts = 0;
+    op.backoff_exp = 0;
+    if (op.seq < op.chunk_count) {
+        op.chunk_len = chunkLen(op, op.seq);
+        attempt(op);
+        return;
+    }
+    if (op.hold_pending)
+        flushHold(op);
+    ROG_ASSERT(op.accepted.size() == op.chunk_count,
+               "message finished sending with chunks unaccepted");
+    if (!op.payload.empty())
+        delivered_payloads_[op.key] = op.assembled;
+    if (observer_)
+        observer_->onTransportDeliver(op.key.worker, op.key.version,
+                                      op.key.row, op.key.pull);
+    finish(op, true, false);
+}
+
+void
+ReliableLink::scheduleRetry(SendOp &op)
+{
+    double delay = std::min(
+        config_.backoff_max_s,
+        config_.backoff_base_s *
+            std::pow(2.0, static_cast<double>(op.backoff_exp)));
+    // Seeded deterministic jitter in [1 - f, 1 + f).
+    const double u = op.jitter.uniform();
+    delay *= 1.0 - config_.jitter_frac +
+             2.0 * config_.jitter_frac * u;
+    const double now = sim_.now();
+    if (std::isfinite(op.deadline) && now + delay >= op.deadline) {
+        // Deadline-aware: backing off past the deadline is pointless.
+        finish(op, false, true);
+        return;
+    }
+    ++op.res.retries;
+    logEvent(TransportEvent::Kind::Backoff, op, op.seq, delay,
+             static_cast<double>(op.backoff_exp));
+    ++op.backoff_exp;
+    op.res.backoff_s += delay;
+    const std::uint64_t id = op.id;
+    op.backoff_event =
+        sim_.after(delay, [this, alive = alive_, id] {
+            if (!*alive)
+                return;
+            auto it = ops_.find(id);
+            if (it == ops_.end())
+                return;
+            it->second->backoff_event = sim::EventId{};
+            attempt(*it->second);
+        });
+}
+
+void
+ReliableLink::finish(SendOp &op, bool delivered, bool expired)
+{
+    sim_.cancel(op.backoff_event);
+    if (op.hold_pending)
+        flushHold(op); // whatever arrived, arrived.
+    op.res.delivered = delivered;
+    op.res.deadline_expired = expired;
+    op.res.elapsed_s = sim_.now() - op.start_time;
+    logEvent(delivered ? TransportEvent::Kind::Deliver
+                       : TransportEvent::Kind::Fail,
+             op, op.seq, expired ? 1.0 : 0.0);
+
+    totals_.delivered += delivered ? 1 : 0;
+    totals_.failed += delivered ? 0 : 1;
+    totals_.attempts += op.res.attempts;
+    totals_.retries += op.res.retries;
+    totals_.backoff_s += op.res.backoff_s;
+    totals_.bytes_sent += op.res.bytes_sent;
+    totals_.retransmitted_bytes += op.res.retransmitted_bytes;
+    totals_.corrupt_chunks += op.res.corrupt_chunks;
+    totals_.duplicate_chunks += op.res.duplicate_chunks;
+    totals_.reordered_chunks += op.res.reordered_chunks;
+
+    const SendResult res = op.res;
+    Callback done = std::move(op.done);
+    ops_.erase(op.id);
+    if (done)
+        done(res);
+}
+
+void
+ReliableLink::logEvent(TransportEvent::Kind kind, const SendOp &op,
+                       std::uint32_t seq, double a, double b)
+{
+    TransportEvent ev;
+    ev.t = sim_.now();
+    ev.kind = kind;
+    ev.link = op.link;
+    ev.key = op.key;
+    ev.chunk_seq = seq;
+    ev.a = a;
+    ev.b = b;
+    log_.push_back(ev);
+}
+
+const std::vector<std::uint8_t> &
+ReliableLink::deliveredPayload(const MessageKey &key) const
+{
+    static const std::vector<std::uint8_t> kEmpty;
+    auto it = delivered_payloads_.find(key);
+    return it == delivered_payloads_.end() ? kEmpty : it->second;
+}
+
+std::string
+ReliableLink::logDump() const
+{
+    std::ostringstream os;
+    for (const auto &ev : log_)
+        os << toString(ev) << '\n';
+    return os.str();
+}
+
+} // namespace transport
+} // namespace net
+} // namespace rog

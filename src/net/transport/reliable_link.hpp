@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Reliable, resumable message transport over the fluid channel.
+ *
+ * The raw net::Channel is a faithful model of a flaky wireless medium:
+ * transfers can be cut mid-flow, time out, or arrive corrupted,
+ * duplicated, or out of order (fault layer). The engine, however,
+ * wants gradient-row messages that either arrive intact exactly once
+ * or verifiably fail by a deadline. ReliableLink is the sublayer in
+ * between: it frames each message (FrameHeader with worker, version,
+ * row, chunk bookkeeping, and a CRC32C over the chunk payload), sends
+ * it as a sequence of chunked sub-transfers, and retries cut or
+ * corrupted chunks with deadline-aware exponential backoff and seeded
+ * deterministic jitter — resuming from the delivered byte offset
+ * rather than from scratch, so a 90%-delivered chunk only resends its
+ * tail. The receiver side dedups chunks on (worker, version, row,
+ * chunk_seq), so a duplicated delivery is applied exactly once, and a
+ * chunk flagged reordered is held and applied after its successor.
+ *
+ * Everything is deterministic: backoff jitter comes from an Rng seeded
+ * by (config seed, message key), and every decision is a pure function
+ * of the channel's behaviour, so the same seed and fault plan replay
+ * the same timeline byte for byte. A structured event log records
+ * every attempt / accept / resume / backoff for replay comparison.
+ */
+#ifndef ROG_NET_TRANSPORT_RELIABLE_LINK_HPP
+#define ROG_NET_TRANSPORT_RELIABLE_LINK_HPP
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/transport/frame.hpp"
+#include "net/transport/observer.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+/** Knobs for the reliability sublayer. */
+struct TransportConfig
+{
+    /** Payload bytes per chunk (a chunk is the CRC/retry unit). */
+    double chunk_bytes = 16.0 * 1024.0;
+
+    /** Attempts per chunk before the send fails (0 = unbounded). */
+    std::size_t max_attempts_per_chunk = 8;
+
+    double backoff_base_s = 0.05; //!< first retry delay.
+    double backoff_max_s = 2.0;   //!< exponential growth cap.
+
+    /** Jitter: delay is scaled by 1 +/- jitter_frac, deterministically. */
+    double jitter_frac = 0.25;
+    std::uint64_t jitter_seed = 0x7261676Eull;
+
+    /**
+     * Resume retries from the delivered byte offset. Off = the
+     * from-scratch baseline: every retry resends the whole chunk
+     * (used to measure what resumption saves).
+     */
+    bool resume_from_offset = true;
+};
+
+/** No deadline: retry until delivered or out of attempts. */
+inline constexpr double kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/** Identity of one transport message (one gradient row push/pull). */
+struct MessageKey
+{
+    std::uint16_t worker = 0;
+    std::int64_t version = 0;
+    std::uint32_t row = 0;
+    bool pull = false;
+
+    auto
+    tie() const
+    {
+        return std::tie(worker, version, row, pull);
+    }
+
+    bool operator<(const MessageKey &o) const { return tie() < o.tie(); }
+    bool operator==(const MessageKey &o) const { return tie() == o.tie(); }
+};
+
+/** Outcome of one message send. */
+struct SendResult
+{
+    bool delivered = false;        //!< all chunks accepted intact.
+    bool deadline_expired = false; //!< gave up at the deadline.
+    std::size_t chunks = 0;        //!< chunk count of the message.
+    std::size_t attempts = 0;      //!< channel transfers started.
+    std::size_t retries = 0;       //!< attempts beyond the first per chunk.
+    double backoff_s = 0.0;        //!< total time spent backing off.
+    double payload_bytes = 0.0;    //!< application bytes requested.
+    double bytes_sent = 0.0;       //!< payload + header bytes delivered.
+    double retransmitted_bytes = 0.0; //!< delivered more than once.
+    std::size_t corrupt_chunks = 0;   //!< CRC rejections at the receiver.
+    std::size_t duplicate_chunks = 0; //!< dedup'd duplicate deliveries.
+    std::size_t reordered_chunks = 0; //!< held-and-flushed chunks.
+    double elapsed_s = 0.0;
+};
+
+/** Aggregate counters across every send on a ReliableLink. */
+struct TransportTotals
+{
+    std::size_t sends = 0;
+    std::size_t delivered = 0;
+    std::size_t failed = 0;
+    std::size_t attempts = 0;
+    std::size_t retries = 0;
+    double backoff_s = 0.0;
+    double bytes_sent = 0.0;
+    double retransmitted_bytes = 0.0;
+    std::size_t corrupt_chunks = 0;
+    std::size_t duplicate_chunks = 0;
+    std::size_t reordered_chunks = 0;
+};
+
+/** One entry of the structured replay log. */
+struct TransportEvent
+{
+    enum class Kind {
+        Attempt,     //!< a=wire bytes, b=resume offset.
+        Resume,      //!< a=resumed bytes, b=chunk payload bytes.
+        Backoff,     //!< a=delay seconds, b=backoff exponent.
+        Accept,      //!< chunk passed CRC and was applied fresh.
+        Duplicate,   //!< chunk arrived again and was dedup'd.
+        CorruptDrop, //!< chunk failed CRC and was discarded.
+        ReorderHold, //!< chunk held to apply after its successor.
+        Deliver,     //!< message complete.
+        Fail,        //!< a=1 if the deadline expired, 0 otherwise.
+    };
+
+    double t = 0.0;
+    Kind kind = Kind::Attempt;
+    LinkId link = 0;
+    MessageKey key;
+    std::uint32_t chunk_seq = 0;
+    double a = 0.0;
+    double b = 0.0;
+};
+
+/** Render one event as a stable text line (for replay comparison). */
+std::string toString(const TransportEvent &ev);
+
+/** The reliability sublayer wrapping one Channel. */
+class ReliableLink
+{
+  public:
+    using Callback = std::function<void(SendResult)>;
+
+    /**
+     * @param sim / @param channel must outlive the link. The optional
+     * @p observer (e.g. a fault::InvariantChecker) receives an
+     * onTransport*() hook for every receiver decision.
+     */
+    ReliableLink(sim::Simulation &sim, Channel &channel,
+                 const TransportConfig &config,
+                 TransportObserver *observer = nullptr);
+    ~ReliableLink();
+
+    ReliableLink(const ReliableLink &) = delete;
+    ReliableLink &operator=(const ReliableLink &) = delete;
+
+    /**
+     * Start sending a message of @p payload_bytes simulated bytes
+     * (callback form). The payload content is synthesized
+     * deterministically from @p key so checksums are real.
+     *
+     * @param deadline_s absolute virtual-time deadline (kNoDeadline
+     *        for none); the send gives up, deadline-aware, instead of
+     *        backing off past it.
+     * @param done invoked exactly once with the result (unless the
+     *        link or channel is destroyed first).
+     * @param drop invoked instead of @p done on destruction mid-send.
+     */
+    void startSend(LinkId link, const MessageKey &key,
+                   double payload_bytes, double deadline_s,
+                   Callback done, std::function<void()> drop = {});
+
+    /**
+     * As startSend, but carrying @p payload real bytes; the receiver
+     * reassembles them (see deliveredPayload) and every checksum is
+     * computed over the actual data. @p payload must stay alive until
+     * the callback fires.
+     */
+    void startSendPayload(LinkId link, const MessageKey &key,
+                          std::span<const std::uint8_t> payload,
+                          double deadline_s, Callback done,
+                          std::function<void()> drop = {});
+
+    /** Awaitable send for simulation processes. */
+    class SendAwaiter
+    {
+      public:
+        SendAwaiter(ReliableLink &rl, LinkId link, const MessageKey &key,
+                    double bytes, double deadline)
+            : rl_(rl), link_(link), key_(key), bytes_(bytes),
+              deadline_(deadline)
+        {
+        }
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            rl_.startSend(
+                link_, key_, bytes_, deadline_,
+                [this, h](SendResult r) {
+                    result_ = r;
+                    h.resume();
+                },
+                [h] { h.destroy(); });
+        }
+
+        SendResult await_resume() const noexcept { return result_; }
+
+      private:
+        ReliableLink &rl_;
+        LinkId link_;
+        MessageKey key_;
+        double bytes_;
+        double deadline_;
+        SendResult result_;
+    };
+
+    /** co_await a reliable send; resumes with the SendResult. */
+    SendAwaiter
+    send(LinkId link, const MessageKey &key, double payload_bytes,
+         double deadline_s = kNoDeadline)
+    {
+        return SendAwaiter(*this, link, key, payload_bytes, deadline_s);
+    }
+
+    /** Reassembled bytes of a delivered payload send (empty if none). */
+    const std::vector<std::uint8_t> &
+    deliveredPayload(const MessageKey &key) const;
+
+    const TransportTotals &totals() const { return totals_; }
+
+    /** Structured event log since construction. */
+    const std::vector<TransportEvent> &log() const { return log_; }
+
+    /** The whole log as text, one event per line. */
+    std::string logDump() const;
+
+    const TransportConfig &config() const { return config_; }
+
+  private:
+    struct SendOp;
+
+    void startSendImpl(LinkId link, const MessageKey &key,
+                       double payload_bytes,
+                       std::span<const std::uint8_t> payload,
+                       double deadline_s, Callback done,
+                       std::function<void()> drop);
+    void attempt(SendOp &op);
+    void onTransferDone(std::uint64_t op_id, const TransferResult &r);
+    void dropOp(std::uint64_t op_id);
+    void receiveChunk(SendOp &op, bool duplicated, bool reordered);
+    void acceptOnce(SendOp &op, const FrameHeader &hdr);
+    void advanceChunk(SendOp &op);
+    void flushHold(SendOp &op);
+    void scheduleRetry(SendOp &op);
+    void finish(SendOp &op, bool delivered, bool expired);
+    void logEvent(TransportEvent::Kind kind, const SendOp &op,
+                  std::uint32_t seq, double a = 0.0, double b = 0.0);
+
+    /** Payload bytes of chunk @p seq for @p op (slice or synthesized). */
+    std::vector<std::uint8_t> chunkPayload(const SendOp &op,
+                                           std::uint32_t seq) const;
+    double chunkLen(const SendOp &op, std::uint32_t seq) const;
+
+    sim::Simulation &sim_;
+    Channel &channel_;
+    TransportConfig config_;
+    TransportObserver *observer_ = nullptr;
+
+    std::map<std::uint64_t, std::unique_ptr<SendOp>> ops_;
+    std::uint64_t next_op_id_ = 1;
+
+    std::map<MessageKey, std::vector<std::uint8_t>> delivered_payloads_;
+    TransportTotals totals_;
+    std::vector<TransportEvent> log_;
+
+    /** Cleared by the destructor so stale channel callbacks no-op. */
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+} // namespace transport
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRANSPORT_RELIABLE_LINK_HPP

@@ -101,6 +101,187 @@ TEST(FaultPlan, ParseReadsCommentsAndBlanks)
     p.validate();
 }
 
+TEST(FaultPlan, CorruptionClassSpecRoundTrips)
+{
+    const FaultPlan p = FaultPlan::parse(
+        "corrupt   link=1 at=12\n"
+        "duplicate link=0 at=3\n"
+        "reorder   link=2 at=5\n");
+    ASSERT_EQ(p.transfer_faults.size(), 3u);
+    EXPECT_TRUE(p.transfer_faults[0].corrupt);
+    EXPECT_EQ(p.transfer_faults[0].link, 1u);
+    EXPECT_TRUE(p.transfer_faults[1].duplicate);
+    EXPECT_TRUE(p.transfer_faults[2].reorder);
+    EXPECT_DOUBLE_EQ(p.transfer_faults[2].at_s, 5.0);
+    const FaultPlan q = FaultPlan::parse(p.toSpec());
+    EXPECT_EQ(p.toSpec(), q.toSpec());
+}
+
+TEST(FaultPlan, RandomGeneratesCorruptionClassesWhenEnabled)
+{
+    FaultPlanConfig cfg;
+    cfg.links = 2;
+    cfg.horizon_s = 60.0;
+    cfg.max_corruptions_per_link = 3;
+    cfg.max_duplicates_per_link = 3;
+    cfg.max_reorders_per_link = 3;
+    std::size_t corrupt = 0, duplicate = 0, reorder = 0;
+    for (std::uint64_t s = 0; s < 20; ++s) {
+        const FaultPlan p = FaultPlan::random(s, cfg);
+        p.validate();
+        for (const auto &r : p.transfer_faults) {
+            corrupt += r.corrupt;
+            duplicate += r.duplicate;
+            reorder += r.reorder;
+        }
+        // Enabling the knobs keeps the spec round-trip exact.
+        EXPECT_EQ(FaultPlan::parse(p.toSpec()).toSpec(), p.toSpec());
+    }
+    EXPECT_GT(corrupt, 0u);
+    EXPECT_GT(duplicate, 0u);
+    EXPECT_GT(reorder, 0u);
+}
+
+TEST(FaultPlan, ZeroedCorruptionKnobsDrawNoRng)
+{
+    // The corruption-class knobs default to 0 and must consume no RNG
+    // draws there, so plans from pre-transport seeds replay
+    // byte-identically against the old generator behaviour.
+    const auto cfg = busyConfig();
+    auto with_knob_fields = cfg; // same values, knobs explicitly 0.
+    with_knob_fields.max_corruptions_per_link = 0;
+    with_knob_fields.max_duplicates_per_link = 0;
+    with_knob_fields.max_reorders_per_link = 0;
+    for (std::uint64_t s = 0; s < 10; ++s)
+        EXPECT_EQ(FaultPlan::random(s, cfg).toSpec(),
+                  FaultPlan::random(s, with_knob_fields).toSpec());
+}
+
+/** Expect tryParse to fail mentioning every fragment in @p needles. */
+void
+expectReject(const std::string &spec,
+             std::initializer_list<const char *> needles)
+{
+    const auto res = FaultPlan::tryParse(spec);
+    EXPECT_FALSE(res.ok()) << spec;
+    EXPECT_TRUE(res.plan.empty()) << spec;
+    for (const char *n : needles)
+        EXPECT_NE(res.error.find(n), std::string::npos)
+            << "error \"" << res.error << "\" lacks \"" << n << "\"";
+}
+
+TEST(FaultPlanParse, RejectsUnknownKeyword)
+{
+    expectReject("frobnicate link=0 at=1\n",
+                 {"line 1", "unknown keyword 'frobnicate'"});
+}
+
+TEST(FaultPlanParse, RejectsUnknownKey)
+{
+    expectReject("blackout link=0 start=1 dur=2 factor=0.5\n",
+                 {"unknown key 'factor'"}); // blackout has no factor.
+    expectReject("corrupt link=0 at=1 bytes=10\n",
+                 {"unknown key 'bytes'"});
+}
+
+TEST(FaultPlanParse, RejectsDuplicateKey)
+{
+    expectReject("truncate link=0 link=1 at=1 bytes=10\n",
+                 {"duplicate key 'link'"});
+}
+
+TEST(FaultPlanParse, RejectsMissingKey)
+{
+    expectReject("blackout link=0 start=1\n", {"missing 'dur='"});
+    expectReject("corrupt at=12\n", {"missing 'link='"});
+    expectReject("leave worker=1\n", {"missing 'at='"});
+}
+
+TEST(FaultPlanParse, RejectsGarbageNumbers)
+{
+    expectReject("blackout link=0 start=1.2.3 dur=2\n",
+                 {"bad number '1.2.3'"});
+    expectReject("timeout link=0 at=abc after=1\n",
+                 {"bad number 'abc'"});
+    expectReject("blackout link=0 start=nan dur=2\n",
+                 {"bad number 'nan'"});
+    expectReject("truncate link=0 at=1 bytes=12kb\n",
+                 {"bad number '12kb'"});
+}
+
+TEST(FaultPlanParse, RejectsMalformedTokens)
+{
+    expectReject("blackout link=0 =5 dur=2\n",
+                 {"expected key=value", "'=5'"});
+    expectReject("blackout link=0 start= dur=2\n",
+                 {"expected key=value", "'start='"});
+    expectReject("blackout link=0 start dur=2\n",
+                 {"expected key=value", "'start'"});
+}
+
+TEST(FaultPlanParse, RejectsBadIndices)
+{
+    expectReject("blackout link=-1 start=1 dur=2\n",
+                 {"'link' must be a non-negative integer"});
+    expectReject("crash worker=1.5 at=1 detect=2\n",
+                 {"'worker' must be a non-negative integer"});
+    expectReject("leave worker=inf at=1\n",
+                 {"'worker' must be a non-negative integer"});
+}
+
+TEST(FaultPlanParse, RejectsCrossFieldViolations)
+{
+    // Structurally fine lines whose values break plan invariants.
+    expectReject("crash worker=0 at=10\n",
+                 {"silent crash", "rejoin or detect"});
+    expectReject("degrade link=0 start=1 dur=2 factor=1.5\n",
+                 {"factor must be in [0, 1]"});
+    expectReject("crash worker=0 at=10 rejoin=5\n",
+                 {"rejoin", "must not precede the crash"});
+    expectReject("timeout link=0 at=1 after=0\n",
+                 {"forced timeout must be positive"});
+}
+
+TEST(FaultPlanParse, ReportsTheOffendingLineNumber)
+{
+    const auto res = FaultPlan::tryParse(
+        "# header comment\n"
+        "blackout link=0 start=1 dur=2\n"
+        "\n"
+        "bogus link=0\n");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("line 4"), std::string::npos)
+        << res.error;
+}
+
+TEST(FaultPlanParse, TryParseSucceedsOnValidSpec)
+{
+    const auto res = FaultPlan::tryParse(
+        "corrupt link=0 at=1 # mid-line comment\n"
+        "crash worker=0 at=10 detect=2\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_TRUE(res.error.empty());
+    EXPECT_EQ(res.plan.transfer_faults.size(), 1u);
+    EXPECT_EQ(res.plan.churn.size(), 1u);
+}
+
+TEST(FaultPlanParse, ParseThrowsFatalOnMalformedSpec)
+{
+    // ROG_FATAL throws so configuration errors are catchable.
+    EXPECT_THROW(FaultPlan::parse("bogus link=0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(FaultPlan::parse("blackout link=0 start=x dur=1\n"),
+                 std::runtime_error);
+    try {
+        FaultPlan::parse("bogus link=0\n");
+        FAIL() << "parse did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown keyword"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(FaultPlanDeathTest, ValidateRejectsGhostCrash)
 {
     // A silent crash with neither rejoin nor detection would stall the

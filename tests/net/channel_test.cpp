@@ -186,6 +186,83 @@ TEST(ChannelTest, DestroyWithActiveFlowReleasesFrame)
     EXPECT_FALSE(resumed);
 }
 
+TEST(ChannelTest, DestroyWithActiveFlowInvokesDropNotDone)
+{
+    // Callback form: destroying the channel mid-flow must invoke the
+    // drop callback exactly once and never the completion callback.
+    Simulation sim;
+    int done_count = 0;
+    int drop_count = 0;
+    {
+        Channel ch(sim, {BandwidthTrace::constant(1.0, 60.0)});
+        ch.startTransfer(
+            0, 1e9, Channel::kNoTimeout,
+            [&](TransferResult) { ++done_count; },
+            [&] { ++drop_count; });
+        EXPECT_EQ(ch.activeFlows(), 1u);
+        EXPECT_EQ(drop_count, 0); // not before destruction.
+    }
+    EXPECT_EQ(done_count, 0);
+    EXPECT_EQ(drop_count, 1);
+}
+
+TEST(ChannelTest, DestroyDropsOnlyActiveFlows)
+{
+    // A flow that already completed gets its done callback; only the
+    // one still in the air at destruction is dropped.
+    Simulation sim;
+    int done_count = 0;
+    int drop_count = 0;
+    {
+        Channel ch(sim, {BandwidthTrace::constant(100.0, 60.0)});
+        ch.startTransfer(
+            0, 100.0, Channel::kNoTimeout,
+            [&](TransferResult r) { done_count += r.completed; },
+            [&] { ++drop_count; });
+        sim.run(); // first transfer completes at t = 1.
+        ch.startTransfer(
+            0, 1e9, Channel::kNoTimeout,
+            [&](TransferResult) { ++done_count; },
+            [&] { ++drop_count; });
+    }
+    EXPECT_EQ(done_count, 1);
+    EXPECT_EQ(drop_count, 1);
+}
+
+TEST(ChannelTest, TimeoutExactlyOnTraceBoundaryIsExact)
+{
+    // 100 B/s for 1 s then 200 B/s, timeout exactly at the boundary:
+    // the cut must charge precisely the first segment's bytes — the
+    // boundary wake event and the timeout coincide in virtual time.
+    Simulation sim;
+    std::vector<double> samples(10, 100.0);
+    samples.resize(110, 200.0);
+    Channel ch(sim, {BandwidthTrace(samples, 0.1)});
+    TransferResult res;
+    doTransfer(sim, ch, 0, 1000.0, 1.0, res);
+    sim.run();
+    EXPECT_FALSE(res.completed);
+    EXPECT_NEAR(res.bytes_sent, 100.0, 1e-9);
+    EXPECT_NEAR(res.elapsed, 1.0, 1e-12);
+    EXPECT_NEAR(sim.now(), 1.0, 1e-12);
+}
+
+TEST(ChannelTest, CompletionExactlyOnTraceBoundaryBeatsTimeout)
+{
+    // The transfer finishes exactly when the capacity steps AND the
+    // timeout fires: completion must win and report full delivery.
+    Simulation sim;
+    std::vector<double> samples(10, 100.0);
+    samples.resize(110, 200.0);
+    Channel ch(sim, {BandwidthTrace(samples, 0.1)});
+    TransferResult res;
+    doTransfer(sim, ch, 0, 100.0, 1.0, res);
+    sim.run();
+    EXPECT_TRUE(res.completed);
+    EXPECT_NEAR(res.bytes_sent, 100.0, 1e-9);
+    EXPECT_NEAR(res.elapsed, 1.0, 1e-12);
+}
+
 TEST(ChannelTest, CallbackFormDeliversResult)
 {
     Simulation sim;

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Property/fuzz harness for the reliable transport: 1000 seeded random
+ * fault schedules — blackouts, bandwidth collapses, truncations,
+ * forced timeouts, payload corruption, duplicate delivery, and chunk
+ * reordering — against random message workloads. Under every schedule
+ * the transport must fire every completion callback exactly once,
+ * deliver (or verifiably fail) every message, keep the
+ * InvariantChecker's transport invariants clean (apply-once under
+ * duplication, no corrupted chunk accepted, resume never past the
+ * request), and replay byte-identically from the same seed.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
+#include "net/trace_generator.hpp"
+#include "net/transport/reliable_link.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+namespace {
+
+constexpr std::size_t kLinks = 2;
+constexpr std::size_t kMessages = 8;
+
+fault::FaultPlanConfig
+fuzzFaultConfig()
+{
+    fault::FaultPlanConfig cfg;
+    cfg.links = kLinks;
+    cfg.workers = 0; // transport-level only: no churn.
+    cfg.horizon_s = 40.0;
+    cfg.max_corruptions_per_link = 2;
+    cfg.max_duplicates_per_link = 2;
+    cfg.max_reorders_per_link = 2;
+    return cfg;
+}
+
+struct FuzzOutcome
+{
+    std::vector<SendResult> results;
+    std::vector<int> callback_count;
+    TransportTotals totals;
+    std::size_t violations = 0;
+    std::size_t checks = 0;
+    std::string violation_report;
+    std::string log_dump;
+};
+
+FuzzOutcome
+runTransportFuzz(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const fault::FaultPlan plan =
+        fault::FaultPlan::random(seed, fuzzFaultConfig());
+    plan.validate();
+
+    sim::Simulation sim;
+    fault::FaultInjector injector(sim, plan);
+    std::vector<BandwidthTrace> traces;
+    for (std::size_t l = 0; l < kLinks; ++l) {
+        const auto base = generateTrace(
+            TraceModel::outdoor(rng.uniform(5e3, 40e3)), 60.0,
+            seed * 100 + l);
+        traces.push_back(injector.perturbTrace(base, l, 200.0));
+    }
+
+    TransportConfig cfg;
+    cfg.chunk_bytes = rng.uniform(500.0, 5000.0);
+    cfg.max_attempts_per_chunk = 2 + rng.uniformInt(6);
+    cfg.jitter_seed = seed;
+
+    FuzzOutcome out;
+    out.results.resize(kMessages);
+    out.callback_count.assign(kMessages, 0);
+    {
+        Channel ch(sim, std::move(traces));
+        injector.attach(ch);
+        fault::InvariantChecker checker;
+        ReliableLink link(sim, ch, cfg, &checker);
+
+        for (std::size_t i = 0; i < kMessages; ++i) {
+            const double start = rng.uniform(0.0, 30.0);
+            const auto l = rng.uniformInt(kLinks);
+            const double bytes = rng.uniform(100.0, 20e3);
+            const bool timed = rng.uniform() < 0.3;
+            const double deadline =
+                timed ? start + rng.uniform(0.5, 5.0) : kNoDeadline;
+            MessageKey key;
+            key.worker = static_cast<std::uint16_t>(l);
+            key.version = static_cast<std::int64_t>(i);
+            key.row = static_cast<std::uint32_t>(rng.uniformInt(64));
+            key.pull = rng.uniform() < 0.5;
+            sim.after(start, [&link, &out, i, l, key, bytes, deadline] {
+                link.startSend(l, key, bytes, deadline,
+                               [&out, i](SendResult r) {
+                                   out.results[i] = r;
+                                   ++out.callback_count[i];
+                               });
+            });
+        }
+        sim.run();
+        out.totals = link.totals();
+        out.violations = checker.violationCount();
+        out.checks = checker.checksRun();
+        out.violation_report = checker.report();
+        out.log_dump = link.logDump();
+    }
+    return out;
+}
+
+class TransportFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+// 8 params x 125 seeds each = 1000 random fault schedules.
+TEST_P(TransportFuzz, InvariantsHoldUnderRandomFaultSchedules)
+{
+    for (std::uint64_t k = 0; k < 125; ++k) {
+        const std::uint64_t seed = GetParam() * 1000 + k;
+        const auto out = runTransportFuzz(seed);
+
+        // Zero invariant violations, and the checker actually checked.
+        ASSERT_EQ(out.violations, 0u)
+            << "seed " << seed << "\n" << out.violation_report;
+        EXPECT_GT(out.checks, 0u) << "seed " << seed;
+
+        double sent = 0.0, retrans = 0.0;
+        for (std::size_t i = 0; i < out.results.size(); ++i) {
+            const auto &r = out.results[i];
+            // Exactly one completion per message, fault or not.
+            ASSERT_EQ(out.callback_count[i], 1)
+                << "seed " << seed << " message " << i;
+            EXPECT_GT(r.chunks, 0u) << "seed " << seed;
+            EXPECT_GE(r.attempts, r.chunks * (r.delivered ? 1u : 0u))
+                << "seed " << seed;
+            EXPECT_EQ(r.retries + r.chunks >= r.attempts, true)
+                << "seed " << seed;
+            // Retransmission is a subset of what was sent.
+            EXPECT_LE(r.retransmitted_bytes, r.bytes_sent + 1e-6)
+                << "seed " << seed;
+            EXPECT_GE(r.backoff_s, 0.0) << "seed " << seed;
+            EXPECT_GE(r.elapsed_s, 0.0) << "seed " << seed;
+            // Delivered and expired are mutually exclusive outcomes.
+            EXPECT_FALSE(r.delivered && r.deadline_expired)
+                << "seed " << seed;
+            sent += r.bytes_sent;
+            retrans += r.retransmitted_bytes;
+        }
+        // Per-message results reconcile with the link's ledger.
+        EXPECT_EQ(out.totals.sends, kMessages) << "seed " << seed;
+        EXPECT_EQ(out.totals.delivered + out.totals.failed, kMessages)
+            << "seed " << seed;
+        EXPECT_NEAR(out.totals.bytes_sent, sent, 1e-6)
+            << "seed " << seed;
+        EXPECT_NEAR(out.totals.retransmitted_bytes, retrans, 1e-6)
+            << "seed " << seed;
+    }
+}
+
+TEST_P(TransportFuzz, ReplayIsByteIdentical)
+{
+    // The transport's structured event log — every attempt, resume,
+    // backoff delay, accept, and verdict — must be byte-identical when
+    // the same seed is replayed.
+    for (std::uint64_t k = 0; k < 25; ++k) {
+        const std::uint64_t seed = GetParam() * 7000 + k;
+        const auto a = runTransportFuzz(seed);
+        const auto b = runTransportFuzz(seed);
+        ASSERT_FALSE(a.log_dump.empty()) << "seed " << seed;
+        ASSERT_EQ(a.log_dump, b.log_dump) << "seed " << seed;
+        EXPECT_EQ(a.totals.attempts, b.totals.attempts)
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(a.totals.bytes_sent, b.totals.bytes_sent)
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(a.totals.backoff_s, b.totals.backoff_s)
+            << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace transport
+} // namespace net
+} // namespace rog
