@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension — crash-consistent server recovery: the parameter server
+ * dies mid-run (`server_crash` fault) and restores itself from the
+ * newest write-ahead checkpoint. The sweep varies the checkpoint
+ * cadence and reports the trade it buys: a tight cadence bounds the
+ * rollback (iterations of server state lost and re-pushed by the
+ * workers) at the cost of more checkpoint writes; a loose cadence —
+ * or none at all, falling back to the genesis snapshot — pays for
+ * cheap steady state with a long re-convergence after the crash.
+ * The InvariantChecker audits every run (no double-apply after
+ * recovery, write-ahead ordering respected).
+ */
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
+
+int
+main()
+{
+    using namespace rog;
+    bench::banner(
+        "Extension: server crash recovery vs checkpoint cadence");
+
+    auto ecfg = bench::paperExperiment(stats::Environment::Outdoor, 200);
+    const std::size_t crash_iter = (ecfg.iterations * 4) / 5 + 3;
+    const fault::FaultPlan plan = fault::FaultPlan::parse(
+        "server_crash iter=" + std::to_string(crash_iter) + "\n");
+
+    struct RunOut
+    {
+        core::RunResult result;
+        bool clean = true;
+        std::string report;
+    };
+    const auto run = [&](const fault::FaultPlan *fp,
+                         std::size_t cadence,
+                         const std::string &path) {
+        // Fresh workload per run: base and crashed runs must start
+        // from identical state or the time delta measures nothing.
+        core::CrudaWorkload workload(bench::paperCruda());
+        fault::InvariantChecker checker;
+        core::EngineConfig engine;
+        engine.system = core::SystemConfig::rog(4);
+        engine.iterations = ecfg.iterations;
+        engine.eval_every = ecfg.eval_every;
+        engine.checkpoint_every = cadence;
+        engine.checkpoint_path = path;
+        engine.fault_plan = fp;
+        engine.invariants = &checker;
+        const auto network = stats::makeNetwork(workload, ecfg);
+        RunOut out;
+        out.result =
+            core::runDistributedTraining(workload, engine, network);
+        out.clean = checker.clean();
+        out.report = checker.report();
+        return out;
+    };
+
+    std::size_t total_violations = 0;
+    Table t("Server crashes at iteration " + std::to_string(crash_iter) +
+                " (ROG-4, outdoor)",
+            {"cadence", "ckpts", "rollback_iters", "base_s", "crashed_s",
+             "recovery_cost_s", "invariants"});
+    const std::size_t cadences[] = {0, 1, 5, 25, 100};
+    for (const std::size_t cadence : cadences) {
+        // cadence 0 with no path = no durable checkpoint at all: the
+        // server falls back to its genesis snapshot.
+        const std::string path =
+            cadence == 0 ? ""
+                         : "/tmp/rog_ext_recovery_" +
+                               std::to_string(cadence) + ".rogs";
+        const RunOut base = run(nullptr, cadence, path);
+        const RunOut crashed = run(&plan, cadence, path);
+        if (!path.empty())
+            std::remove(path.c_str());
+        for (const RunOut *r : {&base, &crashed}) {
+            if (!r->clean) {
+                ++total_violations;
+                std::cerr << "cadence " << cadence
+                          << " invariant violations:\n"
+                          << r->report;
+            }
+        }
+        std::int64_t rollback = 0;
+        for (const auto &rr : crashed.result.recoveries)
+            rollback += rr.crash_iter - rr.checkpoint_iter;
+        t.addRow({cadence == 0 ? "none" : std::to_string(cadence),
+                  std::to_string(crashed.result.checkpoints_written),
+                  std::to_string(rollback),
+                  Table::num(base.result.sim_seconds, 1),
+                  Table::num(crashed.result.sim_seconds, 1),
+                  Table::num(crashed.result.sim_seconds -
+                                 base.result.sim_seconds,
+                             1),
+                  crashed.clean && base.clean ? "clean" : "VIOLATED"});
+    }
+    t.printText(std::cout);
+    std::cout << "(rollback = server iterations lost to the crash and "
+                 "re-pushed by the workers; recovery cost = extra "
+                 "virtual seconds vs the same cadence uninterrupted; "
+                 "an aligned cadence-1 checkpoint makes recovery an "
+                 "identity restore)\n";
+    return total_violations == 0 ? 0 : 1;
+}

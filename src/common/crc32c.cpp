@@ -1,10 +1,8 @@
-#include "net/transport/crc32c.hpp"
+#include "common/crc32c.hpp"
 
 #include <array>
 
 namespace rog {
-namespace net {
-namespace transport {
 
 namespace {
 
@@ -37,6 +35,4 @@ crc32c(std::span<const std::uint8_t> data, std::uint32_t seed)
     return ~crc;
 }
 
-} // namespace transport
-} // namespace net
 } // namespace rog

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) checksums.
+ *
+ * One checksum routine serves every integrity boundary in the system:
+ * the reliable transport verifies each reassembled chunk against the
+ * CRC in its frame header, model checkpoints (nn/serialize) carry a
+ * whole-file CRC trailer, and server recovery checkpoints
+ * (core/server_checkpoint) refuse to restore from a corrupted file.
+ * CRC32C is the polynomial used by iSCSI, ext4, and RDMA NICs — the
+ * natural choice for a robot-to-server gradient wire and its durable
+ * state. This is the portable table-driven software implementation (no
+ * SSE4.2 requirement; determinism matters more than throughput here,
+ * the payloads are small).
+ */
+#ifndef ROG_COMMON_CRC32C_HPP
+#define ROG_COMMON_CRC32C_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rog {
+
+/**
+ * CRC32C of @p data continued from @p seed (pass the previous return
+ * value to checksum a message in pieces). The empty-span CRC of seed 0
+ * is 0; crc32c("123456789") == 0xE3069283 (the standard check value).
+ */
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
+
+} // namespace rog
+
+#endif // ROG_COMMON_CRC32C_HPP

@@ -49,6 +49,16 @@ class Ewma
     double value() const { return value_; }
     bool seeded() const { return seeded_; }
 
+    /**
+     * Overwrite the estimator state (checkpoint restore). alpha is
+     * configuration, not state, and is left untouched.
+     */
+    void restore(double value, bool seeded)
+    {
+        value_ = value;
+        seeded_ = seeded;
+    }
+
   private:
     double alpha_;
     double value_;

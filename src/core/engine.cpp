@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "compress/codec.hpp"
+#include "core/failure_detector.hpp"
 #include "core/flat_model.hpp"
 #include "core/importance.hpp"
 #include "core/auto_threshold.hpp"
 #include "core/dynamic_batching.hpp"
 #include "core/mta.hpp"
+#include "core/server_checkpoint.hpp"
 #include "core/server_state.hpp"
 #include "core/version_storage.hpp"
 #include "data/dataset.hpp"
@@ -21,6 +24,7 @@
 #include "net/channel.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/energy.hpp"
 #include "sim/process.hpp"
@@ -148,6 +152,17 @@ class Engine
     void onLeaveEvent(const fault::ChurnEvent &e);
     void rejoinResync(WorkerContext &w, std::size_t &n);
 
+    // Heartbeat failure detection (opt-in): each worker beats over
+    // its own link; the monitor re-scores membership at a fixed
+    // cadence and retires the dead.
+    sim::Process heartbeatProcess(WorkerContext &w);
+    sim::Process monitorProcess();
+    bool quorumRecoverable() const;
+
+    // Crash-consistent server recovery.
+    void maybeCheckpointServer(std::int64_t iter);
+    void serverCrashRecover(std::int64_t crash_iter);
+
     Workload &workload_;
     EngineConfig cfg_;
 
@@ -168,6 +183,10 @@ class Engine
     Rng rng_;
     std::unique_ptr<sim::Condition> version_cond_;
     std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<MembershipTracker> membership_;
+    std::vector<std::int64_t> pending_server_crashes_; //!< ascending.
+    ServerCheckpoint genesis_;          //!< pre-run server state.
+    std::int64_t last_checkpoint_iter_ = -1; //!< -1 = none on disk.
     // The transport wraps the channel and must be destroyed after it
     // (channel teardown drops in-flight sends through the transport's
     // callbacks), hence declared before channel_.
@@ -289,6 +308,36 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
     }
 
     version_cond_ = std::make_unique<sim::Condition>(sim_);
+
+    if (cfg.failure_detector) {
+        membership_ =
+            std::make_unique<MembershipTracker>(num_workers,
+                                                cfg.detector);
+    }
+    ROG_ASSERT(cfg.quorum == 0 || cfg.failure_detector,
+               "quorum needs the failure detector");
+    ROG_ASSERT(cfg.quorum <= num_workers,
+               "quorum exceeds the worker count");
+
+    if (cfg.fault_plan) {
+        for (const auto &e : cfg.fault_plan->server_crashes) {
+            ROG_ASSERT(e.at_iter <=
+                           static_cast<std::int64_t>(cfg.iterations),
+                       "server crash at iteration ", e.at_iter,
+                       " beyond the ", cfg.iterations, "-iteration run");
+            pending_server_crashes_.push_back(e.at_iter);
+        }
+        std::sort(pending_server_crashes_.begin(),
+                  pending_server_crashes_.end());
+    }
+    if (!pending_server_crashes_.empty()) {
+        // A crash before the first checkpoint recovers to this.
+        genesis_.iteration = 0;
+        genesis_.msg_seq = 0;
+        genesis_.versions = versions_->snapshot();
+        genesis_.server = server_->snapshot();
+        genesis_.tracker = tracker_->snapshot();
+    }
 
     // Fault injection: bake the plan's link blackouts / bandwidth
     // collapses into the traces, install the per-transfer policy, and
@@ -549,6 +598,34 @@ Engine::workerProcess(WorkerContext &w)
             rejoinResync(w, n);
             continue;
         }
+        // Falsely evicted while actually healthy: the detector
+        // retired this worker, but it is alive — re-admit through the
+        // rejoin resync (fresh model, versions jump to the resync
+        // point), the same path a crashed worker takes.
+        if (membership_ && !w.leaving && versions_->retired(w.id)) {
+            rejoinResync(w, n);
+            continue;
+        }
+        // Below quorum: Pause parks this worker while the shortfall
+        // is recoverable (a crashed peer with a scheduled rejoin, or
+        // a false eviction about to re-admit itself); an
+        // unrecoverable shortfall ends the run early — degrading to
+        // fewer workers beats deadlocking on ghosts.
+        if (membership_ && cfg_.quorum > 0 &&
+            cfg_.quorum_policy == QuorumPolicy::Pause &&
+            membership_->participantCount() < cfg_.quorum) {
+            const double pause_start = sim_.now();
+            w.meter->setState(DeviceState::Stall);
+            while (!w.crashed &&
+                   membership_->participantCount() < cfg_.quorum &&
+                   quorumRecoverable())
+                co_await version_cond_->wait();
+            result_.quorum_paused_s += sim_.now() - pause_start;
+            if (w.crashed)
+                continue;
+            if (membership_->participantCount() < cfg_.quorum)
+                break;
+        }
         if (sim_.now() >= cfg_.time_horizon_seconds)
             break;
         if (sim_.now() >= departure)
@@ -711,6 +788,11 @@ Engine::workerProcess(WorkerContext &w)
         // is accumulated or versioned.
         if (w.crashed)
             continue;
+        // Evicted while this push was in flight: the server no longer
+        // counts this worker, so the arrived rows are discarded; the
+        // worker re-admits itself at the top of the next iteration.
+        if (membership_ && versions_->retired(w.id))
+            arrived.clear();
         rec.comm_s += push_elapsed;
         rec.bytes_pushed = push_wire;
         rec.units_pushed = arrived.size();
@@ -742,6 +824,21 @@ Engine::workerProcess(WorkerContext &w)
             flown_->reportThroughput(w.id, push_wire / push_elapsed);
         version_cond_->notifyAll();
 
+        // Write-ahead server checkpoint, then any scheduled server
+        // crash keyed to the iteration just applied. Both run
+        // synchronously — zero virtual time, zero RNG — so a crash
+        // aligned with the checkpoint cadence recovers to the exact
+        // pre-crash state and the run continues byte-identically.
+        maybeCheckpointServer(static_cast<std::int64_t>(n));
+        while (!pending_server_crashes_.empty() &&
+               pending_server_crashes_.front() <=
+                   static_cast<std::int64_t>(n)) {
+            const std::int64_t at = pending_server_crashes_.front();
+            pending_server_crashes_.erase(
+                pending_server_crashes_.begin());
+            serverCrashRecover(at);
+        }
+
         // ---- RSP gate (Algo 2 lines 7-9) ----
         // RSP's two-level staleness control splits the budget:
         //  * across workers, the rows just pushed (v_r_i = n) must stay
@@ -757,11 +854,19 @@ Engine::workerProcess(WorkerContext &w)
         // (possibly fault-truncated) pushed versions could deadlock.
         // Fault-free this is identical to the global minimum, because a
         // full push always advances the worker's own versions to n.
+        // With the failure detector on, a Suspect (or worse) peer no
+        // longer holds the gate: its in-flight rows are reclaimed and
+        // the survivors stop stalling on it. If suspicion was wrong,
+        // the next heartbeat restores the peer to Alive and it counts
+        // again.
         const auto gate_floor = [this, &w]() {
             std::int64_t m = std::numeric_limits<std::int64_t>::max();
             for (const auto &other : workers_) {
                 if (other->id == w.id ||
                     versions_->retired(other->id))
+                    continue;
+                if (membership_ && membership_->active(other->id) &&
+                    membership_->state(other->id) != MemberState::Alive)
                     continue;
                 m = std::min(m,
                              versions_->maxVersionOfWorker(other->id));
@@ -842,6 +947,8 @@ Engine::workerProcess(WorkerContext &w)
         checkpoint(w, w.cur_iter);
     }
     w.done = true;
+    if (membership_)
+        membership_->deactivate(w.id); // finished, not dead.
     if (!versions_->retired(w.id)) {
         versions_->retireWorker(w.id);
         if (cfg_.invariants)
@@ -983,10 +1090,15 @@ Engine::pullProcess(WorkerContext &w)
         w.carried_units_pulled += fetched.size();
 
         for (const std::size_t u : fetched) {
-            if (cfg_.invariants) {
-                cfg_.invariants->onApply(w.id, u,
-                                         server_->hasPending(w.id, u));
-            }
+            const bool had_pending = server_->hasPending(w.id, u);
+            // A server recovery mid-pull rolls the pending copy away;
+            // the fetched bytes described pre-crash state and are
+            // discarded, not applied. Without a recovery a missing
+            // pending copy is an engine bug and stays a violation.
+            if (!had_pending && !result_.recoveries.empty())
+                continue;
+            if (cfg_.invariants)
+                cfg_.invariants->onApply(w.id, u, had_pending);
             auto pending = server_->pending(w.id, u);
             decoded.resize(pending.size());
             transcodeUnit(*w.pull_codec, *w.flat, u, pending, decoded);
@@ -1086,7 +1198,157 @@ Engine::rejoinResync(WorkerContext &w, std::size_t &n)
     n = w.cur_iter;
     w.crashed = false;
     w.rejoin_time = std::numeric_limits<double>::infinity();
+    if (membership_ && membership_->active(w.id)) {
+        // Walk the lifecycle back to Alive; a worker that resynced
+        // before ever being declared dead just restarts its heartbeat
+        // statistics so the outage silence cannot evict it now.
+        if (membership_->state(w.id) == MemberState::Dead)
+            membership_->markRejoining(w.id, sim_.now());
+        if (membership_->state(w.id) == MemberState::Rejoining)
+            membership_->markRejoined(w.id, sim_.now());
+        else
+            membership_->resetStats(w.id, sim_.now());
+    }
     version_cond_->notifyAll();
+}
+
+sim::Process
+Engine::heartbeatProcess(WorkerContext &w)
+{
+    const double interval = cfg_.detector.heartbeat_interval_s;
+    // Stagger first beats so the fleet doesn't pulse in lockstep.
+    co_await sim::delay(sim_, interval *
+                                  (static_cast<double>(w.id + 1) /
+                                   static_cast<double>(
+                                       workers_.size() + 1)));
+    while (!w.done) {
+        if (w.crashed) { // silent: a crashed robot sends nothing.
+            co_await sim::delay(sim_, interval);
+            continue;
+        }
+        // The beat rides the worker's own lossy link and shares
+        // airtime with its gradient traffic; a beat that cannot get
+        // through within one interval is simply lost.
+        auto res = co_await channel_->transfer(
+            w.id, static_cast<double>(cfg_.detector.heartbeat_bytes),
+            interval);
+        if (res.completed && !w.done && !w.crashed)
+            membership_->observeHeartbeat(w.id, sim_.now());
+        co_await sim::delay(sim_, interval);
+    }
+    co_return;
+}
+
+sim::Process
+Engine::monitorProcess()
+{
+    const double interval = cfg_.detector.check_interval_s;
+    while (finished_workers_ < workers_.size()) {
+        co_await sim::delay(sim_, interval);
+        for (const auto &e : membership_->evaluate(sim_.now())) {
+            if (e.to != MemberState::Dead)
+                continue;
+            WorkerContext &w = *workers_[e.worker];
+            ++result_.evictions;
+            const bool actually_down =
+                w.crashed || w.leaving || w.done;
+            if (!actually_down)
+                ++result_.false_evictions;
+            if (cfg_.invariants)
+                cfg_.invariants->onEvict(e.worker, actually_down);
+            if (!versions_->retired(e.worker)) {
+                versions_->retireWorker(e.worker);
+                if (cfg_.invariants)
+                    cfg_.invariants->onRetire(e.worker);
+            }
+            version_cond_->notifyAll();
+        }
+    }
+    co_return;
+}
+
+bool
+Engine::quorumRecoverable() const
+{
+    for (const auto &w : workers_) {
+        if (w->done || w->leaving)
+            continue;
+        // A crashed peer with a scheduled rejoin comes back; a live
+        // peer the detector falsely evicted re-admits itself.
+        if (w->crashed && std::isfinite(w->rejoin_time))
+            return true;
+        if (!w->crashed && versions_->retired(w->id))
+            return true;
+    }
+    return false;
+}
+
+void
+Engine::maybeCheckpointServer(std::int64_t iter)
+{
+    if (cfg_.checkpoint_path.empty())
+        return;
+    const std::size_t every = cfg_.checkpoint_every > 0
+                                  ? cfg_.checkpoint_every
+                                  : cfg_.eval_every;
+    if (iter % static_cast<std::int64_t>(every) != 0 ||
+        iter <= last_checkpoint_iter_)
+        return;
+    ServerCheckpoint ckpt;
+    ckpt.iteration = iter;
+    ckpt.msg_seq = msg_seq_;
+    ckpt.versions = versions_->snapshot();
+    ckpt.server = server_->snapshot();
+    ckpt.tracker = tracker_->snapshot();
+    writeServerCheckpointFile(cfg_.checkpoint_path, ckpt);
+    last_checkpoint_iter_ = iter;
+    ++result_.checkpoints_written;
+}
+
+void
+Engine::serverCrashRecover(std::int64_t crash_iter)
+{
+    // Ground truth the checkpoint cannot know: which workers are
+    // retired *now* (evictions, departures, rejoins since the write).
+    const VersionSnapshot live = versions_->snapshot();
+
+    ServerCheckpoint ckpt;
+    if (last_checkpoint_iter_ >= 0)
+        ckpt = readServerCheckpointFile(cfg_.checkpoint_path);
+    else
+        ckpt = genesis_;
+
+    ServerRecoveryRecord rr;
+    rr.crash_iter = crash_iter;
+    rr.checkpoint_iter = ckpt.iteration;
+    rr.rolled_back = ckpt.iteration < crash_iter;
+    rr.time_s = sim_.now();
+
+    versions_->restore(ckpt.versions);
+    server_->restore(ckpt.server);
+    tracker_->restore(ckpt.tracker);
+    // Never reuse a sequence number an in-flight frame may carry.
+    msg_seq_ = std::max(msg_seq_, ckpt.msg_seq);
+
+    // Reconcile membership with the live truth: retirement is decided
+    // by the running group, not by the dead server's last write.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const bool was_retired = live.retired[i] != 0;
+        if (was_retired && !versions_->retired(i)) {
+            versions_->retireWorker(i);
+        } else if (!was_retired && versions_->retired(i)) {
+            // Rejoined after the checkpoint: its live row floor is
+            // what its peers saw before the crash.
+            std::int64_t floor = 0;
+            for (std::int64_t v : live.versions[i])
+                floor = std::max(floor, v);
+            versions_->rejoinWorker(i, floor);
+        }
+    }
+
+    if (cfg_.invariants)
+        cfg_.invariants->onServerRecovery(ckpt.iteration, crash_iter);
+    result_.recoveries.push_back(rr);
 }
 
 RunResult
@@ -1108,6 +1370,11 @@ Engine::run()
 
     for (auto &w : workers_)
         workerProcess(*w);
+    if (membership_) {
+        for (auto &w : workers_)
+            heartbeatProcess(*w);
+        monitorProcess();
+    }
     sim_.run();
     ROG_ASSERT(finished_workers_ == workers_.size(),
                "simulation drained with unfinished workers");
@@ -1118,6 +1385,14 @@ Engine::run()
     for (const auto &w : workers_) {
         result_.completed_iterations =
             std::min(result_.completed_iterations, w->cur_iter);
+    }
+    if (membership_)
+        result_.membership_events = membership_->history();
+    if (cfg_.capture_final_model) {
+        std::ostringstream os;
+        for (const auto &w : workers_)
+            nn::saveModel(os, *w->model);
+        result_.final_model_bytes = os.str();
     }
     if (transport_) {
         const auto &t = transport_->totals();

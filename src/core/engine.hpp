@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/failure_detector.hpp"
 #include "core/system_config.hpp"
 #include "core/testbed_profile.hpp"
 #include "core/workload.hpp"
@@ -36,6 +37,12 @@ class InvariantChecker;
 
 namespace core {
 
+/** What the group does when it falls below quorum. */
+enum class QuorumPolicy {
+    Pause,    //!< wait for a rejoin while the loss is recoverable.
+    Continue, //!< keep training with however many workers remain.
+};
+
 /** Engine knobs independent of the system under test. */
 struct EngineConfig
 {
@@ -45,7 +52,28 @@ struct EngineConfig
     std::size_t iterations = 1000;      //!< per-worker iteration budget.
     double time_horizon_seconds =
         std::numeric_limits<double>::infinity(); //!< wall-clock budget.
-    std::size_t eval_every = 50;        //!< checkpoint cadence.
+
+    /**
+     * Workload-metric evaluation cadence (the per-worker metric
+     * checkpoints in RunResult::checkpoints). Historically this one
+     * knob also drove server-checkpoint cadence; checkpoint_every
+     * separates the two, inheriting this value when left at 0.
+     */
+    std::size_t eval_every = 50;
+
+    /** Server-checkpoint cadence in iterations; 0 = eval_every. */
+    std::size_t checkpoint_every = 0;
+
+    /**
+     * Crash-consistent server recovery: when non-empty, the server
+     * writes a write-ahead checkpoint of its volatile state (version
+     * matrix, gradient outbox, MTA-time estimates) to this path every
+     * checkpoint_every iterations — temp file + atomic rename, CRC32C
+     * verified on restore. A `server_crash iter=N` fault event then
+     * recovers from the newest checkpoint (or genesis state if none
+     * was written yet) instead of aborting the run.
+     */
+    std::string checkpoint_path{};
 
     std::string codec = "onebit";       //!< "onebit" | "identity".
     double transfer_header_bytes = 16.0; //!< framing bytes (Sec. V).
@@ -111,6 +139,41 @@ struct EngineConfig
     net::transport::TransportConfig transport{};
 
     /**
+     * Robustness: heartbeat failure detection (core/failure_detector).
+     * Each worker sends a periodic heartbeat over its channel link; a
+     * server-side phi-accrual membership tracker walks the explicit
+     * alive -> suspect -> dead -> rejoining lifecycle. Suspects stop
+     * holding the RSP gate (their in-flight rows are reclaimed: the
+     * survivors no longer wait on them); the dead are retired from
+     * the version storage, with ground truth reported to the
+     * invariant checker so a false eviction is a recorded violation.
+     * A worker evicted while actually alive re-admits itself through
+     * the rejoin resync. Opt-in: off replays byte-identically.
+     */
+    bool failure_detector = false;
+    FailureDetectorConfig detector{};
+
+    /**
+     * Minimum number of live (alive-or-suspect) workers the group
+     * needs to keep training; 0 disables the check. Below quorum the
+     * policy decides: Pause parks every healthy worker until a
+     * crashed peer rejoins (ending the run early if the loss is
+     * unrecoverable), Continue degrades gracefully with fewer.
+     * Requires failure_detector.
+     */
+    std::size_t quorum = 0;
+    QuorumPolicy quorum_policy = QuorumPolicy::Pause;
+
+    /**
+     * Serialize every worker's final replica into
+     * RunResult::final_model_bytes (nn/serialize format, workers
+     * concatenated in id order). Byte-identity across two runs is the
+     * strongest determinism check a test can make; off by default
+     * because real models are large.
+     */
+    bool capture_final_model = false;
+
+    /**
      * Fault injection (src/fault): a deterministic schedule of link
      * blackouts / bandwidth collapses (baked into the link traces),
      * per-transfer truncations and forced timeouts (applied by the
@@ -160,6 +223,15 @@ struct IterationRecord
     double bytes_retransmitted = 0.0; //!< bytes delivered more than once.
 };
 
+/** One server crash + recovery, as experienced by the run. */
+struct ServerRecoveryRecord
+{
+    std::int64_t crash_iter = 0;      //!< iteration the crash hit at.
+    std::int64_t checkpoint_iter = 0; //!< iteration recovered to.
+    bool rolled_back = false; //!< recovery lost post-checkpoint state.
+    double time_s = 0.0;      //!< virtual time of the recovery.
+};
+
 /** Per-(worker, checkpoint) metric record. */
 struct CheckpointRecord
 {
@@ -194,6 +266,19 @@ struct RunResult
     std::size_t transport_corrupt_chunks = 0;
     std::size_t transport_duplicate_chunks = 0;
     std::size_t transport_reordered_chunks = 0;
+
+    // Failure detection / membership (empty unless failure_detector).
+    std::vector<MembershipEvent> membership_events;
+    std::size_t evictions = 0;       //!< dead declarations acted on.
+    std::size_t false_evictions = 0; //!< evicted while healthy.
+    double quorum_paused_s = 0.0;    //!< summed below-quorum stalls.
+
+    // Server checkpointing / crash recovery.
+    std::size_t checkpoints_written = 0;
+    std::vector<ServerRecoveryRecord> recoveries;
+
+    /** All replicas serialized in worker order (opt-in, else empty). */
+    std::string final_model_bytes;
 
     /** Mean per-iteration (compute, comm, stall) seconds. */
     void meanTimeComposition(double &compute, double &comm,

@@ -1,0 +1,273 @@
+#include "core/server_checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/crc32c.hpp"
+#include "common/logging.hpp"
+
+namespace rog {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'O', 'G', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+// A server checkpoint holds one float per (worker, unit, element):
+// anything past this is a corrupted size field, not a real file.
+constexpr std::uint64_t kMaxPayload = 1ull << 30;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+/** Bounds-checked cursor over the verified payload. */
+class Cursor
+{
+  public:
+    Cursor(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    template <typename T>
+    T
+    take()
+    {
+        if (size_ - pos_ < sizeof(T))
+            ROG_FATAL("server checkpoint: truncated payload");
+        T v;
+        std::memcpy(&v, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    void
+    takeFloats(std::vector<float> &dst, std::size_t n)
+    {
+        if ((size_ - pos_) / sizeof(float) < n)
+            ROG_FATAL("server checkpoint: truncated payload");
+        dst.resize(n);
+        if (n > 0) // empty vector data() may be null.
+            std::memcpy(dst.data(), data_ + pos_, n * sizeof(float));
+        pos_ += n * sizeof(float);
+    }
+
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+encodePayload(const ServerCheckpoint &c)
+{
+    const std::size_t workers = c.versions.versions.size();
+    const std::size_t units =
+        workers > 0 ? c.versions.versions[0].size() : 0;
+    ROG_ASSERT(workers > 0 && units > 0, "empty checkpoint");
+    ROG_ASSERT(c.versions.retired.size() == workers &&
+                   c.server.outbox.size() == workers &&
+                   c.server.has_pending.size() == workers &&
+                   c.server.last_update.size() == units &&
+                   c.tracker.rate.size() == workers &&
+                   c.tracker.seeded.size() == workers &&
+                   c.tracker.mta_bytes.size() == workers,
+               "inconsistent checkpoint shape");
+
+    std::string out;
+    putI64(out, c.iteration);
+    putU64(out, c.msg_seq);
+    putU32(out, static_cast<std::uint32_t>(workers));
+    putU32(out, static_cast<std::uint32_t>(units));
+    for (const auto &row : c.versions.versions) {
+        ROG_ASSERT(row.size() == units, "ragged version matrix");
+        for (std::int64_t v : row)
+            putI64(out, v);
+    }
+    out.append(reinterpret_cast<const char *>(c.versions.retired.data()),
+               workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        ROG_ASSERT(c.server.outbox[w].size() == units &&
+                       c.server.has_pending[w].size() == units,
+                   "ragged outbox");
+        for (std::size_t u = 0; u < units; ++u) {
+            const auto &buf = c.server.outbox[w][u];
+            putU32(out, static_cast<std::uint32_t>(buf.size()));
+            out.append(reinterpret_cast<const char *>(buf.data()),
+                       buf.size() * sizeof(float));
+        }
+        out.append(reinterpret_cast<const char *>(
+                       c.server.has_pending[w].data()),
+                   units);
+    }
+    for (std::int64_t v : c.server.last_update)
+        putI64(out, v);
+    for (std::size_t w = 0; w < workers; ++w) {
+        putF64(out, c.tracker.rate[w]);
+        out.push_back(static_cast<char>(c.tracker.seeded[w]));
+        putF64(out, c.tracker.mta_bytes[w]);
+    }
+    return out;
+}
+
+ServerCheckpoint
+decodePayload(const std::string &payload)
+{
+    Cursor cur(payload.data(), payload.size());
+    ServerCheckpoint c;
+    c.iteration = cur.take<std::int64_t>();
+    c.msg_seq = cur.take<std::uint64_t>();
+    const auto workers = cur.take<std::uint32_t>();
+    const auto units = cur.take<std::uint32_t>();
+    if (workers == 0 || units == 0 || workers > 4096 || units > 1u << 20)
+        ROG_FATAL("server checkpoint: implausible shape ", workers, "x",
+                  units);
+    c.versions.versions.resize(workers);
+    for (auto &row : c.versions.versions) {
+        row.resize(units);
+        for (auto &v : row)
+            v = cur.take<std::int64_t>();
+    }
+    c.versions.retired.resize(workers);
+    for (auto &r : c.versions.retired)
+        r = cur.take<std::uint8_t>();
+    c.server.outbox.resize(workers);
+    c.server.has_pending.resize(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        c.server.outbox[w].resize(units);
+        for (std::uint32_t u = 0; u < units; ++u) {
+            const auto width = cur.take<std::uint32_t>();
+            cur.takeFloats(c.server.outbox[w][u], width);
+        }
+        c.server.has_pending[w].resize(units);
+        for (auto &p : c.server.has_pending[w])
+            p = cur.take<std::uint8_t>();
+    }
+    c.server.last_update.resize(units);
+    for (auto &v : c.server.last_update)
+        v = cur.take<std::int64_t>();
+    c.tracker.rate.resize(workers);
+    c.tracker.seeded.resize(workers);
+    c.tracker.mta_bytes.resize(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        c.tracker.rate[w] = cur.take<double>();
+        c.tracker.seeded[w] = cur.take<std::uint8_t>();
+        c.tracker.mta_bytes[w] = cur.take<double>();
+    }
+    if (!cur.exhausted())
+        ROG_FATAL("server checkpoint: trailing garbage in payload");
+    return c;
+}
+
+} // namespace
+
+void
+writeServerCheckpoint(std::ostream &os, const ServerCheckpoint &ckpt)
+{
+    const std::string payload = encodePayload(ckpt);
+    const std::uint32_t crc = crc32c(
+        {reinterpret_cast<const std::uint8_t *>(payload.data()),
+         payload.size()});
+    os.write(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kVersion;
+    os.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    const std::uint64_t size = payload.size();
+    os.write(reinterpret_cast<const char *>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        ROG_FATAL("server checkpoint: write failed");
+}
+
+ServerCheckpoint
+readServerCheckpoint(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+        ROG_FATAL("server checkpoint: bad magic");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is)
+        ROG_FATAL("server checkpoint: truncated header");
+    if (version != kVersion)
+        ROG_FATAL("server checkpoint: unsupported version ", version);
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+    is.read(reinterpret_cast<char *>(&size), sizeof(size));
+    is.read(reinterpret_cast<char *>(&crc), sizeof(crc));
+    if (!is)
+        ROG_FATAL("server checkpoint: truncated header");
+    if (size > kMaxPayload)
+        ROG_FATAL("server checkpoint: implausible payload size ", size);
+    std::string payload(size, '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (!is || static_cast<std::uint64_t>(is.gcount()) != size)
+        ROG_FATAL("server checkpoint: truncated payload");
+    const std::uint32_t actual = crc32c(
+        {reinterpret_cast<const std::uint8_t *>(payload.data()),
+         payload.size()});
+    if (actual != crc)
+        ROG_FATAL("server checkpoint: CRC mismatch (stored ", crc,
+                  ", computed ", actual, ")");
+    return decodePayload(payload);
+}
+
+void
+writeServerCheckpointFile(const std::string &path,
+                          const ServerCheckpoint &ckpt)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            ROG_FATAL("cannot open '", tmp, "' for writing");
+        writeServerCheckpoint(os, ckpt);
+        os.flush();
+        if (!os)
+            ROG_FATAL("server checkpoint: flush of '", tmp, "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        ROG_FATAL("server checkpoint: rename '", tmp, "' -> '", path,
+                  "' failed");
+}
+
+ServerCheckpoint
+readServerCheckpointFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ROG_FATAL("cannot open '", path, "' for reading");
+    return readServerCheckpoint(is);
+}
+
+} // namespace core
+} // namespace rog

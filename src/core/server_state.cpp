@@ -105,6 +105,43 @@ ServerState::noteUpdate(std::size_t unit, std::int64_t iter)
     last_update_[unit] = std::max(last_update_[unit], iter);
 }
 
+ServerStateSnapshot
+ServerState::snapshot() const
+{
+    ServerStateSnapshot s;
+    s.outbox = outbox_;
+    s.has_pending.resize(has_pending_.size());
+    for (std::size_t w = 0; w < has_pending_.size(); ++w) {
+        s.has_pending[w].reserve(has_pending_[w].size());
+        for (bool p : has_pending_[w])
+            s.has_pending[w].push_back(p ? 1 : 0);
+    }
+    s.last_update = last_update_;
+    return s;
+}
+
+void
+ServerState::restore(const ServerStateSnapshot &s)
+{
+    if (s.outbox.size() != outbox_.size() ||
+        s.has_pending.size() != has_pending_.size() ||
+        s.last_update.size() != last_update_.size())
+        ROG_FATAL("server snapshot shape mismatch");
+    for (std::size_t w = 0; w < outbox_.size(); ++w) {
+        if (s.outbox[w].size() != unit_widths_.size() ||
+            s.has_pending[w].size() != unit_widths_.size())
+            ROG_FATAL("server snapshot unit count mismatch");
+        for (std::size_t u = 0; u < unit_widths_.size(); ++u)
+            if (s.outbox[w][u].size() != unit_widths_[u])
+                ROG_FATAL("server snapshot unit width mismatch");
+    }
+    outbox_ = s.outbox;
+    for (std::size_t w = 0; w < has_pending_.size(); ++w)
+        for (std::size_t u = 0; u < has_pending_[w].size(); ++u)
+            has_pending_[w][u] = s.has_pending[w][u] != 0;
+    last_update_ = s.last_update;
+}
+
 MtaTimeTracker::MtaTimeTracker(std::size_t workers, double alpha,
                                double floor_seconds, double ceil_seconds)
     : rate_(workers, Ewma(alpha)), mta_bytes_(workers, 0.0),
@@ -146,6 +183,32 @@ MtaTimeTracker::report(std::size_t worker, double bytes_transmitted,
     ROG_ASSERT(elapsed_seconds > 0.0, "elapsed must be positive");
     rate_[worker].observe(bytes_transmitted / elapsed_seconds);
     mta_bytes_[worker] = mta_bytes;
+}
+
+MtaTrackerSnapshot
+MtaTimeTracker::snapshot() const
+{
+    MtaTrackerSnapshot s;
+    s.rate.reserve(rate_.size());
+    s.seeded.reserve(rate_.size());
+    for (const Ewma &e : rate_) {
+        s.rate.push_back(e.value());
+        s.seeded.push_back(e.seeded() ? 1 : 0);
+    }
+    s.mta_bytes = mta_bytes_;
+    return s;
+}
+
+void
+MtaTimeTracker::restore(const MtaTrackerSnapshot &s)
+{
+    if (s.rate.size() != rate_.size() ||
+        s.seeded.size() != rate_.size() ||
+        s.mta_bytes.size() != mta_bytes_.size())
+        ROG_FATAL("tracker snapshot shape mismatch");
+    for (std::size_t w = 0; w < rate_.size(); ++w)
+        rate_[w].restore(s.rate[w], s.seeded[w] != 0);
+    mta_bytes_ = s.mta_bytes;
 }
 
 } // namespace core

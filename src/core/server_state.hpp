@@ -25,6 +25,22 @@
 namespace rog {
 namespace core {
 
+/** Plain-data copy of a ServerState's volatile fields (checkpointing). */
+struct ServerStateSnapshot
+{
+    std::vector<std::vector<std::vector<float>>> outbox;
+    std::vector<std::vector<std::uint8_t>> has_pending;
+    std::vector<std::int64_t> last_update;
+};
+
+/** Plain-data copy of an MtaTimeTracker's estimates (checkpointing). */
+struct MtaTrackerSnapshot
+{
+    std::vector<double> rate;          //!< EWMA value per device.
+    std::vector<std::uint8_t> seeded;  //!< EWMA seeded flag per device.
+    std::vector<double> mta_bytes;
+};
+
 /** Accumulated averaged gradients awaiting pull, per worker per unit. */
 class ServerState
 {
@@ -64,6 +80,15 @@ class ServerState
 
     /** Record that @p unit was updated at iteration @p iter. */
     void noteUpdate(std::size_t unit, std::int64_t iter);
+
+    /** Copy out outbox + pending flags + update stamps. */
+    ServerStateSnapshot snapshot() const;
+
+    /**
+     * Overwrite from a snapshot of the *same shape*; fails (throws)
+     * on worker/unit/width mismatch.
+     */
+    void restore(const ServerStateSnapshot &s);
 
   private:
     std::vector<std::vector<std::vector<float>>> outbox_;
@@ -114,6 +139,12 @@ class MtaTimeTracker
 
     /** Estimated seconds for @p worker to transmit its MTA. */
     double estimateFor(std::size_t worker) const;
+
+    /** Copy out the per-device rate estimates and MTA sizes. */
+    MtaTrackerSnapshot snapshot() const;
+
+    /** Overwrite from a same-shape snapshot; fails (throws) else. */
+    void restore(const MtaTrackerSnapshot &s);
 
   private:
     std::vector<Ewma> rate_;           //!< bytes/sec per device.

@@ -99,6 +99,32 @@ VersionStorage::rejoinWorker(std::size_t worker, std::int64_t iter)
     dirty_ = true;
 }
 
+VersionSnapshot
+VersionStorage::snapshot() const
+{
+    VersionSnapshot s;
+    s.versions = versions_;
+    s.retired.reserve(retired_.size());
+    for (bool r : retired_)
+        s.retired.push_back(r ? 1 : 0);
+    return s;
+}
+
+void
+VersionStorage::restore(const VersionSnapshot &s)
+{
+    if (s.versions.size() != versions_.size() ||
+        s.retired.size() != retired_.size())
+        ROG_FATAL("version snapshot worker count mismatch");
+    for (const auto &row : s.versions)
+        if (row.size() != units_)
+            ROG_FATAL("version snapshot unit count mismatch");
+    versions_ = s.versions;
+    for (std::size_t w = 0; w < retired_.size(); ++w)
+        retired_[w] = s.retired[w] != 0;
+    dirty_ = true;
+}
+
 std::int64_t
 VersionStorage::minVersionOfWorker(std::size_t worker) const
 {

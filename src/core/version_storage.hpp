@@ -19,6 +19,13 @@
 namespace rog {
 namespace core {
 
+/** Plain-data copy of a VersionStorage (checkpointing). */
+struct VersionSnapshot
+{
+    std::vector<std::vector<std::int64_t>> versions;
+    std::vector<std::uint8_t> retired;
+};
+
 /** The server's per-(worker, unit) version matrix. */
 class VersionStorage
 {
@@ -72,6 +79,15 @@ class VersionStorage
     /** Newest version among @p worker's units — its last pushed
      *  training iteration. */
     std::int64_t maxVersionOfWorker(std::size_t worker) const;
+
+    /** Copy out the full matrix + retirement flags (checkpointing). */
+    VersionSnapshot snapshot() const;
+
+    /**
+     * Overwrite the matrix from a snapshot of the *same shape*;
+     * fails (throws) on a shape mismatch.
+     */
+    void restore(const VersionSnapshot &s);
 
     /**
      * min over active workers of their last pushed iteration — the

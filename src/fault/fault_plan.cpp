@@ -245,6 +245,18 @@ FaultPlan::random(std::uint64_t seed, const FaultPlanConfig &cfg)
         }
     }
 
+    // Guarded like the corruption knobs: zero probability, zero draws.
+    if (cfg.server_crash_prob > 0.0 && rng.uniform() <
+                                           cfg.server_crash_prob) {
+        ROG_ASSERT(cfg.server_crash_max_iter >= 1,
+                   "server_crash_max_iter must be at least 1");
+        ServerCrashEvent e;
+        e.at_iter = 1 + static_cast<std::int64_t>(rng.uniformInt(
+                            static_cast<std::uint64_t>(
+                                cfg.server_crash_max_iter)));
+        plan.server_crashes.push_back(e);
+    }
+
     plan.validate();
     return plan;
 }
@@ -313,6 +325,11 @@ FaultPlan::tryParse(const std::string &spec)
             e.at_s = f.get("at");
             e.graceful = true;
             out.plan.churn.push_back(e);
+        } else if (f.keyword == "server_crash") {
+            f.allowOnly({"iter"});
+            ServerCrashEvent e;
+            e.at_iter = static_cast<std::int64_t>(index(f, "iter"));
+            out.plan.server_crashes.push_back(e);
         } else {
             f.fail(detail::concat("unknown keyword '", f.keyword, "'"));
         }
@@ -389,6 +406,8 @@ FaultPlan::toSpec() const
             os << '\n';
         }
     }
+    for (const auto &e : server_crashes)
+        os << "server_crash iter=" << e.at_iter << '\n';
     return os.str();
 }
 
@@ -396,7 +415,7 @@ bool
 FaultPlan::empty() const
 {
     return link_faults.empty() && transfer_faults.empty() &&
-           churn.empty();
+           churn.empty() && server_crashes.empty();
 }
 
 std::string
@@ -445,6 +464,11 @@ FaultPlan::validationError() const
             return detail::concat("detection delay must be "
                                   "non-negative, got ",
                                   num(e.detect_s));
+    }
+    for (const auto &e : server_crashes) {
+        if (e.at_iter < 1)
+            return detail::concat("server crash iteration must be at "
+                                  "least 1, got ", e.at_iter);
     }
     return {};
 }

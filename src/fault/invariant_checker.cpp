@@ -120,6 +120,29 @@ InvariantChecker::onRejoin(std::size_t worker, std::int64_t iter)
 }
 
 void
+InvariantChecker::onEvict(std::size_t worker, bool actually_down)
+{
+    ++checks_;
+    if (!actually_down) {
+        fail(detail::concat("failure detector evicted healthy worker ",
+                            worker, " (false positive)"));
+    }
+}
+
+void
+InvariantChecker::onServerRecovery(std::int64_t checkpoint_iter,
+                                   std::int64_t crash_iter)
+{
+    ++checks_;
+    if (checkpoint_iter > crash_iter) {
+        fail(detail::concat("server recovered from checkpoint of "
+                            "iteration ", checkpoint_iter,
+                            " after crashing at iteration ", crash_iter,
+                            " (write-ahead ordering broken)"));
+    }
+}
+
+void
 InvariantChecker::onTransportChunk(std::size_t worker,
                                    std::int64_t version,
                                    std::size_t row,

@@ -20,6 +20,9 @@
  *  - the RSP staleness bound is never exceeded at a gate pass;
  *  - membership transitions are sane (no retired worker pushes, a
  *    rejoin lands at or beyond the worker's last pushed iteration);
+ *  - the failure detector never evicts a worker that was actually
+ *    healthy, and server recovery only ever rolls state backwards
+ *    (write-ahead ordering);
  *  - the reliable transport (net/transport) applies every chunk at
  *    most once even when the link duplicates deliveries, never accepts
  *    a chunk whose CRC check failed, never delivers one message twice,
@@ -75,6 +78,24 @@ class InvariantChecker final : public net::transport::TransportObserver
 
     /** @p worker rejoined, resynced to model iteration @p iter. */
     void onRejoin(std::size_t worker, std::int64_t iter);
+
+    /**
+     * The failure detector declared @p worker dead and evicted it;
+     * @p actually_down is the simulation's ground truth at that
+     * moment. Evicting a worker that was healthy and heartbeating is
+     * the false positive the phi thresholds must prevent; it is
+     * recorded as a violation.
+     */
+    void onEvict(std::size_t worker, bool actually_down);
+
+    /**
+     * The server recovered from its checkpoint of @p checkpoint_iter
+     * after crashing at @p crash_iter. Recovering "forwards" (a
+     * checkpoint newer than the crash point) means the write-ahead
+     * ordering was broken.
+     */
+    void onServerRecovery(std::int64_t checkpoint_iter,
+                          std::int64_t crash_iter);
 
     /**
      * The transport receiver handled one chunk of the message keyed

@@ -1,34 +1,20 @@
 /**
  * @file
- * CRC32C (Castagnoli) checksums for transport frames.
- *
- * The reliability sublayer (reliable_link.hpp) verifies every chunk it
- * reassembles against the CRC carried in the frame header; a mismatch
- * means the payload was corrupted in flight and the chunk is discarded
- * and retransmitted. CRC32C is the polynomial used by iSCSI, ext4, and
- * RDMA NICs — the natural choice for a robot-to-server gradient wire.
- * This is the portable table-driven software implementation (no SSE4.2
- * requirement; determinism matters more than throughput here, the
- * simulated payloads are small).
+ * CRC32C for transport frames — the implementation lives in
+ * common/crc32c.hpp so that model and server checkpoints share the
+ * same checksum; this header keeps the historical transport-namespace
+ * spelling working.
  */
 #ifndef ROG_NET_TRANSPORT_CRC32C_HPP
 #define ROG_NET_TRANSPORT_CRC32C_HPP
 
-#include <cstddef>
-#include <cstdint>
-#include <span>
+#include "common/crc32c.hpp"
 
 namespace rog {
 namespace net {
 namespace transport {
 
-/**
- * CRC32C of @p data continued from @p seed (pass the previous return
- * value to checksum a message in pieces). The empty-span CRC of seed 0
- * is 0; crc32c("123456789") == 0xE3069283 (the standard check value).
- */
-std::uint32_t crc32c(std::span<const std::uint8_t> data,
-                     std::uint32_t seed = 0);
+using rog::crc32c;
 
 } // namespace transport
 } // namespace net

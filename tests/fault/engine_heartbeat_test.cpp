@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The heartbeat failure detector wired into the engine: fault-free
+ * runs never evict anyone (soundness), a silently crashed worker is
+ * declared dead within the hard detection bound and its eviction
+ * frees the survivors (completeness), the full lifecycle is recorded,
+ * runs replay byte-identically, and the quorum policy either parks
+ * the group until a crashed peer rejoins (Pause) or degrades to the
+ * survivors (Continue).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/workloads.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
+#include "net/trace_generator.hpp"
+#include "stats/timeline.hpp"
+
+namespace rog {
+namespace fault {
+namespace {
+
+constexpr std::size_t kWorkers = 3;
+constexpr std::size_t kIterations = 20;
+
+core::CrudaWorkloadConfig
+tinyCruda()
+{
+    core::CrudaWorkloadConfig cfg;
+    cfg.data.train_samples = 800;
+    cfg.data.test_samples = 200;
+    cfg.model.hidden = {16, 12};
+    cfg.workers = kWorkers;
+    cfg.pretrain_iters = 60;
+    cfg.eval_subset = 200;
+    cfg.batch_size = 8;
+    cfg.opt.learning_rate = 0.01f;
+    return cfg;
+}
+
+core::NetworkSetup
+stableNetwork(double rate = 50e3)
+{
+    core::NetworkSetup net;
+    for (std::size_t i = 0; i < kWorkers; ++i)
+        net.link_traces.push_back(net::BandwidthTrace::constant(rate));
+    return net;
+}
+
+struct DetectorRun
+{
+    core::RunResult result;
+    InvariantChecker checker;
+    std::string timeline;
+};
+
+DetectorRun
+runDetector(const FaultPlan *plan, std::size_t quorum = 0,
+            core::QuorumPolicy policy = core::QuorumPolicy::Pause)
+{
+    core::CrudaWorkload workload(tinyCruda());
+    DetectorRun out;
+    core::EngineConfig cfg;
+    cfg.system = core::SystemConfig::rog(4);
+    cfg.iterations = kIterations;
+    cfg.eval_every = 10;
+    cfg.failure_detector = true;
+    cfg.quorum = quorum;
+    cfg.quorum_policy = policy;
+    cfg.fault_plan = plan;
+    cfg.invariants = &out.checker;
+    out.result =
+        core::runDistributedTraining(workload, cfg, stableNetwork());
+    std::ostringstream os;
+    stats::writeTimelineCsv(os, stats::buildTimeline(out.result));
+    out.timeline = os.str();
+    return out;
+}
+
+/** Crash of worker 2 at @p at_s; detector-driven (plan detection is
+ *  parked far in the future so the heartbeat detector must win). */
+FaultPlan
+silentCrashPlan(double at_s, double rejoin_s = -1.0)
+{
+    FaultPlan plan;
+    ChurnEvent e;
+    e.worker = 2;
+    e.at_s = at_s;
+    if (rejoin_s >= 0.0)
+        e.rejoin_s = rejoin_s;
+    else
+        e.detect_s = 10000.0; // validation needs one finite bound.
+    plan.churn.push_back(e);
+    plan.validate();
+    return plan;
+}
+
+TEST(EngineHeartbeat, FaultFreeRunNeverEvictsAnyone)
+{
+    const DetectorRun run = runDetector(nullptr);
+    EXPECT_TRUE(run.checker.clean()) << run.checker.report();
+    EXPECT_EQ(run.result.evictions, 0u);
+    EXPECT_EQ(run.result.false_evictions, 0u);
+    for (const auto &e : run.result.membership_events)
+        EXPECT_NE(e.to, core::MemberState::Dead)
+            << "worker " << e.worker << " died in a fault-free run";
+    for (std::size_t w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(run.result.worker_iterations[w], kIterations);
+}
+
+TEST(EngineHeartbeat, DetectorRunReplaysByteIdentically)
+{
+    const DetectorRun a = runDetector(nullptr);
+    const DetectorRun b = runDetector(nullptr);
+    EXPECT_FALSE(a.timeline.empty());
+    EXPECT_EQ(a.timeline, b.timeline);
+}
+
+TEST(EngineHeartbeat, SilentCrashIsDetectedWithinTheBound)
+{
+    const double crash_at = 15.0;
+    const FaultPlan plan = silentCrashPlan(crash_at);
+    const DetectorRun run = runDetector(&plan);
+    EXPECT_TRUE(run.checker.clean()) << run.checker.report();
+
+    // Exactly the ghost was evicted, and it was genuinely down.
+    EXPECT_EQ(run.result.evictions, 1u);
+    EXPECT_EQ(run.result.false_evictions, 0u);
+
+    // The lifecycle was walked, not skipped: suspect precedes dead,
+    // and death lands within the hard bound (+ one check period).
+    const core::FailureDetectorConfig det; // engine ran the defaults.
+    double suspect_at = -1.0, dead_at = -1.0;
+    for (const auto &e : run.result.membership_events) {
+        if (e.worker != 2)
+            continue;
+        if (e.to == core::MemberState::Suspect && suspect_at < 0.0)
+            suspect_at = e.time;
+        if (e.to == core::MemberState::Dead)
+            dead_at = e.time;
+    }
+    ASSERT_GE(suspect_at, 0.0);
+    ASSERT_GE(dead_at, 0.0);
+    EXPECT_LE(suspect_at, dead_at);
+    EXPECT_GT(dead_at, crash_at);
+    EXPECT_LE(dead_at, crash_at + det.detection_bound_s +
+                           det.check_interval_s + 1e-9);
+
+    // Eviction freed the survivors: both complete the full budget,
+    // the ghost does not.
+    EXPECT_EQ(run.result.worker_iterations[0], kIterations);
+    EXPECT_EQ(run.result.worker_iterations[1], kIterations);
+    EXPECT_LT(run.result.worker_iterations[2], kIterations);
+}
+
+TEST(EngineHeartbeat, RejoiningWorkerWalksTheFullLifecycle)
+{
+    // Crash long enough for eviction, then a scheduled rejoin: the
+    // membership history must read ... -> suspect -> dead ->
+    // rejoining -> alive for the victim.
+    const FaultPlan plan = silentCrashPlan(10.0, 40.0);
+    const DetectorRun run = runDetector(&plan);
+    EXPECT_TRUE(run.checker.clean()) << run.checker.report();
+
+    std::vector<core::MemberState> w2;
+    for (const auto &e : run.result.membership_events)
+        if (e.worker == 2)
+            w2.push_back(e.to);
+    const auto find = [&](core::MemberState s) {
+        return std::find(w2.begin(), w2.end(), s);
+    };
+    ASSERT_NE(find(core::MemberState::Dead), w2.end());
+    ASSERT_NE(find(core::MemberState::Rejoining), w2.end());
+    EXPECT_LT(find(core::MemberState::Dead),
+              find(core::MemberState::Rejoining));
+    // After rejoining it came back alive.
+    EXPECT_EQ(w2.back(), core::MemberState::Alive);
+    // And the rejoined worker still finishes the budget.
+    EXPECT_EQ(run.result.worker_iterations[2], kIterations);
+}
+
+TEST(EngineHeartbeat, QuorumPauseParksUntilTheRejoin)
+{
+    // Quorum of 3 with one worker out from t=10 to t=40: the two
+    // survivors must pause (recoverable shortfall — the peer has a
+    // scheduled rejoin) instead of training below quorum, and resume
+    // to the full budget once it is back.
+    const FaultPlan plan = silentCrashPlan(10.0, 40.0);
+    const DetectorRun run =
+        runDetector(&plan, kWorkers, core::QuorumPolicy::Pause);
+    EXPECT_TRUE(run.checker.clean()) << run.checker.report();
+    EXPECT_GT(run.result.quorum_paused_s, 0.0);
+    for (std::size_t w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(run.result.worker_iterations[w], kIterations);
+}
+
+TEST(EngineHeartbeat, QuorumContinueDegradesGracefully)
+{
+    const FaultPlan plan = silentCrashPlan(10.0, 40.0);
+    const DetectorRun run =
+        runDetector(&plan, kWorkers, core::QuorumPolicy::Continue);
+    EXPECT_TRUE(run.checker.clean()) << run.checker.report();
+    EXPECT_EQ(run.result.quorum_paused_s, 0.0);
+    for (std::size_t w = 0; w < kWorkers; ++w)
+        EXPECT_EQ(run.result.worker_iterations[w], kIterations);
+}
+
+TEST(EngineHeartbeat, QuorumPauseBeatsContinueOnStallTime)
+{
+    // The paused group does not burn iterations below quorum: its
+    // per-iteration records show no end times inside the outage
+    // window once the group dropped below quorum, whereas Continue
+    // keeps finishing iterations throughout.
+    const FaultPlan plan = silentCrashPlan(10.0, 40.0);
+    const DetectorRun pause =
+        runDetector(&plan, kWorkers, core::QuorumPolicy::Pause);
+    const DetectorRun cont =
+        runDetector(&plan, kWorkers, core::QuorumPolicy::Continue);
+    // Pausing stretches the run; continuing does not.
+    EXPECT_GT(pause.result.sim_seconds, cont.result.sim_seconds);
+}
+
+} // namespace
+} // namespace fault
+} // namespace rog

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Soundness fuzz of the phi-accrual failure detector over 1000
+ * randomized synthetic heartbeat schedules (pure tracker math — no
+ * simulation — so the sweep stays fast):
+ *
+ *  - completeness-of-health: a fault-free schedule whose heartbeat
+ *    gaps stay within a bounded jitter of the configured interval
+ *    never sees a single worker evicted;
+ *  - detection bound: a worker that falls silent at a random time is
+ *    declared dead no later than the hard detection bound plus one
+ *    evaluation period after its last beat — and is never declared
+ *    dead while still beating.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/failure_detector.hpp"
+
+namespace rog {
+namespace core {
+namespace {
+
+constexpr std::size_t kSchedules = 1000;
+constexpr std::size_t kWorkers = 4;
+constexpr double kHorizon = 120.0;
+
+FailureDetectorConfig
+fuzzConfig()
+{
+    FailureDetectorConfig cfg;
+    cfg.heartbeat_interval_s = 0.5;
+    cfg.phi_suspect = 2.0;
+    cfg.phi_evict = 4.0;
+    cfg.detection_bound_s = 12.0;
+    cfg.min_samples = 3;
+    cfg.check_interval_s = 0.25;
+    return cfg;
+}
+
+/** One worker's randomized heartbeat arrival times over the horizon. */
+std::vector<double>
+jitteredBeats(Rng &rng, double interval, double until)
+{
+    std::vector<double> beats;
+    // Random start phase, then gaps jittered around the interval:
+    // congested links stretch gaps, bunched arrivals compress them.
+    double t = rng.uniform(0.0, interval);
+    while (t < until) {
+        beats.push_back(t);
+        t += rng.uniform(0.5 * interval, 2.0 * interval);
+    }
+    return beats;
+}
+
+/**
+ * Replay merged heartbeat schedules against a tracker, evaluating at
+ * the configured cadence, and return the time each worker was declared
+ * dead (infinity = never).
+ */
+std::vector<double>
+replay(const std::vector<std::vector<double>> &beats,
+       const FailureDetectorConfig &cfg, double horizon)
+{
+    MembershipTracker tracker(beats.size(), cfg);
+    std::vector<double> dead_at(
+        beats.size(), std::numeric_limits<double>::infinity());
+    std::vector<std::size_t> next(beats.size(), 0);
+    for (double now = 0.0; now <= horizon;
+         now += cfg.check_interval_s) {
+        for (std::size_t w = 0; w < beats.size(); ++w)
+            while (next[w] < beats[w].size() &&
+                   beats[w][next[w]] <= now)
+                tracker.observeHeartbeat(w, beats[w][next[w]++]);
+        for (const MembershipEvent &e : tracker.evaluate(now))
+            if (e.to == MemberState::Dead)
+                dead_at[e.worker] = std::min(dead_at[e.worker], e.time);
+    }
+    return dead_at;
+}
+
+TEST(FailureDetectorFuzz, FaultFreeSchedulesNeverEvict)
+{
+    const auto cfg = fuzzConfig();
+    std::size_t evictions = 0;
+    for (std::uint64_t seed = 0; seed < kSchedules; ++seed) {
+        Rng rng(0xFD00 + seed);
+        std::vector<std::vector<double>> beats;
+        for (std::size_t w = 0; w < kWorkers; ++w)
+            beats.push_back(jitteredBeats(
+                rng, cfg.heartbeat_interval_s, kHorizon));
+        for (double d : replay(beats, cfg, kHorizon))
+            if (d < std::numeric_limits<double>::infinity())
+                ++evictions;
+    }
+    // Soundness: bounded jitter around the send interval must never
+    // look like a crash. Zero tolerance, not "rare".
+    EXPECT_EQ(evictions, 0u);
+}
+
+TEST(FailureDetectorFuzz, SilentCrashDetectedWithinBound)
+{
+    const auto cfg = fuzzConfig();
+    const double slack = cfg.check_interval_s + 1e-9;
+    for (std::uint64_t seed = 0; seed < kSchedules; ++seed) {
+        Rng rng(0xC0DE + seed);
+        const std::size_t victim = rng.uniformInt(kWorkers);
+        const double crash = rng.uniform(5.0, kHorizon - 40.0);
+
+        std::vector<std::vector<double>> beats;
+        std::vector<double> last_beat(kWorkers, 0.0);
+        for (std::size_t w = 0; w < kWorkers; ++w) {
+            auto b = jitteredBeats(rng, cfg.heartbeat_interval_s,
+                                   kHorizon);
+            if (w == victim)
+                b.erase(std::upper_bound(b.begin(), b.end(), crash),
+                        b.end());
+            ASSERT_FALSE(b.empty());
+            last_beat[w] = b.back();
+            beats.push_back(std::move(b));
+        }
+
+        const auto dead_at = replay(beats, cfg, kHorizon);
+        for (std::size_t w = 0; w < kWorkers; ++w) {
+            if (w == victim) {
+                // Dead, and within bound + one evaluation period of
+                // the final heartbeat.
+                ASSERT_LT(dead_at[w],
+                          std::numeric_limits<double>::infinity())
+                    << "seed " << seed;
+                EXPECT_LE(dead_at[w], last_beat[w] +
+                                          cfg.detection_bound_s + slack)
+                    << "seed " << seed;
+                // Never while the worker was still beating.
+                EXPECT_GT(dead_at[w], last_beat[w]) << "seed " << seed;
+            } else {
+                EXPECT_EQ(dead_at[w],
+                          std::numeric_limits<double>::infinity())
+                    << "seed " << seed << " worker " << w;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace rog

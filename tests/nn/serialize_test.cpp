@@ -107,6 +107,142 @@ TEST(SerializeTest, MissingFileThrows)
                  std::runtime_error);
 }
 
+std::string
+savedBytes(std::uint64_t seed)
+{
+    Model m = makeModelA(seed);
+    std::stringstream ss;
+    saveModel(ss, m);
+    return ss.str();
+}
+
+void
+appendU32(std::string &s, std::uint32_t v)
+{
+    s.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+TEST(SerializeTest, SavedBytesAreDeterministic)
+{
+    EXPECT_EQ(savedBytes(13), savedBytes(13));
+}
+
+TEST(SerializeTest, TruncationAtEveryByteThrows)
+{
+    const std::string data = savedBytes(14);
+    Model m = makeModelA(14);
+    for (std::size_t n = 0; n < data.size(); ++n) {
+        std::stringstream cut(data.substr(0, n));
+        EXPECT_THROW(loadModel(cut, m), std::runtime_error)
+            << "prefix of " << n << " bytes was accepted";
+    }
+}
+
+TEST(SerializeTest, BitFlipInEveryByteThrows)
+{
+    // Wherever a flip lands — magic, version, count, a name length or
+    // its characters, a shape, a float payload, or the trailer itself
+    // — the load must reject. Structural fields fail their own
+    // checks; pure payload damage is what the CRC trailer exists for.
+    const std::string data = savedBytes(15);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        std::string bad = data;
+        bad[i] = static_cast<char>(bad[i] ^ 0x40);
+        Model m = makeModelA(15);
+        std::stringstream ss(bad);
+        EXPECT_THROW(loadModel(ss, m), std::runtime_error)
+            << "flip at byte " << i << " was accepted";
+    }
+}
+
+TEST(SerializeTest, LegacyV1LoadsWithoutTrailer)
+{
+    // A v1 checkpoint is the v2 body with version 1 and no trailer.
+    Model a = makeModelA(16);
+    std::stringstream ss;
+    saveModel(ss, a);
+    std::string v1 = ss.str();
+    v1.resize(v1.size() - 4); // drop the CRC trailer.
+    v1[4] = 1;                // version field follows the magic.
+    Model b = makeModelA(17);
+    std::stringstream legacy(v1);
+    loadModel(legacy, b);
+    auto pa = a.parameters();
+    auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        for (std::size_t j = 0; j < pa[i]->value.size(); ++j)
+            EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(SerializeTest, LegacyV1CannotDetectPayloadDamage)
+{
+    // Documents what v2 buys: the same payload flip that v1 swallows
+    // silently is rejected once the trailer is present.
+    std::string v1 = savedBytes(18);
+    v1.resize(v1.size() - 4);
+    v1[4] = 1;
+    v1[v1.size() - 1] ^= 0x40; // last float payload byte.
+    Model m = makeModelA(19);
+    std::stringstream ss(v1);
+    EXPECT_NO_THROW(loadModel(ss, m));
+}
+
+TEST(SerializeTest, UnsupportedVersionThrows)
+{
+    std::string bad = savedBytes(20);
+    bad[4] = 3;
+    Model m = makeModelA(20);
+    std::stringstream ss(bad);
+    EXPECT_THROW(loadModel(ss, m), std::runtime_error);
+}
+
+TEST(SerializeTest, ImplausibleNameLengthThrows)
+{
+    std::string bad("ROGM");
+    appendU32(bad, 2);    // version.
+    appendU32(bad, 1);    // parameter count.
+    appendU32(bad, 5000); // name length beyond the 4096 cap.
+    bad.append(5000, 'x');
+    Model m = makeModelA(21);
+    std::stringstream ss(bad);
+    EXPECT_THROW(loadModel(ss, m), std::runtime_error);
+}
+
+TEST(SerializeTest, ParameterCountMismatchThrows)
+{
+    Model a = makeModelA(22);
+    Rng rng(23);
+    ClassifierConfig deeper;
+    deeper.input_dim = 5;
+    deeper.hidden = {7, 7}; // one extra layer -> more parameters.
+    deeper.classes = 3;
+    Model b = makeClassifier(deeper, rng);
+    std::stringstream ss;
+    saveModel(ss, a);
+    EXPECT_THROW(loadModel(ss, b), std::runtime_error);
+}
+
+TEST(SerializeTest, ConcatenatedCheckpointsLoadBackToBack)
+{
+    // The engine's capture_final_model concatenates one checkpoint
+    // per worker into a single stream; each load must consume exactly
+    // its own bytes, trailer included.
+    Model a = makeModelA(24);
+    Model b = makeModelA(25);
+    std::stringstream ss;
+    saveModel(ss, a);
+    saveModel(ss, b);
+    Model ra = makeModelA(26);
+    Model rb = makeModelA(27);
+    loadModel(ss, ra);
+    loadModel(ss, rb);
+    auto pb = b.parameters();
+    auto prb = rb.parameters();
+    for (std::size_t i = 0; i < pb.size(); ++i)
+        for (std::size_t j = 0; j < pb[i]->value.size(); ++j)
+            EXPECT_EQ(pb[i]->value[j], prb[i]->value[j]);
+}
+
 } // namespace
 } // namespace nn
 } // namespace rog
