@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Wire-path microbenchmarks (google-benchmark): every kernel a
+ * gradient row passes through between the optimizer and the channel —
+ * CRC32C (all tiers), sign-bit packing, the one-bit transcode (fused
+ * vs the seed's separate passes), frame header serialize/parse, and
+ * BufferPool lease vs fresh allocation.
+ *
+ * scripts/run_benches.sh runs this binary and records the results in
+ * BENCH_wire.json; scripts/check_bench_regress.py compares a fresh
+ * run against the committed file and fails CI on >25% regressions.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "common/crc32c.hpp"
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+#include "compress/packbits.hpp"
+#include "net/transport/frame.hpp"
+
+namespace {
+
+using namespace rog;
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> data(n);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+std::vector<float>
+randomFloats(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+// ---- CRC32C tiers ----
+
+template <std::uint32_t (*Crc)(std::span<const std::uint8_t>,
+                               std::uint32_t)>
+void
+crcBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto data = randomBytes(n, 0xC4C1);
+    for (auto _ : state) {
+        std::uint32_t c = Crc(data, 0);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_Crc32cRef(benchmark::State &state)
+{
+    crcBench<crc32cRef>(state);
+}
+BENCHMARK(BM_Crc32cRef)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_Crc32cSlice8(benchmark::State &state)
+{
+    crcBench<crc32cSlice8>(state);
+}
+BENCHMARK(BM_Crc32cSlice8)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_Crc32cHw(benchmark::State &state)
+{
+    if (!crc32cHwAvailable()) {
+        state.SkipWithError("no CRC32C instruction on this CPU");
+        return;
+    }
+    crcBench<crc32cHw>(state);
+}
+BENCHMARK(BM_Crc32cHw)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    crcBench<crc32c>(state);
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+// ---- Sign-bit packing ----
+
+template <void (*Pack)(std::span<const float>, std::span<std::uint8_t>)>
+void
+packBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto v = randomFloats(n, 0xB175);
+    std::vector<std::uint8_t> packed(compress::packedBytes(n));
+    for (auto _ : state) {
+        Pack(v, packed);
+        benchmark::DoNotOptimize(packed.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_PackSignsRef(benchmark::State &state)
+{
+    packBench<compress::packSignsRef>(state);
+}
+BENCHMARK(BM_PackSignsRef)->Arg(512)->Arg(4096)->Arg(65536);
+
+void
+BM_PackSigns(benchmark::State &state)
+{
+    packBench<compress::packSigns>(state);
+}
+BENCHMARK(BM_PackSigns)->Arg(512)->Arg(4096)->Arg(65536);
+
+template <void (*Unpack)(std::span<const std::uint8_t>, std::size_t,
+                         std::span<float>)>
+void
+unpackBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto v = randomFloats(n, 0x0B17);
+    std::vector<std::uint8_t> packed(compress::packedBytes(n));
+    compress::packSigns(v, packed);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        Unpack(packed, n, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_UnpackSignsRef(benchmark::State &state)
+{
+    unpackBench<compress::unpackSignsRef>(state);
+}
+BENCHMARK(BM_UnpackSignsRef)->Arg(512)->Arg(4096)->Arg(65536);
+
+void
+BM_UnpackSigns(benchmark::State &state)
+{
+    unpackBench<compress::unpackSigns>(state);
+}
+BENCHMARK(BM_UnpackSigns)->Arg(512)->Arg(4096)->Arg(65536);
+
+// ---- One-bit transcode: fused single sweep vs the seed pipeline ----
+
+template <compress::OneBitChunkStats (*Kernel)(
+    std::span<float>, std::span<const float>, std::span<float>,
+    std::span<std::uint8_t>)>
+void
+onebitBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto grad = randomFloats(n, 0x1B17);
+    std::vector<float> residual(n, 0.0f), out(n);
+    std::vector<std::uint8_t> packed(compress::packedBytes(n));
+    for (auto _ : state) {
+        auto stats = Kernel(residual, grad, out, packed);
+        benchmark::DoNotOptimize(stats.scale);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * 4);
+}
+
+void
+BM_OneBitSeparate(benchmark::State &state)
+{
+    onebitBench<compress::onebitTranscodeRef>(state);
+}
+BENCHMARK(BM_OneBitSeparate)->Arg(512)->Arg(4096)->Arg(65536);
+
+void
+BM_OneBitFused(benchmark::State &state)
+{
+    onebitBench<compress::onebitTranscodeFused>(state);
+}
+BENCHMARK(BM_OneBitFused)->Arg(512)->Arg(4096)->Arg(65536);
+
+// ---- Frame header serialize + parse round-trip ----
+
+void
+BM_FrameRoundtrip(benchmark::State &state)
+{
+    net::transport::FrameHeader hdr;
+    hdr.worker = 3;
+    hdr.version = 1234567;
+    hdr.row = 42;
+    hdr.chunk_seq = 2;
+    hdr.chunk_count = 5;
+    hdr.payload_off = 4096;
+    hdr.payload_len = 16384;
+    hdr.payload_crc = 0xDEADBEEF;
+    std::vector<std::uint8_t> wire(
+        net::transport::FrameHeader::kWireSize);
+    for (auto _ : state) {
+        hdr.serialize(wire);
+        auto parsed = net::transport::FrameHeader::parse(wire);
+        benchmark::DoNotOptimize(parsed);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRoundtrip);
+
+// ---- BufferPool lease vs a fresh vector per message ----
+
+void
+BM_PoolLease(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    BufferPool pool;
+    { auto warm = pool.leaseBytes(n); } // prime the free list.
+    for (auto _ : state) {
+        auto lease = pool.leaseBytes(n);
+        lease[0] = 1; // touch so the loop cannot fold away.
+        benchmark::DoNotOptimize(lease.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolLease)->Arg(16 << 10)->Arg(256 << 10);
+
+void
+BM_FreshAlloc(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        std::vector<std::uint8_t> buf(n);
+        buf[0] = 1;
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreshAlloc)->Arg(16 << 10)->Arg(256 << 10);
+
+} // namespace

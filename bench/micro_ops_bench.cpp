@@ -7,8 +7,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "compress/codec.hpp"
+#include "compress/packbits.hpp"
 #include "core/importance.hpp"
 #include "net/channel.hpp"
 #include "net/trace_generator.hpp"
@@ -148,6 +150,111 @@ BM_OneBitTranscode(benchmark::State &state)
     state.SetBytesProcessed(state.iterations() * width * 4);
 }
 BENCHMARK(BM_OneBitTranscode)->Arg(64)->Arg(512)->Arg(4096);
+
+/**
+ * Wire-path kernels (full tier matrix in bench_wire.cpp; these entries
+ * keep the headline comparisons in BENCH_micro.json): dispatched vs
+ * reference CRC32C, word-wide vs reference packbits, and the fused
+ * one-bit kernel vs the seed's separate passes.
+ */
+template <std::uint32_t (*Crc)(std::span<const std::uint8_t>,
+                               std::uint32_t)>
+void
+crcBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(21);
+    std::vector<std::uint8_t> data(n);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto _ : state) {
+        std::uint32_t c = Crc(data, 0);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_Crc32cRef(benchmark::State &state)
+{
+    crcBench<crc32cRef>(state);
+}
+BENCHMARK(BM_Crc32cRef)->Arg(4096)->Arg(65536);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    crcBench<crc32c>(state);
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+template <void (*Pack)(std::span<const float>, std::span<std::uint8_t>)>
+void
+packBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(22);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    std::vector<std::uint8_t> packed(compress::packedBytes(n));
+    for (auto _ : state) {
+        Pack(v, packed);
+        benchmark::DoNotOptimize(packed.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_PackSignsRef(benchmark::State &state)
+{
+    packBench<compress::packSignsRef>(state);
+}
+BENCHMARK(BM_PackSignsRef)->Arg(4096)->Arg(65536);
+
+void
+BM_PackSigns(benchmark::State &state)
+{
+    packBench<compress::packSigns>(state);
+}
+BENCHMARK(BM_PackSigns)->Arg(4096)->Arg(65536);
+
+template <compress::OneBitChunkStats (*Kernel)(
+    std::span<float>, std::span<const float>, std::span<float>,
+    std::span<std::uint8_t>)>
+void
+onebitKernelBench(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(23);
+    std::vector<float> grad(n), residual(n, 0.0f), out(n);
+    for (auto &x : grad)
+        x = static_cast<float>(rng.gaussian());
+    std::vector<std::uint8_t> packed(compress::packedBytes(n));
+    for (auto _ : state) {
+        auto stats = Kernel(residual, grad, out, packed);
+        benchmark::DoNotOptimize(stats.scale);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n) * 4);
+}
+
+void
+BM_OneBitSeparate(benchmark::State &state)
+{
+    onebitKernelBench<compress::onebitTranscodeRef>(state);
+}
+BENCHMARK(BM_OneBitSeparate)->Arg(512)->Arg(4096);
+
+void
+BM_OneBitFused(benchmark::State &state)
+{
+    onebitKernelBench<compress::onebitTranscodeFused>(state);
+}
+BENCHMARK(BM_OneBitFused)->Arg(512)->Arg(4096);
 
 void
 BM_ImportanceRanking(benchmark::State &state)

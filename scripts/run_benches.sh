@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Build the microbenchmarks in Release mode and emit a machine-readable
-# BENCH_micro.json: one record per (op, size, threads) with ns/op and
-# items/s. The scalar-vs-blocked GEMM comparison is BM_MatmulScalar
-# (seed reference kernels) vs BM_Matmul (blocked/register-tiled; also
-# pool-parallel when ROG_THREADS > 1) — the script runs the binary once
-# per thread count so all three variants land in one file.
+# Build the microbenchmarks in Release mode and emit machine-readable
+# JSON: one record per (op, size, threads) with ns/op and items/s.
+#
+#   BENCH_micro.json  micro_ops_bench — the scalar-vs-blocked GEMM
+#       comparison is BM_MatmulScalar (seed reference kernels) vs
+#       BM_Matmul (blocked/register-tiled; also pool-parallel when
+#       ROG_THREADS > 1), run once per thread count so all variants
+#       land in one file, plus the wire-kernel headline entries.
+#   BENCH_wire.json   bench_wire — the full wire-path tier matrix
+#       (CRC32C ref/slice8/hw/dispatched, packbits ref/vectorized,
+#       fused vs separate one-bit transcode, frame round-trip, pool
+#       lease vs fresh alloc), single-threaded: these kernels run
+#       per-chunk inside workers, so the 1-thread number is the one
+#       the wire path actually pays.
 #
 #   BUILD_DIR            build directory (default build-bench)
-#   OUT                  output path (default BENCH_micro.json)
+#   OUT                  micro output path (default BENCH_micro.json)
+#   OUT_WIRE             wire output path (default BENCH_wire.json)
 #   ROG_BENCH_THREADS    thread counts to sweep (default "1 <nproc>")
 #   ROG_BENCH_MIN_TIME   google-benchmark min time per case (default 0.05)
 #   ROG_BENCH_FILTER     benchmark filter regex (default: all)
@@ -16,6 +25,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_micro.json}
+OUT_WIRE=${OUT_WIRE:-BENCH_wire.json}
 MIN_TIME=${ROG_BENCH_MIN_TIME:-0.05}
 FILTER=${ROG_BENCH_FILTER:-}
 THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 $(nproc)}" | tr ' ' '\n' |
@@ -23,8 +33,8 @@ THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 $(nproc)}" | tr ' ' '\n' |
 
 echo ">> configuring $BUILD_DIR (Release)"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_ops_bench -j"$(nproc)" \
-    >/dev/null
+cmake --build "$BUILD_DIR" --target micro_ops_bench --target bench_wire \
+    -j"$(nproc)" >/dev/null
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -38,46 +48,75 @@ for t in $THREADS_LIST; do
         >"$tmpdir/bench_$t.json"
 done
 
-python3 - "$OUT" "$tmpdir" <<'EOF'
+echo ">> bench_wire ROG_THREADS=1"
+ROG_THREADS=1 "$BUILD_DIR/bench/bench_wire" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    ${FILTER:+--benchmark_filter="$FILTER"} \
+    >"$tmpdir/wire_1.json"
+
+python3 - "$OUT" "$OUT_WIRE" "$tmpdir" <<'EOF'
 import glob
 import json
 import os
 import re
 import sys
 
-out_path, tmpdir = sys.argv[1], sys.argv[2]
+out_path, wire_path, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
 TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-records = []
-for path in sorted(glob.glob(os.path.join(tmpdir, "bench_*.json"))):
-    threads = int(re.search(r"bench_(\d+)\.json$", path).group(1))
-    with open(path) as f:
-        data = json.load(f)
-    for b in data["benchmarks"]:
-        if b.get("run_type") == "aggregate":
-            continue
-        op, _, size = b["name"].partition("/")
-        records.append({
-            "op": op,
-            "size": int(size) if size else None,
-            "threads": threads,
-            "ns_per_op": b["real_time"] * TO_NS[b.get("time_unit", "ns")],
-            "items_per_s": b.get("items_per_second"),
-        })
+def load(pattern):
+    records = []
+    for path in sorted(glob.glob(os.path.join(tmpdir, pattern))):
+        threads = int(re.search(r"_(\d+)\.json$", path).group(1))
+        with open(path) as f:
+            data = json.load(f)
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            if b.get("error_occurred"):
+                continue  # e.g. BM_Crc32cHw on CPUs without SSE4.2.
+            op, _, size = b["name"].partition("/")
+            records.append({
+                "op": op,
+                "size": int(size) if size else None,
+                "threads": threads,
+                "ns_per_op":
+                    b["real_time"] * TO_NS[b.get("time_unit", "ns")],
+                "items_per_s": b.get("items_per_second"),
+            })
+    return records
 
+records = load("bench_*.json")
 with open(out_path, "w") as f:
     json.dump(records, f, indent=1)
 print(f">> wrote {out_path} ({len(records)} records)")
 
-def best(op, size):
-    rows = [r for r in records if r["op"] == op and r["size"] == size]
-    return min((r["ns_per_op"] for r in rows), default=None)
+wire = load("wire_*.json")
+with open(wire_path, "w") as f:
+    json.dump(wire, f, indent=1)
+print(f">> wrote {wire_path} ({len(wire)} records)")
+
+def best(rows, op, size):
+    vals = [r["ns_per_op"] for r in rows
+            if r["op"] == op and r["size"] == size]
+    return min(vals, default=None)
 
 for size in (128, 256):
-    scalar = best("BM_MatmulScalar", size)
-    blocked = best("BM_Matmul", size)
+    scalar = best(records, "BM_MatmulScalar", size)
+    blocked = best(records, "BM_Matmul", size)
     if scalar and blocked:
         print(f">> matmul {size}x{size}: scalar {scalar:.0f} ns, "
               f"blocked+parallel {blocked:.0f} ns "
               f"-> {scalar / blocked:.2f}x")
+
+for ref, fast, label in (
+        ("BM_Crc32cRef", "BM_Crc32c", "crc32c"),
+        ("BM_PackSignsRef", "BM_PackSigns", "packbits pack"),
+        ("BM_UnpackSignsRef", "BM_UnpackSigns", "packbits unpack"),
+        ("BM_OneBitSeparate", "BM_OneBitFused", "one-bit transcode")):
+    r, f_ = best(wire, ref, 4096), best(wire, fast, 4096)
+    if r and f_:
+        print(f">> {label} 4096: ref {r:.0f} ns, fast {f_:.0f} ns "
+              f"-> {r / f_:.2f}x")
 EOF

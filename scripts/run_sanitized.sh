@@ -42,13 +42,15 @@ run_tsan() {
         -DROG_SANITIZE=thread
     cmake --build "$dir" -j "$(nproc)" --target \
         thread_pool_test kernel_equivalence_test ops_test conv_test \
-        codec_test engine_test replay_determinism_test
+        codec_test codec_fused_test engine_test \
+        replay_determinism_test
 
     # Run with a real worker count: with ROG_THREADS=1 the pool paths
     # are inline and TSan has nothing to check.
     local t
     for t in thread_pool_test kernel_equivalence_test ops_test \
-        conv_test codec_test engine_test replay_determinism_test; do
+        conv_test codec_test codec_fused_test engine_test \
+        replay_determinism_test; do
         echo ">> tsan: $t (ROG_THREADS=4)"
         ROG_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
             "$dir/tests/$t" --gtest_brief=1

@@ -1,0 +1,119 @@
+#include "common/buffer_pool.hpp"
+
+namespace rog {
+
+template <typename T>
+BufferPool::Lease<T>
+BufferPool::leaseFrom(SubPool<T> &sub, std::size_t n)
+{
+    std::vector<T> buf;
+    {
+        std::lock_guard<std::mutex> lock(sub.mu);
+        ++sub.stats.leases;
+        ++sub.stats.outstanding;
+        if (sub.stats.outstanding > sub.stats.peak_outstanding)
+            sub.stats.peak_outstanding = sub.stats.outstanding;
+        if (!sub.free.empty()) {
+            // Largest-capacity buffer last: take it to minimize the
+            // chance the resize below has to reallocate.
+            buf = std::move(sub.free.back());
+            sub.free.pop_back();
+            sub.stats.resident_bytes -= buf.capacity() * sizeof(T);
+            ++sub.stats.reuses;
+        } else {
+            ++sub.stats.allocations;
+        }
+    }
+    buf.resize(n);
+    return Lease<T>(this, std::move(buf));
+}
+
+template <typename T>
+void
+BufferPool::giveTo(SubPool<T> &sub, std::vector<T> buf)
+{
+    std::lock_guard<std::mutex> lock(sub.mu);
+    if (sub.stats.outstanding > 0)
+        --sub.stats.outstanding;
+    if (buf.capacity() == 0)
+        return; // moved-from husk, nothing to recycle.
+    if (buf.capacity() * sizeof(T) > kMaxPooledCapacity ||
+        sub.free.size() >= kMaxFreeBuffers) {
+        ++sub.stats.dropped;
+        return; // freed by ~buf.
+    }
+    sub.stats.resident_bytes += buf.capacity() * sizeof(T);
+    // Keep the free list sorted by capacity so leaseFrom() always
+    // grabs the biggest buffer (fewest regrows).
+    auto it = sub.free.begin();
+    while (it != sub.free.end() && it->capacity() <= buf.capacity())
+        ++it;
+    sub.free.insert(it, std::move(buf));
+}
+
+BufferPool::Lease<std::uint8_t>
+BufferPool::leaseBytes(std::size_t n)
+{
+    return leaseFrom(bytes_, n);
+}
+
+BufferPool::Lease<float>
+BufferPool::leaseFloats(std::size_t n)
+{
+    return leaseFrom(floats_, n);
+}
+
+BufferPool::Lease<std::size_t>
+BufferPool::leaseIndices(std::size_t n)
+{
+    return leaseFrom(indices_, n);
+}
+
+void
+BufferPool::give(std::vector<std::uint8_t> buf)
+{
+    giveTo(bytes_, std::move(buf));
+}
+
+void
+BufferPool::give(std::vector<float> buf)
+{
+    giveTo(floats_, std::move(buf));
+}
+
+void
+BufferPool::give(std::vector<std::size_t> buf)
+{
+    giveTo(indices_, std::move(buf));
+}
+
+BufferPool::Stats
+BufferPool::stats() const
+{
+    Stats total;
+    auto add = [&total](const auto &sub) {
+        std::lock_guard<std::mutex> lock(sub.mu);
+        total.leases += sub.stats.leases;
+        total.reuses += sub.stats.reuses;
+        total.allocations += sub.stats.allocations;
+        total.dropped += sub.stats.dropped;
+        total.outstanding += sub.stats.outstanding;
+        total.peak_outstanding += sub.stats.peak_outstanding;
+        total.resident_bytes += sub.stats.resident_bytes;
+    };
+    add(bytes_);
+    add(floats_);
+    add(indices_);
+    return total;
+}
+
+BufferPool &
+BufferPool::global()
+{
+    // Leaked on purpose (like ThreadPool::global()): leases may be
+    // returned from static destructors in arbitrary order.
+    static BufferPool *pool = new BufferPool();
+    return *pool;
+}
+
+} // namespace rog

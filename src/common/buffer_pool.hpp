@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Leased-buffer pool for the gradient wire path.
+ *
+ * Every message the transport sends used to allocate fresh vectors —
+ * frame headers, chunk payload scratch, reassembly buffers — and the
+ * codec kept per-thread scratch that grew to the largest row ever seen
+ * and never shrank. BufferPool replaces both patterns with leases:
+ * callers borrow a buffer of at least the requested size, use it, and
+ * the RAII lease recycles it on destruction. After a short warm-up the
+ * steady state allocates nothing per message, and scratch memory is
+ * bounded by the pool's caps instead of by the high-water mark of
+ * every thread separately.
+ *
+ * Design points:
+ *
+ *  - Typed sub-pools (bytes / floats / indices) with one mutex each;
+ *    a lease or return is one lock + one vector move. The lock is
+ *    orders of magnitude cheaper than the malloc/free pair it
+ *    replaces, and leases are thread-safe so pool buffers can feed
+ *    parallelFor regions directly.
+ *  - Buffers whose capacity exceeds kMaxPooledCapacity bytes are
+ *    dropped on return instead of cached (the cap that thread_local
+ *    scratch lacked); at most kMaxFreeBuffers recycle per sub-pool.
+ *  - Occupancy stats (leases / reuse hits / allocations / outstanding
+ *    peak / resident bytes) are cheap counters, snapshot-able for the
+ *    engine's run accounting and the wire bench.
+ *
+ * Determinism: the pool only changes *where* scratch memory comes
+ * from, never its contents — a leased buffer is sized (not zeroed) by
+ * the caller exactly as the vectors it replaces were, so every kernel
+ * output stays bitwise identical to the allocation-heavy path.
+ */
+#ifndef ROG_COMMON_BUFFER_POOL_HPP
+#define ROG_COMMON_BUFFER_POOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rog {
+
+/** Reusable buffer arena with RAII leases and occupancy stats. */
+class BufferPool
+{
+  public:
+    /** Returned buffers above this capacity (in bytes) are freed, not
+     *  pooled: one huge row must not pin its high-water mark. */
+    static constexpr std::size_t kMaxPooledCapacity = 4u << 20;
+
+    /** Free-list depth per sub-pool. */
+    static constexpr std::size_t kMaxFreeBuffers = 64;
+
+    /** Point-in-time occupancy counters (monotonic unless noted). */
+    struct Stats
+    {
+        std::size_t leases = 0;      //!< lease() calls served.
+        std::size_t reuses = 0;      //!< served from a free list.
+        std::size_t allocations = 0; //!< served by a fresh allocation.
+        std::size_t dropped = 0;     //!< returns freed by the caps.
+        std::size_t outstanding = 0; //!< live leases now (not monotonic).
+        std::size_t peak_outstanding = 0; //!< high-water live leases.
+        std::size_t resident_bytes = 0;   //!< free-list bytes now.
+
+        /** Fraction of leases served without allocating. */
+        double
+        hitRate() const
+        {
+            return leases == 0
+                       ? 0.0
+                       : static_cast<double>(reuses) /
+                             static_cast<double>(leases);
+        }
+    };
+
+    /**
+     * RAII lease of a T-buffer with size() == the requested count.
+     * Movable, not copyable; returns the buffer to its pool on
+     * destruction. The contents start unspecified (like a resized
+     * vector's tail) — callers overwrite before reading, exactly as
+     * they did with their own scratch vectors.
+     */
+    template <typename T> class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(BufferPool *pool, std::vector<T> buf)
+            : pool_(pool), buf_(std::move(buf))
+        {
+        }
+        Lease(Lease &&o) noexcept
+            : pool_(o.pool_), buf_(std::move(o.buf_))
+        {
+            o.pool_ = nullptr;
+        }
+        Lease &
+        operator=(Lease &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                pool_ = o.pool_;
+                buf_ = std::move(o.buf_);
+                o.pool_ = nullptr;
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { release(); }
+
+        T *data() { return buf_.data(); }
+        const T *data() const { return buf_.data(); }
+        std::size_t size() const { return buf_.size(); }
+        bool empty() const { return buf_.empty(); }
+        std::span<T> span() { return {buf_.data(), buf_.size()}; }
+        std::span<const T>
+        span() const
+        {
+            return {buf_.data(), buf_.size()};
+        }
+        T &operator[](std::size_t i) { return buf_[i]; }
+        const T &operator[](std::size_t i) const { return buf_[i]; }
+
+        /** Hand the buffer back early (the lease becomes empty). */
+        void
+        release()
+        {
+            if (pool_ != nullptr)
+                pool_->give(std::move(buf_));
+            pool_ = nullptr;
+            buf_ = {};
+        }
+
+      private:
+        BufferPool *pool_ = nullptr;
+        std::vector<T> buf_;
+    };
+
+    BufferPool() = default;
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+
+    /** Lease @p n bytes of payload/frame scratch. */
+    Lease<std::uint8_t> leaseBytes(std::size_t n);
+
+    /** Lease @p n floats of codec scratch. */
+    Lease<float> leaseFloats(std::size_t n);
+
+    /** Lease @p n indices (top-k selection scratch). */
+    Lease<std::size_t> leaseIndices(std::size_t n);
+
+    /** Snapshot the occupancy counters (aggregated over sub-pools). */
+    Stats stats() const;
+
+    /**
+     * The process-wide pool the codec and transport share. Lives until
+     * process exit.
+     */
+    static BufferPool &global();
+
+  private:
+    template <typename T> struct SubPool
+    {
+        mutable std::mutex mu;
+        std::vector<std::vector<T>> free;
+        Stats stats;
+    };
+
+    template <typename T>
+    Lease<T> leaseFrom(SubPool<T> &sub, std::size_t n);
+    template <typename T> void giveTo(SubPool<T> &sub, std::vector<T> buf);
+
+    void give(std::vector<std::uint8_t> buf);
+    void give(std::vector<float> buf);
+    void give(std::vector<std::size_t> buf);
+
+    SubPool<std::uint8_t> bytes_;
+    SubPool<float> floats_;
+    SubPool<std::size_t> indices_;
+};
+
+} // namespace rog
+
+#endif // ROG_COMMON_BUFFER_POOL_HPP

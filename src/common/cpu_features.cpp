@@ -1,0 +1,62 @@
+#include "common/cpu_features.hpp"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace rog {
+namespace cpu {
+
+namespace {
+
+bool
+detectCrc32c()
+{
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("sse4.2");
+#else
+    return false;
+#endif
+#elif defined(__aarch64__)
+#if defined(__ARM_FEATURE_CRC32)
+    // Baked into the target baseline: no runtime probe needed.
+    return true;
+#elif defined(__linux__)
+    return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+hasCrc32c()
+{
+    static const bool has = detectCrc32c();
+    return has;
+}
+
+const char *
+crc32cIsa()
+{
+    if (!hasCrc32c())
+        return "none";
+#if defined(__x86_64__) || defined(__i386__)
+    return "sse4.2";
+#elif defined(__aarch64__)
+    return "armv8-crc";
+#else
+    return "none";
+#endif
+}
+
+} // namespace cpu
+} // namespace rog

@@ -2,6 +2,18 @@
 
 #include <array>
 
+#include "common/cpu_features.hpp"
+#include "common/logging.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#define ROG_CRC32C_X86 1
+#elif defined(__aarch64__) && (defined(__ARM_FEATURE_CRC32) || \
+                               defined(__GNUC__) || defined(__clang__))
+#include <arm_acle.h>
+#define ROG_CRC32C_ARM 1
+#endif
+
 namespace rog {
 
 namespace {
@@ -9,30 +21,177 @@ namespace {
 // Reflected CRC32C polynomial (0x1EDC6F41 bit-reversed).
 constexpr std::uint32_t kPoly = 0x82F63B78u;
 
-constexpr std::array<std::uint32_t, 256>
-makeTable()
+/**
+ * Slicing tables: kTables[0] is the classic byte-at-a-time table;
+ * kTables[k][b] is the CRC of byte b followed by k zero bytes, so
+ * eight lookups — one per table — advance the CRC across a whole
+ * 64-bit word at once (Intel's "slicing-by-8").
+ */
+constexpr std::array<std::array<std::uint32_t, 256>, 8>
+makeTables()
 {
-    std::array<std::uint32_t, 256> table{};
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t crc = i;
         for (int bit = 0; bit < 8; ++bit)
             crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
-        table[i] = crc;
+        t[0][i] = crc;
     }
-    return table;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        for (std::size_t k = 1; k < 8; ++k)
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    return t;
 }
 
-constexpr auto kTable = makeTable();
+constexpr auto kTables = makeTables();
+constexpr const auto &kTable = kTables[0];
+
+/** Little-endian load of 8 bytes (compiles to one mov on LE targets). */
+inline std::uint64_t
+load64le(const std::uint8_t *p)
+{
+    std::uint64_t w = 0;
+    for (int i = 0; i < 8; ++i)
+        w |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return w;
+}
+
+#if defined(ROG_CRC32C_X86)
+
+__attribute__((target("sse4.2"))) std::uint32_t
+crc32cHwImpl(const std::uint8_t *p, std::size_t n, std::uint32_t crc)
+{
+#if defined(__x86_64__)
+    std::uint64_t c = crc;
+    while (n >= 8) {
+        c = _mm_crc32_u64(c, load64le(p));
+        p += 8;
+        n -= 8;
+    }
+    crc = static_cast<std::uint32_t>(c);
+#else
+    while (n >= 4) {
+        std::uint32_t w = 0;
+        for (int i = 0; i < 4; ++i)
+            w |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+        crc = _mm_crc32_u32(crc, w);
+        p += 4;
+        n -= 4;
+    }
+#endif
+    while (n--)
+        crc = _mm_crc32_u8(crc, *p++);
+    return crc;
+}
+
+#elif defined(ROG_CRC32C_ARM)
+
+#if !defined(__ARM_FEATURE_CRC32)
+__attribute__((target("+crc")))
+#endif
+std::uint32_t
+crc32cHwImpl(const std::uint8_t *p, std::size_t n, std::uint32_t crc)
+{
+    while (n >= 8) {
+        crc = __crc32cd(crc, load64le(p));
+        p += 8;
+        n -= 8;
+    }
+    while (n--)
+        crc = __crc32cb(crc, *p++);
+    return crc;
+}
+
+#endif
+
+std::uint32_t
+crc32cSlice8Impl(const std::uint8_t *p, std::size_t n, std::uint32_t crc)
+{
+    while (n >= 8) {
+        const std::uint64_t w =
+            load64le(p) ^ static_cast<std::uint64_t>(crc);
+        const auto lo = static_cast<std::uint32_t>(w);
+        const auto hi = static_cast<std::uint32_t>(w >> 32);
+        crc = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+              kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+              kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+              kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+    while (n--)
+        crc = (crc >> 8) ^ kTable[(crc ^ *p++) & 0xFFu];
+    return crc;
+}
+
+using CrcFn = std::uint32_t (*)(const std::uint8_t *, std::size_t,
+                                std::uint32_t);
+
+/** One-time dispatch: resolved on first use, cached for the process. */
+CrcFn
+activeFn()
+{
+    static const CrcFn fn = [] {
+#if defined(ROG_CRC32C_X86) || defined(ROG_CRC32C_ARM)
+        if (cpu::hasCrc32c())
+            return static_cast<CrcFn>(crc32cHwImpl);
+#endif
+        return static_cast<CrcFn>(crc32cSlice8Impl);
+    }();
+    return fn;
+}
 
 } // namespace
 
 std::uint32_t
 crc32c(std::span<const std::uint8_t> data, std::uint32_t seed)
 {
+    return ~activeFn()(data.data(), data.size(), ~seed);
+}
+
+std::uint32_t
+crc32cRef(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
     std::uint32_t crc = ~seed;
     for (std::uint8_t byte : data)
         crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
     return ~crc;
+}
+
+std::uint32_t
+crc32cSlice8(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+    return ~crc32cSlice8Impl(data.data(), data.size(), ~seed);
+}
+
+bool
+crc32cHwAvailable()
+{
+#if defined(ROG_CRC32C_X86) || defined(ROG_CRC32C_ARM)
+    return cpu::hasCrc32c();
+#else
+    return false;
+#endif
+}
+
+std::uint32_t
+crc32cHw(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+#if defined(ROG_CRC32C_X86) || defined(ROG_CRC32C_ARM)
+    ROG_ASSERT(crc32cHwAvailable(),
+               "crc32cHw called without hardware support");
+    return ~crc32cHwImpl(data.data(), data.size(), ~seed);
+#else
+    (void)data;
+    (void)seed;
+    ROG_PANIC("crc32cHw called on a build without a hardware tier");
+#endif
+}
+
+const char *
+crc32cActiveTier()
+{
+    return crc32cHwAvailable() ? "hw" : "slice8";
 }
 
 } // namespace rog

@@ -1,6 +1,6 @@
 /**
  * @file
- * CRC32C (Castagnoli) checksums.
+ * CRC32C (Castagnoli) checksums, hardware-accelerated where possible.
  *
  * One checksum routine serves every integrity boundary in the system:
  * the reliable transport verifies each reassembled chunk against the
@@ -9,9 +9,26 @@
  * (core/server_checkpoint) refuse to restore from a corrupted file.
  * CRC32C is the polynomial used by iSCSI, ext4, and RDMA NICs — the
  * natural choice for a robot-to-server gradient wire and its durable
- * state. This is the portable table-driven software implementation (no
- * SSE4.2 requirement; determinism matters more than throughput here,
- * the payloads are small).
+ * state, and the one CPUs implement in silicon.
+ *
+ * Three implementation tiers compute the identical function:
+ *
+ *  - crc32cRef():    the seed's byte-at-a-time table walk. Slowest,
+ *                    simplest, the oracle every fuzz test compares
+ *                    against.
+ *  - crc32cSlice8(): slicing-by-8 software kernel — eight table
+ *                    lookups fold 8 input bytes per iteration. The
+ *                    portable fast path and the fallback wherever no
+ *                    CRC instruction exists.
+ *  - crc32cHw():     the CPU instruction (SSE4.2 `crc32` on x86-64,
+ *                    ARMv8 `crc32cx` on aarch64), striding 8 bytes per
+ *                    instruction. Only callable when
+ *                    crc32cHwAvailable() is true.
+ *
+ * crc32c() itself dispatches once per process (cpu::hasCrc32c()) to
+ * the fastest available tier. Because all tiers are bit-exact, the
+ * choice is invisible to checksummed artifacts: a checkpoint written
+ * on a robot with CRC silicon verifies on a server without it.
  */
 #ifndef ROG_COMMON_CRC32C_HPP
 #define ROG_COMMON_CRC32C_HPP
@@ -26,9 +43,33 @@ namespace rog {
  * CRC32C of @p data continued from @p seed (pass the previous return
  * value to checksum a message in pieces). The empty-span CRC of seed 0
  * is 0; crc32c("123456789") == 0xE3069283 (the standard check value).
+ * Dispatched: hardware tier when the CPU has one, slicing-by-8
+ * otherwise.
  */
 std::uint32_t crc32c(std::span<const std::uint8_t> data,
                      std::uint32_t seed = 0);
+
+/** Reference tier: the seed's byte-at-a-time table implementation.
+ *  The oracle for the fuzz tests and the bench baseline. */
+std::uint32_t crc32cRef(std::span<const std::uint8_t> data,
+                        std::uint32_t seed = 0);
+
+/** Software fast tier: slicing-by-8, folds 8 bytes per iteration. */
+std::uint32_t crc32cSlice8(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0);
+
+/** True when crc32cHw() may be called on this CPU. */
+bool crc32cHwAvailable();
+
+/**
+ * Hardware tier: one CRC32C instruction per 8 input bytes.
+ * @pre crc32cHwAvailable()
+ */
+std::uint32_t crc32cHw(std::span<const std::uint8_t> data,
+                       std::uint32_t seed = 0);
+
+/** Name of the tier crc32c() dispatches to ("hw" | "slice8"). */
+const char *crc32cActiveTier();
 
 } // namespace rog
 

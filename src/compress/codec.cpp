@@ -3,11 +3,125 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
 #include "compress/packbits.hpp"
 
 namespace rog {
 namespace compress {
+
+OneBitChunkStats
+onebitTranscodeFused(std::span<float> residual,
+                     std::span<const float> grad, std::span<float> out,
+                     std::span<std::uint8_t> packed)
+{
+    const std::size_t n = grad.size();
+    ROG_ASSERT(residual.size() == n && out.size() == n,
+               "onebit kernel span size mismatch");
+    ROG_ASSERT(packed.size() == packedBytes(n),
+               "onebit kernel packed scratch size mismatch");
+
+    float *res = residual.data();
+    const float *g = grad.data();
+
+    // Sweep 1 (the fusion): e = res + grad, scale and importance
+    // accumulators, and the wire sign bits — one pass over the row
+    // instead of the reference's accumulate + pack + unpack chain.
+    // The float accumulation order is the reference's (sequential in
+    // i), which keeps the scale bitwise identical; the sign predicate
+    // e >= 0 is packSigns'.
+    float scale = 0.0f;
+    float sum_abs_grad = 0.0f;
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        std::uint64_t bits = 0;
+        for (std::size_t j = 0; j < 64; ++j) {
+            const float e = res[i + j] + g[i + j];
+            res[i + j] = e;
+            scale += std::fabs(e);
+            sum_abs_grad += std::fabs(g[i + j]);
+            bits |= static_cast<std::uint64_t>(e >= 0.0f) << j;
+        }
+        std::uint8_t *o = packed.data() + i / 8;
+        for (std::size_t b = 0; b < 8; ++b)
+            o[b] = static_cast<std::uint8_t>(bits >> (8 * b));
+    }
+    for (; i < n; i += 8) {
+        std::uint8_t byte = 0;
+        const std::size_t m = n - i < 8 ? n - i : 8;
+        for (std::size_t j = 0; j < m; ++j) {
+            const float e = res[i + j] + g[i + j];
+            res[i + j] = e;
+            scale += std::fabs(e);
+            sum_abs_grad += std::fabs(g[i + j]);
+            byte |= static_cast<std::uint8_t>(
+                static_cast<unsigned>(e >= 0.0f) << j);
+        }
+        packed[i / 8] = byte;
+    }
+    scale /= static_cast<float>(n);
+
+    // Sweep 2: quantize and fold the error back. Reading the residual
+    // sign directly is exact: unpack maps bit -> ±1.0f and
+    // scale * ±1.0f == ±scale in IEEE arithmetic, so skipping the
+    // unpack round-trip changes nothing, bit for bit.
+    for (std::size_t k = 0; k < n; ++k) {
+        const float q = res[k] >= 0.0f ? scale : -scale;
+        out[k] = q;
+        res[k] -= q;
+    }
+
+    OneBitChunkStats stats;
+    stats.scale = scale;
+    stats.sum_abs_grad = sum_abs_grad;
+    return stats;
+}
+
+OneBitChunkStats
+onebitTranscodeRef(std::span<float> residual, std::span<const float> grad,
+                   std::span<float> out, std::span<std::uint8_t> packed)
+{
+    const std::size_t n = grad.size();
+    ROG_ASSERT(residual.size() == n && out.size() == n,
+               "onebit kernel span size mismatch");
+    ROG_ASSERT(packed.size() == packedBytes(n),
+               "onebit kernel packed scratch size mismatch");
+
+    float *res = residual.data();
+
+    // The seed pipeline, pass for pass: e = grad + residual and
+    // scale = mean(|e|) over the chunk ...
+    float scale = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        res[i] += grad[i];
+        scale += std::fabs(res[i]);
+    }
+    scale /= static_cast<float>(n);
+
+    // ... then the real wire path: pack sign bits, then unpack, so the
+    // decoded value is exactly what a receiver would reconstruct ...
+    packSignsRef(residual, packed);
+    std::vector<float> signs(n);
+    unpackSignsRef(packed, n, signs);
+
+    // ... then quantize with error compensation for the next round.
+    for (std::size_t i = 0; i < n; ++i) {
+        const float q = scale * signs[i];
+        out[i] = q;
+        res[i] -= q;
+    }
+
+    // The importance magnitude the fused kernel folds into its sweep
+    // is a separate pass here — that is the point of the comparison.
+    float sum_abs_grad = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        sum_abs_grad += std::fabs(grad[i]);
+
+    OneBitChunkStats stats;
+    stats.scale = scale;
+    stats.sum_abs_grad = sum_abs_grad;
+    return stats;
+}
 
 void
 IdentityCodec::transcode(std::size_t, std::size_t block_width,
@@ -36,22 +150,21 @@ Codec::prepare(std::size_t, std::size_t)
 void
 OneBitCodec::prepare(std::size_t block, std::size_t block_width)
 {
-    residualFor(block, block_width);
+    blockFor(block, block_width);
 }
 
-std::vector<float> &
-OneBitCodec::residualFor(std::size_t block, std::size_t block_width)
+OneBitCodec::BlockState &
+OneBitCodec::blockFor(std::size_t block, std::size_t block_width)
 {
     // find-first: after prepare() the lookup is read-only, so
     // concurrent transcodes of distinct prepared blocks never touch
     // the map structure.
-    auto it = residual_.find(block);
-    if (it == residual_.end()) {
-        it = residual_
-                 .emplace(block, std::vector<float>(block_width, 0.0f))
-                 .first;
+    auto it = blocks_.find(block);
+    if (it == blocks_.end()) {
+        it = blocks_.emplace(block, BlockState{}).first;
+        it->second.residual.assign(block_width, 0.0f);
     }
-    ROG_ASSERT(it->second.size() == block_width,
+    ROG_ASSERT(it->second.residual.size() == block_width,
                "block width changed between calls");
     return it->second;
 }
@@ -88,32 +201,16 @@ OneBitCodec::transcode(std::size_t block, std::size_t block_width,
     const std::size_t n = grad.size();
     ROG_ASSERT(offset + n <= block_width, "codec chunk exceeds block");
 
-    auto &res = residualFor(block, block_width);
+    BlockState &state = blockFor(block, block_width);
 
-    // e = grad + residual; scale = mean(|e|) over the chunk.
-    float scale = 0.0f;
-    for (std::size_t i = 0; i < n; ++i) {
-        res[offset + i] += grad[i];
-        scale += std::fabs(res[offset + i]);
-    }
-    scale /= static_cast<float>(n);
+    // Wire-bit scratch leased per call: bounded by the pool's caps,
+    // recycled across calls and threads (the former thread_local
+    // vectors grew to the largest row ever seen and never shrank).
+    auto packed = BufferPool::global().leaseBytes(packedBytes(n));
 
-    // Run the real wire path: pack sign bits, then unpack, so the
-    // decoded value is exactly what a receiver would reconstruct.
-    // Scratch is thread-local so distinct blocks can transcode
-    // concurrently (see the threading note in the header).
-    thread_local std::vector<std::uint8_t> packed;
-    thread_local std::vector<float> signs;
-    packed.resize(packedBytes(n));
-    signs.resize(n);
-    packSigns({res.data() + offset, n}, packed);
-    unpackSigns(packed, n, signs);
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const float q = scale * signs[i];
-        out[i] = q;
-        res[offset + i] -= q; // error compensation for the next round.
-    }
+    const auto stats = onebitTranscodeFused(
+        {state.residual.data() + offset, n}, grad, out, packed.span());
+    state.last_sum_abs_grad = static_cast<double>(stats.sum_abs_grad);
 }
 
 double
@@ -124,15 +221,22 @@ OneBitCodec::payloadBytes(std::size_t width) const
 }
 
 double
+OneBitCodec::lastTranscodeMagnitude(std::size_t block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? 0.0 : it->second.last_sum_abs_grad;
+}
+
+double
 OneBitCodec::residualMeanAbs(std::size_t block) const
 {
-    auto it = residual_.find(block);
-    if (it == residual_.end() || it->second.empty())
+    auto it = blocks_.find(block);
+    if (it == blocks_.end() || it->second.residual.empty())
         return 0.0;
     double s = 0.0;
-    for (float v : it->second)
+    for (float v : it->second.residual)
         s += std::fabs(v);
-    return s / static_cast<double>(it->second.size());
+    return s / static_cast<double>(it->second.residual.size());
 }
 
 TopKCodec::TopKCodec(double keep_fraction)
@@ -161,14 +265,14 @@ TopKCodec::transcode(std::size_t block, std::size_t block_width,
                std::ceil(keep_fraction_ * static_cast<double>(n))));
 
     // Select the `keep` largest-magnitude positions of this chunk.
-    // Thread-local so distinct blocks can transcode concurrently.
-    thread_local std::vector<std::size_t> order;
-    order.resize(n);
+    // Selection scratch is leased per call so distinct blocks can
+    // transcode concurrently without per-thread high-water memory.
+    auto order = BufferPool::global().leaseIndices(n);
     for (std::size_t i = 0; i < n; ++i)
         order[i] = i;
-    std::partial_sort(order.begin(),
-                      order.begin() + static_cast<std::ptrdiff_t>(keep),
-                      order.end(),
+    std::partial_sort(order.data(),
+                      order.data() + static_cast<std::ptrdiff_t>(keep),
+                      order.data() + n,
                       [&](std::size_t a, std::size_t b) {
                           return std::fabs(res[offset + a]) >
                                  std::fabs(res[offset + b]);

@@ -16,8 +16,20 @@
  *
  * Threading: distinct *blocks* of one codec may be transcoded
  * concurrently once prepare() has created their state (scratch
- * buffers are thread-local); the same block must never be transcoded
- * by two threads at once — its residual is a sequential stream.
+ * buffers are leased per call from the shared BufferPool); the same
+ * block must never be transcoded by two threads at once — its residual
+ * is a sequential stream.
+ *
+ * Kernels: the one-bit hot path is the *fused* kernel
+ * (onebitTranscodeFused) — residual update, scale accumulation, sign
+ * extraction into packed wire bits, and the importance magnitude of
+ * the raw gradient all happen in one sweep, with the quantize/
+ * error-feedback sweep reading the residual signs directly instead of
+ * round-tripping through unpack. The seed's four-pass pipeline is kept
+ * verbatim as onebitTranscodeRef: the equivalence oracle and the bench
+ * baseline. Both produce bitwise-identical out / residual / packed
+ * bits (same sequential float accumulation order, same `>= 0`
+ * predicate, and scale * ±1.0f is exact in IEEE arithmetic).
  */
 #ifndef ROG_COMPRESS_CODEC_HPP
 #define ROG_COMPRESS_CODEC_HPP
@@ -30,6 +42,44 @@
 
 namespace rog {
 namespace compress {
+
+/** By-products of a one-bit transcode over one chunk. */
+struct OneBitChunkStats
+{
+    /** mean(|residual + grad|) — the scale the chunk ships. */
+    float scale = 0.0f;
+
+    /**
+     * sum(|grad|) of the raw chunk input: the numerator of the
+     * importance-metric magnitude term (core/importance), measured in
+     * the same sweep instead of a separate meanAbs pass.
+     */
+    float sum_abs_grad = 0.0f;
+};
+
+/**
+ * Fused single-pass one-bit kernel. Updates @p residual in place
+ * (res += grad, then res -= q), writes the reconstruction into @p out
+ * and the wire sign bits into @p packed.
+ *
+ * @pre residual.size() == grad.size() == out.size()
+ * @pre packed.size() == packedBytes(grad.size())
+ */
+OneBitChunkStats onebitTranscodeFused(std::span<float> residual,
+                                      std::span<const float> grad,
+                                      std::span<float> out,
+                                      std::span<std::uint8_t> packed);
+
+/**
+ * Reference one-bit kernel: the seed's separate passes (accumulate +
+ * scale, packSignsRef, unpackSignsRef, quantize) with fresh scratch
+ * allocations — the fuzz oracle and the bench baseline. Identical
+ * outputs to the fused kernel, bit for bit.
+ */
+OneBitChunkStats onebitTranscodeRef(std::span<float> residual,
+                                    std::span<const float> grad,
+                                    std::span<float> out,
+                                    std::span<std::uint8_t> packed);
 
 /** Stateful gradient-block encoder/decoder. */
 class Codec
@@ -76,6 +126,19 @@ class Codec
         transcode(block, grad.size(), 0, grad, out);
     }
 
+    /**
+     * sum(|grad|) observed by the most recent transcode covering
+     * @p block, when the codec measures it as a transcode by-product
+     * (one-bit does, in its fused sweep); 0.0 otherwise. Safe to read
+     * after the parallel transcode region that produced it.
+     */
+    virtual double
+    lastTranscodeMagnitude(std::size_t block) const
+    {
+        (void)block;
+        return 0.0;
+    }
+
     /** Wire payload bytes for a transmitted chunk of @p width
      *  elements (each chunk carries its own scale where needed). */
     virtual double payloadBytes(std::size_t width) const = 0;
@@ -111,14 +174,21 @@ class OneBitCodec : public Codec
     double payloadBytes(std::size_t width) const override;
     std::string name() const override { return "onebit"; }
 
+    double lastTranscodeMagnitude(std::size_t block) const override;
+
     /** Residual magnitude for a block (diagnostics/tests). */
     double residualMeanAbs(std::size_t block) const;
 
   private:
-    std::vector<float> &residualFor(std::size_t block,
-                                    std::size_t block_width);
+    struct BlockState
+    {
+        std::vector<float> residual;
+        double last_sum_abs_grad = 0.0;
+    };
 
-    std::unordered_map<std::size_t, std::vector<float>> residual_;
+    BlockState &blockFor(std::size_t block, std::size_t block_width);
+
+    std::unordered_map<std::size_t, BlockState> blocks_;
 };
 
 /**

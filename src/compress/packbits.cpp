@@ -1,9 +1,44 @@
 #include "compress/packbits.hpp"
 
+#include <cstring>
+
 #include "common/logging.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ROG_PACKBITS_SSE 1
+#include <emmintrin.h> // SSE2, part of the x86-64 baseline ABI.
+#endif
 
 namespace rog {
 namespace compress {
+
+namespace {
+
+/**
+ * byte -> eight ±1.0f floats, LSB first. 8 KiB, L1-resident, built
+ * deterministically at first use — the unpack hot path is then one
+ * table row copy per input byte instead of eight branchy selects.
+ */
+struct UnpackTable
+{
+    float rows[256][8];
+
+    UnpackTable()
+    {
+        for (int b = 0; b < 256; ++b)
+            for (int j = 0; j < 8; ++j)
+                rows[b][j] = ((b >> j) & 1) != 0 ? 1.0f : -1.0f;
+    }
+};
+
+const UnpackTable &
+unpackTable()
+{
+    static const UnpackTable t;
+    return t;
+}
+
+} // namespace
 
 std::size_t
 packedBytes(std::size_t n)
@@ -16,6 +51,80 @@ packSigns(std::span<const float> values, std::span<std::uint8_t> out)
 {
     ROG_ASSERT(out.size() == packedBytes(values.size()),
                "packSigns output size mismatch");
+    const std::size_t n = values.size();
+    const float *v = values.data();
+    std::size_t i = 0;
+
+#ifdef ROG_PACKBITS_SSE
+    // cmpge(v, 0) has exactly the scalar predicate's semantics
+    // (-0.0 >= 0 true, NaN false); MOVMSKPS collects one sign bit per
+    // lane of the all-ones/all-zeros compare result, LSB = lane 0 —
+    // the same LSB-first layout as the reference.
+    const __m128 zero = _mm_setzero_ps();
+    for (; i + 16 <= n; i += 16) {
+        const int m0 =
+            _mm_movemask_ps(_mm_cmpge_ps(_mm_loadu_ps(v + i), zero));
+        const int m1 = _mm_movemask_ps(
+            _mm_cmpge_ps(_mm_loadu_ps(v + i + 4), zero));
+        const int m2 = _mm_movemask_ps(
+            _mm_cmpge_ps(_mm_loadu_ps(v + i + 8), zero));
+        const int m3 = _mm_movemask_ps(
+            _mm_cmpge_ps(_mm_loadu_ps(v + i + 12), zero));
+        const unsigned bits = static_cast<unsigned>(m0) |
+                              (static_cast<unsigned>(m1) << 4) |
+                              (static_cast<unsigned>(m2) << 8) |
+                              (static_cast<unsigned>(m3) << 12);
+        out[i / 8] = static_cast<std::uint8_t>(bits);
+        out[i / 8 + 1] = static_cast<std::uint8_t>(bits >> 8);
+    }
+#else
+    // Word-wide body: build 64 sign bits in a register, store as 8
+    // bytes. The bit build is branch-free; byte extraction by shift
+    // keeps the layout identical on any endian.
+    for (; i + 64 <= n; i += 64) {
+        std::uint64_t bits = 0;
+        for (std::size_t j = 0; j < 64; ++j)
+            bits |= static_cast<std::uint64_t>(v[i + j] >= 0.0f) << j;
+        std::uint8_t *o = out.data() + i / 8;
+        for (std::size_t b = 0; b < 8; ++b)
+            o[b] = static_cast<std::uint8_t>(bits >> (8 * b));
+    }
+#endif
+
+    // Ragged tail: whole bytes first, then the final partial byte.
+    for (; i < n; i += 8) {
+        std::uint8_t byte = 0;
+        const std::size_t m = n - i < 8 ? n - i : 8;
+        for (std::size_t j = 0; j < m; ++j)
+            byte |= static_cast<std::uint8_t>(
+                static_cast<unsigned>(v[i + j] >= 0.0f) << j);
+        out[i / 8] = byte;
+    }
+}
+
+void
+unpackSigns(std::span<const std::uint8_t> packed, std::size_t n,
+            std::span<float> out)
+{
+    ROG_ASSERT(packed.size() == packedBytes(n) && out.size() == n,
+               "unpackSigns size mismatch");
+    const std::uint8_t *p = packed.data();
+    float *o = out.data();
+    const UnpackTable &lut = unpackTable();
+    std::size_t i = 0;
+
+    for (; i + 8 <= n; i += 8)
+        std::memcpy(o + i, lut.rows[p[i / 8]], 8 * sizeof(float));
+
+    for (; i < n; ++i)
+        o[i] = (p[i / 8] & (1u << (i % 8))) != 0 ? 1.0f : -1.0f;
+}
+
+void
+packSignsRef(std::span<const float> values, std::span<std::uint8_t> out)
+{
+    ROG_ASSERT(out.size() == packedBytes(values.size()),
+               "packSigns output size mismatch");
     for (auto &b : out)
         b = 0;
     for (std::size_t i = 0; i < values.size(); ++i)
@@ -24,8 +133,8 @@ packSigns(std::span<const float> values, std::span<std::uint8_t> out)
 }
 
 void
-unpackSigns(std::span<const std::uint8_t> packed, std::size_t n,
-            std::span<float> out)
+unpackSignsRef(std::span<const std::uint8_t> packed, std::size_t n,
+               std::span<float> out)
 {
     ROG_ASSERT(packed.size() == packedBytes(n) && out.size() == n,
                "unpackSigns size mismatch");

@@ -2,6 +2,19 @@
  * @file
  * Sign-bit packing (the cupy/numpy `packbits` step of the paper's
  * compression pipeline): one bit per element, eight elements per byte.
+ *
+ * Two implementations of each direction compute the identical bytes:
+ * the seed's bit-at-a-time loops (packSignsRef / unpackSignsRef, kept
+ * as the fuzz oracle and bench baseline) and vectorized kernels
+ * (packSigns / unpackSigns, the hot path). On x86-64 the pack is SSE2
+ * movemask — `cmpge(v, 0)` then one MOVMSKPS per four lanes, sixteen
+ * sign bits per iteration — with a word-wide 64-bits-per-iteration
+ * scalar body everywhere else; the unpack expands eight bits at a time
+ * through a 256-entry ±1.0f lookup table built once at first use. The
+ * sign predicate is `value >= 0.0f` in every path — so -0.0f packs
+ * positive and NaN packs negative either way (cmpge has exactly those
+ * semantics) and the fast paths are bitwise interchangeable with the
+ * reference.
  */
 #ifndef ROG_COMPRESS_PACKBITS_HPP
 #define ROG_COMPRESS_PACKBITS_HPP
@@ -17,17 +30,26 @@ namespace compress {
 std::size_t packedBytes(std::size_t n);
 
 /**
- * Pack the signs of @p values (bit = 1 for >= 0) into @p out.
+ * Pack the signs of @p values (bit = 1 for >= 0) into @p out —
+ * SSE2 movemask on x86-64, word-wide scalar elsewhere.
  * @pre out.size() == packedBytes(values.size())
  */
 void packSigns(std::span<const float> values, std::span<std::uint8_t> out);
 
 /**
- * Unpack @p n sign bits into +1 / -1 floats.
+ * Unpack @p n sign bits into +1 / -1 floats, eight bits per lookup.
  * @pre packed.size() == packedBytes(n), out.size() == n
  */
 void unpackSigns(std::span<const std::uint8_t> packed, std::size_t n,
                  std::span<float> out);
+
+/** Reference tier of packSigns: the seed's bit-at-a-time loop. */
+void packSignsRef(std::span<const float> values,
+                  std::span<std::uint8_t> out);
+
+/** Reference tier of unpackSigns: the seed's bit-at-a-time loop. */
+void unpackSignsRef(std::span<const std::uint8_t> packed, std::size_t n,
+                    std::span<float> out);
 
 } // namespace compress
 } // namespace rog

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/buffer_pool.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "compress/codec.hpp"
@@ -136,10 +137,14 @@ class Engine
      * Transcode one synchronization unit through @p codec, blocking at
      * matrix-row boundaries: compression blocks follow [22]'s
      * block-wise scheme regardless of the transmission granularity.
+     *
+     * @return sum(|grad|) over the unit as measured inside the codec's
+     *         fused sweep (see Codec::lastTranscodeMagnitude); 0.0 for
+     *         codecs that do not record it.
      */
-    void transcodeUnit(compress::Codec &codec, FlatModel &flat,
-                       std::size_t unit_idx, std::span<const float> in,
-                       std::span<float> out);
+    double transcodeUnit(compress::Codec &codec, FlatModel &flat,
+                         std::size_t unit_idx, std::span<const float> in,
+                         std::span<float> out);
     void applyPulledUnit(WorkerContext &w, std::size_t unit,
                          std::span<const float> decoded);
     void checkpoint(WorkerContext &w, std::size_t iteration);
@@ -480,7 +485,7 @@ Engine::rankPushOrder(WorkerContext &w, std::size_t iteration,
     return order;
 }
 
-void
+double
 Engine::transcodeUnit(compress::Codec &codec, FlatModel &flat,
                       std::size_t unit_idx, std::span<const float> in,
                       std::span<float> out)
@@ -514,6 +519,12 @@ Engine::transcodeUnit(compress::Codec &codec, FlatModel &flat,
                                 out.subspan(c.off, c.count));
             }
         });
+    // A unit is a contiguous flat span, so each row contributes at
+    // most one chunk here and the per-block by-products sum cleanly.
+    double magnitude = 0.0;
+    for (const Chunk &c : chunks)
+        magnitude += codec.lastTranscodeMagnitude(c.row);
+    return magnitude;
 }
 
 void
@@ -803,8 +814,8 @@ Engine::workerProcess(WorkerContext &w)
         // bytes verifiably arrived.
         for (const std::size_t u : arrived) {
             decoded.resize(w.accum[u].size());
-            transcodeUnit(*w.push_codec, *w.flat, u, w.accum[u],
-                          decoded);
+            rec.pushed_magnitude += transcodeUnit(
+                *w.push_codec, *w.flat, u, w.accum[u], decoded);
             server_->accumulate(u, decoded);
             server_->noteUpdate(u, static_cast<std::int64_t>(n));
             versions_->update(w.id, u, static_cast<std::int64_t>(n));
@@ -1354,6 +1365,11 @@ Engine::serverCrashRecover(std::int64_t crash_iter)
 RunResult
 Engine::run()
 {
+    // Wire-path pool occupancy is reported as a delta over the run:
+    // the pool is process-global, so absolute counters would mix in
+    // whatever earlier runs (or tests) leased.
+    const BufferPool::Stats pool_start = BufferPool::global().stats();
+
     // Iteration-0 checkpoint: the shared starting model.
     {
         const double metric0 = workload_.evaluate(*workers_[0]->model);
@@ -1403,6 +1419,19 @@ Engine::run()
         result_.transport_duplicate_chunks = t.duplicate_chunks;
         result_.transport_reordered_chunks = t.reordered_chunks;
     }
+
+    const BufferPool::Stats pool_end = BufferPool::global().stats();
+    result_.pool_leases = pool_end.leases - pool_start.leases;
+    result_.pool_reuses = pool_end.reuses - pool_start.reuses;
+    result_.pool_allocations =
+        pool_end.allocations - pool_start.allocations;
+    result_.pool_hit_rate =
+        result_.pool_leases == 0
+            ? 0.0
+            : static_cast<double>(result_.pool_reuses) /
+                  static_cast<double>(result_.pool_leases);
+    result_.pool_peak_outstanding = pool_end.peak_outstanding;
+    result_.pool_resident_bytes = pool_end.resident_bytes;
     return result_;
 }
 

@@ -221,6 +221,11 @@ struct IterationRecord
     double backoff_s = 0.0;           //!< seconds spent backing off
                                       //!< (included in comm_s).
     double bytes_retransmitted = 0.0; //!< bytes delivered more than once.
+
+    /** sum(|grad|) of the units pushed this iteration, measured as a
+     *  by-product of the codec's fused transcode sweep (0.0 for codecs
+     *  that do not record it — identity, top-k). */
+    double pushed_magnitude = 0.0;
 };
 
 /** One server crash + recovery, as experienced by the run. */
@@ -276,6 +281,16 @@ struct RunResult
     // Server checkpointing / crash recovery.
     std::size_t checkpoints_written = 0;
     std::vector<ServerRecoveryRecord> recoveries;
+
+    // Wire-path buffer pool occupancy over this run (deltas of the
+    // process-global BufferPool between run start and end; monotonic
+    // counters, so deltas are exact even across back-to-back runs).
+    std::size_t pool_leases = 0;      //!< scratch leases served.
+    std::size_t pool_reuses = 0;      //!< served without allocating.
+    std::size_t pool_allocations = 0; //!< served by a fresh allocation.
+    double pool_hit_rate = 0.0;       //!< reuses / leases for this run.
+    std::size_t pool_peak_outstanding = 0; //!< high-water live leases.
+    std::size_t pool_resident_bytes = 0;   //!< free-list bytes at end.
 
     /** All replicas serialized in worker order (opt-in, else empty). */
     std::string final_model_bytes;

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * BufferPool for transport frames — the implementation lives in
+ * common/buffer_pool.hpp so that the codec's scratch and the
+ * transport's frame/chunk buffers recycle through one arena; this
+ * header keeps the transport-namespace spelling working (the same
+ * arrangement as transport/crc32c.hpp).
+ */
+#ifndef ROG_NET_TRANSPORT_BUFFER_POOL_HPP
+#define ROG_NET_TRANSPORT_BUFFER_POOL_HPP
+
+#include "common/buffer_pool.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+using rog::BufferPool;
+
+} // namespace transport
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRANSPORT_BUFFER_POOL_HPP

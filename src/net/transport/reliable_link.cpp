@@ -87,7 +87,8 @@ struct ReliableLink::SendOp
     MessageKey key;
     double payload_bytes = 0.0;
     double deadline = kNoDeadline;
-    std::span<const std::uint8_t> payload; //!< empty => synthesized.
+    std::span<const std::uint8_t> payload; //!< empty => synthesized;
+                                           //!< else views payload_copy.
     Callback done;
     std::function<void()> drop;
     Rng jitter;
@@ -96,6 +97,7 @@ struct ReliableLink::SendOp
     std::uint32_t chunk_count = 1;
     std::uint32_t seq = 0;        //!< chunk currently being sent.
     double chunk_len = 0.0;       //!< payload bytes of that chunk.
+    std::uint32_t chunk_crc = 0;  //!< CRC of that chunk (cached).
     double resume_off = 0.0;      //!< intact delivered prefix.
     double high_water = 0.0;      //!< most ever delivered (retransmit acct).
     bool garbled = false;         //!< a corrupted fragment contributed.
@@ -107,8 +109,15 @@ struct ReliableLink::SendOp
     FrameHeader hold_hdr;
     bool hold_duplicated = false;
 
-    std::vector<std::uint8_t> assembled; //!< payload-mode reassembly.
-    std::vector<std::uint8_t> wire;      //!< current attempt's header.
+    // Pool-leased working memory: recycled when the op retires, so a
+    // steady stream of sends allocates nothing after warm-up.
+    BufferPool::Lease<std::uint8_t> payload_copy; //!< retransmit copy.
+    BufferPool::Lease<std::uint8_t> assembled;    //!< reassembly.
+    BufferPool::Lease<std::uint8_t> wire;         //!< header bytes.
+    BufferPool::Lease<std::uint8_t> chunk_scratch; //!< chunk regen.
+#ifdef ROG_SANITIZE_BUILD
+    std::uint32_t payload_guard_crc = 0; //!< lifetime canary.
+#endif
 
     sim::EventId backoff_event;
     SendResult res;
@@ -146,25 +155,34 @@ ReliableLink::chunkLen(const SendOp &op, std::uint32_t seq) const
            config_.chunk_bytes * static_cast<double>(op.chunk_count - 1);
 }
 
-std::vector<std::uint8_t>
-ReliableLink::chunkPayload(const SendOp &op, std::uint32_t seq) const
+std::span<const std::uint8_t>
+ReliableLink::chunkPayloadInto(SendOp &op, std::uint32_t seq) const
 {
     if (!op.payload.empty()) {
+        // Payload mode: a zero-copy view into the leased copy.
         const auto ci = byteLen(config_.chunk_bytes);
         const std::size_t off = static_cast<std::size_t>(seq) * ci;
-        const std::size_t len =
-            std::min(ci, op.payload.size() - off);
-        return {op.payload.begin() + off, op.payload.begin() + off + len};
+        const std::size_t len = std::min(ci, op.payload.size() - off);
+        return op.payload.subspan(off, len);
     }
+    // Synthesized mode: regenerate into the op's pooled scratch.
     const std::size_t len = byteLen(chunkLen(op, seq));
-    std::vector<std::uint8_t> out(len);
+    ROG_ASSERT(len <= op.chunk_scratch.size(),
+               "chunk scratch undersized for synthesized chunk");
+    std::uint8_t *out = op.chunk_scratch.data();
     std::uint64_t state = keySeed(0xc0ffee123ull, op.key, seq);
     for (std::size_t i = 0; i < len; i += 8) {
         const std::uint64_t v = mix64(state);
         for (std::size_t b = 0; b < 8 && i + b < len; ++b)
             out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
     }
-    return out;
+    return {out, len};
+}
+
+void
+ReliableLink::refreshChunkCrc(SendOp &op)
+{
+    op.chunk_crc = crc32c(chunkPayloadInto(op, op.seq));
 }
 
 void
@@ -209,11 +227,27 @@ ReliableLink::startSendImpl(LinkId link, const MessageKey &key,
     op->chunk_count = static_cast<std::uint32_t>(std::max(
         1.0, std::ceil(payload_bytes / config_.chunk_bytes - kEps)));
     op->chunk_len = chunkLen(*op, 0);
-    if (!payload.empty())
-        op->assembled.assign(payload.size(), 0);
+    if (!payload.empty()) {
+        // Lease the retransmission copy before returning: the caller's
+        // span only has to survive this call (see startSendPayload).
+        op->payload_copy = BufferPool::global().leaseBytes(payload.size());
+        std::copy(payload.begin(), payload.end(),
+                  op->payload_copy.data());
+        op->payload = {op->payload_copy.data(), op->payload_copy.size()};
+        op->assembled = BufferPool::global().leaseBytes(payload.size());
+        std::fill(op->assembled.data(),
+                  op->assembled.data() + op->assembled.size(),
+                  std::uint8_t{0});
+#ifdef ROG_SANITIZE_BUILD
+        op->payload_guard_crc = crc32c(op->payload);
+#endif
+    }
     op->res.payload_bytes = payload_bytes;
     op->res.chunks = op->chunk_count;
-    op->wire.resize(FrameHeader::kWireSize);
+    op->wire = BufferPool::global().leaseBytes(FrameHeader::kWireSize);
+    op->chunk_scratch = BufferPool::global().leaseBytes(byteLen(
+        op->chunk_count > 1 ? config_.chunk_bytes : op->chunk_len));
+    refreshChunkCrc(*op);
     ++totals_.sends;
 
     SendOp &ref = *op;
@@ -231,7 +265,16 @@ ReliableLink::attempt(SendOp &op)
     }
 
     const double frag_len = op.chunk_len - op.resume_off;
-    const auto chunk = chunkPayload(op, op.seq);
+
+#ifdef ROG_SANITIZE_BUILD
+    // Payload-lifetime canary: the leased copy taken at
+    // startSendPayload must still checksum to the value captured
+    // there; a mismatch means someone clobbered the pooled buffer
+    // mid-send (e.g. a premature release re-leased it elsewhere).
+    if (!op.payload.empty())
+        ROG_ASSERT(crc32c(op.payload) == op.payload_guard_crc,
+                   "leased payload copy mutated mid-send");
+#endif
 
     FrameHeader hdr;
     hdr.flags = op.key.pull ? kFlagPull : 0;
@@ -243,8 +286,11 @@ ReliableLink::attempt(SendOp &op)
     hdr.payload_off =
         static_cast<std::uint64_t>(std::llround(op.resume_off));
     hdr.payload_len = static_cast<std::uint32_t>(byteLen(frag_len));
-    hdr.payload_crc = crc32c(chunk);
-    hdr.serialize(op.wire);
+    // Per chunk, not per attempt: refreshChunkCrc cached this when the
+    // chunk became current, so retries skip the checksum (and, in
+    // synthesized mode, the payload regeneration) entirely.
+    hdr.payload_crc = op.chunk_crc;
+    hdr.serialize({op.wire.data(), op.wire.size()});
 
     const double wire_bytes = FrameHeader::kWireSize + frag_len;
     const double timeout = std::isfinite(op.deadline)
@@ -350,15 +396,25 @@ void
 ReliableLink::receiveChunk(SendOp &op, bool duplicated, bool reordered)
 {
     // The receiver re-parses the header exactly as it was framed.
-    const auto hdr = FrameHeader::parse(op.wire);
+    const auto hdr = FrameHeader::parse({op.wire.data(), op.wire.size()});
     ROG_ASSERT(hdr.has_value(), "transport framed an unparsable header");
 
     // Checksum verdict over the reassembled chunk. A corrupted
     // fragment garbled the buffer; flip a deterministic byte so the
-    // CRC genuinely fails.
-    auto received = chunkPayload(op, op.seq);
-    if (op.garbled)
-        received[op.seq % received.size()] ^= 0x40;
+    // CRC genuinely fails. The flip happens in the op's scratch — in
+    // payload mode the clean bytes are copied there first so the
+    // leased retransmission copy is never mutated.
+    auto received = chunkPayloadInto(op, op.seq);
+    if (op.garbled) {
+        std::uint8_t *mut = op.chunk_scratch.data();
+        if (!op.payload.empty()) {
+            ROG_ASSERT(received.size() <= op.chunk_scratch.size(),
+                       "chunk scratch undersized for garble copy");
+            std::copy(received.begin(), received.end(), mut);
+        }
+        mut[op.seq % received.size()] ^= 0x40;
+        received = {mut, received.size()};
+    }
     const bool crc_ok = crc32c(received) == hdr->payload_crc;
 
     if (!crc_ok) {
@@ -417,11 +473,10 @@ ReliableLink::acceptOnce(SendOp &op, const FrameHeader &hdr)
     logEvent(TransportEvent::Kind::Accept, op, hdr.chunk_seq,
              chunkLen(op, hdr.chunk_seq));
     if (!op.payload.empty()) {
-        const auto chunk = chunkPayload(op, hdr.chunk_seq);
+        const auto chunk = chunkPayloadInto(op, hdr.chunk_seq);
         const std::size_t off = static_cast<std::size_t>(hdr.chunk_seq) *
                                 byteLen(config_.chunk_bytes);
-        std::copy(chunk.begin(), chunk.end(),
-                  op.assembled.begin() + off);
+        std::copy(chunk.begin(), chunk.end(), op.assembled.data() + off);
     }
 }
 
@@ -445,6 +500,7 @@ ReliableLink::advanceChunk(SendOp &op)
     op.backoff_exp = 0;
     if (op.seq < op.chunk_count) {
         op.chunk_len = chunkLen(op, op.seq);
+        refreshChunkCrc(op);
         attempt(op);
         return;
     }
@@ -453,7 +509,9 @@ ReliableLink::advanceChunk(SendOp &op)
     ROG_ASSERT(op.accepted.size() == op.chunk_count,
                "message finished sending with chunks unaccepted");
     if (!op.payload.empty())
-        delivered_payloads_[op.key] = op.assembled;
+        delivered_payloads_[op.key].assign(
+            op.assembled.data(),
+            op.assembled.data() + op.assembled.size());
     if (observer_)
         observer_->onTransportDeliver(op.key.worker, op.key.version,
                                       op.key.row, op.key.pull);

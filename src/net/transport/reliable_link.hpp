@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/transport/buffer_pool.hpp"
 #include "net/transport/frame.hpp"
 #include "net/transport/observer.hpp"
 #include "sim/simulation.hpp"
@@ -192,8 +193,17 @@ class ReliableLink
     /**
      * As startSend, but carrying @p payload real bytes; the receiver
      * reassembles them (see deliveredPayload) and every checksum is
-     * computed over the actual data. @p payload must stay alive until
-     * the callback fires.
+     * computed over the actual data.
+     *
+     * Lifetime: the link leases a retransmission copy from the
+     * BufferPool before returning, so @p payload only has to stay
+     * alive *for the duration of this call* — retries and resumed
+     * fragments read the leased copy, never the caller's memory.
+     * (Historically the span had to outlive the whole send; that
+     * contract is gone.) Under ROG_SANITIZE builds every attempt
+     * re-checksums the leased copy against the CRC taken here and
+     * panics on a mismatch, so a clobbered pool buffer is caught at
+     * the attempt that would have shipped it.
      */
     void startSendPayload(LinkId link, const MessageKey &key,
                           std::span<const std::uint8_t> payload,
@@ -278,9 +288,17 @@ class ReliableLink
     void logEvent(TransportEvent::Kind kind, const SendOp &op,
                   std::uint32_t seq, double a = 0.0, double b = 0.0);
 
-    /** Payload bytes of chunk @p seq for @p op (slice or synthesized). */
-    std::vector<std::uint8_t> chunkPayload(const SendOp &op,
-                                           std::uint32_t seq) const;
+    /**
+     * Payload bytes of chunk @p seq for @p op: a view into the leased
+     * payload copy, or the synthesized bytes regenerated into the
+     * op's pooled chunk scratch. Valid until the next call for the
+     * same op; no allocation either way.
+     */
+    std::span<const std::uint8_t> chunkPayloadInto(SendOp &op,
+                                                   std::uint32_t seq) const;
+    /** Cache the current chunk's payload CRC (per chunk, not per
+     *  attempt: retries reuse it). */
+    void refreshChunkCrc(SendOp &op);
     double chunkLen(const SendOp &op, std::uint32_t seq) const;
 
     sim::Simulation &sim_;

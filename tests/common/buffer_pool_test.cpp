@@ -1,0 +1,129 @@
+/**
+ * @file
+ * BufferPool lease/recycle behaviour: reuse after return, occupancy
+ * stats, the capacity caps, and steady-state zero allocation.
+ */
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+
+namespace rog {
+namespace {
+
+TEST(BufferPoolTest, LeaseHasRequestedSize)
+{
+    BufferPool pool;
+    auto a = pool.leaseBytes(100);
+    EXPECT_EQ(a.size(), 100u);
+    EXPECT_FALSE(a.empty());
+    auto f = pool.leaseFloats(7);
+    EXPECT_EQ(f.size(), 7u);
+    auto ix = pool.leaseIndices(3);
+    EXPECT_EQ(ix.size(), 3u);
+}
+
+TEST(BufferPoolTest, ReturnedBufferIsReused)
+{
+    BufferPool pool;
+    {
+        auto a = pool.leaseBytes(512);
+        a[0] = 42; // write so the capacity really exists.
+    }
+    auto b = pool.leaseBytes(256); // smaller fits the recycled buffer.
+    const auto st = pool.stats();
+    EXPECT_EQ(st.leases, 2u);
+    EXPECT_EQ(st.reuses, 1u);
+    EXPECT_EQ(st.allocations, 1u);
+    EXPECT_DOUBLE_EQ(st.hitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, OutstandingAndPeakTrackLiveLeases)
+{
+    BufferPool pool;
+    {
+        auto a = pool.leaseBytes(8);
+        auto b = pool.leaseBytes(8);
+        auto c = pool.leaseFloats(8);
+        EXPECT_EQ(pool.stats().outstanding, 3u);
+    }
+    const auto st = pool.stats();
+    EXPECT_EQ(st.outstanding, 0u);
+    EXPECT_EQ(st.peak_outstanding, 3u);
+    EXPECT_GT(st.resident_bytes, 0u);
+}
+
+TEST(BufferPoolTest, MoveTransfersOwnership)
+{
+    BufferPool pool;
+    auto a = pool.leaseBytes(16);
+    auto *ptr = a.data();
+    BufferPool::Lease<std::uint8_t> b = std::move(a);
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_EQ(b.size(), 16u);
+    EXPECT_EQ(pool.stats().outstanding, 1u);
+    b.release();
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPoolTest, OversizedBuffersAreDroppedNotPooled)
+{
+    BufferPool pool;
+    { auto big = pool.leaseBytes(BufferPool::kMaxPooledCapacity + 1); }
+    const auto st = pool.stats();
+    EXPECT_EQ(st.dropped, 1u);
+    EXPECT_EQ(st.resident_bytes, 0u);
+}
+
+TEST(BufferPoolTest, FreeListDepthIsCapped)
+{
+    BufferPool pool;
+    // Hold more leases than the free list keeps, then drop them all.
+    std::vector<BufferPool::Lease<std::uint8_t>> live;
+    for (std::size_t i = 0; i < BufferPool::kMaxFreeBuffers + 8; ++i)
+        live.push_back(pool.leaseBytes(64));
+    live.clear();
+    const auto st = pool.stats();
+    EXPECT_EQ(st.dropped, 8u);
+    // Vectors may round capacity up, so resident bytes is a floor.
+    EXPECT_GE(st.resident_bytes, BufferPool::kMaxFreeBuffers * 64u);
+}
+
+TEST(BufferPoolTest, SteadyStateAllocatesNothing)
+{
+    BufferPool pool;
+    // Warm-up: one lease of the working-set shape per sub-pool.
+    {
+        auto a = pool.leaseBytes(4096);
+        auto f = pool.leaseFloats(1024);
+        auto ix = pool.leaseIndices(1024);
+    }
+    const auto warm = pool.stats();
+    for (int round = 0; round < 100; ++round) {
+        auto a = pool.leaseBytes(4096);
+        auto f = pool.leaseFloats(512 + (round % 512));
+        auto ix = pool.leaseIndices(1024);
+        a[0] = static_cast<std::uint8_t>(round);
+        f[0] = static_cast<float>(round);
+        ix[0] = static_cast<std::size_t>(round);
+    }
+    const auto st = pool.stats();
+    EXPECT_EQ(st.allocations, warm.allocations)
+        << "steady-state leases allocated";
+    EXPECT_EQ(st.reuses - warm.reuses, 300u);
+}
+
+TEST(BufferPoolTest, GlobalPoolIsSingleInstance)
+{
+    BufferPool &a = BufferPool::global();
+    BufferPool &b = BufferPool::global();
+    EXPECT_EQ(&a, &b);
+    // Smoke: the shared pool serves leases like any other.
+    auto lease = a.leaseBytes(32);
+    EXPECT_EQ(lease.size(), 32u);
+}
+
+} // namespace
+} // namespace rog

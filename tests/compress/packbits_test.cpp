@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -71,6 +72,71 @@ TEST(PackbitsTest, SizeMismatchDies)
     std::vector<float> v(10);
     std::vector<std::uint8_t> packed(1); // needs 2.
     EXPECT_DEATH(packSigns(v, packed), "size");
+}
+
+/**
+ * The word-wide fast path vs the seed's bit-at-a-time reference,
+ * bitwise, at every width from 1 through 129: that range crosses the
+ * partial-byte tail, the whole-byte tail, and both sides of the
+ * 64-element word boundary (63/64/65, 127/128/129).
+ */
+TEST(PackbitsTest, FastMatchesRefAtEveryWidth)
+{
+    for (std::size_t n = 1; n <= 129; ++n) {
+        Rng rng(n * 131 + 7);
+        std::vector<float> v(n);
+        for (auto &x : v)
+            x = static_cast<float>(rng.gaussian());
+        std::vector<std::uint8_t> fast(packedBytes(n), 0xAA);
+        std::vector<std::uint8_t> ref(packedBytes(n), 0x55);
+        packSigns(v, fast);
+        packSignsRef(v, ref);
+        ASSERT_EQ(fast, ref) << "width " << n;
+
+        std::vector<float> out_fast(n), out_ref(n);
+        unpackSigns(fast, n, out_fast);
+        unpackSignsRef(ref, n, out_ref);
+        ASSERT_EQ(out_fast, out_ref) << "width " << n;
+    }
+}
+
+/**
+ * The sign predicate is `v >= 0.0f` in both paths, so -0.0 packs as
+ * positive and NaN (every comparison false) packs as negative — the
+ * fast path must not switch to signbit extraction.
+ */
+TEST(PackbitsTest, SpecialValuesMatchRef)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    std::vector<float> v = {-0.0f, 0.0f, nan,  -nan, inf,
+                            -inf,  1.0f, -1.0f};
+    // Pad across a word boundary so the 64-wide body sees them too.
+    while (v.size() < 70)
+        v.push_back(v[v.size() % 8]);
+    std::vector<std::uint8_t> fast(packedBytes(v.size()));
+    std::vector<std::uint8_t> ref(packedBytes(v.size()));
+    packSigns(v, fast);
+    packSignsRef(v, ref);
+    EXPECT_EQ(fast, ref);
+    // And the documented semantics hold: -0.0 >= 0 is true, NaN is not.
+    EXPECT_TRUE(fast[0] & 0x01);  // -0.0 -> positive bit.
+    EXPECT_FALSE(fast[0] & 0x04); // NaN -> negative bit.
+}
+
+TEST(PackbitsTest, RefRoundTripsToo)
+{
+    const std::size_t n = 100;
+    Rng rng(9001);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    std::vector<std::uint8_t> packed(packedBytes(n));
+    packSignsRef(v, packed);
+    std::vector<float> out(n);
+    unpackSignsRef(packed, n, out);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], v[i] >= 0.0f ? 1.0f : -1.0f) << i;
 }
 
 } // namespace

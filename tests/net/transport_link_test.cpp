@@ -324,6 +324,64 @@ TEST(TransportLink, PayloadReassemblyIsByteIdenticalUnderFaults)
     EXPECT_TRUE(b.checker.clean()) << b.checker.report();
 }
 
+TEST(TransportLink, PayloadNeedNotOutliveStartCall)
+{
+    // The lifetime contract (see startSendPayload): the link leases a
+    // retransmission copy before returning, so the caller may destroy
+    // and even clobber its buffer immediately — mid-send, with
+    // retransmissions still reading "the payload". Faults force both a
+    // resume and a CRC retry so retries really do re-read it.
+    TransportConfig cfg;
+    cfg.chunk_bytes = 300.0;
+    fault::FaultPlan plan;
+    auto t = rule(0.0);
+    t.truncate_bytes = 150.0;
+    plan.transfer_faults.push_back(t);
+    auto c = rule(0.3);
+    c.corrupt = true;
+    plan.transfer_faults.push_back(c);
+
+    Bench b(cfg, plan);
+    std::vector<std::uint8_t> expected(1000);
+    std::iota(expected.begin(), expected.end(), std::uint8_t{0});
+
+    SendResult out;
+    int fired = 0;
+    const MessageKey k = key(1, 9, 4);
+    {
+        auto doomed = expected; // dies (and is poisoned) below.
+        b.link->startSendPayload(0, k, doomed, kNoDeadline,
+                                 [&](SendResult r) {
+                                     out = r;
+                                     ++fired;
+                                 });
+        std::fill(doomed.begin(), doomed.end(), std::uint8_t{0xEE});
+    }
+    b.sim.run();
+    ASSERT_EQ(fired, 1);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_GT(out.retries, 0u);
+    EXPECT_EQ(b.link->deliveredPayload(k), expected);
+    EXPECT_TRUE(b.checker.clean()) << b.checker.report();
+}
+
+TEST(TransportLink, PoolRecyclesAcrossBackToBackSends)
+{
+    // Steady-state sends lease their working buffers from the global
+    // BufferPool: after the first send warmed the pool, later sends
+    // should be served mostly from the free lists.
+    TransportConfig cfg;
+    Bench b(cfg);
+    b.send(key(0, 1), 500.0); // warm-up.
+    const auto before = BufferPool::global().stats();
+    for (std::int64_t v = 2; v < 10; ++v)
+        EXPECT_TRUE(b.send(key(0, v), 500.0).delivered);
+    const auto after = BufferPool::global().stats();
+    EXPECT_GT(after.leases, before.leases);
+    EXPECT_EQ(after.allocations, before.allocations)
+        << "steady-state sends allocated fresh buffers";
+}
+
 TEST(TransportLink, TotalsAggregateAcrossSends)
 {
     TransportConfig cfg;
