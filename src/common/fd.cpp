@@ -1,0 +1,25 @@
+#include "common/fd.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rog {
+
+void
+UniqueFd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace rog

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RAII ownership of a POSIX file descriptor.
+ *
+ * Socket code leaks descriptors on every early return unless closing
+ * is tied to scope; UniqueFd is the one-liner that ties it. Move-only,
+ * closes on destruction, and converts to the raw int where syscalls
+ * need it.
+ */
+#ifndef ROG_COMMON_FD_HPP
+#define ROG_COMMON_FD_HPP
+
+#include <utility>
+
+namespace rog {
+
+/** Move-only owner of a file descriptor (-1 = none). */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+    ~UniqueFd() { reset(); }
+
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    UniqueFd(UniqueFd &&o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+
+    UniqueFd &
+    operator=(UniqueFd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            fd_ = std::exchange(o.fd_, -1);
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    explicit operator bool() const { return valid(); }
+
+    /** Close now (idempotent). */
+    void reset(int fd = -1);
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Set O_NONBLOCK on @p fd; returns false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+} // namespace rog
+
+#endif // ROG_COMMON_FD_HPP

@@ -1,0 +1,28 @@
+#include "common/monotonic_clock.hpp"
+
+#include <ctime>
+
+namespace rog {
+
+namespace {
+
+std::int64_t
+monotonicNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1000000000ll +
+           static_cast<std::int64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
+MonotonicClock::MonotonicClock() : epoch_ns_(monotonicNs()) {}
+
+double
+MonotonicClock::now() const
+{
+    return static_cast<double>(monotonicNs() - epoch_ns_) * 1e-9;
+}
+
+} // namespace rog

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Monotonic wall-clock seconds for the real-socket transport backends.
+ *
+ * The DES twin runs on virtual seconds; a real backend needs a clock
+ * with the same shape — a double of seconds that starts near zero and
+ * never goes backwards — so the protocol core's arithmetic (deadlines,
+ * backoff scheduling, elapsed accounting) is identical on both. The
+ * epoch is captured at construction, so timestamps are small and
+ * trace normalization (t=0) has little to strip.
+ */
+#ifndef ROG_COMMON_MONOTONIC_CLOCK_HPP
+#define ROG_COMMON_MONOTONIC_CLOCK_HPP
+
+#include <cstdint>
+
+namespace rog {
+
+/** Seconds since construction, from CLOCK_MONOTONIC. */
+class MonotonicClock
+{
+  public:
+    MonotonicClock();
+
+    /** Seconds elapsed since the clock was constructed. */
+    double now() const;
+
+  private:
+    std::int64_t epoch_ns_ = 0;
+};
+
+} // namespace rog
+
+#endif // ROG_COMMON_MONOTONIC_CLOCK_HPP

@@ -1,0 +1,121 @@
+#include "common/poll_loop.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rog {
+
+void
+PollLoop::watch(int fd, short events, FdHandler handler)
+{
+    fds_[fd] = std::move(handler);
+    fd_events_[fd] = events;
+}
+
+void
+PollLoop::unwatch(int fd)
+{
+    fds_.erase(fd);
+    fd_events_.erase(fd);
+}
+
+PollLoop::TimerHandle
+PollLoop::after(double delay_s, std::function<void()> fn)
+{
+    const TimerHandle id = next_timer_++;
+    timers_[id] = Timer{now() + std::max(0.0, delay_s), std::move(fn)};
+    return id;
+}
+
+void
+PollLoop::cancel(TimerHandle id)
+{
+    timers_.erase(id);
+}
+
+double
+PollLoop::nextTimerDelay() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &[id, t] : timers_)
+        best = std::min(best, t.deadline);
+    return best - now();
+}
+
+void
+PollLoop::fireDueTimers()
+{
+    // Fire strictly due timers, earliest deadline first. Handlers may
+    // add or cancel timers, so re-scan after every firing.
+    for (;;) {
+        const double t = now();
+        TimerHandle due = 0;
+        double due_deadline = std::numeric_limits<double>::infinity();
+        for (const auto &[id, timer] : timers_) {
+            if (timer.deadline <= t && timer.deadline < due_deadline) {
+                due = id;
+                due_deadline = timer.deadline;
+            }
+        }
+        if (due == 0)
+            return;
+        auto it = timers_.find(due);
+        std::function<void()> fn = std::move(it->second.fn);
+        timers_.erase(it);
+        fn();
+    }
+}
+
+bool
+PollLoop::step(double max_wait_s)
+{
+    fireDueTimers();
+    if (fds_.empty() && timers_.empty())
+        return false;
+
+    double wait = max_wait_s;
+    if (!timers_.empty())
+        wait = std::min(wait, std::max(0.0, nextTimerDelay()));
+
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size());
+    for (const auto &[fd, handler] : fds_)
+        pfds.push_back(pollfd{fd, fd_events_[fd], 0});
+
+    const int timeout_ms = static_cast<int>(
+        std::clamp(std::ceil(wait * 1e3), 0.0, 60e3));
+    const int n = ::poll(pfds.data(),
+                         static_cast<nfds_t>(pfds.size()), timeout_ms);
+
+    fireDueTimers();
+    if (n > 0) {
+        for (const auto &p : pfds) {
+            if (p.revents == 0)
+                continue;
+            // Handlers may unwatch fds (including their own).
+            auto it = fds_.find(p.fd);
+            if (it != fds_.end())
+                it->second(p.revents);
+        }
+    }
+    return true;
+}
+
+bool
+PollLoop::runUntil(const std::function<bool()> &done, double max_wall_s)
+{
+    const double give_up = now() + max_wall_s;
+    while (!done()) {
+        if (now() >= give_up)
+            return false;
+        if (!step(std::min(0.05, give_up - now())))
+            return done();
+    }
+    return true;
+}
+
+} // namespace rog

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-threaded poll(2) event loop with one-shot timers.
+ *
+ * The real-socket transport backends are written in exactly the style
+ * of the simulator — callbacks fired from one dispatch loop, never a
+ * thread — so the protocol core cannot tell the two apart. PollLoop is
+ * that dispatch loop: registered fds fire readiness handlers, timers
+ * fire in deadline order off the monotonic clock, and run() interleaves
+ * the two until told to stop. Both ends of a loopback test can share
+ * one loop in one process; the daemon runs one per process.
+ */
+#ifndef ROG_COMMON_POLL_LOOP_HPP
+#define ROG_COMMON_POLL_LOOP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/monotonic_clock.hpp"
+
+namespace rog {
+
+/** poll(2)-driven fd + timer dispatcher (single thread). */
+class PollLoop
+{
+  public:
+    /** @p revents is the poll(2) result mask for the fd. */
+    using FdHandler = std::function<void(short revents)>;
+    using TimerHandle = std::uint64_t; //!< 0 = invalid.
+
+    PollLoop() = default;
+
+    /** Watch @p fd for @p events (POLLIN/POLLOUT); replaces any prior
+     *  registration of the same fd. */
+    void watch(int fd, short events, FdHandler handler);
+
+    /** Stop watching @p fd (safe from inside its own handler). */
+    void unwatch(int fd);
+
+    /** Fire @p fn once, @p delay_s seconds from now. */
+    TimerHandle after(double delay_s, std::function<void()> fn);
+
+    /** Cancel a pending timer; no-op if fired or invalid. */
+    void cancel(TimerHandle id);
+
+    /** Monotonic seconds since loop construction. */
+    double now() const { return clock_.now(); }
+
+    /**
+     * Dispatch ready fds and due timers once, sleeping at most
+     * @p max_wait_s. Returns false when there is nothing left to wait
+     * for (no fds, no timers).
+     */
+    bool step(double max_wait_s);
+
+    /**
+     * Dispatch until @p done() returns true or @p max_wall_s elapses.
+     * @return true when @p done was reached in time.
+     */
+    bool runUntil(const std::function<bool()> &done, double max_wall_s);
+
+  private:
+    struct Timer
+    {
+        double deadline = 0.0;
+        std::function<void()> fn;
+    };
+
+    void fireDueTimers();
+    double nextTimerDelay() const;
+
+    MonotonicClock clock_;
+    std::map<int, FdHandler> fds_;
+    std::map<TimerHandle, Timer> timers_;
+    TimerHandle next_timer_ = 1;
+    std::map<int, short> fd_events_;
+};
+
+} // namespace rog
+
+#endif // ROG_COMMON_POLL_LOOP_HPP

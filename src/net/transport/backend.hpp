@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Transport backend abstraction: the seam between ReliableLink's
+ * protocol logic and everything that differs between a simulated and
+ * a real wire.
+ *
+ * The protocol core (framing, CRC'd chunks, resume-from-offset,
+ * exactly-once receive, deadline-aware backoff) is a pure state
+ * machine over three primitives a backend provides:
+ *
+ *   - a clock (virtual seconds in the DES twin, monotonic wall-clock
+ *     seconds over real sockets),
+ *   - one-shot timers (the backoff schedule),
+ *   - a frame exchange: ship one framed fragment and resolve it to a
+ *     FrameVerdict — did the frame arrive whole, and what did the
+ *     receiver decide about it.
+ *
+ * Three backends implement the interface with zero forks in the
+ * protocol core:
+ *
+ *   - DesBackend (des_backend.hpp): the deterministic twin. Frames
+ *     travel the fluid-simulated Channel; receiver decisions come from
+ *     a local ChunkReceiver fed exactly what the channel (and its
+ *     fault layer) says arrived.
+ *   - UdpBackend / TcpBackend (socket_backend.hpp): real nonblocking
+ *     sockets in wall-clock time; receiver decisions come back as
+ *     acknowledgement frames from the peer's ChunkReceiver.
+ *   - ReplayBackend (des_backend.hpp): re-resolves each attempt from
+ *     a recorded wire trace inside the simulator — the cross-
+ *     validation twin for real-socket runs.
+ */
+#ifndef ROG_NET_TRANSPORT_BACKEND_HPP
+#define ROG_NET_TRANSPORT_BACKEND_HPP
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "net/transport/event_log.hpp"
+#include "net/transport/frame.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+/** Knobs for the reliability sublayer. */
+struct TransportConfig
+{
+    /** Payload bytes per chunk (a chunk is the CRC/retry unit). */
+    double chunk_bytes = 16.0 * 1024.0;
+
+    /** Attempts per chunk before the send fails (0 = unbounded). */
+    std::size_t max_attempts_per_chunk = 8;
+
+    double backoff_base_s = 0.05; //!< first retry delay.
+    double backoff_max_s = 2.0;   //!< exponential growth cap.
+
+    /** Jitter: delay is scaled by 1 +/- jitter_frac, deterministically. */
+    double jitter_frac = 0.25;
+    std::uint64_t jitter_seed = 0x7261676Eull;
+
+    /**
+     * Resume retries from the delivered byte offset. Off = the
+     * from-scratch baseline: every retry resends the whole chunk
+     * (used to measure what resumption saves).
+     */
+    bool resume_from_offset = true;
+};
+
+/** No deadline: retry until delivered or out of attempts. */
+inline constexpr double kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/** Opaque one-shot timer handle (0 = invalid / never scheduled). */
+using TimerId = std::uint64_t;
+
+/**
+ * How one frame attempt resolved: transit outcome plus the receiver's
+ * decision about the chunk the frame completed (if it completed one).
+ */
+struct FrameVerdict
+{
+    /** The whole frame reached the receiver. */
+    bool completed = false;
+
+    /** Wire bytes that arrived (header + intact payload prefix). */
+    double bytes_sent = 0.0;
+
+    // --- receiver decision, meaningful only when completed ---
+
+    /** Checksum verdict over the reassembled chunk. */
+    bool crc_ok = false;
+
+    /** Chunks applied as new payload by this delivery. */
+    std::size_t fresh_accepts = 0;
+
+    /** Deliveries dedup'd against already-accepted chunks. */
+    std::size_t duplicates = 0;
+
+    /** The chunk was reorder-held to apply after its successor. */
+    bool held = false;
+
+    /** Every chunk of the message is now accepted. */
+    bool message_complete = false;
+
+    /**
+     * Reassembled payload bytes, set with message_complete on
+     * payload-mode sends when the receiver is reachable in-process
+     * (DES / replay / loopback). Valid only during the verdict
+     * callback. Real remote receivers leave it null — the bytes live
+     * in the peer process.
+     */
+    const std::vector<std::uint8_t> *assembled = nullptr;
+};
+
+/** I/O + clocking provider for the transport protocol core. */
+class Backend
+{
+  public:
+    using VerdictCallback = std::function<void(const FrameVerdict &)>;
+
+    virtual ~Backend() = default;
+
+    /** Current time in seconds (virtual or monotonic wall). */
+    virtual double now() const = 0;
+
+    /** Schedule @p fire once after @p delay_s seconds. */
+    virtual TimerId after(double delay_s, std::function<void()> fire) = 0;
+
+    /** Cancel a pending timer; no-op if fired or invalid. */
+    virtual void cancelTimer(TimerId id) = 0;
+
+    /**
+     * Open a per-message send stream. Receiver-side state (dedup,
+     * reorder hold, reassembly) is scoped to the returned handle, so
+     * two sequential sends with the same key are distinct messages —
+     * matching the simulator's per-send semantics.
+     *
+     * @param payload_mode true when the message carries caller bytes
+     *        the receiver should retain and reassemble.
+     */
+    virtual std::uint64_t openSend(LinkId link, const MessageKey &key,
+                                   bool payload_mode) = 0;
+
+    /**
+     * Ship one framed fragment and resolve it.
+     *
+     * @param hdr the frame header exactly as the protocol core built
+     *        it (the backend serializes it onto its wire).
+     * @param frag the fragment's payload bytes.
+     * @param chunk the full current chunk's payload bytes (the DES
+     *        twin needs them to model reassembled delivery; socket
+     *        backends only ship @p frag). Both spans must stay valid
+     *        until @p done or @p drop fires; the protocol core keeps
+     *        the backing buffers stable per chunk.
+     * @param frag_len / @p chunk_len exact (possibly fractional,
+     *        simulated) byte lengths; real backends require them to
+     *        match the span sizes.
+     * @param timeout_s seconds until the exchange is cut
+     *        (infinity = none).
+     * @param done invoked exactly once with the verdict, unless the
+     *        send is aborted or the backend torn down first.
+     * @param drop invoked instead of @p done if the backend's wire is
+     *        destroyed with the exchange pending (may be empty).
+     *
+     * At most one frame per send stream may be outstanding — the
+     * protocol is stop-and-wait within a message.
+     */
+    virtual void sendFrame(std::uint64_t send_id, const FrameHeader &hdr,
+                           std::span<const std::uint8_t> frag,
+                           std::span<const std::uint8_t> chunk,
+                           double frag_len, double chunk_len,
+                           double timeout_s, VerdictCallback done,
+                           std::function<void()> drop) = 0;
+
+    /**
+     * Close a send stream after its final verdict: @p delivered false
+     * means the sender gave up, and a reorder-held chunk (if any) is
+     * flushed receiver-side — whatever arrived, arrived.
+     */
+    virtual void finishSend(std::uint64_t send_id, bool delivered) = 0;
+
+    /**
+     * Tear down a send stream mid-flight without firing callbacks
+     * (ReliableLink destruction). No receiver flush, no events.
+     */
+    virtual void abortSend(std::uint64_t send_id) = 0;
+
+    /**
+     * Sink for receiver-side events decided in-process (DES, replay,
+     * and the receiving end of loopback backends). ReliableLink binds
+     * its own log here so the combined sender+receiver log reads as
+     * one timeline, as the simulator always produced. Backends whose
+     * receiver lives in another process never call it.
+     */
+    virtual void setReceiverEventSink(EventSink sink) = 0;
+};
+
+} // namespace transport
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRANSPORT_BACKEND_HPP

@@ -1,0 +1,356 @@
+#include "net/transport/des_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+// ---------------------------------------------------------------- timers
+
+SimTimers::~SimTimers()
+{
+    *alive_ = false;
+    for (auto &[id, ev] : pending_)
+        sim_.cancel(ev);
+}
+
+TimerId
+SimTimers::after(double delay_s, std::function<void()> fire)
+{
+    const TimerId id = next_++;
+    pending_[id] =
+        sim_.after(delay_s, [this, alive = alive_, id,
+                             fire = std::move(fire)] {
+            if (!*alive)
+                return;
+            pending_.erase(id);
+            fire();
+        });
+    return id;
+}
+
+void
+SimTimers::cancel(TimerId id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return;
+    sim_.cancel(it->second);
+    pending_.erase(it);
+}
+
+// ----------------------------------------------------------- DesBackend
+
+DesBackend::DesBackend(sim::Simulation &sim, Channel &channel,
+                       const TransportConfig &config,
+                       TransportObserver *observer)
+    : sim_(sim), channel_(channel), config_(config), timers_(sim),
+      receiver_([&sim] { return sim.now(); }, observer)
+{
+}
+
+DesBackend::~DesBackend() { *alive_ = false; }
+
+double
+DesBackend::now() const
+{
+    return sim_.now();
+}
+
+TimerId
+DesBackend::after(double delay_s, std::function<void()> fire)
+{
+    return timers_.after(delay_s, std::move(fire));
+}
+
+void
+DesBackend::cancelTimer(TimerId id)
+{
+    timers_.cancel(id);
+}
+
+std::uint64_t
+DesBackend::openSend(LinkId link, const MessageKey &key, bool payload_mode)
+{
+    const std::uint64_t id = next_send_++;
+    Stream &s = streams_[id];
+    s.link = link;
+    s.key = key;
+    s.payload_mode = payload_mode;
+    s.wire = BufferPool::global().leaseBytes(FrameHeader::kWireSize);
+    receiver_.open(id, payload_mode);
+    return id;
+}
+
+void
+DesBackend::sendFrame(std::uint64_t send_id, const FrameHeader &hdr,
+                      std::span<const std::uint8_t> frag,
+                      std::span<const std::uint8_t> chunk, double frag_len,
+                      double chunk_len, double timeout_s,
+                      VerdictCallback done, std::function<void()> drop)
+{
+    auto it = streams_.find(send_id);
+    ROG_ASSERT(it != streams_.end(), "sendFrame on unopened stream");
+    Stream &s = it->second;
+    ROG_ASSERT(!s.pending, "transport stream is stop-and-wait");
+    (void)frag;
+
+    // Serialize onto the (simulated) wire; the receive side re-parses
+    // it, so the header round-trips exactly as over real sockets.
+    hdr.serialize({s.wire.data(), s.wire.size()});
+    s.pending = true;
+    s.chunk = chunk;
+    s.chunk_len = chunk_len;
+    s.done = std::move(done);
+    s.drop = std::move(drop);
+
+    const double wire_bytes = FrameHeader::kWireSize + frag_len;
+    const double timeout =
+        std::isfinite(timeout_s) ? timeout_s : Channel::kNoTimeout;
+    channel_.startTransfer(
+        s.link, wire_bytes, timeout,
+        [this, alive = alive_, send_id](TransferResult r) {
+            if (*alive)
+                onTransferDone(send_id, r);
+        },
+        [this, alive = alive_, send_id] {
+            if (*alive)
+                onTransferDrop(send_id);
+        });
+}
+
+void
+DesBackend::onTransferDone(std::uint64_t send_id, const TransferResult &r)
+{
+    auto it = streams_.find(send_id);
+    if (it == streams_.end())
+        return;
+    Stream &s = it->second;
+    s.pending = false;
+    VerdictCallback done = std::move(s.done);
+    s.done = nullptr;
+    s.drop = nullptr;
+
+    if (r.corrupted)
+        s.garbled = true;
+
+    FrameVerdict v;
+    v.bytes_sent = r.bytes_sent;
+    if (!r.completed) {
+        // Cut mid-flow. In baseline (from-scratch) mode the retry
+        // restarts the chunk, so a garbled prefix is discarded with it.
+        if (!config_.resume_from_offset)
+            s.garbled = false;
+        done(v);
+        return;
+    }
+
+    // The receiver re-parses the header exactly as it was framed.
+    const auto hdr = FrameHeader::parse({s.wire.data(), s.wire.size()});
+    ROG_ASSERT(hdr.has_value(), "transport framed an unparsable header");
+
+    // A corrupted fragment garbled the reassembled chunk; flip a
+    // deterministic byte in a scratch copy so the CRC genuinely fails
+    // (the sender's chunk bytes are never mutated).
+    auto received = s.chunk;
+    if (s.garbled && !received.empty()) {
+        if (s.garble_scratch.size() < received.size())
+            s.garble_scratch =
+                BufferPool::global().leaseBytes(received.size());
+        std::uint8_t *mut = s.garble_scratch.data();
+        std::copy(received.begin(), received.end(), mut);
+        mut[hdr->chunk_seq % received.size()] ^= 0x40;
+        received = {mut, received.size()};
+    }
+    const ChunkReceiver::Decision d =
+        receiver_.onChunk(send_id, s.link, s.key, *hdr, received,
+                          s.chunk_len, r.duplicated, r.reordered);
+    s.garbled = false; // chunk resolved (accepted or restarted).
+
+    v.completed = true;
+    v.crc_ok = d.crc_ok;
+    v.fresh_accepts = d.fresh_accepts;
+    v.duplicates = d.duplicates;
+    v.held = d.held;
+    v.message_complete = d.message_complete;
+    v.assembled = d.assembled;
+    done(v);
+}
+
+void
+DesBackend::onTransferDrop(std::uint64_t send_id)
+{
+    auto it = streams_.find(send_id);
+    if (it == streams_.end())
+        return;
+    std::function<void()> drop = std::move(it->second.drop);
+    it->second.pending = false;
+    it->second.done = nullptr;
+    it->second.drop = nullptr;
+    if (drop)
+        drop();
+}
+
+void
+DesBackend::finishSend(std::uint64_t send_id, bool delivered)
+{
+    if (!delivered)
+        receiver_.abandon(send_id); // flush a reorder-held chunk.
+    receiver_.release(send_id);
+    streams_.erase(send_id);
+}
+
+void
+DesBackend::abortSend(std::uint64_t send_id)
+{
+    receiver_.release(send_id);
+    streams_.erase(send_id);
+}
+
+void
+DesBackend::setReceiverEventSink(EventSink sink)
+{
+    receiver_.setEventSink(std::move(sink));
+}
+
+// -------------------------------------------------------- ReplayBackend
+
+ReplayBackend::ReplayBackend(sim::Simulation &sim,
+                             const TransportTrace &trace)
+    : sim_(sim), trace_(trace), timers_(sim)
+{
+}
+
+double
+ReplayBackend::now() const
+{
+    return sim_.now();
+}
+
+TimerId
+ReplayBackend::after(double delay_s, std::function<void()> fire)
+{
+    return timers_.after(delay_s, std::move(fire));
+}
+
+void
+ReplayBackend::cancelTimer(TimerId id)
+{
+    timers_.cancel(id);
+}
+
+std::uint64_t
+ReplayBackend::openSend(LinkId link, const MessageKey &key,
+                        bool payload_mode)
+{
+    (void)payload_mode;
+    const std::uint64_t id = next_send_++;
+    streams_[id] = Stream{link, key};
+    return id;
+}
+
+void
+ReplayBackend::sendFrame(std::uint64_t send_id, const FrameHeader &hdr,
+                         std::span<const std::uint8_t> frag,
+                         std::span<const std::uint8_t> chunk,
+                         double frag_len, double chunk_len,
+                         double timeout_s, VerdictCallback done,
+                         std::function<void()> drop)
+{
+    (void)frag;
+    (void)chunk;
+    (void)frag_len;
+    (void)chunk_len;
+    (void)timeout_s;
+    (void)drop;
+    auto it = streams_.find(send_id);
+    ROG_ASSERT(it != streams_.end(), "sendFrame on unopened stream");
+    const Stream &s = it->second;
+
+    FrameVerdict v;
+    double elapsed = 0.0;
+    if (next_attempt_ >= trace_.attempts.size()) {
+        if (divergence_.empty()) {
+            std::ostringstream os;
+            os << "replay attempted more frames than the trace "
+                  "recorded (record "
+               << next_attempt_ << ", link=" << s.link << " seq="
+               << hdr.chunk_seq << " off=" << hdr.payload_off << ")";
+            divergence_ = os.str();
+        }
+    } else {
+        const AttemptRecord &rec = trace_.attempts[next_attempt_];
+        if (divergence_.empty() &&
+            (rec.link != s.link || !(rec.key == s.key) ||
+             rec.chunk_seq != hdr.chunk_seq ||
+             rec.payload_off != hdr.payload_off)) {
+            std::ostringstream os;
+            os << "replay diverged at attempt record " << next_attempt_
+               << ": wire saw link=" << rec.link << " w=" << rec.key.worker
+               << " seq=" << rec.chunk_seq << " off=" << rec.payload_off
+               << ", replay framed link=" << s.link
+               << " w=" << s.key.worker << " seq=" << hdr.chunk_seq
+               << " off=" << hdr.payload_off;
+            divergence_ = os.str();
+        }
+        ++next_attempt_;
+        elapsed = rec.elapsed_s;
+        v.bytes_sent = rec.bytes_sent;
+        switch (rec.outcome) {
+        case AttemptOutcome::Timeout:
+        case AttemptOutcome::Partial:
+            break; // completed stays false.
+        case AttemptOutcome::Corrupt:
+            v.completed = true;
+            break; // crc_ok stays false.
+        case AttemptOutcome::Held:
+            v.completed = true;
+            v.crc_ok = true;
+            v.held = true;
+            break;
+        case AttemptOutcome::Dup:
+            v.completed = true;
+            v.crc_ok = true;
+            v.duplicates = 1;
+            v.message_complete = rec.message_complete;
+            break;
+        case AttemptOutcome::Accept:
+            v.completed = true;
+            v.crc_ok = true;
+            v.fresh_accepts = 1;
+            v.message_complete = rec.message_complete;
+            break;
+        }
+    }
+
+    timers_.after(elapsed,
+                  [done = std::move(done), v] { done(v); });
+}
+
+void
+ReplayBackend::finishSend(std::uint64_t send_id, bool delivered)
+{
+    (void)delivered;
+    streams_.erase(send_id);
+}
+
+void
+ReplayBackend::abortSend(std::uint64_t send_id)
+{
+    streams_.erase(send_id);
+}
+
+void
+ReplayBackend::setReceiverEventSink(EventSink sink)
+{
+    (void)sink; // a replayed sender has no in-process receiver.
+}
+
+} // namespace transport
+} // namespace net
+} // namespace rog

@@ -44,6 +44,19 @@ namespace transport {
 /** Frame header flag bits. */
 enum FrameFlags : std::uint16_t {
     kFlagPull = 1u << 0, //!< server -> worker (pull) direction.
+
+    // Acknowledgement frames (real-socket backends only; the DES twin
+    // resolves verdicts in-process). An ACK is a header-only frame
+    // echoing the data frame's key and chunk_seq; the bits below carry
+    // the receiver's decision, and for a partial (truncated) delivery
+    // payload_off holds the contiguous chunk prefix received so far —
+    // which is exactly what resume-from-offset needs.
+    kFlagAck = 1u << 1,         //!< this frame is an acknowledgement.
+    kFlagAckCrcFail = 1u << 2,  //!< chunk discarded on CRC failure.
+    kFlagAckDup = 1u << 3,      //!< chunk dedup'd (already accepted).
+    kFlagAckHeld = 1u << 4,     //!< chunk reorder-held.
+    kFlagAckComplete = 1u << 5, //!< whole message now delivered.
+    kFlagAckPartial = 1u << 6,  //!< fragment incomplete; off = prefix.
 };
 
 /** Parsed (or to-be-serialized) frame header. */

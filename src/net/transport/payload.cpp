@@ -1,0 +1,36 @@
+#include "net/transport/payload.hpp"
+
+#include "net/transport/event_log.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+std::uint64_t
+messageSeed(std::uint64_t base, const MessageKey &key, std::uint64_t extra)
+{
+    std::uint64_t s = base;
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.worker);
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.version);
+    s ^= mix64(s) + static_cast<std::uint64_t>(key.row);
+    s ^= mix64(s) + (key.pull ? 0x70756c6cull : 0x70757368ull);
+    s ^= mix64(s) + extra;
+    return s;
+}
+
+void
+synthesizeChunk(const MessageKey &key, std::uint32_t seq,
+                std::span<std::uint8_t> out)
+{
+    std::uint64_t state = messageSeed(0xc0ffee123ull, key, seq);
+    const std::size_t len = out.size();
+    for (std::size_t i = 0; i < len; i += 8) {
+        const std::uint64_t v = mix64(state);
+        for (std::size_t b = 0; b < 8 && i + b < len; ++b)
+            out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+}
+
+} // namespace transport
+} // namespace net
+} // namespace rog

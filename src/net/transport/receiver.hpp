@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Receiver half of the reliable transport protocol core.
+ *
+ * ChunkReceiver owns every receiver-side decision: the checksum
+ * verdict over a reassembled chunk, exactly-once acceptance keyed on
+ * chunk sequence, the single-slot reorder hold, and end-of-message
+ * delivery. Exactly one implementation serves every backend — the DES
+ * twin feeds it what the simulated channel delivered, the socket
+ * receiver endpoint feeds it what came off the wire, and the replay
+ * harness feeds it a recorded trace — so a decision can never fork
+ * between simulation and deployment.
+ *
+ * State is scoped per message *instance* (an opaque id the caller
+ * picks): the simulator scopes instances per send so repeated keys
+ * stay independent, while a real receiver endpoint maps each distinct
+ * MessageKey to one instance for true cross-process exactly-once.
+ */
+#ifndef ROG_NET_TRANSPORT_RECEIVER_HPP
+#define ROG_NET_TRANSPORT_RECEIVER_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/transport/backend.hpp"
+#include "net/transport/event_log.hpp"
+#include "net/transport/frame.hpp"
+#include "net/transport/observer.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+/** Receiver-side protocol decisions, shared by every backend. */
+class ChunkReceiver
+{
+  public:
+    /** What one completed chunk delivery resolved to. */
+    struct Decision
+    {
+        bool crc_ok = false;
+        std::size_t fresh_accepts = 0;
+        std::size_t duplicates = 0;
+        bool held = false;
+        bool message_complete = false;
+        const std::vector<std::uint8_t> *assembled = nullptr;
+    };
+
+    /**
+     * @param clock stamps emitted events (virtual or wall seconds).
+     * @param observer / @p sink receive every decision; either may be
+     *        null/empty.
+     */
+    ChunkReceiver(std::function<double()> clock,
+                  TransportObserver *observer = nullptr,
+                  EventSink sink = {});
+
+    void setEventSink(EventSink sink) { sink_ = std::move(sink); }
+    void setObserver(TransportObserver *obs) { observer_ = obs; }
+
+    /**
+     * Begin (or re-scope) message @p instance. Optional — onChunk
+     * creates state lazily with store_payload on — but lets the DES
+     * twin skip retaining synthesized payload bytes.
+     */
+    void open(std::uint64_t instance, bool store_payload);
+
+    /**
+     * One complete chunk arrived (all fragments reassembled) for
+     * message @p instance: verify, dedup, hold or accept, and deliver
+     * when the message completes.
+     *
+     * @param chunk the chunk payload exactly as received (a corrupted
+     *        delivery hands in the garbled bytes — the CRC verdict is
+     *        recomputed here, never trusted from a flag).
+     * @param chunk_len the chunk's exact (possibly fractional,
+     *        simulated) payload length, echoed into events.
+     * @param duplicated_hint the wire delivered this frame twice.
+     * @param reordered_hint delivery was overtaken by a later send.
+     */
+    Decision onChunk(std::uint64_t instance, LinkId link,
+                     const MessageKey &key, const FrameHeader &hdr,
+                     std::span<const std::uint8_t> chunk,
+                     double chunk_len, bool duplicated_hint,
+                     bool reordered_hint);
+
+    /**
+     * The sender gave up on @p instance: flush a reorder-held chunk
+     * (whatever arrived, arrived) without delivering the message.
+     */
+    void abandon(std::uint64_t instance);
+
+    /** Drop all state for @p instance. */
+    void release(std::uint64_t instance);
+
+    /** Reassembled payload of a delivered instance (empty if none). */
+    const std::vector<std::uint8_t> &payload(std::uint64_t instance) const;
+
+    /** Messages fully delivered since construction. */
+    std::size_t deliveredMessages() const { return delivered_; }
+
+  private:
+    struct MessageState
+    {
+        LinkId link = 0;
+        MessageKey key;
+        std::uint32_t chunk_count = 1;
+        bool store_payload = true;
+        bool complete = false;
+        std::set<std::uint32_t> accepted;
+        bool hold_pending = false;
+        FrameHeader hold_hdr;
+        bool hold_duplicated = false;
+        double hold_chunk_len = 0.0;
+        std::vector<std::uint8_t> hold_bytes;
+        std::map<std::uint32_t, std::vector<std::uint8_t>> chunks;
+        std::vector<std::uint8_t> assembled;
+    };
+
+    MessageState &state(std::uint64_t instance);
+    void acceptOnce(MessageState &m, const FrameHeader &hdr,
+                    std::span<const std::uint8_t> chunk, double chunk_len,
+                    Decision &d);
+    void flushHold(MessageState &m, Decision &d);
+    void emit(TransportEvent::Kind kind, const MessageState &m,
+              std::uint32_t seq, double a = 0.0, double b = 0.0);
+
+    std::function<double()> clock_;
+    TransportObserver *observer_ = nullptr;
+    EventSink sink_;
+    std::map<std::uint64_t, MessageState> messages_;
+    std::size_t delivered_ = 0;
+};
+
+/**
+ * Fragment-reassembly front end for receivers that see frames one
+ * wire delivery at a time (the socket endpoints and the trace
+ * replayer — the DES twin hands ChunkReceiver whole chunks directly).
+ *
+ * Tracks the contiguous byte prefix of each in-progress chunk; when a
+ * frame completes its chunk, the assembled bytes go to ChunkReceiver
+ * for the CRC verdict and acceptance decision. A chunk that fails its
+ * CRC is wiped, so the retry rebuilds it from scratch — mirroring the
+ * simulator's restart-the-chunk-on-corruption rule. Message instances
+ * are scoped per distinct MessageKey: cross-process exactly-once.
+ */
+class FrameAssembler
+{
+  public:
+    /** What one incoming frame resolved to. */
+    struct Result
+    {
+        /** The frame completed its chunk (decision below is valid). */
+        bool chunk_complete = false;
+
+        /** Contiguous chunk bytes present after this frame. */
+        std::uint64_t prefix = 0;
+
+        ChunkReceiver::Decision decision;
+    };
+
+    /**
+     * @param rx makes every protocol decision; must outlive this.
+     * @param store_payload retain reassembled payload bytes per
+     *        message (see ChunkReceiver::payload).
+     */
+    explicit FrameAssembler(ChunkReceiver &rx, bool store_payload = false);
+
+    /**
+     * One data frame arrived with @p present payload bytes (possibly
+     * fewer than hdr.payload_len claims — a truncated delivery).
+     */
+    Result onFrame(LinkId link, const FrameHeader &hdr,
+                   std::span<const std::uint8_t> present);
+
+    ChunkReceiver &receiver() { return rx_; }
+
+  private:
+    struct ChunkBuf
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t prefix = 0;
+    };
+
+    ChunkReceiver &rx_;
+    bool store_payload_ = false;
+    std::map<MessageKey, std::uint64_t> instances_;
+    std::uint64_t next_instance_ = 1;
+    std::map<std::pair<std::uint64_t, std::uint32_t>, ChunkBuf> bufs_;
+};
+
+} // namespace transport
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_TRANSPORT_RECEIVER_HPP

@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "net/transport/crc32c.hpp"
+#include "net/transport/des_backend.hpp"
+#include "net/transport/payload.hpp"
 
 namespace rog {
 namespace net {
@@ -16,79 +18,29 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/** splitmix64 step, for seeding and synthesized payload bytes. */
-std::uint64_t
-mix64(std::uint64_t &state)
-{
-    state += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
-keySeed(std::uint64_t base, const MessageKey &key, std::uint64_t extra)
-{
-    std::uint64_t s = base;
-    s ^= mix64(s) + static_cast<std::uint64_t>(key.worker);
-    s ^= mix64(s) + static_cast<std::uint64_t>(key.version);
-    s ^= mix64(s) + static_cast<std::uint64_t>(key.row);
-    s ^= mix64(s) + (key.pull ? 0x70756c6cull : 0x70757368ull);
-    s ^= mix64(s) + extra;
-    return s;
-}
-
 /** Integer byte length of a (possibly fractional) simulated length. */
 std::size_t
 byteLen(double len)
 {
+    if (len <= 0.0)
+        return 0; // a zero-length message frames a header-only chunk.
     return static_cast<std::size_t>(
         std::max(1.0, std::ceil(len - kEps)));
 }
 
-const char *
-kindName(TransportEvent::Kind k)
-{
-    switch (k) {
-    case TransportEvent::Kind::Attempt: return "attempt";
-    case TransportEvent::Kind::Resume: return "resume";
-    case TransportEvent::Kind::Backoff: return "backoff";
-    case TransportEvent::Kind::Accept: return "accept";
-    case TransportEvent::Kind::Duplicate: return "duplicate";
-    case TransportEvent::Kind::CorruptDrop: return "corrupt-drop";
-    case TransportEvent::Kind::ReorderHold: return "reorder-hold";
-    case TransportEvent::Kind::Deliver: return "deliver";
-    case TransportEvent::Kind::Fail: return "fail";
-    }
-    return "?";
-}
-
 } // namespace
-
-std::string
-toString(const TransportEvent &ev)
-{
-    std::ostringstream os;
-    os.precision(17);
-    os << "t=" << ev.t << ' ' << kindName(ev.kind) << " link="
-       << ev.link << " w=" << ev.key.worker << " v=" << ev.key.version
-       << " row=" << ev.key.row << " dir="
-       << (ev.key.pull ? "pull" : "push") << " seq=" << ev.chunk_seq
-       << " a=" << ev.a << " b=" << ev.b;
-    return os.str();
-}
 
 /** State of one in-flight message send. */
 struct ReliableLink::SendOp
 {
-    std::uint64_t id = 0;
+    std::uint64_t id = 0;     //!< protocol-core op id.
+    std::uint64_t stream = 0; //!< backend send-stream handle.
     LinkId link = 0;
     MessageKey key;
     double payload_bytes = 0.0;
     double deadline = kNoDeadline;
-    std::span<const std::uint8_t> payload; //!< empty => synthesized;
-                                           //!< else views payload_copy.
+    bool payload_mode = false; //!< carrying caller bytes (else synthesized).
+    std::span<const std::uint8_t> payload; //!< views payload_copy.
     Callback done;
     std::function<void()> drop;
     Rng jitter;
@@ -100,33 +52,24 @@ struct ReliableLink::SendOp
     std::uint32_t chunk_crc = 0;  //!< CRC of that chunk (cached).
     double resume_off = 0.0;      //!< intact delivered prefix.
     double high_water = 0.0;      //!< most ever delivered (retransmit acct).
-    bool garbled = false;         //!< a corrupted fragment contributed.
     std::size_t chunk_attempts = 0;
     std::size_t backoff_exp = 0;
-
-    std::set<std::uint32_t> accepted;
-    bool hold_pending = false;
-    FrameHeader hold_hdr;
-    bool hold_duplicated = false;
 
     // Pool-leased working memory: recycled when the op retires, so a
     // steady stream of sends allocates nothing after warm-up.
     BufferPool::Lease<std::uint8_t> payload_copy; //!< retransmit copy.
-    BufferPool::Lease<std::uint8_t> assembled;    //!< reassembly.
-    BufferPool::Lease<std::uint8_t> wire;         //!< header bytes.
     BufferPool::Lease<std::uint8_t> chunk_scratch; //!< chunk regen.
 #ifdef ROG_SANITIZE_BUILD
     std::uint32_t payload_guard_crc = 0; //!< lifetime canary.
 #endif
 
-    sim::EventId backoff_event;
+    TimerId backoff_timer = 0;
     SendResult res;
 };
 
-ReliableLink::ReliableLink(sim::Simulation &sim, Channel &channel,
-                           const TransportConfig &config,
+ReliableLink::ReliableLink(Backend &backend, const TransportConfig &config,
                            TransportObserver *observer)
-    : sim_(sim), channel_(channel), config_(config), observer_(observer)
+    : backend_(backend), config_(config), observer_(observer)
 {
     ROG_ASSERT(config_.chunk_bytes > 0.0,
                "transport chunk size must be positive");
@@ -134,13 +77,33 @@ ReliableLink::ReliableLink(sim::Simulation &sim, Channel &channel,
                "transport backoff base must be positive");
     ROG_ASSERT(config_.jitter_frac >= 0.0 && config_.jitter_frac < 1.0,
                "transport jitter fraction must be in [0, 1)");
+    backend_.setReceiverEventSink(
+        [this](const TransportEvent &ev) { log_.push_back(ev); });
+}
+
+ReliableLink::ReliableLink(sim::Simulation &sim, Channel &channel,
+                           const TransportConfig &config,
+                           TransportObserver *observer)
+    : owned_backend_(
+          std::make_unique<DesBackend>(sim, channel, config, observer)),
+      backend_(*owned_backend_), config_(config), observer_(observer)
+{
+    ROG_ASSERT(config_.chunk_bytes > 0.0,
+               "transport chunk size must be positive");
+    ROG_ASSERT(config_.backoff_base_s > 0.0,
+               "transport backoff base must be positive");
+    ROG_ASSERT(config_.jitter_frac >= 0.0 && config_.jitter_frac < 1.0,
+               "transport jitter fraction must be in [0, 1)");
+    backend_.setReceiverEventSink(
+        [this](const TransportEvent &ev) { log_.push_back(ev); });
 }
 
 ReliableLink::~ReliableLink()
 {
     *alive_ = false;
     for (auto &[id, op] : ops_) {
-        sim_.cancel(op->backoff_event);
+        backend_.cancelTimer(op->backoff_timer);
+        backend_.abortSend(op->stream);
         if (op->drop)
             op->drop();
     }
@@ -158,7 +121,7 @@ ReliableLink::chunkLen(const SendOp &op, std::uint32_t seq) const
 std::span<const std::uint8_t>
 ReliableLink::chunkPayloadInto(SendOp &op, std::uint32_t seq) const
 {
-    if (!op.payload.empty()) {
+    if (op.payload_mode) {
         // Payload mode: a zero-copy view into the leased copy.
         const auto ci = byteLen(config_.chunk_bytes);
         const std::size_t off = static_cast<std::size_t>(seq) * ci;
@@ -170,12 +133,7 @@ ReliableLink::chunkPayloadInto(SendOp &op, std::uint32_t seq) const
     ROG_ASSERT(len <= op.chunk_scratch.size(),
                "chunk scratch undersized for synthesized chunk");
     std::uint8_t *out = op.chunk_scratch.data();
-    std::uint64_t state = keySeed(0xc0ffee123ull, op.key, seq);
-    for (std::size_t i = 0; i < len; i += 8) {
-        const std::uint64_t v = mix64(state);
-        for (std::size_t b = 0; b < 8 && i + b < len; ++b)
-            out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
-    }
+    synthesizeChunk(op.key, seq, {out, len});
     return {out, len};
 }
 
@@ -190,8 +148,9 @@ ReliableLink::startSend(LinkId link, const MessageKey &key,
                         double payload_bytes, double deadline_s,
                         Callback done, std::function<void()> drop)
 {
-    ROG_ASSERT(payload_bytes > 0.0, "send needs positive payload bytes");
-    startSendImpl(link, key, payload_bytes, {}, deadline_s,
+    ROG_ASSERT(payload_bytes >= 0.0,
+               "send needs non-negative payload bytes");
+    startSendImpl(link, key, payload_bytes, {}, false, deadline_s,
                   std::move(done), std::move(drop));
 }
 
@@ -201,17 +160,17 @@ ReliableLink::startSendPayload(LinkId link, const MessageKey &key,
                                double deadline_s, Callback done,
                                std::function<void()> drop)
 {
-    ROG_ASSERT(!payload.empty(), "payload send needs bytes");
     startSendImpl(link, key, static_cast<double>(payload.size()),
-                  payload, deadline_s, std::move(done), std::move(drop));
+                  payload, true, deadline_s, std::move(done),
+                  std::move(drop));
 }
 
 void
 ReliableLink::startSendImpl(LinkId link, const MessageKey &key,
                             double payload_bytes,
                             std::span<const std::uint8_t> payload,
-                            double deadline_s, Callback done,
-                            std::function<void()> drop)
+                            bool payload_mode, double deadline_s,
+                            Callback done, std::function<void()> drop)
 {
     auto op = std::make_unique<SendOp>();
     op->id = next_op_id_++;
@@ -219,36 +178,35 @@ ReliableLink::startSendImpl(LinkId link, const MessageKey &key,
     op->key = key;
     op->payload_bytes = payload_bytes;
     op->deadline = deadline_s;
+    op->payload_mode = payload_mode;
     op->payload = payload;
     op->done = std::move(done);
     op->drop = std::move(drop);
-    op->jitter = Rng(keySeed(config_.jitter_seed, key, 0));
-    op->start_time = sim_.now();
+    op->jitter = Rng(messageSeed(config_.jitter_seed, key, 0));
+    op->start_time = backend_.now();
     op->chunk_count = static_cast<std::uint32_t>(std::max(
         1.0, std::ceil(payload_bytes / config_.chunk_bytes - kEps)));
     op->chunk_len = chunkLen(*op, 0);
-    if (!payload.empty()) {
+    if (payload_mode && !payload.empty()) {
         // Lease the retransmission copy before returning: the caller's
         // span only has to survive this call (see startSendPayload).
         op->payload_copy = BufferPool::global().leaseBytes(payload.size());
         std::copy(payload.begin(), payload.end(),
                   op->payload_copy.data());
         op->payload = {op->payload_copy.data(), op->payload_copy.size()};
-        op->assembled = BufferPool::global().leaseBytes(payload.size());
-        std::fill(op->assembled.data(),
-                  op->assembled.data() + op->assembled.size(),
-                  std::uint8_t{0});
 #ifdef ROG_SANITIZE_BUILD
         op->payload_guard_crc = crc32c(op->payload);
 #endif
     }
     op->res.payload_bytes = payload_bytes;
     op->res.chunks = op->chunk_count;
-    op->wire = BufferPool::global().leaseBytes(FrameHeader::kWireSize);
-    op->chunk_scratch = BufferPool::global().leaseBytes(byteLen(
-        op->chunk_count > 1 ? config_.chunk_bytes : op->chunk_len));
+    op->chunk_scratch = BufferPool::global().leaseBytes(
+        std::max<std::size_t>(1, byteLen(op->chunk_count > 1
+                                             ? config_.chunk_bytes
+                                             : op->chunk_len)));
     refreshChunkCrc(*op);
     ++totals_.sends;
+    op->stream = backend_.openSend(link, key, payload_mode);
 
     SendOp &ref = *op;
     ops_.emplace(ref.id, std::move(op));
@@ -258,7 +216,7 @@ ReliableLink::startSendImpl(LinkId link, const MessageKey &key,
 void
 ReliableLink::attempt(SendOp &op)
 {
-    const double now = sim_.now();
+    const double now = backend_.now();
     if (now >= op.deadline) {
         finish(op, false, true);
         return;
@@ -271,7 +229,7 @@ ReliableLink::attempt(SendOp &op)
     // startSendPayload must still checksum to the value captured
     // there; a mismatch means someone clobbered the pooled buffer
     // mid-send (e.g. a premature release re-leased it elsewhere).
-    if (!op.payload.empty())
+    if (op.payload_mode && !op.payload.empty())
         ROG_ASSERT(crc32c(op.payload) == op.payload_guard_crc,
                    "leased payload copy mutated mid-send");
 #endif
@@ -290,24 +248,26 @@ ReliableLink::attempt(SendOp &op)
     // chunk became current, so retries skip the checksum (and, in
     // synthesized mode, the payload regeneration) entirely.
     hdr.payload_crc = op.chunk_crc;
-    hdr.serialize({op.wire.data(), op.wire.size()});
 
-    const double wire_bytes = FrameHeader::kWireSize + frag_len;
     const double timeout = std::isfinite(op.deadline)
                                ? std::max(kEps, op.deadline - now)
-                               : Channel::kNoTimeout;
+                               : kNoDeadline;
 
     ++op.res.attempts;
     ++op.chunk_attempts;
-    logEvent(TransportEvent::Kind::Attempt, op, op.seq, wire_bytes,
-             op.resume_off);
+    logEvent(TransportEvent::Kind::Attempt, op, op.seq,
+             FrameHeader::kWireSize + frag_len, op.resume_off);
 
+    const auto chunk = chunkPayloadInto(op, op.seq);
+    const auto frag = chunk.subspan(
+        std::min<std::size_t>(chunk.size(),
+                              static_cast<std::size_t>(hdr.payload_off)));
     const std::uint64_t id = op.id;
-    channel_.startTransfer(
-        op.link, wire_bytes, timeout,
-        [this, alive = alive_, id](TransferResult r) {
+    backend_.sendFrame(
+        op.stream, hdr, frag, chunk, frag_len, op.chunk_len, timeout,
+        [this, alive = alive_, id](const FrameVerdict &v) {
             if (*alive)
-                onTransferDone(id, r);
+                onFrameVerdict(id, v);
         },
         [this, alive = alive_, id] {
             if (*alive)
@@ -321,7 +281,8 @@ ReliableLink::dropOp(std::uint64_t op_id)
     auto it = ops_.find(op_id);
     if (it == ops_.end())
         return;
-    sim_.cancel(it->second->backoff_event);
+    backend_.cancelTimer(it->second->backoff_timer);
+    backend_.abortSend(it->second->stream);
     std::function<void()> drop = std::move(it->second->drop);
     ops_.erase(it);
     if (drop)
@@ -329,14 +290,14 @@ ReliableLink::dropOp(std::uint64_t op_id)
 }
 
 void
-ReliableLink::onTransferDone(std::uint64_t op_id, const TransferResult &r)
+ReliableLink::onFrameVerdict(std::uint64_t op_id, const FrameVerdict &v)
 {
     auto it = ops_.find(op_id);
     if (it == ops_.end())
         return;
     SendOp &op = *it->second;
 
-    const double delivered = r.bytes_sent;
+    const double delivered = v.bytes_sent;
     const double hdr_delivered =
         std::min(delivered, double(FrameHeader::kWireSize));
     const double payload_delivered =
@@ -355,11 +316,9 @@ ReliableLink::onTransferDone(std::uint64_t op_id, const TransferResult &r)
     }
     op.high_water =
         std::max(op.high_water, op.resume_off + payload_delivered);
-    if (r.corrupted)
-        op.garbled = true;
 
-    if (r.completed) {
-        receiveChunk(op, r.duplicated, r.reordered);
+    if (v.completed) {
+        resolveChunk(op, v);
         return;
     }
 
@@ -379,7 +338,6 @@ ReliableLink::onTransferDone(std::uint64_t op_id, const TransferResult &r)
                  op.resume_off, op.chunk_len);
     } else {
         op.resume_off = 0.0;
-        op.garbled = false;
     }
     if (progress)
         op.backoff_exp = 0;
@@ -393,41 +351,16 @@ ReliableLink::onTransferDone(std::uint64_t op_id, const TransferResult &r)
 }
 
 void
-ReliableLink::receiveChunk(SendOp &op, bool duplicated, bool reordered)
+ReliableLink::resolveChunk(SendOp &op, const FrameVerdict &v)
 {
-    // The receiver re-parses the header exactly as it was framed.
-    const auto hdr = FrameHeader::parse({op.wire.data(), op.wire.size()});
-    ROG_ASSERT(hdr.has_value(), "transport framed an unparsable header");
-
-    // Checksum verdict over the reassembled chunk. A corrupted
-    // fragment garbled the buffer; flip a deterministic byte so the
-    // CRC genuinely fails. The flip happens in the op's scratch — in
-    // payload mode the clean bytes are copied there first so the
-    // leased retransmission copy is never mutated.
-    auto received = chunkPayloadInto(op, op.seq);
-    if (op.garbled) {
-        std::uint8_t *mut = op.chunk_scratch.data();
-        if (!op.payload.empty()) {
-            ROG_ASSERT(received.size() <= op.chunk_scratch.size(),
-                       "chunk scratch undersized for garble copy");
-            std::copy(received.begin(), received.end(), mut);
-        }
-        mut[op.seq % received.size()] ^= 0x40;
-        received = {mut, received.size()};
-    }
-    const bool crc_ok = crc32c(received) == hdr->payload_crc;
-
-    if (!crc_ok) {
+    // Receiver-side events (Accept / Duplicate / CorruptDrop /
+    // ReorderHold / Deliver) are emitted by the ChunkReceiver through
+    // the backend's event sink when the receiver runs in-process; the
+    // sender only accounts and advances here.
+    if (!v.crc_ok) {
         ++op.res.corrupt_chunks;
-        if (observer_)
-            observer_->onTransportChunk(op.key.worker, op.key.version,
-                                        op.key.row, op.seq, false,
-                                        false, op.key.pull);
-        logEvent(TransportEvent::Kind::CorruptDrop, op, op.seq,
-                 op.chunk_len);
         // Discard: the prefix is untrustworthy, restart the chunk.
         op.resume_off = 0.0;
-        op.garbled = false;
         if (config_.max_attempts_per_chunk > 0 &&
             op.chunk_attempts >= config_.max_attempts_per_chunk) {
             finish(op, false, false);
@@ -437,65 +370,15 @@ ReliableLink::receiveChunk(SendOp &op, bool duplicated, bool reordered)
         return;
     }
 
-    if (reordered && !op.hold_pending && op.seq + 1 < op.chunk_count) {
-        // Delivery overtaken by the next send: hold the (intact)
-        // chunk and apply it after its successor.
-        op.hold_pending = true;
-        op.hold_hdr = *hdr;
-        op.hold_duplicated = duplicated;
+    if (v.held)
         ++op.res.reordered_chunks;
-        logEvent(TransportEvent::Kind::ReorderHold, op, op.seq);
-        advanceChunk(op);
-        return;
-    }
+    op.res.duplicate_chunks += v.duplicates;
 
-    acceptOnce(op, *hdr);
-    if (duplicated)
-        acceptOnce(op, *hdr); // the link delivered the frame twice.
-    if (op.hold_pending)
-        flushHold(op);
-    advanceChunk(op);
-}
-
-void
-ReliableLink::acceptOnce(SendOp &op, const FrameHeader &hdr)
-{
-    const bool fresh = op.accepted.insert(hdr.chunk_seq).second;
-    if (observer_)
-        observer_->onTransportChunk(op.key.worker, op.key.version,
-                                    op.key.row, hdr.chunk_seq, true,
-                                    fresh, op.key.pull);
-    if (!fresh) {
-        ++op.res.duplicate_chunks;
-        logEvent(TransportEvent::Kind::Duplicate, op, hdr.chunk_seq);
-        return;
-    }
-    logEvent(TransportEvent::Kind::Accept, op, hdr.chunk_seq,
-             chunkLen(op, hdr.chunk_seq));
-    if (!op.payload.empty()) {
-        const auto chunk = chunkPayloadInto(op, hdr.chunk_seq);
-        const std::size_t off = static_cast<std::size_t>(hdr.chunk_seq) *
-                                byteLen(config_.chunk_bytes);
-        std::copy(chunk.begin(), chunk.end(), op.assembled.data() + off);
-    }
-}
-
-void
-ReliableLink::flushHold(SendOp &op)
-{
-    op.hold_pending = false;
-    acceptOnce(op, op.hold_hdr);
-    if (op.hold_duplicated)
-        acceptOnce(op, op.hold_hdr);
-}
-
-void
-ReliableLink::advanceChunk(SendOp &op)
-{
+    // Chunk resolved (accepted, dedup'd, or held for its successor):
+    // advance to the next chunk with fresh retry state.
     ++op.seq;
     op.resume_off = 0.0;
     op.high_water = 0.0;
-    op.garbled = false;
     op.chunk_attempts = 0;
     op.backoff_exp = 0;
     if (op.seq < op.chunk_count) {
@@ -504,17 +387,10 @@ ReliableLink::advanceChunk(SendOp &op)
         attempt(op);
         return;
     }
-    if (op.hold_pending)
-        flushHold(op);
-    ROG_ASSERT(op.accepted.size() == op.chunk_count,
+    ROG_ASSERT(v.message_complete,
                "message finished sending with chunks unaccepted");
-    if (!op.payload.empty())
-        delivered_payloads_[op.key].assign(
-            op.assembled.data(),
-            op.assembled.data() + op.assembled.size());
-    if (observer_)
-        observer_->onTransportDeliver(op.key.worker, op.key.version,
-                                      op.key.row, op.key.pull);
+    if (op.payload_mode && v.assembled)
+        delivered_payloads_[op.key] = *v.assembled;
     finish(op, true, false);
 }
 
@@ -529,7 +405,7 @@ ReliableLink::scheduleRetry(SendOp &op)
     const double u = op.jitter.uniform();
     delay *= 1.0 - config_.jitter_frac +
              2.0 * config_.jitter_frac * u;
-    const double now = sim_.now();
+    const double now = backend_.now();
     if (std::isfinite(op.deadline) && now + delay >= op.deadline) {
         // Deadline-aware: backing off past the deadline is pointless.
         finish(op, false, true);
@@ -541,14 +417,14 @@ ReliableLink::scheduleRetry(SendOp &op)
     ++op.backoff_exp;
     op.res.backoff_s += delay;
     const std::uint64_t id = op.id;
-    op.backoff_event =
-        sim_.after(delay, [this, alive = alive_, id] {
+    op.backoff_timer =
+        backend_.after(delay, [this, alive = alive_, id] {
             if (!*alive)
                 return;
             auto it = ops_.find(id);
             if (it == ops_.end())
                 return;
-            it->second->backoff_event = sim::EventId{};
+            it->second->backoff_timer = 0;
             attempt(*it->second);
         });
 }
@@ -556,15 +432,18 @@ ReliableLink::scheduleRetry(SendOp &op)
 void
 ReliableLink::finish(SendOp &op, bool delivered, bool expired)
 {
-    sim_.cancel(op.backoff_event);
-    if (op.hold_pending)
-        flushHold(op); // whatever arrived, arrived.
+    backend_.cancelTimer(op.backoff_timer);
+    op.backoff_timer = 0;
+    // Closing an undelivered stream flushes a reorder-held chunk
+    // receiver-side (whatever arrived, arrived) — its Accept events
+    // land in the log ahead of the Fail below, as they always did.
+    backend_.finishSend(op.stream, delivered);
     op.res.delivered = delivered;
     op.res.deadline_expired = expired;
-    op.res.elapsed_s = sim_.now() - op.start_time;
-    logEvent(delivered ? TransportEvent::Kind::Deliver
-                       : TransportEvent::Kind::Fail,
-             op, op.seq, expired ? 1.0 : 0.0);
+    op.res.elapsed_s = backend_.now() - op.start_time;
+    if (!delivered)
+        logEvent(TransportEvent::Kind::Fail, op, op.seq,
+                 expired ? 1.0 : 0.0);
 
     totals_.delivered += delivered ? 1 : 0;
     totals_.failed += delivered ? 0 : 1;
@@ -589,7 +468,7 @@ ReliableLink::logEvent(TransportEvent::Kind kind, const SendOp &op,
                        std::uint32_t seq, double a, double b)
 {
     TransportEvent ev;
-    ev.t = sim_.now();
+    ev.t = backend_.now();
     ev.kind = kind;
     ev.link = op.link;
     ev.key = op.key;

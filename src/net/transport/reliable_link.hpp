@@ -1,27 +1,27 @@
 /**
  * @file
- * Reliable, resumable message transport over the fluid channel.
+ * Reliable, resumable message transport — the protocol core.
  *
- * The raw net::Channel is a faithful model of a flaky wireless medium:
- * transfers can be cut mid-flow, time out, or arrive corrupted,
- * duplicated, or out of order (fault layer). The engine, however,
- * wants gradient-row messages that either arrive intact exactly once
- * or verifiably fail by a deadline. ReliableLink is the sublayer in
- * between: it frames each message (FrameHeader with worker, version,
+ * ReliableLink frames each message (FrameHeader with worker, version,
  * row, chunk bookkeeping, and a CRC32C over the chunk payload), sends
- * it as a sequence of chunked sub-transfers, and retries cut or
+ * it as a sequence of chunked stop-and-wait frames, and retries cut or
  * corrupted chunks with deadline-aware exponential backoff and seeded
  * deterministic jitter — resuming from the delivered byte offset
  * rather than from scratch, so a 90%-delivered chunk only resends its
- * tail. The receiver side dedups chunks on (worker, version, row,
- * chunk_seq), so a duplicated delivery is applied exactly once, and a
- * chunk flagged reordered is held and applied after its successor.
+ * tail. The receiver side (ChunkReceiver) dedups chunks on (worker,
+ * version, row, chunk_seq), so a duplicated delivery is applied
+ * exactly once, and a chunk flagged reordered is held and applied
+ * after its successor.
  *
- * Everything is deterministic: backoff jitter comes from an Rng seeded
- * by (config seed, message key), and every decision is a pure function
- * of the channel's behaviour, so the same seed and fault plan replay
- * the same timeline byte for byte. A structured event log records
- * every attempt / accept / resume / backoff for replay comparison.
+ * The protocol core is backend-agnostic: every I/O and clocking
+ * decision goes through the transport::Backend seam (backend.hpp).
+ * Over the DES twin everything is deterministic — backoff jitter comes
+ * from an Rng seeded by (config seed, message key), and every decision
+ * is a pure function of the channel's behaviour, so the same seed and
+ * fault plan replay the same timeline byte for byte. Over real sockets
+ * the identical state machine runs in wall-clock time, and the
+ * recorded event log cross-validates against a DES replay of the same
+ * wire trace (see des_backend.hpp / crossval.hpp).
  */
 #ifndef ROG_NET_TRANSPORT_RELIABLE_LINK_HPP
 #define ROG_NET_TRANSPORT_RELIABLE_LINK_HPP
@@ -32,14 +32,14 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <span>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/transport/backend.hpp"
 #include "net/transport/buffer_pool.hpp"
+#include "net/transport/event_log.hpp"
 #include "net/transport/frame.hpp"
 #include "net/transport/observer.hpp"
 #include "sim/simulation.hpp"
@@ -47,52 +47,6 @@
 namespace rog {
 namespace net {
 namespace transport {
-
-/** Knobs for the reliability sublayer. */
-struct TransportConfig
-{
-    /** Payload bytes per chunk (a chunk is the CRC/retry unit). */
-    double chunk_bytes = 16.0 * 1024.0;
-
-    /** Attempts per chunk before the send fails (0 = unbounded). */
-    std::size_t max_attempts_per_chunk = 8;
-
-    double backoff_base_s = 0.05; //!< first retry delay.
-    double backoff_max_s = 2.0;   //!< exponential growth cap.
-
-    /** Jitter: delay is scaled by 1 +/- jitter_frac, deterministically. */
-    double jitter_frac = 0.25;
-    std::uint64_t jitter_seed = 0x7261676Eull;
-
-    /**
-     * Resume retries from the delivered byte offset. Off = the
-     * from-scratch baseline: every retry resends the whole chunk
-     * (used to measure what resumption saves).
-     */
-    bool resume_from_offset = true;
-};
-
-/** No deadline: retry until delivered or out of attempts. */
-inline constexpr double kNoDeadline =
-    std::numeric_limits<double>::infinity();
-
-/** Identity of one transport message (one gradient row push/pull). */
-struct MessageKey
-{
-    std::uint16_t worker = 0;
-    std::int64_t version = 0;
-    std::uint32_t row = 0;
-    bool pull = false;
-
-    auto
-    tie() const
-    {
-        return std::tie(worker, version, row, pull);
-    }
-
-    bool operator<(const MessageKey &o) const { return tie() < o.tie(); }
-    bool operator==(const MessageKey &o) const { return tie() == o.tie(); }
-};
 
 /** Outcome of one message send. */
 struct SendResult
@@ -128,43 +82,26 @@ struct TransportTotals
     std::size_t reordered_chunks = 0;
 };
 
-/** One entry of the structured replay log. */
-struct TransportEvent
-{
-    enum class Kind {
-        Attempt,     //!< a=wire bytes, b=resume offset.
-        Resume,      //!< a=resumed bytes, b=chunk payload bytes.
-        Backoff,     //!< a=delay seconds, b=backoff exponent.
-        Accept,      //!< chunk passed CRC and was applied fresh.
-        Duplicate,   //!< chunk arrived again and was dedup'd.
-        CorruptDrop, //!< chunk failed CRC and was discarded.
-        ReorderHold, //!< chunk held to apply after its successor.
-        Deliver,     //!< message complete.
-        Fail,        //!< a=1 if the deadline expired, 0 otherwise.
-    };
-
-    double t = 0.0;
-    Kind kind = Kind::Attempt;
-    LinkId link = 0;
-    MessageKey key;
-    std::uint32_t chunk_seq = 0;
-    double a = 0.0;
-    double b = 0.0;
-};
-
-/** Render one event as a stable text line (for replay comparison). */
-std::string toString(const TransportEvent &ev);
-
-/** The reliability sublayer wrapping one Channel. */
+/** The reliability sublayer: one sender endpoint over one backend. */
 class ReliableLink
 {
   public:
     using Callback = std::function<void(SendResult)>;
 
     /**
-     * @param sim / @param channel must outlive the link. The optional
-     * @p observer (e.g. a fault::InvariantChecker) receives an
-     * onTransport*() hook for every receiver decision.
+     * Run the protocol core over @p backend (which must outlive the
+     * link). The link binds the backend's receiver event sink to its
+     * own log, so exactly one ReliableLink may drive a backend.
+     */
+    ReliableLink(Backend &backend, const TransportConfig &config,
+                 TransportObserver *observer = nullptr);
+
+    /**
+     * Convenience (and the historical signature): run over the
+     * simulated channel via an owned DesBackend. @p sim and
+     * @p channel must outlive the link. The optional @p observer
+     * (e.g. a fault::InvariantChecker) receives an onTransport*()
+     * hook for every receiver decision.
      */
     ReliableLink(sim::Simulation &sim, Channel &channel,
                  const TransportConfig &config,
@@ -177,11 +114,13 @@ class ReliableLink
     /**
      * Start sending a message of @p payload_bytes simulated bytes
      * (callback form). The payload content is synthesized
-     * deterministically from @p key so checksums are real.
+     * deterministically from @p key so checksums are real. A
+     * zero-byte payload is valid and travels as one header-only
+     * chunk (delivery still means the frame round-tripped intact).
      *
-     * @param deadline_s absolute virtual-time deadline (kNoDeadline
-     *        for none); the send gives up, deadline-aware, instead of
-     *        backing off past it.
+     * @param deadline_s absolute deadline on the backend's clock
+     *        (kNoDeadline for none); the send gives up,
+     *        deadline-aware, instead of backing off past it.
      * @param done invoked exactly once with the result (unless the
      *        link or channel is destroyed first).
      * @param drop invoked instead of @p done on destruction mid-send.
@@ -193,7 +132,8 @@ class ReliableLink
     /**
      * As startSend, but carrying @p payload real bytes; the receiver
      * reassembles them (see deliveredPayload) and every checksum is
-     * computed over the actual data.
+     * computed over the actual data. An empty span is a valid
+     * zero-length message.
      *
      * Lifetime: the link leases a retransmission copy from the
      * BufferPool before returning, so @p payload only has to stay
@@ -260,7 +200,11 @@ class ReliableLink
 
     const TransportTotals &totals() const { return totals_; }
 
-    /** Structured event log since construction. */
+    /**
+     * Structured event log since construction: every sender decision,
+     * plus every receiver decision when the backend's receiver lives
+     * in-process (DES / loopback). See event_log.hpp.
+     */
     const std::vector<TransportEvent> &log() const { return log_; }
 
     /** The whole log as text, one event per line. */
@@ -268,21 +212,21 @@ class ReliableLink
 
     const TransportConfig &config() const { return config_; }
 
+    /** The backend this link drives. */
+    Backend &backend() { return backend_; }
+
   private:
     struct SendOp;
 
     void startSendImpl(LinkId link, const MessageKey &key,
                        double payload_bytes,
                        std::span<const std::uint8_t> payload,
-                       double deadline_s, Callback done,
-                       std::function<void()> drop);
+                       bool payload_mode, double deadline_s,
+                       Callback done, std::function<void()> drop);
     void attempt(SendOp &op);
-    void onTransferDone(std::uint64_t op_id, const TransferResult &r);
+    void onFrameVerdict(std::uint64_t op_id, const FrameVerdict &v);
     void dropOp(std::uint64_t op_id);
-    void receiveChunk(SendOp &op, bool duplicated, bool reordered);
-    void acceptOnce(SendOp &op, const FrameHeader &hdr);
-    void advanceChunk(SendOp &op);
-    void flushHold(SendOp &op);
+    void resolveChunk(SendOp &op, const FrameVerdict &v);
     void scheduleRetry(SendOp &op);
     void finish(SendOp &op, bool delivered, bool expired);
     void logEvent(TransportEvent::Kind kind, const SendOp &op,
@@ -301,8 +245,8 @@ class ReliableLink
     void refreshChunkCrc(SendOp &op);
     double chunkLen(const SendOp &op, std::uint32_t seq) const;
 
-    sim::Simulation &sim_;
-    Channel &channel_;
+    std::unique_ptr<Backend> owned_backend_; //!< legacy-ctor DES twin.
+    Backend &backend_;
     TransportConfig config_;
     TransportObserver *observer_ = nullptr;
 
@@ -313,7 +257,7 @@ class ReliableLink
     TransportTotals totals_;
     std::vector<TransportEvent> log_;
 
-    /** Cleared by the destructor so stale channel callbacks no-op. */
+    /** Cleared by the destructor so stale backend callbacks no-op. */
     std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -1,0 +1,705 @@
+#include "net/transport/socket_backend.hpp"
+
+#include <arpa/inet.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+namespace transport {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65536;
+
+MessageKey
+keyOf(const FrameHeader &hdr)
+{
+    MessageKey key;
+    key.worker = hdr.worker;
+    key.version = hdr.version;
+    key.row = hdr.row;
+    key.pull = hdr.pull();
+    return key;
+}
+
+bool
+resolveAddr(const std::string &host, std::uint16_t port,
+            sockaddr_in &out)
+{
+    std::memset(&out, 0, sizeof(out));
+    out.sin_family = AF_INET;
+    out.sin_port = htons(port);
+    return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+} // namespace
+
+FrameHeader
+makeAck(const FrameHeader &data, const FrameAssembler::Result &r)
+{
+    FrameHeader ack;
+    ack.flags = kFlagAck | (data.flags & kFlagPull);
+    ack.worker = data.worker;
+    ack.version = data.version;
+    ack.row = data.row;
+    ack.chunk_seq = data.chunk_seq;
+    ack.chunk_count = data.chunk_count;
+    ack.payload_len = 0;
+    ack.payload_crc = 0;
+    if (!r.chunk_complete) {
+        ack.flags |= kFlagAckPartial;
+        ack.payload_off = r.prefix; // resume-from-offset, for real.
+        return ack;
+    }
+    ack.payload_off = data.payload_off;
+    if (!r.decision.crc_ok) {
+        ack.flags |= kFlagAckCrcFail;
+        return ack;
+    }
+    if (r.decision.held)
+        ack.flags |= kFlagAckHeld;
+    else if (r.decision.duplicates > 0 && r.decision.fresh_accepts == 0)
+        ack.flags |= kFlagAckDup;
+    if (r.decision.message_complete)
+        ack.flags |= kFlagAckComplete;
+    return ack;
+}
+
+// ----------------------------------------------------- SocketSenderBase
+
+SocketSenderBase::SocketSenderBase(PollLoop &loop,
+                                   const SocketOptions &opts,
+                                   TransportTrace *trace)
+    : loop_(loop), opts_(opts), trace_(trace)
+{
+}
+
+SocketSenderBase::~SocketSenderBase()
+{
+    for (auto &[id, p] : pending_)
+        loop_.cancel(p.timer);
+}
+
+double
+SocketSenderBase::now() const
+{
+    return loop_.now();
+}
+
+TimerId
+SocketSenderBase::after(double delay_s, std::function<void()> fire)
+{
+    return loop_.after(delay_s, std::move(fire));
+}
+
+void
+SocketSenderBase::cancelTimer(TimerId id)
+{
+    loop_.cancel(id);
+}
+
+std::uint64_t
+SocketSenderBase::openSend(LinkId link, const MessageKey &key,
+                           bool payload_mode)
+{
+    (void)payload_mode; // the receiver's peer decides what to retain.
+    const std::uint64_t id = next_send_++;
+    streams_[id] = Stream{link, key};
+    return id;
+}
+
+void
+SocketSenderBase::fail(const std::string &what)
+{
+    if (last_error_.empty())
+        last_error_ = what + " (" + std::strerror(errno) + ")";
+}
+
+void
+SocketSenderBase::sendFrame(std::uint64_t send_id, const FrameHeader &hdr,
+                            std::span<const std::uint8_t> frag,
+                            std::span<const std::uint8_t> chunk,
+                            double frag_len, double chunk_len,
+                            double timeout_s, VerdictCallback done,
+                            std::function<void()> drop)
+{
+    (void)chunk;
+    (void)chunk_len;
+    (void)drop; // the socket cannot be torn down under the link.
+    ROG_ASSERT(streams_.count(send_id) != 0,
+               "sendFrame on unopened stream");
+    ROG_ASSERT(pending_.count(send_id) == 0,
+               "transport stream is stop-and-wait");
+    ROG_ASSERT(static_cast<double>(frag.size()) == frag_len,
+               "socket backends need integral byte lengths");
+
+    std::vector<std::uint8_t> bytes(FrameHeader::kWireSize + frag.size());
+    hdr.serialize({bytes.data(), FrameHeader::kWireSize});
+    std::copy(frag.begin(), frag.end(),
+              bytes.begin() + FrameHeader::kWireSize);
+
+    Pending p;
+    p.send_id = send_id;
+    p.hdr = hdr;
+    p.frag_len = frag_len;
+    p.done = std::move(done);
+    p.started = loop_.now();
+    const double wait = std::isfinite(timeout_s)
+                            ? std::min(opts_.ack_timeout_s, timeout_s)
+                            : opts_.ack_timeout_s;
+    p.timer = loop_.after(
+        wait, [this, send_id] { resolveTimeout(send_id); });
+    pending_.emplace(send_id, std::move(p));
+
+    emitFrame(bytes);
+}
+
+void
+SocketSenderBase::handleAck(const FrameHeader &ack)
+{
+    const MessageKey key = keyOf(ack);
+    auto it = pending_.end();
+    for (auto cand = pending_.begin(); cand != pending_.end(); ++cand) {
+        if (keyOf(cand->second.hdr) == key &&
+            cand->second.hdr.chunk_seq == ack.chunk_seq) {
+            it = cand;
+            break;
+        }
+    }
+    if (it == pending_.end())
+        return; // late or duplicated ACK: the attempt already resolved.
+
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    loop_.cancel(p.timer);
+
+    FrameVerdict v;
+    if (ack.flags & kFlagAckPartial) {
+        // The receiver holds a contiguous prefix; what this attempt
+        // delivered is whatever extends past its own start offset.
+        const double progress = std::clamp(
+            static_cast<double>(ack.payload_off) -
+                static_cast<double>(p.hdr.payload_off),
+            0.0, p.frag_len);
+        v.bytes_sent = FrameHeader::kWireSize + progress;
+        recordAttempt(p, AttemptOutcome::Partial, v.bytes_sent, false);
+        p.done(v);
+        return;
+    }
+
+    v.completed = true;
+    v.bytes_sent = FrameHeader::kWireSize + p.frag_len;
+    v.message_complete = (ack.flags & kFlagAckComplete) != 0;
+    if (ack.flags & kFlagAckCrcFail) {
+        recordAttempt(p, AttemptOutcome::Corrupt, v.bytes_sent, false);
+        p.done(v); // crc_ok stays false.
+        return;
+    }
+    v.crc_ok = true;
+    AttemptOutcome out = AttemptOutcome::Accept;
+    if (ack.flags & kFlagAckHeld) {
+        v.held = true;
+        out = AttemptOutcome::Held;
+    } else if (ack.flags & kFlagAckDup) {
+        v.duplicates = 1;
+        out = AttemptOutcome::Dup;
+    } else {
+        v.fresh_accepts = 1;
+    }
+    recordAttempt(p, out, v.bytes_sent, v.message_complete);
+    p.done(v);
+}
+
+void
+SocketSenderBase::resolveTimeout(std::uint64_t send_id)
+{
+    auto it = pending_.find(send_id);
+    if (it == pending_.end())
+        return;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    recordAttempt(p, AttemptOutcome::Timeout, 0.0, false);
+    FrameVerdict v; // nothing came back: no progress to report.
+    p.done(v);
+}
+
+void
+SocketSenderBase::recordAttempt(const Pending &p, AttemptOutcome out,
+                                double bytes_sent, bool complete)
+{
+    if (!trace_)
+        return;
+    AttemptRecord rec;
+    auto sit = streams_.find(p.send_id);
+    rec.link = sit != streams_.end() ? sit->second.link : 0;
+    rec.key = keyOf(p.hdr);
+    rec.chunk_seq = p.hdr.chunk_seq;
+    rec.payload_off = p.hdr.payload_off;
+    rec.outcome = out;
+    rec.bytes_sent = bytes_sent;
+    rec.elapsed_s = loop_.now() - p.started;
+    rec.message_complete = complete;
+    trace_->attempts.push_back(rec);
+}
+
+void
+SocketSenderBase::finishSend(std::uint64_t send_id, bool delivered)
+{
+    (void)delivered; // receiver-side flush happens in the peer.
+    auto it = pending_.find(send_id);
+    if (it != pending_.end()) {
+        loop_.cancel(it->second.timer);
+        pending_.erase(it);
+    }
+    streams_.erase(send_id);
+}
+
+void
+SocketSenderBase::abortSend(std::uint64_t send_id)
+{
+    finishSend(send_id, false);
+}
+
+void
+SocketSenderBase::setReceiverEventSink(EventSink sink)
+{
+    (void)sink; // receiver decisions happen in the peer process.
+}
+
+// ---------------------------------------------------------- UdpBackend
+
+UdpBackend::UdpBackend(PollLoop &loop, const std::string &host,
+                       std::uint16_t port, const SocketOptions &opts,
+                       fault::SocketFaultInjector *faults,
+                       TransportTrace *trace)
+    : SocketSenderBase(loop, opts, trace), faults_(faults)
+{
+    sockaddr_in addr{};
+    if (!resolveAddr(host, port, addr)) {
+        fail("bad address " + host);
+        return;
+    }
+    fd_.reset(::socket(AF_INET, SOCK_DGRAM, 0));
+    if (!fd_) {
+        fail("udp socket");
+        return;
+    }
+    if (::connect(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fail("udp connect");
+        return;
+    }
+    if (!setNonBlocking(fd_.get())) {
+        fail("udp nonblock");
+        return;
+    }
+    loop_.watch(fd_.get(), POLLIN, [this](short) { onReadable(); });
+}
+
+UdpBackend::~UdpBackend()
+{
+    if (fd_)
+        loop_.unwatch(fd_.get());
+}
+
+void
+UdpBackend::emitFrame(const std::vector<std::uint8_t> &bytes)
+{
+    fault::DatagramFate fate;
+    if (faults_)
+        fate = faults_->next();
+    if (fate.drop)
+        return;
+
+    std::vector<std::uint8_t> wire = bytes;
+    const std::size_t payload = wire.size() - FrameHeader::kWireSize;
+    if (fate.keep_frac < 1.0 && payload > 0) {
+        // Cut the payload mid-fragment: the receiver ACKs the intact
+        // prefix and the protocol resumes from that offset.
+        const auto keep = static_cast<std::size_t>(
+            std::floor(static_cast<double>(payload) * fate.keep_frac));
+        wire.resize(FrameHeader::kWireSize + keep);
+    }
+    if (fate.corrupt && wire.size() > FrameHeader::kWireSize)
+        wire[FrameHeader::kWireSize] ^= 0x40; // CRC must catch this.
+
+    const int copies = fate.duplicate ? 2 : 1;
+    const auto ship = [this](const std::vector<std::uint8_t> &w,
+                             int times) {
+        for (int i = 0; i < times; ++i)
+            if (::send(fd_.get(), w.data(), w.size(), 0) < 0 &&
+                errno != EAGAIN && errno != EWOULDBLOCK)
+                fail("udp send");
+    };
+    if (fate.delay_s > 0.0) {
+        loop_.after(fate.delay_s,
+                    [ship, wire, copies] { ship(wire, copies); });
+        return;
+    }
+    ship(wire, copies);
+}
+
+void
+UdpBackend::onReadable()
+{
+    std::uint8_t buf[kMaxDatagram];
+    for (;;) {
+        const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != ECONNREFUSED)
+                fail("udp recv");
+            return;
+        }
+        const auto hdr = FrameHeader::parse(
+            {buf, static_cast<std::size_t>(n)});
+        if (!hdr || (hdr->flags & kFlagAck) == 0)
+            continue; // not an intact ACK: ignore.
+        handleAck(*hdr);
+    }
+}
+
+// ---------------------------------------------------------- TcpBackend
+
+TcpBackend::TcpBackend(PollLoop &loop, const std::string &host,
+                       std::uint16_t port, const SocketOptions &opts,
+                       TransportTrace *trace)
+    : SocketSenderBase(loop, opts, trace)
+{
+    sockaddr_in addr{};
+    if (!resolveAddr(host, port, addr)) {
+        fail("bad address " + host);
+        return;
+    }
+    fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd_) {
+        fail("tcp socket");
+        return;
+    }
+    if (!setNonBlocking(fd_.get())) {
+        fail("tcp nonblock");
+        return;
+    }
+    if (::connect(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0 &&
+        errno != EINPROGRESS) {
+        fail("tcp connect");
+        return;
+    }
+    loop_.watch(fd_.get(), POLLIN | POLLOUT,
+                [this](short revents) { onEvents(revents); });
+}
+
+TcpBackend::~TcpBackend()
+{
+    if (fd_)
+        loop_.unwatch(fd_.get());
+}
+
+void
+TcpBackend::emitFrame(const std::vector<std::uint8_t> &bytes)
+{
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+    if (connected_)
+        flushOut();
+}
+
+void
+TcpBackend::flushOut()
+{
+    while (!out_.empty()) {
+        const ssize_t n =
+            ::send(fd_.get(), out_.data(), out_.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            fail("tcp send");
+            return;
+        }
+        out_.erase(out_.begin(), out_.begin() + n);
+    }
+    loop_.watch(fd_.get(), POLLIN | (out_.empty() ? 0 : POLLOUT),
+                [this](short revents) { onEvents(revents); });
+}
+
+void
+TcpBackend::onEvents(short revents)
+{
+    if (!connected_ && (revents & (POLLOUT | POLLERR | POLLHUP))) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            errno = err;
+            fail("tcp connect");
+            loop_.unwatch(fd_.get());
+            return;
+        }
+        connected_ = true;
+        flushOut();
+    }
+    if (revents & POLLOUT && connected_)
+        flushOut();
+    if (revents & POLLIN) {
+        std::uint8_t buf[16384];
+        for (;;) {
+            const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+            if (n < 0) {
+                if (errno != EAGAIN && errno != EWOULDBLOCK)
+                    fail("tcp recv");
+                break;
+            }
+            if (n == 0)
+                break; // peer closed.
+            in_.insert(in_.end(), buf, buf + n);
+        }
+        while (in_.size() >= FrameHeader::kWireSize) {
+            const auto hdr = FrameHeader::parse(
+                {in_.data(), FrameHeader::kWireSize});
+            ROG_ASSERT(hdr.has_value(),
+                       "tcp ack stream desynchronized");
+            ROG_ASSERT((hdr->flags & kFlagAck) != 0,
+                       "data frame on the sender's ack stream");
+            in_.erase(in_.begin(),
+                      in_.begin() + FrameHeader::kWireSize);
+            handleAck(*hdr);
+        }
+    }
+}
+
+// ------------------------------------------------- ReceiverEndpointBase
+
+ReceiverEndpointBase::ReceiverEndpointBase(PollLoop &loop,
+                                           TransportObserver *observer)
+    : loop_(loop),
+      receiver_([&loop] { return loop.now(); }, observer,
+                [this](const TransportEvent &ev) {
+                    events_.push_back(ev);
+                }),
+      assembler_(receiver_, false)
+{
+}
+
+void
+ReceiverEndpointBase::fail(const std::string &what)
+{
+    if (last_error_.empty())
+        last_error_ = what + " (" + std::strerror(errno) + ")";
+}
+
+FrameHeader
+ReceiverEndpointBase::onDataFrame(const FrameHeader &hdr,
+                                  std::span<const std::uint8_t> present)
+{
+    const auto r = assembler_.onFrame(0, hdr, present);
+
+    RxRecord rec;
+    rec.link = 0;
+    rec.key = keyOf(hdr);
+    rec.chunk_seq = hdr.chunk_seq;
+    rec.payload_off = hdr.payload_off;
+    rec.frag_len = hdr.payload_len;
+    rec.got = static_cast<std::uint32_t>(present.size());
+    rec.crc_ok = r.chunk_complete ? r.decision.crc_ok : true;
+    rx_records_.push_back(rec);
+
+    return makeAck(hdr, r);
+}
+
+// -------------------------------------------------- UdpReceiverEndpoint
+
+UdpReceiverEndpoint::UdpReceiverEndpoint(PollLoop &loop,
+                                         std::uint16_t port,
+                                         TransportObserver *observer)
+    : ReceiverEndpointBase(loop, observer)
+{
+    fd_.reset(::socket(AF_INET, SOCK_DGRAM, 0));
+    if (!fd_) {
+        fail("udp socket");
+        return;
+    }
+    sockaddr_in addr{};
+    resolveAddr("127.0.0.1", port, addr);
+    if (::bind(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fail("udp bind");
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_.get(), reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    if (!setNonBlocking(fd_.get())) {
+        fail("udp nonblock");
+        return;
+    }
+    loop_.watch(fd_.get(), POLLIN, [this](short) { onReadable(); });
+}
+
+UdpReceiverEndpoint::~UdpReceiverEndpoint()
+{
+    if (fd_)
+        loop_.unwatch(fd_.get());
+}
+
+void
+UdpReceiverEndpoint::onReadable()
+{
+    std::uint8_t buf[kMaxDatagram];
+    for (;;) {
+        sockaddr_in src{};
+        socklen_t slen = sizeof(src);
+        const ssize_t n =
+            ::recvfrom(fd_.get(), buf, sizeof(buf), 0,
+                       reinterpret_cast<sockaddr *>(&src), &slen);
+        if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                fail("udp recv");
+            return;
+        }
+        if (n < static_cast<ssize_t>(FrameHeader::kWireSize))
+            continue; // not even a whole header: line noise.
+        const auto hdr =
+            FrameHeader::parse({buf, FrameHeader::kWireSize});
+        if (!hdr || (hdr->flags & kFlagAck) != 0)
+            continue; // corrupt header or a stray ACK: drop.
+        const std::size_t got = std::min(
+            static_cast<std::size_t>(n) - FrameHeader::kWireSize,
+            static_cast<std::size_t>(hdr->payload_len));
+        const FrameHeader ack =
+            onDataFrame(*hdr, {buf + FrameHeader::kWireSize, got});
+        std::uint8_t wire[FrameHeader::kWireSize];
+        ack.serialize(wire);
+        if (::sendto(fd_.get(), wire, sizeof(wire), 0,
+                     reinterpret_cast<sockaddr *>(&src), slen) < 0 &&
+            errno != EAGAIN && errno != EWOULDBLOCK)
+            fail("udp ack send");
+    }
+}
+
+// -------------------------------------------------- TcpReceiverEndpoint
+
+TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
+                                         std::uint16_t port,
+                                         TransportObserver *observer)
+    : ReceiverEndpointBase(loop, observer)
+{
+    listen_fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!listen_fd_) {
+        fail("tcp socket");
+        return;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    resolveAddr("127.0.0.1", port, addr);
+    if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fail("tcp bind");
+        return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listen_fd_.get(), 1) != 0) {
+        fail("tcp listen");
+        return;
+    }
+    if (!setNonBlocking(listen_fd_.get())) {
+        fail("tcp nonblock");
+        return;
+    }
+    loop_.watch(listen_fd_.get(), POLLIN,
+                [this](short) { onListenReadable(); });
+}
+
+TcpReceiverEndpoint::~TcpReceiverEndpoint()
+{
+    if (conn_fd_)
+        loop_.unwatch(conn_fd_.get());
+    if (listen_fd_)
+        loop_.unwatch(listen_fd_.get());
+}
+
+void
+TcpReceiverEndpoint::onListenReadable()
+{
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0)
+        return;
+    if (conn_fd_) {
+        ::close(fd); // one sender at a time.
+        return;
+    }
+    conn_fd_.reset(fd);
+    setNonBlocking(fd);
+    loop_.watch(fd, POLLIN, [this](short) { onConnReadable(); });
+}
+
+void
+TcpReceiverEndpoint::onConnReadable()
+{
+    std::uint8_t buf[16384];
+    for (;;) {
+        const ssize_t n = ::recv(conn_fd_.get(), buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                fail("tcp recv");
+            break;
+        }
+        if (n == 0) { // sender closed; drain what we have.
+            loop_.unwatch(conn_fd_.get());
+            conn_fd_.reset();
+            break;
+        }
+        in_.insert(in_.end(), buf, buf + n);
+    }
+
+    for (;;) {
+        if (in_.size() < FrameHeader::kWireSize)
+            break;
+        const auto hdr =
+            FrameHeader::parse({in_.data(), FrameHeader::kWireSize});
+        ROG_ASSERT(hdr.has_value(), "tcp data stream desynchronized");
+        ROG_ASSERT((hdr->flags & kFlagAck) == 0,
+                   "ack frame on the receiver's data stream");
+        const std::size_t need = FrameHeader::kWireSize + hdr->payload_len;
+        if (in_.size() < need)
+            break;
+        const FrameHeader ack = onDataFrame(
+            *hdr, {in_.data() + FrameHeader::kWireSize,
+                   static_cast<std::size_t>(hdr->payload_len)});
+        in_.erase(in_.begin(), in_.begin() + need);
+
+        std::uint8_t wire[FrameHeader::kWireSize];
+        ack.serialize(wire);
+        out_.insert(out_.end(), wire, wire + sizeof(wire));
+    }
+
+    if (!conn_fd_)
+        return;
+    while (!out_.empty()) {
+        const ssize_t n = ::send(conn_fd_.get(), out_.data(),
+                                 out_.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                fail("tcp ack send");
+            break;
+        }
+        out_.erase(out_.begin(), out_.begin() + n);
+    }
+}
+
+} // namespace transport
+} // namespace net
+} // namespace rog

@@ -454,7 +454,7 @@ TEST(TransportLink, InvalidArgumentsDie)
     sim::Simulation sim;
     Channel ch(sim, {BandwidthTrace::constant(100.0, 60.0)});
     ReliableLink link(sim, ch, TransportConfig{});
-    EXPECT_DEATH(link.startSend(0, key(), 0.0, kNoDeadline, {}),
+    EXPECT_DEATH(link.startSend(0, key(), -1.0, kNoDeadline, {}),
                  "payload");
     TransportConfig bad;
     bad.chunk_bytes = 0.0;

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * rog_transportd — real-socket transport endpoint and cross-validation
+ * driver.
+ *
+ * Subcommands:
+ *   recv      bind a receiver endpoint, ACK frames, record the event
+ *             log and rx trace. Prints "port <N>" once bound so a
+ *             driving script can start the sender.
+ *   send      chain N sequential sends over UDP or TCP, recording the
+ *             event log and wire trace (config + sends + attempts).
+ *   loopback  both endpoints in one process on one poll loop; writes
+ *             the merged trace and event log, and (with --check)
+ *             cross-validates against the DES twin in-process.
+ *   crossval  replay a recorded trace through the DES twin and compare
+ *             against the recorded event log (no sockets touched —
+ *             safe for restricted CI).
+ *
+ * The default backend comes from ROG_TRANSPORT_BACKEND (des|udp|tcp,
+ * default udp); --backend overrides. `des` is accepted in loopback
+ * mode only and runs the simulated twin instead of sockets (useful to
+ * eyeball both timelines side by side).
+ *
+ * Examples:
+ *   rog_transportd recv --backend udp --port 0 --expect 4 \
+ *       --events rx.log --trace rx.trace
+ *   rog_transportd send --host 127.0.0.1 --port 9000 --sends 4 \
+ *       --bytes 40000 --faults "seed=7 drop=0.1 trunc=0.15" \
+ *       --events tx.log --trace tx.trace
+ *   rog_transportd loopback --sends 4 --bytes 40000 \
+ *       --faults "seed=7 drop=0.1" --events run.log --trace run.trace \
+ *       --check
+ *   rog_transportd crossval --trace run.trace --events run.log
+ */
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/args.hpp"
+#include "common/logging.hpp"
+#include "common/poll_loop.hpp"
+#include "fault/socket_fault.hpp"
+#include "net/channel.hpp"
+#include "net/transport/crossval.hpp"
+#include "net/transport/des_backend.hpp"
+#include "net/transport/event_log.hpp"
+#include "net/transport/reliable_link.hpp"
+#include "net/transport/socket_backend.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rog;
+using namespace rog::net;
+using namespace rog::net::transport;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: rog_transportd <recv|send|loopback|crossval> [options]\n"
+        "  recv     --backend udp|tcp --port N (0=ephemeral)\n"
+        "           --expect N --timeout S --events F --trace F\n"
+        "  send     --backend udp|tcp --host H --port N --sends N\n"
+        "           --bytes B --deadline S --faults SPEC --chunk B\n"
+        "           --attempts N --ack-timeout S --no-resume\n"
+        "           --timeout S --events F --trace F\n"
+        "  loopback same knobs as send (udp|tcp|des) plus --check\n"
+        "  crossval --trace F --events F\n";
+    return 2;
+}
+
+std::string
+backendName(const Args &args)
+{
+    std::string name = args.get("backend", "");
+    if (name.empty()) {
+        const char *env = std::getenv("ROG_TRANSPORT_BACKEND");
+        name = env != nullptr ? env : "udp";
+    }
+    return name;
+}
+
+TransportConfig
+transportConfig(const Args &args)
+{
+    TransportConfig cfg;
+    cfg.chunk_bytes = args.getDouble("chunk", cfg.chunk_bytes);
+    cfg.max_attempts_per_chunk =
+        args.getSize("attempts", cfg.max_attempts_per_chunk);
+    if (args.has("no-resume"))
+        cfg.resume_from_offset = false;
+    return cfg;
+}
+
+TraceConfig
+traceConfig(const std::string &backend, const TransportConfig &cfg)
+{
+    TraceConfig tc;
+    tc.backend = backend;
+    tc.chunk_bytes = cfg.chunk_bytes;
+    tc.max_attempts = cfg.max_attempts_per_chunk;
+    tc.backoff_base_s = cfg.backoff_base_s;
+    tc.backoff_max_s = cfg.backoff_max_s;
+    tc.jitter_frac = cfg.jitter_frac;
+    tc.jitter_seed = cfg.jitter_seed;
+    tc.resume_from_offset = cfg.resume_from_offset;
+    return tc;
+}
+
+MessageKey
+sendKey(std::size_t i)
+{
+    MessageKey key;
+    key.worker = 1;
+    key.version = static_cast<std::int64_t>(i);
+    key.row = 100 + static_cast<std::uint32_t>(i);
+    key.pull = false;
+    return key;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    if (path.empty())
+        return true;
+    std::ofstream os(path);
+    os << text;
+    return static_cast<bool>(os);
+}
+
+std::string
+eventsText(const std::vector<TransportEvent> &log)
+{
+    std::string out;
+    for (const TransportEvent &ev : log) {
+        out += toString(ev);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    out = os.str();
+    return true;
+}
+
+/**
+ * Drive @p link through @p sends sequential messages; returns how many
+ * ran to completion before @p issue_done stopped being polled. Sends
+ * are chained (each starts from the previous one's callback) so the
+ * wire sees one stop-and-wait conversation — the shape the replay
+ * harness reproduces.
+ */
+struct SendDriver
+{
+    ReliableLink &link;
+    TransportTrace *trace = nullptr;
+    std::size_t total = 0;
+    double bytes = 0.0;
+    double deadline_rel = kNoDeadline;
+    std::size_t completed = 0;
+    std::size_t delivered = 0;
+
+    void
+    issue(std::size_t i)
+    {
+        if (i >= total)
+            return;
+        const MessageKey key = sendKey(i);
+        if (trace != nullptr) {
+            SendRecord rec;
+            rec.link = 0;
+            rec.key = key;
+            rec.payload_bytes = bytes;
+            rec.deadline_s = deadline_rel;
+            trace->sends.push_back(rec);
+        }
+        const double deadline =
+            std::isfinite(deadline_rel)
+                ? link.backend().now() + deadline_rel
+                : kNoDeadline;
+        link.startSend(0, key, bytes, deadline,
+                       [this, i](const SendResult &r) {
+                           ++completed;
+                           if (r.delivered)
+                               ++delivered;
+                           issue(i + 1);
+                       });
+    }
+
+    bool done() const { return completed >= total; }
+};
+
+int
+runRecv(const Args &args)
+{
+    const std::string backend = backendName(args);
+    const auto port =
+        static_cast<std::uint16_t>(args.getSize("port", 0));
+    const std::size_t expect = args.getSize("expect", 1);
+    const double timeout = args.getDouble("timeout", 30.0);
+
+    PollLoop loop;
+    std::unique_ptr<ReceiverEndpointBase> ep;
+    std::uint16_t bound = 0;
+    if (backend == "udp") {
+        auto udp = std::make_unique<UdpReceiverEndpoint>(loop, port);
+        bound = udp->port();
+        ep = std::move(udp);
+    } else if (backend == "tcp") {
+        auto tcp = std::make_unique<TcpReceiverEndpoint>(loop, port);
+        bound = tcp->port();
+        ep = std::move(tcp);
+    } else {
+        std::cerr << "recv: unsupported backend " << backend << "\n";
+        return 2;
+    }
+    if (!ep->ok()) {
+        std::cerr << "recv: " << ep->error() << "\n";
+        return 1;
+    }
+    std::cout << "port " << bound << "\n" << std::flush;
+
+    const bool got = loop.runUntil(
+        [&] { return ep->deliveredMessages() >= expect; }, timeout);
+    // Linger: the last ACK (and any TCP flush) must still go out.
+    loop.runUntil([] { return false; }, 0.2);
+
+    TransportTrace trace;
+    trace.config.backend = backend;
+    trace.rx = ep->rxRecords();
+    if (!writeFile(args.get("events"), eventsText(ep->log())) ||
+        !writeFile(args.get("trace"), trace.toText())) {
+        std::cerr << "recv: cannot write output files\n";
+        return 1;
+    }
+    std::cout << "delivered " << ep->deliveredMessages() << "\n";
+    return got ? 0 : 1;
+}
+
+int
+runSend(const Args &args)
+{
+    const std::string backend = backendName(args);
+    const std::string host = args.get("host", "127.0.0.1");
+    const auto port =
+        static_cast<std::uint16_t>(args.getSize("port", 0));
+    const double timeout = args.getDouble("timeout", 30.0);
+    if (port == 0) {
+        std::cerr << "send: --port is required\n";
+        return 2;
+    }
+
+    const TransportConfig cfg = transportConfig(args);
+    TransportTrace trace;
+    trace.config = traceConfig(backend, cfg);
+
+    std::unique_ptr<fault::SocketFaultInjector> faults;
+    if (args.has("faults")) {
+        const auto parsed =
+            fault::SocketFaultPlan::tryParse(args.get("faults"));
+        if (!parsed.ok()) {
+            std::cerr << "send: bad --faults: " << parsed.error << "\n";
+            return 2;
+        }
+        faults =
+            std::make_unique<fault::SocketFaultInjector>(parsed.plan);
+    }
+
+    PollLoop loop;
+    SocketOptions opts;
+    opts.ack_timeout_s = args.getDouble("ack-timeout", opts.ack_timeout_s);
+    std::unique_ptr<SocketSenderBase> sock;
+    if (backend == "udp") {
+        sock = std::make_unique<UdpBackend>(loop, host, port, opts,
+                                            faults.get(), &trace);
+    } else if (backend == "tcp") {
+        if (faults) {
+            std::cerr << "send: --faults is UDP-only (TCP repairs the "
+                         "wire itself)\n";
+            return 2;
+        }
+        sock = std::make_unique<TcpBackend>(loop, host, port, opts,
+                                            &trace);
+    } else {
+        std::cerr << "send: unsupported backend " << backend << "\n";
+        return 2;
+    }
+    if (!sock->ok()) {
+        std::cerr << "send: " << sock->error() << "\n";
+        return 1;
+    }
+
+    ReliableLink link(*sock, cfg);
+    SendDriver driver{link, &trace, args.getSize("sends", 1),
+                      args.getDouble("bytes", 4096.0),
+                      args.has("deadline")
+                          ? args.getDouble("deadline", 0.0)
+                          : kNoDeadline};
+    driver.issue(0);
+    const bool done =
+        loop.runUntil([&] { return driver.done(); }, timeout);
+    if (!sock->ok()) {
+        std::cerr << "send: " << sock->error() << "\n";
+        return 1;
+    }
+
+    if (!writeFile(args.get("events"), eventsText(link.log())) ||
+        !writeFile(args.get("trace"), trace.toText())) {
+        std::cerr << "send: cannot write output files\n";
+        return 1;
+    }
+    std::cout << "completed " << driver.completed << " delivered "
+              << driver.delivered << "\n";
+    return done ? 0 : 1;
+}
+
+int
+runLoopbackDes(const Args &args)
+{
+    // The deterministic twin, for eyeballing against a socket run:
+    // same sends, virtual time, in-process receiver.
+    const TransportConfig cfg = transportConfig(args);
+    sim::Simulation sim;
+    Channel channel(sim, {BandwidthTrace::constant(
+                             args.getDouble("bandwidth", 1e6), 3600.0)});
+    ReliableLink link(sim, channel, cfg);
+    SendDriver driver{link, nullptr, args.getSize("sends", 1),
+                      args.getDouble("bytes", 4096.0),
+                      args.has("deadline")
+                          ? args.getDouble("deadline", 0.0)
+                          : kNoDeadline};
+    driver.issue(0);
+    sim.run();
+    if (!writeFile(args.get("events"), eventsText(link.log()))) {
+        std::cerr << "loopback: cannot write events file\n";
+        return 1;
+    }
+    std::cout << "completed " << driver.completed << " delivered "
+              << driver.delivered << "\n";
+    return driver.done() ? 0 : 1;
+}
+
+int
+runLoopback(const Args &args)
+{
+    const std::string backend = backendName(args);
+    if (backend == "des")
+        return runLoopbackDes(args);
+    const double timeout = args.getDouble("timeout", 30.0);
+
+    const TransportConfig cfg = transportConfig(args);
+    TransportTrace trace;
+    trace.config = traceConfig(backend, cfg);
+
+    std::unique_ptr<fault::SocketFaultInjector> faults;
+    if (args.has("faults")) {
+        const auto parsed =
+            fault::SocketFaultPlan::tryParse(args.get("faults"));
+        if (!parsed.ok()) {
+            std::cerr << "loopback: bad --faults: " << parsed.error
+                      << "\n";
+            return 2;
+        }
+        faults =
+            std::make_unique<fault::SocketFaultInjector>(parsed.plan);
+    }
+
+    PollLoop loop;
+    SocketOptions opts;
+    opts.ack_timeout_s = args.getDouble("ack-timeout", opts.ack_timeout_s);
+
+    std::unique_ptr<ReceiverEndpointBase> ep;
+    std::unique_ptr<SocketSenderBase> sock;
+    if (backend == "udp") {
+        auto rx = std::make_unique<UdpReceiverEndpoint>(loop, 0);
+        if (!rx->ok()) {
+            std::cerr << "loopback: " << rx->error() << "\n";
+            return 1;
+        }
+        sock = std::make_unique<UdpBackend>(loop, "127.0.0.1",
+                                            rx->port(), opts,
+                                            faults.get(), &trace);
+        ep = std::move(rx);
+    } else if (backend == "tcp") {
+        if (faults) {
+            std::cerr << "loopback: --faults is UDP-only\n";
+            return 2;
+        }
+        auto rx = std::make_unique<TcpReceiverEndpoint>(loop, 0);
+        if (!rx->ok()) {
+            std::cerr << "loopback: " << rx->error() << "\n";
+            return 1;
+        }
+        sock = std::make_unique<TcpBackend>(loop, "127.0.0.1",
+                                            rx->port(), opts, &trace);
+        ep = std::move(rx);
+    } else {
+        std::cerr << "loopback: unsupported backend " << backend << "\n";
+        return 2;
+    }
+    if (!sock->ok()) {
+        std::cerr << "loopback: " << sock->error() << "\n";
+        return 1;
+    }
+
+    ReliableLink link(*sock, cfg);
+    SendDriver driver{link, &trace, args.getSize("sends", 1),
+                      args.getDouble("bytes", 4096.0),
+                      args.has("deadline")
+                          ? args.getDouble("deadline", 0.0)
+                          : kNoDeadline};
+    driver.issue(0);
+    const bool done =
+        loop.runUntil([&] { return driver.done(); }, timeout);
+    if (!done) {
+        std::cerr << "loopback: timed out with " << driver.completed
+                  << "/" << driver.total << " sends completed\n";
+        return 1;
+    }
+    if (!sock->ok() || !ep->ok()) {
+        std::cerr << "loopback: "
+                  << (!sock->ok() ? sock->error() : ep->error())
+                  << "\n";
+        return 1;
+    }
+
+    trace.rx = ep->rxRecords();
+    std::vector<TransportEvent> merged = link.log();
+    merged.insert(merged.end(), ep->log().begin(), ep->log().end());
+
+    if (!writeFile(args.get("events"), eventsText(merged)) ||
+        !writeFile(args.get("trace"), trace.toText())) {
+        std::cerr << "loopback: cannot write output files\n";
+        return 1;
+    }
+    std::cout << "completed " << driver.completed << " delivered "
+              << driver.delivered << "\n";
+
+    if (args.has("check")) {
+        const CrossvalReport report = crossValidate(trace, merged);
+        if (!report.ok) {
+            std::cerr << "loopback: cross-validation FAILED\n"
+                      << report.detail << "\n";
+            return 1;
+        }
+        std::cout << "crossval ok: " << report.sender_events
+                  << " sender events, " << report.receiver_events
+                  << " receiver events match the DES replay\n";
+    }
+    return 0;
+}
+
+int
+runCrossval(const Args &args)
+{
+    std::string trace_text, events_text;
+    if (!readFile(args.get("trace"), trace_text)) {
+        std::cerr << "crossval: cannot read --trace\n";
+        return 2;
+    }
+    if (!readFile(args.get("events"), events_text)) {
+        std::cerr << "crossval: cannot read --events\n";
+        return 2;
+    }
+    const TraceParseResult trace = TransportTrace::tryParse(trace_text);
+    if (!trace.ok()) {
+        std::cerr << "crossval: bad trace: " << trace.error << "\n";
+        return 2;
+    }
+    const LogParseResult log = tryParseLog(events_text);
+    if (!log.ok()) {
+        std::cerr << "crossval: bad event log: " << log.error << "\n";
+        return 2;
+    }
+    const CrossvalReport report =
+        crossValidate(trace.trace, log.events);
+    if (!report.ok) {
+        std::cerr << "crossval FAILED\n" << report.detail << "\n";
+        return 1;
+    }
+    std::cout << "crossval ok: " << report.sender_events
+              << " sender events, " << report.receiver_events
+              << " receiver events match the DES replay\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::set<std::string> known = {
+        "backend", "host",    "port",     "expect",  "timeout",
+        "events",  "trace",   "sends",    "bytes",   "deadline",
+        "faults",  "chunk",   "attempts", "no-resume",
+        "ack-timeout", "check", "bandwidth",
+    };
+    try {
+        const rog::Args args(argc, argv, known);
+        if (args.positional().size() != 1)
+            return usage();
+        const std::string &mode = args.positional()[0];
+        if (mode == "recv")
+            return runRecv(args);
+        if (mode == "send")
+            return runSend(args);
+        if (mode == "loopback")
+            return runLoopback(args);
+        if (mode == "crossval")
+            return runCrossval(args);
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "rog_transportd: " << e.what() << "\n";
+        return 2;
+    }
+}
