@@ -1,0 +1,96 @@
+/**
+ * @file
+ * End-to-end training throughput (google-benchmark): full N-worker
+ * simulated runs through the real engine — pretrainined workload,
+ * calibrated traces, compression, transport, MTA — for the paper's
+ * CRUDA and CRIMP presets under the ROG system.
+ *
+ * Two headline rates per preset, both emitted to BENCH_e2e.json by
+ * scripts/run_benches.sh and gated by scripts/check_bench_regress.py:
+ *
+ *   items_per_second   completed training iterations per wall second
+ *                      (summed over workers) — the "is the whole
+ *                      stack getting faster" number the GEMM/codec/
+ *                      wire work ultimately serves.
+ *   sim_s_per_wall_s   virtual seconds simulated per wall second —
+ *                      the DES efficiency of the same runs.
+ *
+ * The workload (including CRUDA's pretraining) is built once per
+ * preset outside the timing loop; each timing iteration replays a
+ * fresh runSystem over identical traces, so the measured work is
+ * deterministic across repetitions.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/system_config.hpp"
+#include "core/workloads.hpp"
+#include "stats/experiment.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace rog;
+
+/** Shared experiment shape: short iteration-bounded outdoor runs. */
+stats::ExperimentConfig
+e2eConfig()
+{
+    auto cfg = bench::paperExperiment(stats::Environment::Outdoor,
+                                      bench::fastMode() ? 40 : 120);
+    cfg.eval_every = 40;
+    return cfg;
+}
+
+/** Run one system end to end and report the two headline rates. */
+void
+runE2e(benchmark::State &state, core::Workload &workload,
+       const core::SystemConfig &system)
+{
+    const auto cfg = e2eConfig();
+    double sim_seconds = 0.0;
+    std::int64_t train_iters = 0;
+    for (auto _ : state) {
+        const auto run = stats::runSystem(workload, system, cfg);
+        sim_seconds += run.result.sim_seconds;
+        for (std::size_t it : run.result.worker_iterations)
+            train_iters += static_cast<std::int64_t>(it);
+        benchmark::DoNotOptimize(run.result.completed_iterations);
+    }
+    state.SetItemsProcessed(train_iters);
+    state.counters["sim_s_per_wall_s"] = benchmark::Counter(
+        sim_seconds, benchmark::Counter::kIsRate);
+    state.SetLabel(std::string("gemm:") + tensor::matmulActiveTier());
+}
+
+void
+BM_E2E_CrudaRog(benchmark::State &state)
+{
+    static core::CrudaWorkload workload(bench::paperCruda(4));
+    runE2e(state, workload, core::SystemConfig::rog(20));
+}
+BENCHMARK(BM_E2E_CrudaRog)->Unit(benchmark::kMillisecond);
+
+void
+BM_E2E_CrudaBsp(benchmark::State &state)
+{
+    // BSP on the same workload/traces: the throughput spread between
+    // this and the ROG entry is the paper's headline, so regressions
+    // in either direction are interesting.
+    static core::CrudaWorkload workload(bench::paperCruda(4));
+    runE2e(state, workload, core::SystemConfig::bsp());
+}
+BENCHMARK(BM_E2E_CrudaBsp)->Unit(benchmark::kMillisecond);
+
+void
+BM_E2E_CrimpRog(benchmark::State &state)
+{
+    static core::CrimpWorkload workload(bench::paperCrimp(4));
+    runE2e(state, workload, core::SystemConfig::rog(20));
+}
+BENCHMARK(BM_E2E_CrimpRog)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -7,6 +7,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "compress/codec.hpp"
@@ -22,11 +24,14 @@ namespace {
 using namespace rog;
 
 /**
- * GEMM benchmark harness. The "Scalar" variants run the seed's
- * reference kernels (tensor::ref, compiled without -march=native);
- * the plain variants run the blocked/register-tiled kernels, which
- * also fan out across the pool when ROG_THREADS > 1 — so one binary
- * run per ROG_THREADS value covers scalar vs blocked vs parallel.
+ * GEMM benchmark harness. Three rungs, one binary run per ROG_THREADS
+ * value: "Scalar" is the seed's reference kernel (tensor::ref, default
+ * flags), "Blocked" is the PR-2 autovectorized register-tiled kernel
+ * (tensor::blocked, -march=native), and the plain variants are the
+ * packed-panel microkernel engine behind tensor::matmul — whatever
+ * tier the runtime dispatch picked (see BM_MatmulTier below for the
+ * active tier's name in the counters). All three fan out across the
+ * pool when ROG_THREADS > 1.
  */
 template <void (*Gemm)(const tensor::Tensor &, const tensor::Tensor &,
                        tensor::Tensor &)>
@@ -53,6 +58,13 @@ BM_MatmulScalar(benchmark::State &state)
 BENCHMARK(BM_MatmulScalar)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void
+BM_MatmulBlocked(benchmark::State &state)
+{
+    gemmBench<tensor::blocked::matmul>(state);
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
 BM_Matmul(benchmark::State &state)
 {
     gemmBench<tensor::matmul>(state);
@@ -65,6 +77,13 @@ BM_MatmulTransAScalar(benchmark::State &state)
     gemmBench<tensor::ref::matmulTransA>(state);
 }
 BENCHMARK(BM_MatmulTransAScalar)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_MatmulTransABlocked(benchmark::State &state)
+{
+    gemmBench<tensor::blocked::matmulTransA>(state);
+}
+BENCHMARK(BM_MatmulTransABlocked)->Arg(64)->Arg(128)->Arg(256);
 
 void
 BM_MatmulTransA(benchmark::State &state)
@@ -81,11 +100,39 @@ BM_MatmulTransBScalar(benchmark::State &state)
 BENCHMARK(BM_MatmulTransBScalar)->Arg(64)->Arg(128)->Arg(256);
 
 void
+BM_MatmulTransBBlocked(benchmark::State &state)
+{
+    gemmBench<tensor::blocked::matmulTransB>(state);
+}
+BENCHMARK(BM_MatmulTransBBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void
 BM_MatmulTransB(benchmark::State &state)
 {
     gemmBench<tensor::matmulTransB>(state);
 }
 BENCHMARK(BM_MatmulTransB)->Arg(64)->Arg(128)->Arg(256);
+
+/**
+ * Tag the run with the dispatched GEMM tier so BENCH_micro.json
+ * records which microkernel produced the BM_Matmul numbers (mirrors
+ * how bench_wire tags the CRC32C tier).
+ */
+void
+BM_MatmulTier(benchmark::State &state)
+{
+    Rng rng(1);
+    tensor::Tensor a(64, 64), b(64, 64), out(64, 64);
+    a.randomNormal(rng, 1.0f);
+    b.randomNormal(rng, 1.0f);
+    for (auto _ : state) {
+        tensor::matmul(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel(std::string(tensor::matmulActiveTier()) + "/" +
+                   tensor::matmulIsa());
+}
+BENCHMARK(BM_MatmulTier);
 
 void
 BM_Axpy(benchmark::State &state)

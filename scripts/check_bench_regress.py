@@ -3,14 +3,17 @@
 
     check_bench_regress.py BASELINE.json FRESH.json [--threshold 0.25]
 
-Both files use the BENCH_wire.json / BENCH_micro.json record schema
-emitted by scripts/run_benches.sh: a list of
-{op, size, threads, ns_per_op, items_per_s}. Records are matched on
-(op, size, threads); a fresh record slower than baseline by more than
-the threshold fraction is a regression and the script exits 1 after
-listing every offender. Records present in only one file are reported
-but never fatal, so adding or retiring benchmarks does not break the
-gate — only making an existing kernel slower does.
+Both files use the BENCH_*.json record schema emitted by
+scripts/run_benches.sh: a list of {op, size, threads, ns_per_op, ...}.
+Either the current schema (rate keys like items_per_s / flops_per_s /
+bytes_per_s present only when measured) or the pre-PR-7 one (always
+"items_per_s", null when absent) is accepted — the gate only reads
+ns_per_op, and records without it are skipped with a note. Records are
+matched on (op, size, threads); a fresh record slower than baseline by
+more than the threshold fraction is a regression and the script exits
+1 after listing every offender. Records present in only one file are
+reported but never fatal, so adding or retiring benchmarks does not
+break the gate — only making an existing kernel slower does.
 """
 
 import argparse
@@ -22,12 +25,19 @@ def load(path):
     with open(path) as f:
         records = json.load(f)
     table = {}
+    dropped = 0
     for r in records:
+        if r.get("ns_per_op") is None:
+            dropped += 1
+            continue
         key = (r["op"], r.get("size"), r.get("threads"))
         # Keep the fastest sample per key: robust to repeated runs
         # landing in one file.
         if key not in table or r["ns_per_op"] < table[key]:
             table[key] = r["ns_per_op"]
+    if dropped:
+        print(f"  note: {path}: skipped {dropped} records without "
+              f"ns_per_op")
     return table
 
 

@@ -1,50 +1,80 @@
 #!/usr/bin/env bash
-# Build the microbenchmarks in Release mode and emit machine-readable
-# JSON: one record per (op, size, threads) with ns/op and items/s.
+# Build the benchmarks in Release mode and emit machine-readable JSON.
+# One invocation produces all three snapshots:
 #
-#   BENCH_micro.json  micro_ops_bench — the scalar-vs-blocked GEMM
-#       comparison is BM_MatmulScalar (seed reference kernels) vs
-#       BM_Matmul (blocked/register-tiled; also pool-parallel when
-#       ROG_THREADS > 1), run once per thread count so all variants
-#       land in one file, plus the wire-kernel headline entries.
+#   BENCH_micro.json  micro_ops_bench — the GEMM ladder is
+#       BM_MatmulScalar (seed reference kernels) vs BM_MatmulBlocked
+#       (PR-2 autovectorized tiles) vs BM_Matmul (packed-panel
+#       microkernels behind tensor::matmul; BM_MatmulTier labels the
+#       dispatched tier), swept over ROG_BENCH_THREADS so the
+#       parallel-scaling curves land in one file, plus the wire-kernel
+#       headline entries. Thread counts > 1 rerun only the matmul
+#       family — the elementwise/codec entries are per-chunk kernels
+#       whose 1-thread number is the meaningful one.
 #   BENCH_wire.json   bench_wire — the full wire-path tier matrix
 #       (CRC32C ref/slice8/hw/dispatched, packbits ref/vectorized,
 #       fused vs separate one-bit transcode, frame round-trip, pool
-#       lease vs fresh alloc), single-threaded: these kernels run
-#       per-chunk inside workers, so the 1-thread number is the one
-#       the wire path actually pays.
+#       lease vs fresh alloc), single-threaded.
+#   BENCH_e2e.json    bench_e2e — full N-worker simulated training
+#       runs (CRUDA + CRIMP presets): completed training iterations
+#       per wall second (items_per_s) and virtual seconds simulated
+#       per wall second (sim_s_per_wall_s).
+#
+# Record schema (see also scripts/check_bench_regress.py, which gates
+# on ns_per_op and tolerates the pre-PR-7 schema where rate-less
+# records carried "items_per_s": null):
+#   {op, size, threads, ns_per_op} always;
+#   items_per_s / bytes_per_s when the bench reports that rate;
+#   flops_per_s on matmul entries (2 flops per reported MAC);
+#   label / sim_s_per_wall_s when the bench emits them.
 #
 #   BUILD_DIR            build directory (default build-bench)
 #   OUT                  micro output path (default BENCH_micro.json)
 #   OUT_WIRE             wire output path (default BENCH_wire.json)
-#   ROG_BENCH_THREADS    thread counts to sweep (default "1 <nproc>")
+#   OUT_E2E              e2e output path (default BENCH_e2e.json)
+#   ROG_BENCH_THREADS    thread counts to sweep (default "1 2 4 8")
 #   ROG_BENCH_MIN_TIME   google-benchmark min time per case (default 0.05)
+#   ROG_BENCH_REPS       repetitions per case (default 1); every sample
+#                        lands in the JSON and consumers take the
+#                        fastest, so reps > 1 ride out noisy-neighbor
+#                        bursts on shared boxes
 #   ROG_BENCH_FILTER     benchmark filter regex (default: all)
+#   ROG_BENCH_SKIP_E2E   set to 1 to skip the e2e binary (quick sweeps)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_micro.json}
 OUT_WIRE=${OUT_WIRE:-BENCH_wire.json}
+OUT_E2E=${OUT_E2E:-BENCH_e2e.json}
 MIN_TIME=${ROG_BENCH_MIN_TIME:-0.05}
+REPS=${ROG_BENCH_REPS:-1}
 FILTER=${ROG_BENCH_FILTER:-}
-THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 $(nproc)}" | tr ' ' '\n' |
+SKIP_E2E=${ROG_BENCH_SKIP_E2E:-0}
+THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 2 4 8}" | tr ' ' '\n' |
                sort -un | tr '\n' ' ')
 
 echo ">> configuring $BUILD_DIR (Release)"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_ops_bench --target bench_wire \
-    -j"$(nproc)" >/dev/null
+    --target bench_e2e -j"$(nproc)" >/dev/null
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
 for t in $THREADS_LIST; do
     echo ">> micro_ops_bench ROG_THREADS=$t"
+    # Beyond 1 thread only the matmul family scales with the pool;
+    # skip the rest instead of re-measuring identical numbers.
+    tfilter=$FILTER
+    if [ "$t" != 1 ] && [ -z "$FILTER" ]; then
+        tfilter='^BM_Matmul'
+    fi
     ROG_THREADS=$t "$BUILD_DIR/bench/micro_ops_bench" \
         --benchmark_format=json \
         --benchmark_min_time="$MIN_TIME" \
-        ${FILTER:+--benchmark_filter="$FILTER"} \
+        --benchmark_repetitions="$REPS" \
+        ${tfilter:+--benchmark_filter="$tfilter"} \
         >"$tmpdir/bench_$t.json"
 done
 
@@ -52,17 +82,27 @@ echo ">> bench_wire ROG_THREADS=1"
 ROG_THREADS=1 "$BUILD_DIR/bench/bench_wire" \
     --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPS" \
     ${FILTER:+--benchmark_filter="$FILTER"} \
     >"$tmpdir/wire_1.json"
 
-python3 - "$OUT" "$OUT_WIRE" "$tmpdir" <<'EOF'
+if [ "$SKIP_E2E" != 1 ]; then
+    echo ">> bench_e2e ROG_THREADS=$(nproc)"
+    "$BUILD_DIR/bench/bench_e2e" \
+        --benchmark_format=json \
+        --benchmark_min_time="$MIN_TIME" \
+        ${FILTER:+--benchmark_filter="$FILTER"} \
+        >"$tmpdir/e2e_$(nproc).json"
+fi
+
+python3 - "$OUT" "$OUT_WIRE" "$OUT_E2E" "$tmpdir" <<'EOF'
 import glob
 import json
 import os
 import re
 import sys
 
-out_path, wire_path, tmpdir = sys.argv[1], sys.argv[2], sys.argv[3]
+out_path, wire_path, e2e_path, tmpdir = sys.argv[1:5]
 TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 def load(pattern):
@@ -77,14 +117,26 @@ def load(pattern):
             if b.get("error_occurred"):
                 continue  # e.g. BM_Crc32cHw on CPUs without SSE4.2.
             op, _, size = b["name"].partition("/")
-            records.append({
+            rec = {
                 "op": op,
                 "size": int(size) if size else None,
                 "threads": threads,
                 "ns_per_op":
                     b["real_time"] * TO_NS[b.get("time_unit", "ns")],
-                "items_per_s": b.get("items_per_second"),
-            })
+            }
+            # Rates only when the bench reports them — no null keys.
+            if b.get("items_per_second") is not None:
+                rec["items_per_s"] = b["items_per_second"]
+                # The GEMM benches count one item per MAC.
+                if op.startswith("BM_Matmul"):
+                    rec["flops_per_s"] = 2.0 * b["items_per_second"]
+            if b.get("bytes_per_second") is not None:
+                rec["bytes_per_s"] = b["bytes_per_second"]
+            if b.get("sim_s_per_wall_s") is not None:
+                rec["sim_s_per_wall_s"] = b["sim_s_per_wall_s"]
+            if b.get("label"):
+                rec["label"] = b["label"]
+            records.append(rec)
     return records
 
 records = load("bench_*.json")
@@ -97,18 +149,34 @@ with open(wire_path, "w") as f:
     json.dump(wire, f, indent=1)
 print(f">> wrote {wire_path} ({len(wire)} records)")
 
-def best(rows, op, size):
+e2e = load("e2e_*.json")
+if e2e:
+    with open(e2e_path, "w") as f:
+        json.dump(e2e, f, indent=1)
+    print(f">> wrote {e2e_path} ({len(e2e)} records)")
+    for r in e2e:
+        parts = []
+        if r.get("items_per_s") is not None:
+            parts.append(f"{r['items_per_s']:.1f} train-iters/s")
+        if r.get("sim_s_per_wall_s") is not None:
+            parts.append(f"{r['sim_s_per_wall_s']:.0f} sim-s/wall-s")
+        print(f">> {r['op']}: " + ", ".join(parts))
+
+def best(rows, op, size, threads=None):
     vals = [r["ns_per_op"] for r in rows
-            if r["op"] == op and r["size"] == size]
+            if r["op"] == op and r["size"] == size and
+            (threads is None or r["threads"] == threads)]
     return min(vals, default=None)
 
 for size in (128, 256):
-    scalar = best(records, "BM_MatmulScalar", size)
-    blocked = best(records, "BM_Matmul", size)
-    if scalar and blocked:
-        print(f">> matmul {size}x{size}: scalar {scalar:.0f} ns, "
-              f"blocked+parallel {blocked:.0f} ns "
-              f"-> {scalar / blocked:.2f}x")
+    scalar = best(records, "BM_MatmulScalar", size, 1)
+    blocked = best(records, "BM_MatmulBlocked", size, 1)
+    packed = best(records, "BM_Matmul", size, 1)
+    if scalar and blocked and packed:
+        print(f">> matmul {size}x{size} 1T: scalar {scalar:.0f} ns, "
+              f"blocked {blocked:.0f} ns, packed {packed:.0f} ns "
+              f"-> {blocked / packed:.2f}x over blocked, "
+              f"{scalar / packed:.2f}x over scalar")
 
 for ref, fast, label in (
         ("BM_Crc32cRef", "BM_Crc32c", "crc32c"),

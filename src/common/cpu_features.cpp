@@ -13,6 +13,35 @@ namespace cpu {
 namespace {
 
 bool
+detectAvx2Fma()
+{
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+bool
+detectAvx512f()
+{
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx512f");
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+bool
 detectCrc32c()
 {
 #if defined(__x86_64__) || defined(__i386__)
@@ -42,6 +71,43 @@ hasCrc32c()
 {
     static const bool has = detectCrc32c();
     return has;
+}
+
+bool
+hasAvx2Fma()
+{
+    static const bool has = detectAvx2Fma();
+    return has;
+}
+
+bool
+hasAvx512f()
+{
+    static const bool has = detectAvx512f();
+    return has;
+}
+
+bool
+hasNeon()
+{
+#if defined(__aarch64__)
+    // ASIMD is architecturally mandatory on aarch64.
+    return true;
+#else
+    return false;
+#endif
+}
+
+const char *
+simdIsa()
+{
+    if (hasAvx512f())
+        return "avx512f";
+    if (hasAvx2Fma())
+        return "avx2+fma";
+    if (hasNeon())
+        return "neon";
+    return "none";
 }
 
 const char *

@@ -2,12 +2,13 @@
  * @file
  * One-time runtime CPU feature detection for the dispatched kernels.
  *
- * The wire-path kernels (common/crc32c) pick their fastest
- * implementation once per process: the first query probes the CPU and
- * every later call reads a cached answer. Detection is deliberately
- * conservative — anything the probe cannot positively confirm is
- * reported absent, and the caller falls back to the portable software
- * tier, so a wrong answer can cost speed but never correctness.
+ * The wire-path kernels (common/crc32c) and the GEMM microkernels
+ * (tensor/gemm) pick their fastest implementation once per process:
+ * the first query probes the CPU and every later call reads a cached
+ * answer. Detection is deliberately conservative — anything the probe
+ * cannot positively confirm is reported absent, and the caller falls
+ * back to the portable software tier, so a wrong answer can cost speed
+ * but never correctness.
  */
 #ifndef ROG_COMMON_CPU_FEATURES_HPP
 #define ROG_COMMON_CPU_FEATURES_HPP
@@ -25,6 +26,20 @@ bool hasCrc32c();
 /** Short human-readable summary ("sse4.2", "armv8-crc", "none") for
  *  logs and bench metadata. */
 const char *crc32cIsa();
+
+/** True when the CPU supports AVX2 *and* FMA3 (the GEMM microkernel
+ *  needs both). Detected once; later calls are a load. */
+bool hasAvx2Fma();
+
+/** True when the CPU supports AVX-512F (implies 512-bit FMA). */
+bool hasAvx512f();
+
+/** True when the CPU supports NEON/ASIMD (always true on aarch64). */
+bool hasNeon();
+
+/** Short summary of the widest SIMD tier available to the GEMM
+ *  dispatch ("avx512f", "avx2+fma", "neon", "none"). */
+const char *simdIsa();
 
 } // namespace cpu
 } // namespace rog

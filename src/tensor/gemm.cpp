@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Packed-panel GEMM driver, portable packed-scalar tier, and the
+ * one-time tier dispatch. See gemm.hpp for the layout and determinism
+ * contract; the SIMD microkernels live in gemm_x86.cpp / gemm_neon.cpp
+ * so each translation unit can carry its own target attributes.
+ */
+#include "tensor/gemm.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/buffer_pool.hpp"
+#include "common/logging.hpp"
+#include "parallel/parallel_for.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ROG_GEMM_PACK_SSE 1
+#include <immintrin.h>
+#endif
+
+namespace rog {
+namespace tensor {
+namespace gemm {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Portable packed-scalar tier: the same packed-panel traversal as the
+// SIMD tiers with a 4 x 8 tile the compiler can keep in SSE2/plain
+// registers under default flags. This is the correctness anchor every
+// build can run (ROG_NATIVE_KERNELS=OFF, unknown ISAs).
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kPackedMr = 4;
+constexpr std::size_t kPackedNr = 8;
+
+void
+packedTile(const float *ap, const float *bp, std::size_t kc, float *c,
+           std::size_t ldc, bool accumulate)
+{
+    float t[kPackedMr][kPackedNr] = {};
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float *b_row = bp + p * kPackedNr;
+        const float a0 = ap[p * kPackedMr + 0];
+        const float a1 = ap[p * kPackedMr + 1];
+        const float a2 = ap[p * kPackedMr + 2];
+        const float a3 = ap[p * kPackedMr + 3];
+        for (std::size_t j = 0; j < kPackedNr; ++j) {
+            const float bv = b_row[j];
+            t[0][j] += a0 * bv;
+            t[1][j] += a1 * bv;
+            t[2][j] += a2 * bv;
+            t[3][j] += a3 * bv;
+        }
+    }
+    for (std::size_t r = 0; r < kPackedMr; ++r) {
+        float *c_row = c + r * ldc;
+        if (accumulate) {
+            for (std::size_t j = 0; j < kPackedNr; ++j)
+                c_row[j] += t[r][j];
+        } else {
+            for (std::size_t j = 0; j < kPackedNr; ++j)
+                c_row[j] = t[r][j];
+        }
+    }
+}
+
+constexpr MicroKernel kPackedKernel = {kPackedMr, kPackedNr,
+                                       packedTile};
+
+// ---------------------------------------------------------------------
+// Packing: one strided pass per K-block turns any operand view into
+// contiguous zero-padded panels, so the microkernel inner loop only
+// ever touches unit-stride memory.
+// ---------------------------------------------------------------------
+
+/** Pack rows [i0, i0 + mcur) x K-slice [pc, pc + kc) of A into
+ *  column-sliver layout ap[p * mr + r], zero-padding rows past mcur.
+ *
+ *  For the common row-major full-sliver case this is an mr x kc
+ *  transpose, done in 4x4 SSE blocks (baseline on x86-64, so it lives
+ *  in this default-flags TU): after _MM_TRANSPOSE4_PS each register
+ *  holds one p-column of four consecutive rows, which is exactly a
+ *  contiguous run of the sliver layout. ~3x over the scalar strided
+ *  walk, which at 256^2 was ~9% of the whole GEMM. */
+void
+packA(const Operand &a, std::size_t pc, std::size_t kc, std::size_t i0,
+      std::size_t mcur, std::size_t mr, float *ap)
+{
+    std::size_t r0 = 0;
+#if defined(ROG_GEMM_PACK_SSE)
+    if (a.col_stride == 1) {
+        const float *base = a.data + i0 * a.row_stride + pc;
+        for (; r0 + 4 <= mcur; r0 += 4) {
+            const float *s0 = base + (r0 + 0) * a.row_stride;
+            const float *s1 = base + (r0 + 1) * a.row_stride;
+            const float *s2 = base + (r0 + 2) * a.row_stride;
+            const float *s3 = base + (r0 + 3) * a.row_stride;
+            std::size_t p = 0;
+            for (; p + 4 <= kc; p += 4) {
+                __m128 v0 = _mm_loadu_ps(s0 + p);
+                __m128 v1 = _mm_loadu_ps(s1 + p);
+                __m128 v2 = _mm_loadu_ps(s2 + p);
+                __m128 v3 = _mm_loadu_ps(s3 + p);
+                _MM_TRANSPOSE4_PS(v0, v1, v2, v3);
+                float *dst = ap + p * mr + r0;
+                _mm_storeu_ps(dst, v0);
+                _mm_storeu_ps(dst + mr, v1);
+                _mm_storeu_ps(dst + 2 * mr, v2);
+                _mm_storeu_ps(dst + 3 * mr, v3);
+            }
+            for (; p < kc; ++p) {
+                float *dst = ap + p * mr + r0;
+                dst[0] = s0[p];
+                dst[1] = s1[p];
+                dst[2] = s2[p];
+                dst[3] = s3[p];
+            }
+        }
+    }
+#endif
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float *src =
+            a.data + i0 * a.row_stride + (pc + p) * a.col_stride;
+        float *dst = ap + p * mr;
+        std::size_t r = r0;
+        for (; r < mcur; ++r)
+            dst[r] = src[r * a.row_stride];
+        for (; r < mr; ++r)
+            dst[r] = 0.0f;
+    }
+}
+
+/** Pack cols [j0, j0 + ncur) x K-slice [pc, pc + kc) of B into
+ *  row-panel layout bp[p * nr + c], zero-padding cols past ncur. */
+void
+packB(const Operand &b, std::size_t pc, std::size_t kc, std::size_t j0,
+      std::size_t ncur, std::size_t nr, float *bp)
+{
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float *src =
+            b.data + (pc + p) * b.row_stride + j0 * b.col_stride;
+        float *dst = bp + p * nr;
+        if (b.col_stride == 1) {
+            std::memcpy(dst, src, ncur * sizeof(float));
+        } else {
+            for (std::size_t c = 0; c < ncur; ++c)
+                dst[c] = src[c * b.col_stride];
+        }
+        for (std::size_t c = ncur; c < nr; ++c)
+            dst[c] = 0.0f;
+    }
+}
+
+Tier
+parseTier(const std::string &name, bool &ok)
+{
+    ok = true;
+    if (name == "avx512")
+        return Tier::Avx512;
+    if (name == "avx2")
+        return Tier::Avx2;
+    if (name == "neon")
+        return Tier::Neon;
+    if (name == "packed")
+        return Tier::Packed;
+    ok = false;
+    return Tier::Packed;
+}
+
+} // namespace
+
+const MicroKernel *
+packedKernel()
+{
+    return &kPackedKernel;
+}
+
+const MicroKernel *
+kernel(Tier tier)
+{
+    switch (tier) {
+    case Tier::Avx512:
+        return avx512Kernel();
+    case Tier::Avx2:
+        return avx2Kernel();
+    case Tier::Neon:
+        return neonKernel();
+    case Tier::Packed:
+        return packedKernel();
+    }
+    return nullptr;
+}
+
+bool
+tierAvailable(Tier tier)
+{
+    return kernel(tier) != nullptr;
+}
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+    case Tier::Avx512:
+        return "avx512";
+    case Tier::Avx2:
+        return "avx2";
+    case Tier::Neon:
+        return "neon";
+    case Tier::Packed:
+        return "packed";
+    }
+    return "packed";
+}
+
+const char *
+tierIsa(Tier tier)
+{
+    switch (tier) {
+    case Tier::Avx512:
+        return "avx512f+fma";
+    case Tier::Avx2:
+        return "avx2+fma";
+    case Tier::Neon:
+        return "neon";
+    case Tier::Packed:
+        return "portable";
+    }
+    return "portable";
+}
+
+Tier
+activeTier()
+{
+    static const Tier tier = [] {
+        if (const char *env = std::getenv("ROG_MATMUL_TIER")) {
+            bool ok = false;
+            const Tier forced = parseTier(env, ok);
+            if (ok && tierAvailable(forced))
+                return forced;
+            ROG_WARN("ROG_MATMUL_TIER=", env,
+                     " unknown or unavailable; using fastest tier");
+        }
+        for (Tier t : {Tier::Avx512, Tier::Avx2, Tier::Neon})
+            if (tierAvailable(t))
+                return t;
+        return Tier::Packed;
+    }();
+    return tier;
+}
+
+void
+run(Tier tier, const Operand &a, const Operand &b, float *c,
+    std::size_t ldc, std::size_t m, std::size_t n, std::size_t k,
+    parallel::ThreadPool &pool)
+{
+    const MicroKernel *uk = kernel(tier);
+    ROG_ASSERT(uk != nullptr, "gemm tier unavailable: ", tierName(tier));
+    if (m == 0 || n == 0)
+        return;
+    if (k == 0) {
+        for (std::size_t i = 0; i < m; ++i)
+            std::memset(c + i * ldc, 0, n * sizeof(float));
+        return;
+    }
+
+    const std::size_t mr = uk->mr;
+    const std::size_t nr = uk->nr;
+    const std::size_t panels = (n + nr - 1) / nr;
+    BufferPool &mem = BufferPool::global();
+
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+        const std::size_t kc = std::min(kKc, k - pc);
+        const bool accumulate = pc > 0;
+
+        // Pack this K-block of B once, shared by every row chunk.
+        auto bpack = mem.leaseFloats(panels * kc * nr);
+        float *bp = bpack.data();
+        parallel::parallelFor(
+            0, panels, 1,
+            [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t jp = lo; jp < hi; ++jp)
+                    packB(b, pc, kc, jp * nr,
+                          std::min(nr, n - jp * nr), nr,
+                          bp + jp * kc * nr);
+            },
+            pool);
+
+        // M-loop over fixed row chunks: each chunk packs its own A
+        // slivers and streams the microkernel across the B panels.
+        parallel::parallelFor(
+            0, m, kRowChunk,
+            [&](std::size_t lo, std::size_t hi) {
+                auto apack = mem.leaseFloats(kc * mr);
+                float tile[kMaxMr * kMaxNr];
+                for (std::size_t i0 = lo; i0 < hi; i0 += mr) {
+                    const std::size_t mcur = std::min(mr, hi - i0);
+                    packA(a, pc, kc, i0, mcur, mr, apack.data());
+                    for (std::size_t jp = 0; jp < panels; ++jp) {
+                        const std::size_t j0 = jp * nr;
+                        const std::size_t ncur = std::min(nr, n - j0);
+                        const float *bpanel = bp + jp * kc * nr;
+                        float *cdst = c + i0 * ldc + j0;
+                        if (mcur == mr && ncur == nr) {
+                            uk->fn(apack.data(), bpanel, kc, cdst, ldc,
+                                   accumulate);
+                            continue;
+                        }
+                        // Ragged edge: compute the full tile into
+                        // scratch, merge only the valid region.
+                        uk->fn(apack.data(), bpanel, kc, tile, nr,
+                               false);
+                        for (std::size_t r = 0; r < mcur; ++r) {
+                            const float *t = tile + r * nr;
+                            float *c_row = cdst + r * ldc;
+                            if (accumulate) {
+                                for (std::size_t j = 0; j < ncur; ++j)
+                                    c_row[j] += t[j];
+                            } else {
+                                for (std::size_t j = 0; j < ncur; ++j)
+                                    c_row[j] = t[j];
+                            }
+                        }
+                    }
+                }
+            },
+            pool);
+    }
+}
+
+} // namespace gemm
+} // namespace tensor
+} // namespace rog

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Packed-panel GEMM with runtime-dispatched register microkernels.
+ *
+ * Internal engine behind tensor::matmul / matmulTransA / matmulTransB
+ * (and through them the conv im2col path). The driver packs A and B
+ * into contiguous, zero-padded panels once per K-block (pool-leased
+ * scratch), then streams an MR x NR register microkernel over the
+ * packed panels. Operands are strided *views*, so all four transpose
+ * variants share one packer and the transpose cases stop paying
+ * strided loads in the inner loop — the only strided traversal is the
+ * one pass that packs.
+ *
+ * Tiers (fastest available wins, resolved once per process like the
+ * crc32c dispatch):
+ *
+ *   avx512  12 x 32 FMA kernel, 24 zmm accumulators
+ *   avx2     6 x 16 FMA kernel, 12 ymm accumulators
+ *   neon     8 x  8 FMA kernel, 16 q-register accumulators
+ *   packed   4 x  8 portable scalar kernel over the same packed panels
+ *
+ * Determinism contract: for a fixed tier, each output element is one
+ * k-ascending accumulator chain per K-block, merged into C in K-block
+ * order. Chunk boundaries of the parallel M-loop depend only on the
+ * shape (kRowChunk is a multiple of every tier's MR), so results are
+ * bitwise independent of ROG_THREADS. Different tiers may round
+ * differently (FMA fuses the multiply-add); the fuzz tests bound each
+ * tier against a double-precision oracle instead of bitwise-comparing
+ * tiers.
+ */
+#ifndef ROG_TENSOR_GEMM_HPP
+#define ROG_TENSOR_GEMM_HPP
+
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rog {
+namespace tensor {
+namespace gemm {
+
+/** Dispatch tiers, fastest first. */
+enum class Tier { Avx512, Avx2, Neon, Packed };
+
+/**
+ * Strided read-only view of an operand matrix: element (i, j) lives at
+ * data[i * row_stride + j * col_stride]. A plain (m x k) matrix is
+ * {data, k, 1}; its transpose is {data, 1, m} with no copy.
+ */
+struct Operand
+{
+    const float *data;
+    std::size_t row_stride;
+    std::size_t col_stride;
+};
+
+/**
+ * An MR x NR register microkernel over packed panels. `fn` computes
+ * TILE = Apanel (kc x mr, column-sliver layout ap[p*mr + r]) @ Bpanel
+ * (kc x nr, row-panel layout bp[p*nr + c]) in registers, then stores
+ * the full tile to c (leading dimension ldc): `accumulate` adds to the
+ * existing C values (later K-blocks), otherwise it overwrites (first
+ * K-block — no zero-fill pass needed).
+ */
+struct MicroKernel
+{
+    std::size_t mr;
+    std::size_t nr;
+    void (*fn)(const float *ap, const float *bp, std::size_t kc,
+               float *c, std::size_t ldc, bool accumulate);
+};
+
+/** Largest MR / NR over all tiers (edge-tile scratch sizing). */
+inline constexpr std::size_t kMaxMr = 12;
+inline constexpr std::size_t kMaxNr = 32;
+
+/**
+ * Rows of C per parallel chunk: a multiple of every tier's MR, so full
+ * slivers never straddle a chunk boundary and the packing/microkernel
+ * sequence for each output element is independent of ROG_THREADS.
+ */
+inline constexpr std::size_t kRowChunk = 24;
+
+/** K-block depth: packed panels for one block stay cache-resident. */
+inline constexpr std::size_t kKc = 256;
+
+/** True when @p tier was compiled in *and* the CPU can execute it.
+ *  Tier::Packed is always available. */
+bool tierAvailable(Tier tier);
+
+/** The tier the public matmul entry points use: the fastest available
+ *  tier, overridable with ROG_MATMUL_TIER=avx512|avx2|neon|packed
+ *  (ignored when unavailable). Resolved once per process. */
+Tier activeTier();
+
+/** Stable lowercase tier name ("avx512", "avx2", "neon", "packed"). */
+const char *tierName(Tier tier);
+
+/** ISA summary of @p tier ("avx512f+fma", "avx2+fma", "neon",
+ *  "portable"). */
+const char *tierIsa(Tier tier);
+
+/** Microkernel for @p tier; nullptr when unavailable (tests/benches
+ *  introspection — run() asserts availability itself). */
+const MicroKernel *kernel(Tier tier);
+
+/**
+ * C (m x n, leading dimension ldc) = A-view (m x k) @ B-view (k x n)
+ * using @p tier's microkernel, M-parallel over @p pool. k == 0 zeroes
+ * C. @pre tierAvailable(tier).
+ */
+void run(Tier tier, const Operand &a, const Operand &b, float *c,
+         std::size_t ldc, std::size_t m, std::size_t n, std::size_t k,
+         parallel::ThreadPool &pool = parallel::ThreadPool::global());
+
+// Per-tier microkernel factories (one per TU so each can carry its own
+// target attributes); nullptr when the build or CPU lacks the tier.
+const MicroKernel *avx2Kernel();
+const MicroKernel *avx512Kernel();
+const MicroKernel *neonKernel();
+const MicroKernel *packedKernel();
+
+} // namespace gemm
+} // namespace tensor
+} // namespace rog
+
+#endif // ROG_TENSOR_GEMM_HPP

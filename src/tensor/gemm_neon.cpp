@@ -1,0 +1,95 @@
+/**
+ * @file
+ * NEON GEMM microkernel: 8 x 8 over the packed panels from gemm.cpp.
+ *
+ * 8 rows x 2 q-registers = 16 accumulators plus 2 B loads and 2 packed
+ * A vectors per k step — 20 of the 32 aarch64 vector registers, with
+ * every multiply a lane-indexed vfmaq so no scalar broadcasts hit the
+ * datapath. ASIMD is architecturally mandatory on aarch64, so unlike
+ * the x86 tiers this kernel needs no runtime probe, only the
+ * ROG_GEMM_NATIVE build gate.
+ */
+#include "tensor/gemm.hpp"
+
+#include "common/cpu_features.hpp"
+
+#if defined(__aarch64__) && defined(ROG_GEMM_NATIVE)
+#define ROG_GEMM_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace rog {
+namespace tensor {
+namespace gemm {
+
+#if defined(ROG_GEMM_NEON)
+
+namespace {
+
+void
+kernelNeon_8x8(const float *ap, const float *bp, std::size_t kc,
+               float *c, std::size_t ldc, bool accumulate)
+{
+    float32x4_t acc[8][2];
+    for (std::size_t r = 0; r < 8; ++r) {
+        acc[r][0] = vdupq_n_f32(0.0f);
+        acc[r][1] = vdupq_n_f32(0.0f);
+    }
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float32x4_t b0 = vld1q_f32(bp + p * 8);
+        const float32x4_t b1 = vld1q_f32(bp + p * 8 + 4);
+        const float32x4_t a03 = vld1q_f32(ap + p * 8);
+        const float32x4_t a47 = vld1q_f32(ap + p * 8 + 4);
+        acc[0][0] = vfmaq_laneq_f32(acc[0][0], b0, a03, 0);
+        acc[0][1] = vfmaq_laneq_f32(acc[0][1], b1, a03, 0);
+        acc[1][0] = vfmaq_laneq_f32(acc[1][0], b0, a03, 1);
+        acc[1][1] = vfmaq_laneq_f32(acc[1][1], b1, a03, 1);
+        acc[2][0] = vfmaq_laneq_f32(acc[2][0], b0, a03, 2);
+        acc[2][1] = vfmaq_laneq_f32(acc[2][1], b1, a03, 2);
+        acc[3][0] = vfmaq_laneq_f32(acc[3][0], b0, a03, 3);
+        acc[3][1] = vfmaq_laneq_f32(acc[3][1], b1, a03, 3);
+        acc[4][0] = vfmaq_laneq_f32(acc[4][0], b0, a47, 0);
+        acc[4][1] = vfmaq_laneq_f32(acc[4][1], b1, a47, 0);
+        acc[5][0] = vfmaq_laneq_f32(acc[5][0], b0, a47, 1);
+        acc[5][1] = vfmaq_laneq_f32(acc[5][1], b1, a47, 1);
+        acc[6][0] = vfmaq_laneq_f32(acc[6][0], b0, a47, 2);
+        acc[6][1] = vfmaq_laneq_f32(acc[6][1], b1, a47, 2);
+        acc[7][0] = vfmaq_laneq_f32(acc[7][0], b0, a47, 3);
+        acc[7][1] = vfmaq_laneq_f32(acc[7][1], b1, a47, 3);
+    }
+    for (std::size_t r = 0; r < 8; ++r) {
+        float *c_row = c + r * ldc;
+        float32x4_t lo = acc[r][0];
+        float32x4_t hi = acc[r][1];
+        if (accumulate) {
+            lo = vaddq_f32(vld1q_f32(c_row), lo);
+            hi = vaddq_f32(vld1q_f32(c_row + 4), hi);
+        }
+        vst1q_f32(c_row, lo);
+        vst1q_f32(c_row + 4, hi);
+    }
+}
+
+constexpr MicroKernel kNeonKernel = {8, 8, kernelNeon_8x8};
+
+} // namespace
+
+const MicroKernel *
+neonKernel()
+{
+    return cpu::hasNeon() ? &kNeonKernel : nullptr;
+}
+
+#else // !ROG_GEMM_NEON
+
+const MicroKernel *
+neonKernel()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace gemm
+} // namespace tensor
+} // namespace rog

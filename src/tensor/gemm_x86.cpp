@@ -1,0 +1,202 @@
+/**
+ * @file
+ * x86 GEMM microkernels: AVX2/FMA 6 x 16 and AVX-512F 12 x 32, both
+ * over the packed panels laid out by gemm.cpp.
+ *
+ * Register budget (the whole point of the explicit kernels — the
+ * autovectorized blocked loop never kept enough independent FMA chains
+ * in flight to cover the FMA latency):
+ *
+ *   AVX2   6 rows x 2 ymm  = 12 accumulators + 2 B + 1 broadcast = 15
+ *          of 16 ymm; 12 FMAs per 2 B loads.
+ *   AVX512 12 rows x 2 zmm = 24 accumulators + 2 B + 1 broadcast = 27
+ *          of 32 zmm; 24 FMAs per 2 B loads.
+ *
+ * Both kernels are compiled with function-level target attributes in
+ * this default-flags TU, so the binary stays runnable on any x86-64
+ * CPU and the runtime dispatch in gemm.cpp decides what executes —
+ * same pattern as common/crc32c. ROG_GEMM_NATIVE (the
+ * ROG_NATIVE_KERNELS cmake option) gates the whole file so portable
+ * builds carry only the packed-scalar tier.
+ */
+#include "tensor/gemm.hpp"
+
+#include "common/cpu_features.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    defined(ROG_GEMM_NATIVE) && (defined(__GNUC__) || defined(__clang__))
+#define ROG_GEMM_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rog {
+namespace tensor {
+namespace gemm {
+
+#if defined(ROG_GEMM_X86)
+
+namespace {
+
+__attribute__((target("avx2,fma"))) void
+kernelAvx2_6x16(const float *ap, const float *bp, std::size_t kc,
+                float *c, std::size_t ldc, bool accumulate)
+{
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+    __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+    __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+    __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const __m256 b0 = _mm256_loadu_ps(bp + p * 16);
+        const __m256 b1 = _mm256_loadu_ps(bp + p * 16 + 8);
+        const float *a_col = ap + p * 6;
+        __m256 a;
+        a = _mm256_broadcast_ss(a_col + 0);
+        c00 = _mm256_fmadd_ps(a, b0, c00);
+        c01 = _mm256_fmadd_ps(a, b1, c01);
+        a = _mm256_broadcast_ss(a_col + 1);
+        c10 = _mm256_fmadd_ps(a, b0, c10);
+        c11 = _mm256_fmadd_ps(a, b1, c11);
+        a = _mm256_broadcast_ss(a_col + 2);
+        c20 = _mm256_fmadd_ps(a, b0, c20);
+        c21 = _mm256_fmadd_ps(a, b1, c21);
+        a = _mm256_broadcast_ss(a_col + 3);
+        c30 = _mm256_fmadd_ps(a, b0, c30);
+        c31 = _mm256_fmadd_ps(a, b1, c31);
+        a = _mm256_broadcast_ss(a_col + 4);
+        c40 = _mm256_fmadd_ps(a, b0, c40);
+        c41 = _mm256_fmadd_ps(a, b1, c41);
+        a = _mm256_broadcast_ss(a_col + 5);
+        c50 = _mm256_fmadd_ps(a, b0, c50);
+        c51 = _mm256_fmadd_ps(a, b1, c51);
+    }
+    // Explicit per-row stores: no accumulator may have its address
+    // taken or be reached through an array, or GCC spills the whole
+    // tile to the stack inside the k loop.
+#define ROG_AVX2_STORE_ROW(r, lo, hi) \
+    do { \
+        float *c_row = c + (r) * ldc; \
+        __m256 vlo = (lo); \
+        __m256 vhi = (hi); \
+        if (accumulate) { \
+            vlo = _mm256_add_ps(_mm256_loadu_ps(c_row), vlo); \
+            vhi = _mm256_add_ps(_mm256_loadu_ps(c_row + 8), vhi); \
+        } \
+        _mm256_storeu_ps(c_row, vlo); \
+        _mm256_storeu_ps(c_row + 8, vhi); \
+    } while (0)
+    ROG_AVX2_STORE_ROW(0, c00, c01);
+    ROG_AVX2_STORE_ROW(1, c10, c11);
+    ROG_AVX2_STORE_ROW(2, c20, c21);
+    ROG_AVX2_STORE_ROW(3, c30, c31);
+    ROG_AVX2_STORE_ROW(4, c40, c41);
+    ROG_AVX2_STORE_ROW(5, c50, c51);
+#undef ROG_AVX2_STORE_ROW
+}
+
+__attribute__((target("avx512f"))) void
+kernelAvx512_12x32(const float *ap, const float *bp, std::size_t kc,
+                   float *c, std::size_t ldc, bool accumulate)
+{
+    // Named accumulators only (no arrays, no address-taken locals):
+    // GCC must be able to keep all 24 in zmm registers for the whole
+    // k loop or the kernel runs out of the stack instead.
+    __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+    __m512 c10 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+    __m512 c20 = _mm512_setzero_ps(), c21 = _mm512_setzero_ps();
+    __m512 c30 = _mm512_setzero_ps(), c31 = _mm512_setzero_ps();
+    __m512 c40 = _mm512_setzero_ps(), c41 = _mm512_setzero_ps();
+    __m512 c50 = _mm512_setzero_ps(), c51 = _mm512_setzero_ps();
+    __m512 c60 = _mm512_setzero_ps(), c61 = _mm512_setzero_ps();
+    __m512 c70 = _mm512_setzero_ps(), c71 = _mm512_setzero_ps();
+    __m512 c80 = _mm512_setzero_ps(), c81 = _mm512_setzero_ps();
+    __m512 c90 = _mm512_setzero_ps(), c91 = _mm512_setzero_ps();
+    __m512 ca0 = _mm512_setzero_ps(), ca1 = _mm512_setzero_ps();
+    __m512 cb0 = _mm512_setzero_ps(), cb1 = _mm512_setzero_ps();
+    for (std::size_t p = 0; p < kc; ++p) {
+        const __m512 b0 = _mm512_loadu_ps(bp + p * 32);
+        const __m512 b1 = _mm512_loadu_ps(bp + p * 32 + 16);
+        const float *a_col = ap + p * 12;
+        __m512 a;
+#define ROG_AVX512_ROW(r, lo, hi) \
+    a = _mm512_set1_ps(a_col[r]); \
+    lo = _mm512_fmadd_ps(a, b0, lo); \
+    hi = _mm512_fmadd_ps(a, b1, hi)
+        ROG_AVX512_ROW(0, c00, c01);
+        ROG_AVX512_ROW(1, c10, c11);
+        ROG_AVX512_ROW(2, c20, c21);
+        ROG_AVX512_ROW(3, c30, c31);
+        ROG_AVX512_ROW(4, c40, c41);
+        ROG_AVX512_ROW(5, c50, c51);
+        ROG_AVX512_ROW(6, c60, c61);
+        ROG_AVX512_ROW(7, c70, c71);
+        ROG_AVX512_ROW(8, c80, c81);
+        ROG_AVX512_ROW(9, c90, c91);
+        ROG_AVX512_ROW(10, ca0, ca1);
+        ROG_AVX512_ROW(11, cb0, cb1);
+#undef ROG_AVX512_ROW
+    }
+#define ROG_AVX512_STORE_ROW(r, lo, hi) \
+    do { \
+        float *c_row = c + (r) * ldc; \
+        __m512 vlo = (lo); \
+        __m512 vhi = (hi); \
+        if (accumulate) { \
+            vlo = _mm512_add_ps(_mm512_loadu_ps(c_row), vlo); \
+            vhi = _mm512_add_ps(_mm512_loadu_ps(c_row + 16), vhi); \
+        } \
+        _mm512_storeu_ps(c_row, vlo); \
+        _mm512_storeu_ps(c_row + 16, vhi); \
+    } while (0)
+    ROG_AVX512_STORE_ROW(0, c00, c01);
+    ROG_AVX512_STORE_ROW(1, c10, c11);
+    ROG_AVX512_STORE_ROW(2, c20, c21);
+    ROG_AVX512_STORE_ROW(3, c30, c31);
+    ROG_AVX512_STORE_ROW(4, c40, c41);
+    ROG_AVX512_STORE_ROW(5, c50, c51);
+    ROG_AVX512_STORE_ROW(6, c60, c61);
+    ROG_AVX512_STORE_ROW(7, c70, c71);
+    ROG_AVX512_STORE_ROW(8, c80, c81);
+    ROG_AVX512_STORE_ROW(9, c90, c91);
+    ROG_AVX512_STORE_ROW(10, ca0, ca1);
+    ROG_AVX512_STORE_ROW(11, cb0, cb1);
+#undef ROG_AVX512_STORE_ROW
+}
+
+constexpr MicroKernel kAvx2Kernel = {6, 16, kernelAvx2_6x16};
+constexpr MicroKernel kAvx512Kernel = {12, 32, kernelAvx512_12x32};
+
+} // namespace
+
+const MicroKernel *
+avx2Kernel()
+{
+    return cpu::hasAvx2Fma() ? &kAvx2Kernel : nullptr;
+}
+
+const MicroKernel *
+avx512Kernel()
+{
+    return cpu::hasAvx512f() ? &kAvx512Kernel : nullptr;
+}
+
+#else // !ROG_GEMM_X86
+
+const MicroKernel *
+avx2Kernel()
+{
+    return nullptr;
+}
+
+const MicroKernel *
+avx512Kernel()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace gemm
+} // namespace tensor
+} // namespace rog

@@ -69,6 +69,17 @@ float frobeniusNorm(const Tensor &x);
 std::size_t argmaxRow(const Tensor &x, std::size_t r);
 
 /**
+ * Name of the GEMM microkernel tier the matmul entry points dispatch
+ * to ("avx512", "avx2", "neon", "packed"). Resolved once per process;
+ * overridable with ROG_MATMUL_TIER (see tensor/gemm.hpp).
+ */
+const char *matmulActiveTier();
+
+/** ISA summary of the active GEMM tier ("avx512f+fma", "avx2+fma",
+ *  "neon", "portable") for logs and bench metadata. */
+const char *matmulIsa();
+
+/**
  * Scalar reference kernels: the seed library's original triple-loop
  * implementations (ops_ref.cpp, built with default flags). Baseline
  * for the kernel-equivalence tests and the micro benchmarks; never
@@ -81,6 +92,20 @@ void matmulTransA(const Tensor &a, const Tensor &b, Tensor &out);
 void matmulTransB(const Tensor &a, const Tensor &b, Tensor &out);
 
 } // namespace ref
+
+/**
+ * PR-2 blocked/register-tiled autovectorized GEMMs (ops_blocked.cpp,
+ * built with -march=native like the old hot path). Baseline the micro
+ * benchmarks measure the packed-panel microkernels against; never used
+ * on the hot path.
+ */
+namespace blocked {
+
+void matmul(const Tensor &a, const Tensor &b, Tensor &out);
+void matmulTransA(const Tensor &a, const Tensor &b, Tensor &out);
+void matmulTransB(const Tensor &a, const Tensor &b, Tensor &out);
+
+} // namespace blocked
 
 } // namespace tensor
 } // namespace rog

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Packed-panel GEMM equivalence fuzz: every available dispatch tier vs
+ * a double-precision oracle across odd/prime shapes (1..129), all
+ * transpose variants, special values (NaN / ±0.0 / denormals / ±Inf),
+ * and bitwise identity across thread counts.
+ *
+ * Error model: each output element is one k-ascending accumulator
+ * chain (per K-block, merged in block order), so the float error is
+ * bounded by a small multiple of eps times the absolute-value sum of
+ * the products. FMA tiers round *less* (fused multiply-add), but the
+ * same bound covers them; the bound scales with sqrt(k) for random
+ * inputs with k-term worst case as cushion.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace rog;
+using tensor::gemm::Operand;
+using tensor::gemm::Tier;
+
+constexpr float kEps = 1.192092896e-7f; // 2^-23.
+
+std::vector<Tier>
+availableTiers()
+{
+    std::vector<Tier> tiers;
+    for (Tier t :
+         {Tier::Avx512, Tier::Avx2, Tier::Neon, Tier::Packed})
+        if (tensor::gemm::tierAvailable(t))
+            tiers.push_back(t);
+    return tiers;
+}
+
+enum class Variant { Plain, TransA, TransB };
+
+/** Run one GEMM variant through the packed engine with a forced tier.
+ *  Operand tensors are shaped as the public entry points expect. */
+void
+runVariant(Tier tier, Variant v, const tensor::Tensor &a,
+           const tensor::Tensor &b, tensor::Tensor &out)
+{
+    const std::size_t m = out.rows(), n = out.cols();
+    Operand av{}, bv{};
+    std::size_t k = 0;
+    switch (v) {
+    case Variant::Plain:
+        k = a.cols();
+        av = {a.data(), k, 1};
+        bv = {b.data(), n, 1};
+        break;
+    case Variant::TransA:
+        k = a.rows();
+        av = {a.data(), 1, m};
+        bv = {b.data(), n, 1};
+        break;
+    case Variant::TransB:
+        k = a.cols();
+        av = {a.data(), k, 1};
+        bv = {b.data(), 1, k};
+        break;
+    }
+    tensor::gemm::run(tier, av, bv, out.data(), n, m, n, k);
+}
+
+/** Double-precision oracle plus per-element |product| sums. */
+void
+oracle(Variant v, const tensor::Tensor &a, const tensor::Tensor &b,
+       std::size_t m, std::size_t n, std::size_t k,
+       std::vector<double> &want, std::vector<double> &absum)
+{
+    want.assign(m * n, 0.0);
+    absum.assign(m * n, 0.0);
+    auto aat = [&](std::size_t i, std::size_t p) {
+        return v == Variant::TransA ? a.data()[p * m + i]
+                                    : a.data()[i * k + p];
+    };
+    auto bat = [&](std::size_t p, std::size_t j) {
+        return v == Variant::TransB ? b.data()[j * k + p]
+                                    : b.data()[p * n + j];
+    };
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0, as = 0.0;
+            for (std::size_t p = 0; p < k; ++p) {
+                const double prod = static_cast<double>(aat(i, p)) *
+                                    static_cast<double>(bat(p, j));
+                s += prod;
+                as += std::fabs(prod);
+            }
+            want[i * n + j] = s;
+            absum[i * n + j] = as;
+        }
+}
+
+void
+expectClose(const tensor::Tensor &got, const std::vector<double> &want,
+            const std::vector<double> &absum, std::size_t k,
+            const char *label)
+{
+    const double tol_scale = kEps * (4.0 + 2.0 * std::sqrt(
+                                               static_cast<double>(k)));
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        const double w = want[i];
+        const float g = got.data()[i];
+        if (!std::isfinite(w)) {
+            EXPECT_FALSE(std::isfinite(g))
+                << label << " element " << i;
+            if (std::isnan(w)) {
+                EXPECT_TRUE(std::isnan(g)) << label << " element " << i;
+            }
+            continue;
+        }
+        const double tol = tol_scale * absum[i] + 1e-30;
+        EXPECT_NEAR(static_cast<double>(g), w, tol)
+            << label << " element " << i;
+    }
+}
+
+struct Shape
+{
+    std::size_t m, k, n;
+};
+
+// Odd/prime sizes spanning 1..129: below, at, and across every tier's
+// MR (4/6/8/12) and NR (8/16/32), the 24-row parallel chunk, and the
+// ragged edges of all of them.
+const std::vector<Shape> kFuzzShapes = {
+    {1, 1, 1},     {2, 3, 5},     {7, 11, 13},  {17, 19, 23},
+    {29, 31, 37},  {41, 43, 47},  {53, 59, 61}, {67, 71, 73},
+    {83, 89, 97},  {101, 103, 107}, {113, 127, 129},
+    {129, 1, 129}, {1, 129, 1},   {25, 129, 3},
+};
+
+class GemmFuzzTest : public ::testing::TestWithParam<Variant>
+{
+};
+
+TEST_P(GemmFuzzTest, AllTiersMatchDoubleOracle)
+{
+    const Variant v = GetParam();
+    Rng rng(42 + static_cast<std::uint64_t>(v));
+    for (const Shape &s : kFuzzShapes) {
+        // Operand shapes per variant (matching the public API).
+        tensor::Tensor a(v == Variant::TransA ? s.k : s.m,
+                         v == Variant::TransA ? s.m : s.k);
+        tensor::Tensor b(v == Variant::TransB ? s.n : s.k,
+                         v == Variant::TransB ? s.k : s.n);
+        a.randomNormal(rng, 1.0f);
+        b.randomNormal(rng, 1.0f);
+        std::vector<double> want, absum;
+        oracle(v, a, b, s.m, s.n, s.k, want, absum);
+        for (Tier tier : availableTiers()) {
+            tensor::Tensor got(s.m, s.n);
+            // Poison: the first K-block must overwrite, not add.
+            for (std::size_t i = 0; i < got.size(); ++i)
+                got.data()[i] = 1e6f;
+            runVariant(tier, v, a, b, got);
+            expectClose(got, want, absum, s.k,
+                        tensor::gemm::tierName(tier));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, GemmFuzzTest,
+                         ::testing::Values(Variant::Plain,
+                                           Variant::TransA,
+                                           Variant::TransB));
+
+TEST(GemmSpecialValuesTest, DenormalsAndSignedZeros)
+{
+    Rng rng(7);
+    const std::size_t m = 23, k = 29, n = 31;
+    tensor::Tensor a(m, k), b(k, n);
+    a.randomNormal(rng, 1.0f);
+    b.randomNormal(rng, 1.0f);
+    // Sprinkle denormals and signed zeros through both operands.
+    for (std::size_t i = 0; i < a.size(); i += 5)
+        a.data()[i] = (i % 10 == 0) ? -0.0f : 1.4e-42f;
+    for (std::size_t i = 0; i < b.size(); i += 7)
+        b.data()[i] = (i % 14 == 0) ? 0.0f : -2.8e-44f;
+    std::vector<double> want, absum;
+    oracle(Variant::Plain, a, b, m, n, k, want, absum);
+    for (Tier tier : availableTiers()) {
+        tensor::Tensor got(m, n);
+        runVariant(tier, Variant::Plain, a, b, got);
+        expectClose(got, want, absum, k, tensor::gemm::tierName(tier));
+    }
+}
+
+TEST(GemmSpecialValuesTest, NanAndInfPropagate)
+{
+    Rng rng(8);
+    const std::size_t m = 19, k = 17, n = 13;
+    tensor::Tensor a(m, k), b(k, n);
+    a.randomNormal(rng, 1.0f);
+    b.randomNormal(rng, 1.0f);
+    // NaN / Inf in A only: zero-padded panel lanes multiply B, so
+    // specials in discarded pad lanes must never leak — and specials
+    // in valid lanes must always propagate.
+    a.data()[0 * k + 3] = std::numeric_limits<float>::quiet_NaN();
+    a.data()[4 * k + 0] = std::numeric_limits<float>::infinity();
+    a.data()[7 * k + 11] = -std::numeric_limits<float>::infinity();
+    std::vector<double> want, absum;
+    oracle(Variant::Plain, a, b, m, n, k, want, absum);
+    for (Tier tier : availableTiers()) {
+        tensor::Tensor got(m, n);
+        runVariant(tier, Variant::Plain, a, b, got);
+        expectClose(got, want, absum, k, tensor::gemm::tierName(tier));
+        // Rows without specials stay fully finite.
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_TRUE(std::isfinite(got.data()[1 * n + j]));
+    }
+}
+
+TEST(GemmThreadDeterminismTest, BitwiseIdenticalAcrossThreadCounts)
+{
+    Rng rng(9);
+    // k = 700 crosses multiple K-blocks (kKc = 256), so the per-block
+    // merge order is exercised too; 67 x 49 leaves ragged row chunks.
+    const std::vector<Shape> shapes = {
+        {67, 101, 49}, {129, 700, 33}, {24, 256, 64}};
+    for (const Shape &s : shapes) {
+        tensor::Tensor a(s.m, s.k), b(s.k, s.n);
+        a.randomNormal(rng, 1.0f);
+        b.randomNormal(rng, 1.0f);
+        for (Tier tier : availableTiers()) {
+            parallel::ThreadPool pool1(1);
+            tensor::Tensor base(s.m, s.n);
+            tensor::gemm::run(tier, {a.data(), s.k, 1},
+                              {b.data(), s.n, 1}, base.data(), s.n,
+                              s.m, s.n, s.k, pool1);
+            for (std::size_t threads : {2u, 4u, 8u}) {
+                parallel::ThreadPool pool(threads);
+                tensor::Tensor got(s.m, s.n);
+                tensor::gemm::run(tier, {a.data(), s.k, 1},
+                                  {b.data(), s.n, 1}, got.data(), s.n,
+                                  s.m, s.n, s.k, pool);
+                EXPECT_EQ(0, std::memcmp(base.data(), got.data(),
+                                         base.size() * sizeof(float)))
+                    << tensor::gemm::tierName(tier) << " threads="
+                    << threads << " shape " << s.m << "x" << s.k << "x"
+                    << s.n;
+            }
+        }
+    }
+}
+
+} // namespace
