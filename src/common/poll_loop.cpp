@@ -1,5 +1,6 @@
 #include "common/poll_loop.hpp"
 
+#include <errno.h>
 #include <poll.h>
 
 #include <algorithm>
@@ -14,6 +15,7 @@ PollLoop::watch(int fd, short events, FdHandler handler)
 {
     fds_[fd] = std::move(handler);
     fd_events_[fd] = events;
+    error_strikes_.erase(fd); // a fresh registration starts clean.
 }
 
 void
@@ -21,6 +23,7 @@ PollLoop::unwatch(int fd)
 {
     fds_.erase(fd);
     fd_events_.erase(fd);
+    error_strikes_.erase(fd);
 }
 
 PollLoop::TimerHandle
@@ -90,16 +93,42 @@ PollLoop::step(double max_wait_s)
         std::clamp(std::ceil(wait * 1e3), 0.0, 60e3));
     const int n = ::poll(pfds.data(),
                          static_cast<nfds_t>(pfds.size()), timeout_ms);
-
+    // EINTR is routine for a daemon under signals (SIGCHLD from a
+    // supervisor, profiling timers): treat it exactly like a timeout
+    // and let the next step retry the wait.
     fireDueTimers();
     if (n > 0) {
         for (const auto &p : pfds) {
-            if (p.revents == 0)
+            if (p.revents == 0) {
+                error_strikes_.erase(p.fd);
                 continue;
+            }
             // Handlers may unwatch fds (including their own).
             auto it = fds_.find(p.fd);
             if (it != fds_.end())
                 it->second(p.revents);
+
+            if (fds_.count(p.fd) == 0)
+                continue; // handler (or a peer) dropped it.
+            if (p.revents & POLLNVAL) {
+                // The fd was closed while still registered; polling it
+                // again can only return POLLNVAL forever.
+                unwatch(p.fd);
+                continue;
+            }
+            const bool error_only =
+                (p.revents & (POLLERR | POLLHUP)) != 0 &&
+                (p.revents & (POLLIN | POLLOUT | POLLPRI)) == 0;
+            if (!error_only) {
+                error_strikes_.erase(p.fd);
+                continue;
+            }
+            // Error-only wakeup the handler left registered: strike.
+            // A handler that drains-and-closes never accumulates any;
+            // one that ignores the condition is cut off before it can
+            // spin the loop hot.
+            if (++error_strikes_[p.fd] >= kMaxErrorStrikes)
+                unwatch(p.fd);
         }
     }
     return true;

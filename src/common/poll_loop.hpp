@@ -9,6 +9,17 @@
  * fire in deadline order off the monotonic clock, and run() interleaves
  * the two until told to stop. Both ends of a loopback test can share
  * one loop in one process; the daemon runs one per process.
+ *
+ * Long-lived daemons additionally need the loop to survive the ugly
+ * parts of poll(2): an interrupted wait (EINTR — signals are routine
+ * under a chaos supervisor) is treated as a timeout, never an error;
+ * POLLERR/POLLHUP are delivered to the handler like any readiness so
+ * a connection handler can drain-and-close; an fd that turns invalid
+ * under the loop (POLLNVAL — closed without unwatch) is dropped
+ * immediately; and an fd that reports *only* error bits repeatedly
+ * while its handler leaves the registration untouched is force-
+ * unwatched after a bounded number of strikes, so a handler bug can
+ * degrade a connection but never spin the daemon at 100% CPU.
  */
 #ifndef ROG_COMMON_POLL_LOOP_HPP
 #define ROG_COMMON_POLL_LOOP_HPP
@@ -32,12 +43,19 @@ class PollLoop
 
     PollLoop() = default;
 
+    /** Consecutive error-only wakeups before an fd whose handler
+     *  never reacts is force-unwatched (anti-spin backstop). */
+    static constexpr int kMaxErrorStrikes = 8;
+
     /** Watch @p fd for @p events (POLLIN/POLLOUT); replaces any prior
      *  registration of the same fd. */
     void watch(int fd, short events, FdHandler handler);
 
     /** Stop watching @p fd (safe from inside its own handler). */
     void unwatch(int fd);
+
+    /** True while @p fd is registered. */
+    bool watching(int fd) const { return fds_.count(fd) != 0; }
 
     /** Fire @p fn once, @p delay_s seconds from now. */
     TimerHandle after(double delay_s, std::function<void()> fn);
@@ -76,6 +94,7 @@ class PollLoop
     std::map<TimerHandle, Timer> timers_;
     TimerHandle next_timer_ = 1;
     std::map<int, short> fd_events_;
+    std::map<int, int> error_strikes_; //!< consecutive error-only wakes.
 };
 
 } // namespace rog

@@ -1,0 +1,220 @@
+#include "core/chaos_check.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/server_checkpoint.hpp"
+#include "net/transport/event_log.hpp"
+#include "nn/serialize.hpp"
+
+namespace rog {
+namespace core {
+
+namespace {
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** "key value" pairs from a summary file. */
+std::map<std::string, std::string>
+readSummary(const std::string &path)
+{
+    std::map<std::string, std::string> kv;
+    std::ifstream is(path);
+    std::string key;
+    std::string value;
+    while (is >> key >> value)
+        kv[key] = value;
+    return kv;
+}
+
+} // namespace
+
+ChaosCheckResult
+checkChaosRun(const NodeRunConfig &cfg, const ChaosCheckOptions &opts)
+{
+    ChaosCheckResult res;
+    std::ostringstream report;
+    const std::string &dir = cfg.artifact_dir;
+    auto violate = [&](const std::string &what) {
+        res.violations.push_back(what);
+    };
+
+    // 1. Server checkpoint: present and CRC-clean.
+    try {
+        const ServerCheckpoint ckpt =
+            readServerCheckpointFile(dir + "/checkpoint.rogs");
+        report << "checkpoint: ok (iter " << ckpt.iteration << ")\n";
+    } catch (const std::exception &e) {
+        violate(std::string("checkpoint unreadable: ") + e.what());
+        report << "checkpoint: FAIL\n";
+    }
+
+    // 2. Final model: CRC-clean and finite under evaluation.
+    double metric = std::nan("");
+    try {
+        std::unique_ptr<Workload> workload = makeNodeWorkload(cfg);
+        std::unique_ptr<nn::Model> model = workload->buildReplica();
+        nn::loadModelFile(dir + "/model.rogm", *model);
+        metric = workload->evaluate(*model);
+        if (!std::isfinite(metric))
+            violate("final model evaluates non-finite");
+        report << "model: ok (" << workload->metricName() << ' '
+               << metric << ")\n";
+    } catch (const std::exception &e) {
+        violate(std::string("final model unreadable: ") + e.what());
+        report << "model: FAIL\n";
+    }
+
+    // 3. Application-level exactly-once + 5. membership outcomes,
+    //    both from the structured server run log.
+    std::set<std::size_t> admitted_restart; //!< admit with inc >= 1.
+    std::set<std::size_t> evicted;
+    std::set<std::size_t> byed;
+    {
+        std::set<std::string> applied;
+        std::size_t dup_applies = 0;
+        for (const std::string &line :
+             readLines(dir + "/server_run.log")) {
+            double t = 0.0;
+            std::size_t w = 0;
+            long long iter = 0;
+            std::size_t unit = 0;
+            unsigned inc = 0;
+            char mode[16] = {0};
+            if (std::sscanf(line.c_str(),
+                            "t=%lf apply w=%zu iter=%lld unit=%zu", &t,
+                            &w, &iter, &unit) == 4) {
+                std::ostringstream key;
+                key << w << ':' << iter << ':' << unit;
+                if (!applied.insert(key.str()).second) {
+                    ++dup_applies;
+                    violate("gradient applied twice: w=" +
+                            std::to_string(w) +
+                            " iter=" + std::to_string(iter) +
+                            " unit=" + std::to_string(unit));
+                }
+            } else if (std::sscanf(line.c_str(),
+                                   "t=%lf admit w=%zu mode=%15s "
+                                   "session=%*u start=%*d inc=%u",
+                                   &t, &w, mode, &inc) >= 3) {
+                if (inc >= 1)
+                    admitted_restart.insert(w);
+            } else if (std::sscanf(line.c_str(), "t=%lf evict w=%zu",
+                                   &t, &w) == 2) {
+                evicted.insert(w);
+            } else if (std::sscanf(line.c_str(),
+                                   "t=%lf bye w=%zu", &t, &w) == 2) {
+                byed.insert(w);
+            }
+        }
+        report << "applies: " << applied.size() << " unique, "
+               << dup_applies << " double-applied\n";
+    }
+
+    // 4. Transport-level exactly-once from the server's receiver
+    //    event log: one Deliver per key, one fresh Accept per chunk.
+    {
+        std::ifstream is(dir + "/server_events.log");
+        std::stringstream buf;
+        buf << is.rdbuf();
+        const net::transport::LogParseResult parsed =
+            net::transport::tryParseLog(buf.str());
+        if (!parsed.error.empty()) {
+            violate("server event log unparsable: " + parsed.error);
+            report << "transport log: FAIL\n";
+        } else {
+            std::map<std::string, std::size_t> delivers;
+            std::set<std::string> accepts;
+            std::size_t dup_delivers = 0;
+            std::size_t dup_accepts = 0;
+            for (const auto &ev : parsed.events) {
+                std::ostringstream key;
+                key << ev.key.worker << ':' << ev.key.version << ':'
+                    << ev.key.row << ':' << ev.key.pull;
+                if (ev.kind ==
+                    net::transport::TransportEvent::Kind::Deliver) {
+                    if (++delivers[key.str()] > 1) {
+                        ++dup_delivers;
+                        violate("transport delivered twice: key " +
+                                key.str());
+                    }
+                } else if (ev.kind == net::transport::TransportEvent::
+                                          Kind::Accept) {
+                    key << '#' << ev.chunk_seq;
+                    if (!accepts.insert(key.str()).second) {
+                        ++dup_accepts;
+                        violate("chunk accepted fresh twice: " +
+                                key.str());
+                    }
+                }
+            }
+            report << "transport log: " << parsed.events.size()
+                   << " events, " << dup_delivers
+                   << " double-delivers, " << dup_accepts
+                   << " double-accepts\n";
+        }
+    }
+
+    // 5. Every killed worker must have been evicted or re-admitted
+    //    as a restarted incarnation — a silent disappearance is a
+    //    failure-detection bug.
+    for (std::size_t w : opts.killed_workers) {
+        if (admitted_restart.count(w) == 0 && evicted.count(w) == 0)
+            violate("killed worker neither evicted nor re-admitted: "
+                    "w=" +
+                    std::to_string(w));
+        if (opts.require_all_bye && byed.count(w) == 0)
+            violate("killed+restarted worker never finished: w=" +
+                    std::to_string(w));
+    }
+    if (opts.require_all_bye) {
+        for (std::size_t w = 0; w < cfg.workers; ++w)
+            if (byed.count(w) == 0)
+                violate("worker never said bye: w=" +
+                        std::to_string(w));
+    }
+    report << "membership: " << admitted_restart.size()
+           << " restarted-admits, " << evicted.size() << " evictions, "
+           << byed.size() << " byes\n";
+
+    // 6. Metric within tolerance of the fault-free DES twin.
+    {
+        const auto twin = readSummary(dir + "/des_summary.txt");
+        auto it = twin.find("metric");
+        if (it == twin.end()) {
+            if (opts.require_twin)
+                violate("no DES twin summary to compare against");
+            report << "twin: absent\n";
+        } else if (std::isfinite(metric)) {
+            const double ref = std::stod(it->second);
+            const double delta = std::fabs(metric - ref);
+            if (!(delta <= opts.metric_tolerance))
+                violate("metric " + std::to_string(metric) +
+                        " deviates from twin " + it->second + " by " +
+                        std::to_string(delta) + " (tolerance " +
+                        std::to_string(opts.metric_tolerance) + ")");
+            report << "twin: ref " << ref << ", delta " << delta
+                   << "\n";
+        }
+    }
+
+    res.ok = res.violations.empty();
+    res.report = report.str();
+    return res;
+}
+
+} // namespace core
+} // namespace rog

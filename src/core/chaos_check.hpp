@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Post-mortem invariant verification of a chaos run.
+ *
+ * The chaos supervisor (tools/rog_chaos) SIGKILLs workers mid-push,
+ * restarts them, and injects seeded wire faults; this checker then
+ * reads only the run's on-disk artifacts — no live process state —
+ * and decides whether the system stayed correct:
+ *
+ *  1. The server checkpoint parses with a valid CRC (crash-consistent
+ *     write survived the run).
+ *  2. The final model file parses with a valid CRC and evaluates to a
+ *     finite metric.
+ *  3. No (worker, iteration, unit) gradient was applied twice
+ *     (application-level exactly-once, from the server run log).
+ *  4. The server's transport event log shows no receiver-side
+ *     exactly-once violation: at most one Deliver per message key, at
+ *     most one fresh Accept per (key, chunk).
+ *  5. Every killed worker was either evicted or re-admitted (and when
+ *     the run requires it, finished with a Bye).
+ *  6. The final metric is within tolerance of the fault-free DES twin
+ *     of the same seed and plan.
+ *
+ * Violations are returned as human-readable strings; an empty list is
+ * a passing run.
+ */
+#ifndef ROG_CORE_CHAOS_CHECK_HPP
+#define ROG_CORE_CHAOS_CHECK_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/node_runner.hpp"
+
+namespace rog {
+namespace core {
+
+struct ChaosCheckOptions
+{
+    /** Workers the supervisor killed at least once. */
+    std::vector<std::size_t> killed_workers;
+
+    /** Require a Bye from every worker (restart-all scenarios). */
+    bool require_all_bye = true;
+
+    /** |metric - twin metric| bound, in metric units (accuracy
+     *  percentage points for CRUDA). */
+    double metric_tolerance = 15.0;
+
+    /** Skip invariant 6 when no DES twin summary exists. */
+    bool require_twin = true;
+};
+
+struct ChaosCheckResult
+{
+    bool ok = false;
+    std::vector<std::string> violations;
+    /** One-line-per-check human readable report. */
+    std::string report;
+};
+
+/** Verify the artifacts under cfg.artifact_dir. */
+ChaosCheckResult checkChaosRun(const NodeRunConfig &cfg,
+                               const ChaosCheckOptions &opts);
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_CHAOS_CHECK_HPP

@@ -1,0 +1,922 @@
+#include "core/node_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "core/server_checkpoint.hpp"
+#include "net/transport/backend.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+
+namespace rog {
+namespace core {
+
+using net::session::AdmitMode;
+using net::session::admitModeName;
+using net::session::Bye;
+using net::session::FabricTimer;
+using net::session::Heartbeat;
+using net::session::Hello;
+using net::session::isControlRow;
+using net::session::kServerNode;
+using net::session::MessageKey;
+using net::session::packVersion;
+using net::session::PullData;
+using net::session::PullReq;
+using net::session::Reject;
+using net::session::rejectReasonName;
+using net::session::RejectReason;
+using net::session::UnitUpdate;
+using net::session::versionScope;
+using net::session::versionSeq;
+using net::session::Welcome;
+using net::session::workerNode;
+using net::transport::kNoDeadline;
+
+namespace {
+
+std::string
+fmt(double t, const char *body)
+{
+    std::ostringstream os;
+    os << "t=" << t << ' ' << body;
+    return os.str();
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// ServerNode
+// --------------------------------------------------------------------
+
+ServerNode::ServerNode(net::session::Fabric &fabric, Workload &workload,
+                       const NodeTrainConfig &cfg, NodeLogger log)
+    : fabric_(fabric), workload_(workload), cfg_(cfg),
+      log_(std::move(log)), model_(workload.buildReplica()),
+      flat_(std::make_unique<FlatModel>(*model_)),
+      partition_(
+          std::make_unique<RowPartition>(*flat_, cfg.granularity)),
+      opt_(std::make_unique<nn::SgdMomentum>(
+          *model_, workload.optimizerConfig())),
+      table_(workload.workers(), cfg.epoch, cfg.session_salt),
+      versions_(workload.workers(), partition_->unitCount()),
+      state_(workload.workers(), *partition_),
+      mta_(workload.workers()),
+      tracker_(workload.workers(), cfg.detector),
+      peers_(workload.workers())
+{
+}
+
+ServerNode::~ServerNode()
+{
+    if (member_timer_ != 0)
+        fabric_.cancelTimer(member_timer_);
+}
+
+void
+ServerNode::logLine(const std::string &line)
+{
+    if (log_)
+        log_(line);
+}
+
+void
+ServerNode::start()
+{
+    fabric_.setMessageHandler(
+        [this](const MessageKey &key, std::vector<std::uint8_t> &&b) {
+            onMessage(key, std::move(b));
+        });
+    member_timer_ = fabric_.after(cfg_.detector.check_interval_s,
+                                  [this] { evaluateMembership(); });
+    logLine(fmt(fabric_.now(), "server_start"));
+}
+
+void
+ServerNode::onMessage(const MessageKey &key,
+                      std::vector<std::uint8_t> &&bytes)
+{
+    if (!isControlRow(key.row)) {
+        onPush(key, std::move(bytes));
+        return;
+    }
+    switch (key.row) {
+    case net::session::kRowHello:
+        onHello(std::move(bytes));
+        return;
+    case net::session::kRowPullReq:
+        onPullReq(key, std::move(bytes));
+        return;
+    case net::session::kRowHeartbeat:
+        onHeartbeat(key, std::move(bytes));
+        return;
+    case net::session::kRowBye:
+        onBye(key, std::move(bytes));
+        return;
+    default:
+        return; // not addressed to a server.
+    }
+}
+
+bool
+ServerNode::sessionCurrent(std::size_t w, std::int64_t version)
+{
+    if (w < peers_.size() && table_.isCurrent(w, versionScope(version)))
+        return true;
+    ++stale_drops_;
+    std::ostringstream os;
+    os << "stale_drop w=" << w << " scope=" << versionScope(version);
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    return false;
+}
+
+void
+ServerNode::onHello(std::vector<std::uint8_t> &&bytes)
+{
+    Hello h;
+    if (!net::session::parse(bytes, h) || h.worker >= peers_.size())
+        return;
+    const std::size_t w = h.worker;
+    const double now = fabric_.now();
+    const net::session::Admission a = table_.onHello(h);
+
+    // A handshake (either way) proves the old return path is stale:
+    // (re)connect to the worker's receiver before answering.
+    WorkerPeer &peer = peers_[w];
+    peer.host = "127.0.0.1";
+    peer.port = h.rx_port;
+    peer.connected =
+        fabric_.connectPeer(workerNode(w), peer.host, peer.port);
+
+    if (!a.admitted) {
+        Reject rej;
+        rej.nonce = h.nonce;
+        rej.reason = a.reject;
+        rej.server_epoch = table_.epoch();
+        std::ostringstream os;
+        os << "reject w=" << w
+           << " reason=" << rejectReasonName(a.reject)
+           << " inc=" << h.incarnation;
+        logLine(fmt(now, os.str().c_str()));
+        MessageKey key{static_cast<std::uint16_t>(w),
+                       packVersion(0, ctrl_seq_++),
+                       net::session::kRowReject, true};
+        fabric_.sendTo(workerNode(w), key, net::session::encode(rej),
+                       now + cfg_.welcome_timeout_s, {});
+        return;
+    }
+
+    // Membership lifecycle: a restarted process and a simulated
+    // crash/rejoin walk the same transitions.
+    if (tracker_.active(w)) {
+        switch (tracker_.state(w)) {
+        case MemberState::Dead:
+            tracker_.markRejoining(w, now);
+            tracker_.markRejoined(w, now);
+            break;
+        case MemberState::Rejoining:
+            tracker_.markRejoined(w, now);
+            break;
+        default:
+            tracker_.resetStats(w, now);
+            break;
+        }
+    }
+
+    // Version re-entry: never below anything the worker already
+    // pushed, so its next push is fresh by construction.
+    std::int64_t start = a.start_iter;
+    if (a.mode != AdmitMode::Fresh) {
+        start = std::max(start, versions_.maxVersionOfWorker(w));
+        versions_.rejoinWorker(w, start);
+    }
+
+    // Rejoin resyncs to the canonical model, which already reflects
+    // every averaged gradient the worker missed: drop its pending
+    // copies or they would be applied twice. Resume keeps them — that
+    // is the whole point of resuming.
+    if (a.mode == AdmitMode::Rejoin)
+        state_.clearWorker(w);
+
+    peer.pending_pull = -1;
+    peer.bye = false;
+
+    Welcome wmsg;
+    wmsg.nonce = h.nonce;
+    wmsg.session = a.session;
+    wmsg.resume_token = a.resume_token;
+    wmsg.mode = a.mode;
+    wmsg.start_iter = start;
+    wmsg.epoch = table_.epoch();
+    if (a.mode != AdmitMode::Resume)
+        wmsg.model = modelBytes();
+
+    std::ostringstream os;
+    os << "admit w=" << w << " mode=" << admitModeName(a.mode)
+       << " session=" << a.session << " start=" << start
+       << " inc=" << h.incarnation
+       << " model_bytes=" << wmsg.model.size();
+    logLine(fmt(now, os.str().c_str()));
+
+    MessageKey key{static_cast<std::uint16_t>(w),
+                   packVersion(0, ctrl_seq_++),
+                   net::session::kRowWelcome, true};
+    fabric_.sendTo(workerNode(w), key, net::session::encode(wmsg),
+                   now + cfg_.welcome_timeout_s, {});
+    answerReadyPulls();
+}
+
+void
+ServerNode::onPush(const MessageKey &key,
+                   std::vector<std::uint8_t> &&bytes)
+{
+    const std::size_t w = key.worker;
+    if (w >= peers_.size() || !sessionCurrent(w, key.version))
+        return;
+    const std::int64_t iter = versionSeq(key.version);
+    const std::size_t unit = key.row;
+    if (unit >= partition_->unitCount())
+        return;
+    std::vector<float> decoded;
+    if (!net::session::parseFloats(bytes, decoded) ||
+        decoded.size() != partition_->unit(unit).width)
+        return;
+
+    // Application-level exactly-once: the version matrix is monotone
+    // per (worker, unit), so a retransmitted or replayed push (e.g. a
+    // restarted worker redoing its last iteration) is recorded, never
+    // applied.
+    if (iter <= versions_.get(w, unit)) {
+        ++duplicate_pushes_;
+        std::ostringstream os;
+        os << "dup_push w=" << w << " iter=" << iter
+           << " unit=" << unit;
+        logLine(fmt(fabric_.now(), os.str().c_str()));
+        return;
+    }
+
+    state_.accumulate(unit, decoded);
+    state_.noteUpdate(unit, iter);
+    versions_.update(w, unit, iter);
+
+    // The canonical model eats the same 1/num share every outbox
+    // gets, so a rejoiner resyncing from it owes nothing twice.
+    const float inv =
+        1.0f / static_cast<float>(workload_.workers());
+    scaled_.resize(decoded.size());
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        scaled_[i] = decoded[i] * inv;
+    const Unit &u = partition_->unit(unit);
+    flat_->forEachRowChunk(
+        u.begin, u.width,
+        [&](std::size_t row, std::size_t col_begin, std::size_t count,
+            std::size_t off) {
+            opt_->applyRowRange(
+                row, col_begin,
+                std::span<const float>(scaled_.data() + off, count));
+        });
+
+    ++applied_pushes_;
+    ++applies_since_ckpt_;
+    std::ostringstream os;
+    os << "apply w=" << w << " iter=" << iter << " unit=" << unit;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    maybeCheckpoint();
+    answerReadyPulls();
+}
+
+void
+ServerNode::onPullReq(const MessageKey &key,
+                      std::vector<std::uint8_t> &&bytes)
+{
+    PullReq req;
+    if (!net::session::parse(bytes, req) ||
+        req.worker >= peers_.size())
+        return;
+    const std::size_t w = req.worker;
+    if (!sessionCurrent(w, key.version))
+        return;
+    table_.noteProgress(w, req.iter - 1);
+    peers_[w].pending_pull = req.iter;
+    std::ostringstream os;
+    os << "pull_req w=" << w << " iter=" << req.iter;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    answerReadyPulls();
+}
+
+void
+ServerNode::onHeartbeat(const MessageKey &key,
+                        std::vector<std::uint8_t> &&bytes)
+{
+    Heartbeat hb;
+    if (!net::session::parse(bytes, hb) ||
+        hb.worker >= peers_.size())
+        return;
+    if (!sessionCurrent(hb.worker, key.version))
+        return;
+    if (tracker_.active(hb.worker))
+        tracker_.observeHeartbeat(hb.worker, fabric_.now());
+    table_.noteProgress(hb.worker, hb.iter);
+}
+
+void
+ServerNode::onBye(const MessageKey &key,
+                  std::vector<std::uint8_t> &&bytes)
+{
+    Bye bye;
+    if (!net::session::parse(bytes, bye) ||
+        bye.worker >= peers_.size())
+        return;
+    const std::size_t w = bye.worker;
+    if (!sessionCurrent(w, key.version) || peers_[w].bye)
+        return;
+    table_.noteProgress(w, bye.done_iter);
+    peers_[w].bye = true;
+    peers_[w].pending_pull = -1;
+    versions_.retireWorker(w);
+    tracker_.deactivate(w);
+    std::ostringstream os;
+    os << "bye w=" << w << " done_iter=" << bye.done_iter;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    answerReadyPulls();
+    checkDone();
+}
+
+void
+ServerNode::evaluateMembership()
+{
+    const double now = fabric_.now();
+    for (const MembershipEvent &ev : tracker_.evaluate(now)) {
+        std::ostringstream os;
+        os << "member w=" << ev.worker
+           << " from=" << memberStateName(ev.from)
+           << " to=" << memberStateName(ev.to) << " phi=" << ev.phi;
+        logLine(fmt(ev.time, os.str().c_str()));
+        if (ev.to == MemberState::Dead)
+            evictWorker(ev.worker);
+    }
+    if (!done_)
+        member_timer_ = fabric_.after(cfg_.detector.check_interval_s,
+                                      [this] { evaluateMembership(); });
+    else
+        member_timer_ = 0;
+}
+
+void
+ServerNode::evictWorker(std::size_t w)
+{
+    if (peers_[w].bye)
+        return;
+    versions_.retireWorker(w);
+    state_.clearWorker(w);
+    peers_[w].pending_pull = -1;
+    std::ostringstream os;
+    os << "evict w=" << w;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    answerReadyPulls();
+}
+
+bool
+ServerNode::gateOpen(std::int64_t iter) const
+{
+    // RSP's gate (Algo 2): wait while n - min(V) >= threshold.
+    return iter - versions_.minWorkerIteration() < cfg_.staleness;
+}
+
+void
+ServerNode::answerReadyPulls()
+{
+    for (std::size_t w = 0; w < peers_.size(); ++w)
+        if (peers_[w].pending_pull >= 0 &&
+            gateOpen(peers_[w].pending_pull))
+            answerPull(w, peers_[w].pending_pull);
+}
+
+void
+ServerNode::answerPull(std::size_t w, std::int64_t iter)
+{
+    PullData pd;
+    pd.iter = iter;
+    pd.min_done = versions_.minWorkerIteration();
+    for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
+        if (!state_.hasPending(w, u))
+            continue;
+        UnitUpdate up;
+        up.unit = static_cast<std::uint32_t>(u);
+        std::span<float> pending = state_.pending(w, u);
+        up.values.assign(pending.begin(), pending.end());
+        pd.units.push_back(std::move(up));
+        state_.clearPending(w, u);
+    }
+    peers_[w].pending_pull = -1;
+    table_.noteResponse(w, iter);
+
+    std::ostringstream os;
+    os << "pull_answer w=" << w << " iter=" << iter
+       << " units=" << pd.units.size();
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+
+    MessageKey key{static_cast<std::uint16_t>(w),
+                   packVersion(table_.sessionOf(w), iter),
+                   net::session::kRowPullData, true};
+    fabric_.sendTo(workerNode(w), key, net::session::encode(pd),
+                   fabric_.now() + cfg_.pull_timeout_s, {});
+}
+
+void
+ServerNode::maybeCheckpoint()
+{
+    if (cfg_.checkpoint_path.empty() || cfg_.checkpoint_every == 0 ||
+        applies_since_ckpt_ < cfg_.checkpoint_every)
+        return;
+    checkpointNow();
+}
+
+void
+ServerNode::checkpointNow()
+{
+    if (cfg_.checkpoint_path.empty())
+        return;
+    ServerCheckpoint ckpt;
+    ckpt.iteration = versions_.minWorkerIteration();
+    ckpt.msg_seq = ctrl_seq_;
+    ckpt.versions = versions_.snapshot();
+    ckpt.server = state_.snapshot();
+    ckpt.tracker = mta_.snapshot();
+    writeServerCheckpointFile(cfg_.checkpoint_path, ckpt);
+    applies_since_ckpt_ = 0;
+    std::ostringstream os;
+    os << "checkpoint iter=" << ckpt.iteration
+       << " applied=" << applied_pushes_;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+}
+
+void
+ServerNode::checkDone()
+{
+    for (const WorkerPeer &p : peers_)
+        if (!p.bye)
+            return;
+    done_ = true;
+    checkpointNow();
+    logLine(fmt(fabric_.now(), "server_done"));
+}
+
+double
+ServerNode::evaluateModel()
+{
+    return workload_.evaluate(*model_);
+}
+
+std::vector<std::uint8_t>
+ServerNode::modelBytes()
+{
+    std::ostringstream os;
+    nn::saveModel(os, *model_);
+    const std::string s = os.str();
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// --------------------------------------------------------------------
+// WorkerNode
+// --------------------------------------------------------------------
+
+WorkerNode::WorkerNode(net::session::Fabric &fabric, Workload &workload,
+                       const NodeTrainConfig &cfg, std::size_t worker,
+                       const WorkerResumeState &resume, NodeLogger log)
+    : fabric_(fabric), workload_(workload), cfg_(cfg), worker_(worker),
+      log_(std::move(log)), model_(workload.buildReplica()),
+      flat_(std::make_unique<FlatModel>(*model_)),
+      partition_(
+          std::make_unique<RowPartition>(*flat_, cfg.granularity)),
+      opt_(std::make_unique<nn::SgdMomentum>(
+          *model_, workload.optimizerConfig())),
+      codec_(compress::makeCodec(cfg.codec)),
+      sampler_(workload.makeSampler(worker)),
+      incarnation_(resume.incarnation),
+      resume_token_(resume.resume_token), epoch_(cfg.epoch),
+      done_iter_(resume.last_done_iter)
+{
+    // A resume claim is only honest with the checkpointed model on
+    // disk; without it, fall back to a fresh (token-less) handshake.
+    if (resume_token_ != 0) {
+        bool loaded = false;
+        if (!cfg_.worker_state_dir.empty()) {
+            try {
+                nn::loadModelFile(cfg_.worker_state_dir + "/worker" +
+                                      std::to_string(worker_) + ".rogm",
+                                  *model_);
+                loaded = true;
+            } catch (const std::exception &) {
+                loaded = false;
+            }
+        }
+        if (!loaded) {
+            resume_token_ = 0;
+            done_iter_ = 0;
+        }
+    }
+}
+
+WorkerNode::~WorkerNode()
+{
+    if (hello_timer_ != 0)
+        fabric_.cancelTimer(hello_timer_);
+    if (heartbeat_timer_ != 0)
+        fabric_.cancelTimer(heartbeat_timer_);
+}
+
+void
+WorkerNode::logLine(const std::string &line)
+{
+    if (log_)
+        log_(line);
+}
+
+void
+WorkerNode::start(const std::string &server_host,
+                  std::uint16_t server_port)
+{
+    server_host_ = server_host;
+    server_port_ = server_port;
+    fabric_.setMessageHandler(
+        [this](const MessageKey &key, std::vector<std::uint8_t> &&b) {
+            onMessage(key, std::move(b));
+        });
+    if (!fabric_.connectPeer(kServerNode, server_host_, server_port_)) {
+        logLine(fmt(fabric_.now(), "connect_failed"));
+        phase_ = Phase::Failed;
+        return;
+    }
+    sendHello();
+    armHelloRetry();
+}
+
+void
+WorkerNode::onMessage(const MessageKey &key,
+                      std::vector<std::uint8_t> &&bytes)
+{
+    switch (key.row) {
+    case net::session::kRowWelcome:
+        onWelcome(std::move(bytes));
+        return;
+    case net::session::kRowReject:
+        onReject(std::move(bytes));
+        return;
+    case net::session::kRowPullData:
+        // Only this live session's responses count; a slow PullData
+        // from a pre-restart session must not double-apply.
+        if (session_ != 0 && versionScope(key.version) == session_)
+            onPullData(std::move(bytes));
+        return;
+    default:
+        return; // not addressed to a worker.
+    }
+}
+
+void
+WorkerNode::sendHello()
+{
+    hello_nonce_ = (static_cast<std::uint64_t>(worker_) << 40) ^
+                   (static_cast<std::uint64_t>(incarnation_) << 20) ^
+                   hello_seq_;
+    Hello h;
+    h.worker = static_cast<std::uint16_t>(worker_);
+    h.incarnation = incarnation_;
+    h.epoch = epoch_;
+    h.resume_token = resume_token_;
+    h.nonce = hello_nonce_;
+    h.rx_port = fabric_.listenPort();
+    h.last_done_iter = done_iter_;
+
+    std::ostringstream os;
+    os << "hello try=" << hello_tries_ << " inc=" << incarnation_
+       << " token=" << resume_token_ << " done_iter=" << done_iter_;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+
+    MessageKey key{static_cast<std::uint16_t>(worker_),
+                   packVersion(incarnation_, hello_seq_++),
+                   net::session::kRowHello, false};
+    fabric_.sendTo(kServerNode, key, net::session::encode(h),
+                   fabric_.now() + cfg_.hello_retry_max_s, {});
+}
+
+void
+WorkerNode::armHelloRetry()
+{
+    // Capped exponential: the same shape as the transport's retry
+    // backoff, so a long server outage costs a bounded poll rate.
+    const double exp2 = std::pow(
+        2.0, static_cast<double>(std::min<std::size_t>(
+                 hello_tries_, net::transport::kMaxBackoffExponent)));
+    const double delay = std::min(cfg_.hello_retry_max_s,
+                                  cfg_.hello_retry_base_s * exp2);
+    hello_timer_ = fabric_.after(delay, [this] {
+        hello_timer_ = 0;
+        if (phase_ != Phase::Hello)
+            return;
+        if (++hello_tries_ >= cfg_.hello_max_tries) {
+            logLine(fmt(fabric_.now(), "hello_giveup"));
+            phase_ = Phase::Failed;
+            return;
+        }
+        // The socket itself may be the problem (server restarted):
+        // reconnect before retrying.
+        fabric_.connectPeer(kServerNode, server_host_, server_port_);
+        sendHello();
+        armHelloRetry();
+    });
+}
+
+void
+WorkerNode::onWelcome(std::vector<std::uint8_t> &&bytes)
+{
+    Welcome w;
+    if (!net::session::parse(bytes, w) || w.nonce != hello_nonce_ ||
+        phase_ != Phase::Hello)
+        return;
+    if (hello_timer_ != 0) {
+        fabric_.cancelTimer(hello_timer_);
+        hello_timer_ = 0;
+    }
+    session_ = w.session;
+    resume_token_ = w.resume_token;
+    epoch_ = w.epoch;
+    admit_mode_ = w.mode;
+    done_iter_ = w.start_iter;
+    hello_tries_ = 0;
+
+    if (w.mode != AdmitMode::Resume && !w.model.empty()) {
+        std::string s(w.model.begin(), w.model.end());
+        std::istringstream is(s);
+        nn::loadModel(is, *model_);
+    }
+    // Fresh transmission state for a fresh session: the codec's error
+    // residual and the momentum buffers belong to the dead
+    // incarnation's stream (they are not part of the resume
+    // contract — the model checkpoint is).
+    codec_ = compress::makeCodec(cfg_.codec);
+    opt_ = std::make_unique<nn::SgdMomentum>(
+        *model_, workload_.optimizerConfig());
+
+    std::ostringstream os;
+    os << "welcome mode=" << admitModeName(w.mode)
+       << " session=" << session_ << " start=" << done_iter_
+       << " model_bytes=" << w.model.size();
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+
+    armHeartbeat();
+    beginIteration();
+}
+
+void
+WorkerNode::onReject(std::vector<std::uint8_t> &&bytes)
+{
+    Reject r;
+    if (!net::session::parse(bytes, r) || r.nonce != hello_nonce_ ||
+        phase_ != Phase::Hello)
+        return;
+    std::ostringstream os;
+    os << "rejected reason=" << rejectReasonName(r.reason);
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    if (r.reason == RejectReason::BadEpoch) {
+        epoch_ = r.server_epoch; // adopt and retry.
+    } else {
+        resume_token_ = 0; // stale claim: re-enter fresh.
+        done_iter_ = 0;
+    }
+    if (hello_timer_ != 0) {
+        fabric_.cancelTimer(hello_timer_);
+        hello_timer_ = 0;
+    }
+    ++hello_tries_;
+    sendHello();
+    armHelloRetry();
+}
+
+void
+WorkerNode::beginIteration()
+{
+    iter_ = done_iter_ + 1;
+    if (iter_ > cfg_.max_iters) {
+        finishRun();
+        return;
+    }
+    phase_ = Phase::Pushing;
+    {
+        std::ostringstream os;
+        os << "iter=" << iter_ << " phase=push_begin";
+        logLine(fmt(fabric_.now(), os.str().c_str()));
+    }
+
+    // One real training step (identical to the in-process engine).
+    data::Batch batch = sampler_.sample(workload_.batchSize());
+    model_->zeroGrad();
+    const tensor::Tensor &out = model_->forward(batch.features);
+    nn::LossResult loss =
+        batch.labels.empty()
+            ? nn::meanSquaredError(out, batch.targets)
+            : nn::softmaxCrossEntropy(out, batch.labels);
+    model_->backward(loss.grad);
+
+    // Push every synchronization unit through the codec. Deadline-less
+    // with unbounded chunk retries: a partition stalls the run, it
+    // does not corrupt it.
+    pushes_in_flight_ = partition_->unitCount();
+    push_failed_ = false;
+    const std::uint32_t session = session_;
+    for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
+        const Unit &unit = partition_->unit(u);
+        grad_.resize(unit.width);
+        decoded_.resize(unit.width);
+        flat_->gatherGrad(unit.begin, grad_);
+        codec_->transcodeRow(u, grad_, decoded_);
+        MessageKey key{static_cast<std::uint16_t>(worker_),
+                       packVersion(session, iter_),
+                       static_cast<std::uint32_t>(u), false};
+        fabric_.sendTo(
+            kServerNode, key, net::session::encodeFloats(decoded_),
+            kNoDeadline, [this, session](bool ok) {
+                if (session != session_ || phase_ != Phase::Pushing)
+                    return; // superseded by a resync.
+                if (!ok)
+                    push_failed_ = true;
+                if (--pushes_in_flight_ == 0)
+                    onPushesSettled();
+            });
+    }
+}
+
+void
+WorkerNode::onPushesSettled()
+{
+    if (push_failed_) {
+        resync("push_failed");
+        return;
+    }
+    {
+        std::ostringstream os;
+        os << "iter=" << iter_ << " phase=push_done";
+        logLine(fmt(fabric_.now(), os.str().c_str()));
+    }
+    phase_ = Phase::PullWait;
+    PullReq req;
+    req.worker = static_cast<std::uint16_t>(worker_);
+    req.iter = iter_;
+    MessageKey key{static_cast<std::uint16_t>(worker_),
+                   packVersion(session_, iter_),
+                   net::session::kRowPullReq, false};
+    const std::uint32_t session = session_;
+    fabric_.sendTo(kServerNode, key, net::session::encode(req),
+                   kNoDeadline, [this, session](bool ok) {
+                       if (!ok && session == session_ &&
+                           phase_ == Phase::PullWait)
+                           resync("pull_req_failed");
+                   });
+}
+
+void
+WorkerNode::onPullData(std::vector<std::uint8_t> &&bytes)
+{
+    PullData pd;
+    if (!net::session::parse(bytes, pd) || phase_ != Phase::PullWait ||
+        pd.iter != iter_)
+        return;
+    for (const UnitUpdate &u : pd.units)
+        applyUnit(u.unit, u.values);
+    done_iter_ = iter_;
+    writeLocalCheckpoint();
+    std::ostringstream os;
+    os << "iter=" << iter_ << " phase=applied units=" << pd.units.size();
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    beginIteration();
+}
+
+void
+WorkerNode::applyUnit(std::uint32_t unit, std::span<const float> values)
+{
+    if (unit >= partition_->unitCount() ||
+        values.size() != partition_->unit(unit).width)
+        return;
+    const Unit &u = partition_->unit(unit);
+    flat_->forEachRowChunk(
+        u.begin, u.width,
+        [&](std::size_t row, std::size_t col_begin, std::size_t count,
+            std::size_t off) {
+            opt_->applyRowRange(
+                row, col_begin,
+                std::span<const float>(values.data() + off, count));
+        });
+}
+
+void
+WorkerNode::writeLocalCheckpoint()
+{
+    if (cfg_.worker_state_dir.empty())
+        return;
+    const std::string base =
+        cfg_.worker_state_dir + "/worker" + std::to_string(worker_);
+    nn::saveModelFile(base + ".rogm", *model_);
+    // Tiny metadata sidecar, atomically renamed into place: token,
+    // durable iteration, incarnation.
+    const std::string tmp = base + ".meta.tmp";
+    {
+        std::ostringstream os;
+        os << resume_token_ << ' ' << done_iter_ << ' '
+           << incarnation_ << '\n';
+        FILE *f = std::fopen(tmp.c_str(), "w");
+        if (f == nullptr)
+            return;
+        const std::string s = os.str();
+        std::fwrite(s.data(), 1, s.size(), f);
+        std::fclose(f);
+    }
+    std::rename(tmp.c_str(), (base + ".meta").c_str());
+}
+
+void
+WorkerNode::finishRun()
+{
+    phase_ = Phase::Leaving;
+    if (heartbeat_timer_ != 0) {
+        fabric_.cancelTimer(heartbeat_timer_);
+        heartbeat_timer_ = 0;
+    }
+    Bye bye;
+    bye.worker = static_cast<std::uint16_t>(worker_);
+    bye.done_iter = done_iter_;
+    std::ostringstream os;
+    os << "bye done_iter=" << done_iter_;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    MessageKey key{static_cast<std::uint16_t>(worker_),
+                   packVersion(session_, 0), net::session::kRowBye,
+                   false};
+    fabric_.sendTo(kServerNode, key, net::session::encode(bye),
+                   fabric_.now() + cfg_.welcome_timeout_s,
+                   [this](bool) { phase_ = Phase::Done; });
+}
+
+void
+WorkerNode::armHeartbeat()
+{
+    heartbeat_timer_ =
+        fabric_.after(cfg_.detector.heartbeat_interval_s, [this] {
+            heartbeat_timer_ = 0;
+            if (!admitted() || phase_ == Phase::Leaving ||
+                phase_ == Phase::Done)
+                return;
+            sendHeartbeat();
+            armHeartbeat();
+        });
+}
+
+void
+WorkerNode::sendHeartbeat()
+{
+    Heartbeat hb;
+    hb.worker = static_cast<std::uint16_t>(worker_);
+    hb.iter = done_iter_;
+    MessageKey key{static_cast<std::uint16_t>(worker_),
+                   packVersion(session_, hb_seq_++),
+                   net::session::kRowHeartbeat, false};
+    // Best effort with a short deadline: a heartbeat that cannot get
+    // through quickly is worthless, and must never pile up retries.
+    fabric_.sendTo(kServerNode, key, net::session::encode(hb),
+                   fabric_.now() + 2.0 * cfg_.detector.heartbeat_interval_s,
+                   {});
+}
+
+void
+WorkerNode::resync(const char *why)
+{
+    std::ostringstream os;
+    os << "resync why=" << why;
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    if (heartbeat_timer_ != 0) {
+        fabric_.cancelTimer(heartbeat_timer_);
+        heartbeat_timer_ = 0;
+    }
+    if (hello_timer_ != 0) {
+        fabric_.cancelTimer(hello_timer_);
+        hello_timer_ = 0;
+    }
+    session_ = 0;
+    phase_ = Phase::Hello;
+    hello_tries_ = 0;
+    fabric_.dropPeer(kServerNode);
+    fabric_.connectPeer(kServerNode, server_host_, server_port_);
+    sendHello();
+    armHelloRetry();
+}
+
+std::int64_t
+WorkerNode::pushVersion(std::int64_t iter) const
+{
+    return packVersion(session_, iter);
+}
+
+} // namespace core
+} // namespace rog

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Process entry points for the session-layer training nodes.
+ *
+ * One NodeRunConfig describes a whole run — workload sizing,
+ * transport/backend selection (des | udp | tcp), fault plan, failure
+ * detector tuning, artifact paths — and is shared verbatim by the
+ * server process, every worker process, and the in-simulation DES
+ * twin, so "same run, different wire" is a config value, not a code
+ * path. The runners here own everything OS-flavored the node engine
+ * refuses to know about: poll loops, fabrics, artifact files, worker
+ * resume metadata, and run timeouts.
+ */
+#ifndef ROG_CORE_NODE_RUNNER_HPP
+#define ROG_CORE_NODE_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/node_engine.hpp"
+#include "fault/socket_fault.hpp"
+#include "net/transport/backend.hpp"
+#include "net/transport/socket_backend.hpp"
+
+namespace rog {
+namespace core {
+
+/** Everything one training run needs, for every role. */
+struct NodeRunConfig
+{
+    NodeTrainConfig train;
+
+    /** Tiny-CRUDA workload sizing (deterministic per seed). */
+    std::size_t workers = 4;
+    std::uint64_t workload_seed = 1234;
+
+    /** "des" | "udp" | "tcp". */
+    std::string backend = "udp";
+
+    net::transport::TransportConfig transport;
+    net::transport::SocketOptions socket;
+
+    /** Seeded wire faults on worker->server pushes (UDP only). */
+    fault::SocketFaultPlan fault_plan;
+    bool inject_faults = false;
+
+    /** Wall-clock (or simulated, for DES) run bound. */
+    double run_timeout_s = 120.0;
+
+    /** Logs / checkpoints / summaries land here ("" = none). */
+    std::string artifact_dir;
+
+    /** DES twin channel bandwidth. */
+    double des_rate_bps = 4.0e6;
+};
+
+/** Fill in the cross-role defaults a chaos run wants: fast failure
+ *  detection, unbounded chunk retries, quick transport backoff. */
+NodeRunConfig chaosRunDefaults();
+
+/** The tiny CRUDA workload every role builds identically. */
+std::unique_ptr<Workload> makeNodeWorkload(const NodeRunConfig &cfg);
+
+/** Worker resume metadata from `<dir>/worker<w>.meta` (incarnation
+ *  already bumped for the new process); zeros when absent. */
+WorkerResumeState loadWorkerResume(const std::string &state_dir,
+                                   std::size_t worker);
+
+struct ServerRunResult
+{
+    bool done = false; //!< every worker said Bye before the timeout.
+    double metric = 0.0;
+    std::string metric_name;
+    std::size_t applied_pushes = 0;
+    std::size_t duplicate_pushes = 0;
+    std::size_t stale_drops = 0;
+};
+
+/**
+ * Run the server role over real sockets until every worker finished
+ * or the timeout passed. @p on_listen fires with the bound port
+ * before the loop starts (the harness prints it for the workers).
+ * Writes artifacts (run log, receiver event log, final model,
+ * checkpoint, summary) under cfg.artifact_dir.
+ */
+ServerRunResult
+runServerNode(const NodeRunConfig &cfg,
+              const std::function<void(std::uint16_t)> &on_listen = {});
+
+struct WorkerRunResult
+{
+    bool done = false;
+    bool failed = false;
+    std::int64_t done_iter = 0;
+};
+
+/** Run one worker role over real sockets against @p host:@p port. */
+WorkerRunResult runWorkerNode(const NodeRunConfig &cfg,
+                              std::size_t worker,
+                              const std::string &host,
+                              std::uint16_t port);
+
+struct DesTwinResult
+{
+    bool done = false;
+    double metric = 0.0;
+    std::string metric_name;
+    std::size_t applied_pushes = 0;
+};
+
+/**
+ * The correctness twin: the identical engine/server code over the
+ * discrete-event fabric, fault-free, same seed and plan. Its metric
+ * is the reference the chaos checker compares a faulted socket run
+ * against.
+ */
+DesTwinResult runDesTwin(const NodeRunConfig &cfg);
+
+} // namespace core
+} // namespace rog
+
+#endif // ROG_CORE_NODE_RUNNER_HPP

@@ -1,0 +1,150 @@
+#include "net/session/des_fabric.hpp"
+
+#include "common/logging.hpp"
+#include "net/bandwidth_trace.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+
+using transport::MessageKey;
+using transport::ReliableLink;
+using transport::SendResult;
+
+double
+DesFabric::now() const
+{
+    return net_.sim_.now();
+}
+
+FabricTimer
+DesFabric::after(double delay_s, std::function<void()> fire)
+{
+    const FabricTimer id = next_timer_++;
+    timers_[id] = net_.sim_.after(delay_s, [this, id, fn = std::move(fire)] {
+        timers_.erase(id);
+        fn();
+    });
+    return id;
+}
+
+void
+DesFabric::cancelTimer(FabricTimer id)
+{
+    auto it = timers_.find(id);
+    if (it == timers_.end())
+        return;
+    net_.sim_.cancel(it->second);
+    timers_.erase(it);
+}
+
+bool
+DesFabric::connectPeer(int peer, const std::string &, std::uint16_t)
+{
+    // Simulated links never die; (re)connecting just (re)creates the
+    // pair so reconnect paths exercise the same code as sockets.
+    net_.pair(node_, peer).healthy = true;
+    return true;
+}
+
+bool
+DesFabric::hasPeer(int peer) const
+{
+    return net_.pairs_.count({node_, peer}) != 0;
+}
+
+bool
+DesFabric::peerHealthy(int peer) const
+{
+    auto it = net_.pairs_.find({node_, peer});
+    return it != net_.pairs_.end() && it->second.healthy;
+}
+
+void
+DesFabric::dropPeer(int peer)
+{
+    // Keep the pair (its exactly-once receiver state is the whole
+    // point) but mark it unhealthy until the next connectPeer.
+    auto it = net_.pairs_.find({node_, peer});
+    if (it != net_.pairs_.end())
+        it->second.healthy = false;
+}
+
+void
+DesFabric::sendTo(int peer, const MessageKey &key,
+                  std::span<const std::uint8_t> payload, double deadline_s,
+                  SendDone done)
+{
+    DesFabricNet::Pair &p = net_.pair(node_, peer);
+    ReliableLink *link = p.link.get();
+    link->startSendPayload(
+        0, key, payload, deadline_s,
+        [this, peer, key, link, done = std::move(done)](SendResult r) {
+            if (r.delivered) {
+                DesFabric &dst = net_.node(peer);
+                if (dst.handler_) {
+                    std::vector<std::uint8_t> bytes =
+                        link->deliveredPayload(key);
+                    dst.handler_(key, std::move(bytes));
+                }
+            }
+            if (done)
+                done(r.delivered);
+        });
+}
+
+void
+DesFabric::setMessageHandler(MessageHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+DesFabricNet::DesFabricNet(sim::Simulation &sim, double rate_bps,
+                           const transport::TransportConfig &cfg)
+    : sim_(sim), rate_bps_(rate_bps), cfg_(cfg)
+{
+}
+
+DesFabricNet::~DesFabricNet() = default;
+
+DesFabric &
+DesFabricNet::node(int node)
+{
+    auto it = nodes_.find(node);
+    if (it == nodes_.end())
+        it = nodes_
+                 .emplace(node, std::unique_ptr<DesFabric>(
+                                    new DesFabric(*this, node)))
+                 .first;
+    return *it->second;
+}
+
+DesFabricNet::Pair &
+DesFabricNet::pair(int src, int dst)
+{
+    auto it = pairs_.find({src, dst});
+    if (it != pairs_.end())
+        return it->second;
+    Pair p;
+    // Effectively infinite duration so long chaos twins never run off
+    // the end of the trace.
+    p.channel = std::make_unique<Channel>(
+        sim_, std::vector<BandwidthTrace>{
+                  BandwidthTrace::constant(rate_bps_, 1e6)});
+    transport::TransportConfig cfg = cfg_;
+    cfg.jitter_seed = next_jitter_seed_++;
+    p.link = std::make_unique<ReliableLink>(sim_, *p.channel, cfg);
+    return pairs_.emplace(std::make_pair(src, dst), std::move(p))
+        .first->second;
+}
+
+const std::vector<transport::TransportEvent> *
+DesFabricNet::linkLog(int src, int dst) const
+{
+    auto it = pairs_.find({src, dst});
+    return it == pairs_.end() ? nullptr : &it->second.link->log();
+}
+
+} // namespace session
+} // namespace net
+} // namespace rog

@@ -1,0 +1,122 @@
+#include "net/session/session.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed, deterministic. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SessionTable::SessionTable(std::size_t workers, std::uint64_t epoch,
+                           std::uint64_t salt)
+    : entries_(workers), epoch_(epoch), salt_(salt)
+{
+}
+
+std::uint64_t
+SessionTable::mintToken(const Hello &h) const
+{
+    std::uint64_t t = mix64(salt_ ^ mix64(h.worker));
+    t = mix64(t ^ h.incarnation);
+    t = mix64(t ^ admissions_);
+    t = mix64(t ^ h.nonce);
+    // 0 means "no token" on the wire; never mint it.
+    return t == 0 ? 1 : t;
+}
+
+Admission
+SessionTable::onHello(const Hello &h)
+{
+    ROG_ASSERT(h.worker < entries_.size(), "worker id out of range");
+    Entry &e = entries_[h.worker];
+    Admission a;
+
+    if (h.epoch != epoch_) {
+        a.reject = RejectReason::BadEpoch;
+        return a;
+    }
+    if (h.resume_token != 0 && h.resume_token != e.token) {
+        a.reject = RejectReason::StaleToken;
+        return a;
+    }
+
+    a.admitted = true;
+    if (!e.admitted_once) {
+        a.mode = AdmitMode::Fresh;
+        a.start_iter = 0;
+    } else if (h.resume_token != 0 &&
+               h.last_done_iter >= e.last_response_iter) {
+        // The worker's durable state is at least as fresh as the last
+        // outbox-clearing response we sent it: nothing it would need
+        // was discarded, so it may pick up where it left off without
+        // a model resync.
+        a.mode = AdmitMode::Resume;
+        a.start_iter = h.last_done_iter;
+    } else {
+        // Either no token (state lost) or the local checkpoint
+        // predates a pull response whose cleared gradients can no
+        // longer be replayed: full resync restores conservation.
+        a.mode = AdmitMode::Rejoin;
+        a.start_iter = e.last_done_iter;
+    }
+
+    ++admissions_;
+    e.session = next_session_++;
+    e.token = mintToken(h);
+    e.incarnation = h.incarnation;
+    e.admitted_once = true;
+    if (a.mode == AdmitMode::Resume)
+        e.last_done_iter = h.last_done_iter;
+    a.session = e.session;
+    a.resume_token = e.token;
+    return a;
+}
+
+void
+SessionTable::noteProgress(std::size_t worker, std::int64_t iter)
+{
+    ROG_ASSERT(worker < entries_.size(), "worker id out of range");
+    Entry &e = entries_[worker];
+    if (iter > e.last_done_iter)
+        e.last_done_iter = iter;
+}
+
+void
+SessionTable::noteResponse(std::size_t worker, std::int64_t iter)
+{
+    ROG_ASSERT(worker < entries_.size(), "worker id out of range");
+    Entry &e = entries_[worker];
+    if (iter > e.last_response_iter)
+        e.last_response_iter = iter;
+}
+
+bool
+SessionTable::isCurrent(std::size_t worker, std::uint32_t session) const
+{
+    return worker < entries_.size() && session != 0 &&
+           entries_[worker].session == session;
+}
+
+std::uint32_t
+SessionTable::sessionOf(std::size_t worker) const
+{
+    ROG_ASSERT(worker < entries_.size(), "worker id out of range");
+    return entries_[worker].session;
+}
+
+} // namespace session
+} // namespace net
+} // namespace rog

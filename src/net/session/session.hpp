@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SessionTable: the server's admission state machine.
+ *
+ * Pure logic, no I/O — the server node feeds it Hello messages and
+ * progress notes; it decides admit/reject and in which mode
+ * (fresh / rejoin-with-resync / resume-from-local-checkpoint), mints
+ * session ids and resume tokens, and remembers enough per worker to
+ * tell a returning process from an impostor or a time traveler:
+ *
+ *  - Epoch gate: a Hello carrying the wrong run epoch is rejected
+ *    with the server's epoch so the worker can adopt it and retry.
+ *    This fences off workers from a previous run of the same fleet.
+ *  - Token gate: a non-zero resume token that is not the one minted
+ *    for this worker's latest admission is rejected as stale — the
+ *    worker clears it and re-enters fresh (full resync).
+ *  - Resume downgrade: a valid token whose local checkpoint predates
+ *    the server's last pull response to that worker cannot resume —
+ *    the gradients cleared by that response would be lost — so the
+ *    admission downgrades to a Rejoin with a full model resync,
+ *    which restores gradient conservation by construction.
+ *
+ * Every admission gets a fresh session id (monotone) so stale
+ * messages from a dead incarnation are identifiable by version scope
+ * alone, and a fresh token derived deterministically from the table's
+ * salt — runs are reproducible, yet tokens never repeat.
+ */
+#ifndef ROG_NET_SESSION_SESSION_HPP
+#define ROG_NET_SESSION_SESSION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "net/session/wire.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+
+/** Outcome of SessionTable::onHello. */
+struct Admission
+{
+    bool admitted = false;
+    /** Valid when admitted. */
+    AdmitMode mode = AdmitMode::Fresh;
+    std::uint32_t session = 0;
+    std::uint64_t resume_token = 0;
+    std::int64_t start_iter = 0;
+    /** Valid when rejected. */
+    RejectReason reject = RejectReason::BadEpoch;
+};
+
+class SessionTable
+{
+  public:
+    /**
+     * @param workers fleet size; worker ids are [0, workers).
+     * @param epoch   run epoch all Hellos must match.
+     * @param salt    token-derivation seed (vary per run).
+     */
+    SessionTable(std::size_t workers, std::uint64_t epoch,
+                 std::uint64_t salt);
+
+    /** Decide admission for @p h. Mutates the table when admitted. */
+    Admission onHello(const Hello &h);
+
+    /** Worker finished (applied the pull of) iteration @p iter. */
+    void noteProgress(std::size_t worker, std::int64_t iter);
+
+    /**
+     * The server answered worker @p worker's pull for @p iter —
+     * pending outbox state was cleared, so any resume claim below
+     * this line must be downgraded to a full resync.
+     */
+    void noteResponse(std::size_t worker, std::int64_t iter);
+
+    /** True when @p session is worker @p worker's live session. */
+    bool isCurrent(std::size_t worker, std::uint32_t session) const;
+
+    /** Live session id for @p worker (0 = never admitted). */
+    std::uint32_t sessionOf(std::size_t worker) const;
+
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Total admissions (all workers, all modes). */
+    std::size_t admissions() const { return admissions_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t session = 0; //!< 0 = never admitted.
+        std::uint64_t token = 0;
+        std::uint32_t incarnation = 0;
+        std::int64_t last_done_iter = 0;
+        std::int64_t last_response_iter = 0;
+        bool admitted_once = false;
+    };
+
+    std::uint64_t mintToken(const Hello &h) const;
+
+    std::vector<Entry> entries_;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t salt_ = 0;
+    std::uint32_t next_session_ = 1;
+    std::size_t admissions_ = 0;
+};
+
+} // namespace session
+} // namespace net
+} // namespace rog
+
+#endif // ROG_NET_SESSION_SESSION_HPP

@@ -1,0 +1,154 @@
+#include "net/session/socket_fabric.hpp"
+
+#include "common/logging.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+
+using transport::MessageKey;
+using transport::SendResult;
+
+SocketFabric::SocketFabric(PollLoop &loop, int node,
+                           const SocketFabricOptions &opts)
+    : loop_(loop), node_(node), opts_(opts)
+{
+    ROG_ASSERT(opts_.kind == "udp" || opts_.kind == "tcp",
+               "unknown socket fabric kind");
+    if (opts_.kind == "udp") {
+        auto rx = std::make_unique<transport::UdpReceiverEndpoint>(
+            loop_, opts_.listen_port, nullptr, /*store_payload=*/true);
+        port_ = rx->port();
+        if (!rx->ok())
+            last_error_ = rx->error();
+        rx_ = std::move(rx);
+    } else {
+        auto rx = std::make_unique<transport::TcpReceiverEndpoint>(
+            loop_, opts_.listen_port, nullptr, /*store_payload=*/true);
+        port_ = rx->port();
+        if (!rx->ok())
+            last_error_ = rx->error();
+        rx_ = std::move(rx);
+    }
+}
+
+SocketFabric::~SocketFabric() = default;
+
+double
+SocketFabric::now() const
+{
+    return loop_.now();
+}
+
+FabricTimer
+SocketFabric::after(double delay_s, std::function<void()> fire)
+{
+    return loop_.after(delay_s, std::move(fire));
+}
+
+void
+SocketFabric::cancelTimer(FabricTimer id)
+{
+    loop_.cancel(id);
+}
+
+bool
+SocketFabric::connectPeer(int peer, const std::string &host,
+                          std::uint16_t port)
+{
+    // Replace wholesale: a reconnect abandons the old socket and its
+    // in-flight sends (their done callbacks already fired false or
+    // will be dropped with the backend).
+    peers_.erase(peer);
+    Peer p;
+    if (opts_.kind == "udp") {
+        if (opts_.inject_faults) {
+            fault::SocketFaultPlan plan = opts_.fault_plan;
+            // Decorrelate per-peer fault streams deterministically.
+            plan.seed = plan.seed * 1000003u + static_cast<std::uint64_t>(peer);
+            p.faults =
+                std::make_unique<fault::SocketFaultInjector>(plan);
+        }
+        p.backend = std::make_unique<transport::UdpBackend>(
+            loop_, host, port, opts_.socket, p.faults.get());
+    } else {
+        p.backend = std::make_unique<transport::TcpBackend>(
+            loop_, host, port, opts_.socket);
+    }
+    if (!p.backend->ok()) {
+        last_error_ = p.backend->error();
+        return false;
+    }
+    p.link = std::make_unique<transport::ReliableLink>(*p.backend,
+                                                       opts_.transport);
+    peers_.emplace(peer, std::move(p));
+    return true;
+}
+
+bool
+SocketFabric::hasPeer(int peer) const
+{
+    return peers_.count(peer) != 0;
+}
+
+bool
+SocketFabric::peerHealthy(int peer) const
+{
+    auto it = peers_.find(peer);
+    return it != peers_.end() && it->second.backend->ok();
+}
+
+void
+SocketFabric::dropPeer(int peer)
+{
+    peers_.erase(peer);
+}
+
+void
+SocketFabric::sendTo(int peer, const MessageKey &key,
+                     std::span<const std::uint8_t> payload,
+                     double deadline_s, SendDone done)
+{
+    auto it = peers_.find(peer);
+    ROG_ASSERT(it != peers_.end(), "sendTo before connectPeer");
+    it->second.link->startSendPayload(
+        0, key, payload, deadline_s,
+        [done = std::move(done)](SendResult r) {
+            if (done)
+                done(r.delivered);
+        });
+}
+
+void
+SocketFabric::setMessageHandler(MessageHandler handler)
+{
+    rx_->setDeliverySink(std::move(handler));
+}
+
+std::uint16_t
+SocketFabric::listenPort() const
+{
+    return port_;
+}
+
+const std::vector<transport::TransportEvent> &
+SocketFabric::receiverLog() const
+{
+    return rx_->log();
+}
+
+bool
+SocketFabric::ok() const
+{
+    return last_error_.empty() && rx_ && rx_->ok();
+}
+
+const std::string &
+SocketFabric::error() const
+{
+    return !last_error_.empty() ? last_error_ : rx_->error();
+}
+
+} // namespace session
+} // namespace net
+} // namespace rog

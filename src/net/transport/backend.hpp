@@ -73,6 +73,16 @@ struct TransportConfig
 inline constexpr double kNoDeadline =
     std::numeric_limits<double>::infinity();
 
+/**
+ * Ceiling on the retry backoff exponent. With unbounded retries (a
+ * partition lasting hours against max_attempts_per_chunk = 0) the
+ * doubling exponent would grow without limit; past ~2^32 the pow()
+ * result dwarfs any backoff_max_s and the exponent itself stops being
+ * meaningful in event logs. Delays saturate at
+ * min(backoff_max_s, base * 2^kMaxBackoffExponent) instead.
+ */
+inline constexpr std::size_t kMaxBackoffExponent = 32;
+
 /** Opaque one-shot timer handle (0 = invalid / never scheduled). */
 using TimerId = std::uint64_t;
 

@@ -414,7 +414,11 @@ ReliableLink::scheduleRetry(SendOp &op)
     ++op.res.retries;
     logEvent(TransportEvent::Kind::Backoff, op, op.seq, delay,
              static_cast<double>(op.backoff_exp));
-    ++op.backoff_exp;
+    // Saturate rather than double forever: a partition that outlives
+    // ~32 retries keeps the delay pinned at the cap instead of pushing
+    // the exponent into meaningless territory.
+    if (op.backoff_exp < kMaxBackoffExponent)
+        ++op.backoff_exp;
     op.res.backoff_s += delay;
     const std::uint64_t id = op.id;
     op.backoff_timer =

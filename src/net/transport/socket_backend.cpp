@@ -458,8 +458,16 @@ TcpBackend::onEvents(short revents)
                     fail("tcp recv");
                 break;
             }
-            if (n == 0)
-                break; // peer closed.
+            if (n == 0) {
+                // Peer closed. Stop watching so a dead stream cannot
+                // spin the loop; pending attempts time out and the
+                // session layer reconnects with a fresh backend.
+                loop_.unwatch(fd_.get());
+                connected_ = false;
+                if (last_error_.empty())
+                    last_error_ = "tcp peer closed";
+                break;
+            }
             in_.insert(in_.end(), buf, buf + n);
         }
         while (in_.size() >= FrameHeader::kWireSize) {
@@ -479,14 +487,23 @@ TcpBackend::onEvents(short revents)
 // ------------------------------------------------- ReceiverEndpointBase
 
 ReceiverEndpointBase::ReceiverEndpointBase(PollLoop &loop,
-                                           TransportObserver *observer)
+                                           TransportObserver *observer,
+                                           bool store_payload)
     : loop_(loop),
       receiver_([&loop] { return loop.now(); }, observer,
                 [this](const TransportEvent &ev) {
                     events_.push_back(ev);
                 }),
-      assembler_(receiver_, false)
+      assembler_(receiver_, store_payload), store_payload_(store_payload)
 {
+}
+
+void
+ReceiverEndpointBase::setDeliverySink(DeliverySink sink)
+{
+    ROG_ASSERT(store_payload_,
+               "delivery sink needs store_payload at construction");
+    delivery_ = std::move(sink);
 }
 
 void
@@ -512,6 +529,11 @@ ReceiverEndpointBase::onDataFrame(const FrameHeader &hdr,
     rec.crc_ok = r.chunk_complete ? r.decision.crc_ok : true;
     rx_records_.push_back(rec);
 
+    if (r.chunk_complete && r.decision.message_complete &&
+        r.decision.assembled && delivery_)
+        delivery_(keyOf(hdr),
+                  std::vector<std::uint8_t>(*r.decision.assembled));
+
     return makeAck(hdr, r);
 }
 
@@ -519,8 +541,9 @@ ReceiverEndpointBase::onDataFrame(const FrameHeader &hdr,
 
 UdpReceiverEndpoint::UdpReceiverEndpoint(PollLoop &loop,
                                          std::uint16_t port,
-                                         TransportObserver *observer)
-    : ReceiverEndpointBase(loop, observer)
+                                         TransportObserver *observer,
+                                         bool store_payload)
+    : ReceiverEndpointBase(loop, observer, store_payload)
 {
     fd_.reset(::socket(AF_INET, SOCK_DGRAM, 0));
     if (!fd_) {
@@ -589,8 +612,9 @@ UdpReceiverEndpoint::onReadable()
 
 TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
                                          std::uint16_t port,
-                                         TransportObserver *observer)
-    : ReceiverEndpointBase(loop, observer)
+                                         TransportObserver *observer,
+                                         bool store_payload)
+    : ReceiverEndpointBase(loop, observer, store_payload)
 {
     listen_fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
     if (!listen_fd_) {
@@ -611,7 +635,7 @@ TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
     ::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr *>(&addr),
                   &len);
     port_ = ntohs(addr.sin_port);
-    if (::listen(listen_fd_.get(), 1) != 0) {
+    if (::listen(listen_fd_.get(), 16) != 0) {
         fail("tcp listen");
         return;
     }
@@ -625,8 +649,8 @@ TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
 
 TcpReceiverEndpoint::~TcpReceiverEndpoint()
 {
-    if (conn_fd_)
-        loop_.unwatch(conn_fd_.get());
+    for (const auto &[fd, c] : conns_)
+        loop_.unwatch(fd);
     if (listen_fd_)
         loop_.unwatch(listen_fd_.get());
 }
@@ -634,70 +658,97 @@ TcpReceiverEndpoint::~TcpReceiverEndpoint()
 void
 TcpReceiverEndpoint::onListenReadable()
 {
-    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
-    if (fd < 0)
-        return;
-    if (conn_fd_) {
-        ::close(fd); // one sender at a time.
-        return;
+    for (;;) {
+        const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (fd < 0)
+            return;
+        setNonBlocking(fd);
+        Conn c;
+        c.fd.reset(fd);
+        conns_.emplace(fd, std::move(c));
+        loop_.watch(fd, POLLIN,
+                    [this, fd](short revents) { onConnEvents(fd, revents); });
     }
-    conn_fd_.reset(fd);
-    setNonBlocking(fd);
-    loop_.watch(fd, POLLIN, [this](short) { onConnReadable(); });
 }
 
 void
-TcpReceiverEndpoint::onConnReadable()
+TcpReceiverEndpoint::dropConn(int fd)
 {
-    std::uint8_t buf[16384];
-    for (;;) {
-        const ssize_t n = ::recv(conn_fd_.get(), buf, sizeof(buf), 0);
-        if (n < 0) {
-            if (errno != EAGAIN && errno != EWOULDBLOCK)
-                fail("tcp recv");
-            break;
+    loop_.unwatch(fd);
+    conns_.erase(fd);
+}
+
+void
+TcpReceiverEndpoint::flushConn(Conn &c)
+{
+    while (!c.out.empty()) {
+        const ssize_t n = ::send(c.fd.get(), c.out.data(), c.out.size(),
+                                 MSG_NOSIGNAL);
+        if (n < 0)
+            break; // EAGAIN or a dying peer: POLLOUT (or drop) decides.
+        c.out.erase(c.out.begin(), c.out.begin() + n);
+    }
+    const int fd = c.fd.get();
+    loop_.watch(fd, POLLIN | (c.out.empty() ? 0 : POLLOUT),
+                [this, fd](short revents) { onConnEvents(fd, revents); });
+}
+
+void
+TcpReceiverEndpoint::onConnEvents(int fd, short revents)
+{
+    auto it = conns_.find(fd);
+    if (it == conns_.end())
+        return;
+    Conn &c = it->second;
+
+    bool closed = false;
+    if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        std::uint8_t buf[16384];
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                closed = true; // reset: this peer only, endpoint lives.
+                break;
+            }
+            if (n == 0) {
+                closed = true;
+                break;
+            }
+            c.in.insert(c.in.end(), buf, buf + n);
         }
-        if (n == 0) { // sender closed; drain what we have.
-            loop_.unwatch(conn_fd_.get());
-            conn_fd_.reset();
-            break;
-        }
-        in_.insert(in_.end(), buf, buf + n);
     }
 
+    // Whatever arrived before the close still counts: decide and (if
+    // the conn survives) ACK. A trailing partial frame is discarded
+    // with the connection — the peer retries it after reconnecting.
     for (;;) {
-        if (in_.size() < FrameHeader::kWireSize)
+        if (c.in.size() < FrameHeader::kWireSize)
             break;
         const auto hdr =
-            FrameHeader::parse({in_.data(), FrameHeader::kWireSize});
+            FrameHeader::parse({c.in.data(), FrameHeader::kWireSize});
         ROG_ASSERT(hdr.has_value(), "tcp data stream desynchronized");
         ROG_ASSERT((hdr->flags & kFlagAck) == 0,
                    "ack frame on the receiver's data stream");
         const std::size_t need = FrameHeader::kWireSize + hdr->payload_len;
-        if (in_.size() < need)
+        if (c.in.size() < need)
             break;
         const FrameHeader ack = onDataFrame(
-            *hdr, {in_.data() + FrameHeader::kWireSize,
+            *hdr, {c.in.data() + FrameHeader::kWireSize,
                    static_cast<std::size_t>(hdr->payload_len)});
-        in_.erase(in_.begin(), in_.begin() + need);
+        c.in.erase(c.in.begin(), c.in.begin() + need);
 
         std::uint8_t wire[FrameHeader::kWireSize];
         ack.serialize(wire);
-        out_.insert(out_.end(), wire, wire + sizeof(wire));
+        c.out.insert(c.out.end(), wire, wire + sizeof(wire));
     }
 
-    if (!conn_fd_)
+    if (closed) {
+        dropConn(fd);
         return;
-    while (!out_.empty()) {
-        const ssize_t n = ::send(conn_fd_.get(), out_.data(),
-                                 out_.size(), MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno != EAGAIN && errno != EWOULDBLOCK)
-                fail("tcp ack send");
-            break;
-        }
-        out_.erase(out_.begin(), out_.begin() + n);
     }
+    flushConn(c);
 }
 
 } // namespace transport

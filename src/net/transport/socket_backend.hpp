@@ -179,9 +179,26 @@ class TcpBackend : public SocketSenderBase
 class ReceiverEndpointBase
 {
   public:
+    /**
+     * Hand-off of a fully delivered message's reassembled payload
+     * bytes (the session layer's receive path). Fired exactly once
+     * per message, at the frame that completes it.
+     */
+    using DeliverySink =
+        std::function<void(const MessageKey &, std::vector<std::uint8_t> &&)>;
+
+    /**
+     * @param store_payload retain reassembled payloads so a
+     *        DeliverySink can hand them up; transport-only endpoints
+     *        leave it off and keep only the decision state.
+     */
     ReceiverEndpointBase(PollLoop &loop,
-                         TransportObserver *observer = nullptr);
+                         TransportObserver *observer = nullptr,
+                         bool store_payload = false);
     virtual ~ReceiverEndpointBase() = default;
+
+    /** Requires construction with store_payload = true. */
+    void setDeliverySink(DeliverySink sink);
 
     const std::vector<TransportEvent> &log() const { return events_; }
     const std::vector<RxRecord> &rxRecords() const { return rx_records_; }
@@ -201,18 +218,23 @@ class ReceiverEndpointBase
     PollLoop &loop_;
     ChunkReceiver receiver_;
     FrameAssembler assembler_;
+    bool store_payload_ = false;
+    DeliverySink delivery_;
     std::vector<TransportEvent> events_;
     std::vector<RxRecord> rx_records_;
     std::string last_error_;
 };
 
-/** UDP receiver endpoint: bind, reassemble, decide, ACK. */
+/** UDP receiver endpoint: bind, reassemble, decide, ACK. Datagram
+ *  sources are distinguished per frame, so any number of senders can
+ *  push at one endpoint — ACKs return to each frame's source. */
 class UdpReceiverEndpoint : public ReceiverEndpointBase
 {
   public:
     /** @param port 0 binds an ephemeral port (see port()). */
     UdpReceiverEndpoint(PollLoop &loop, std::uint16_t port,
-                        TransportObserver *observer = nullptr);
+                        TransportObserver *observer = nullptr,
+                        bool store_payload = false);
     ~UdpReceiverEndpoint() override;
 
     std::uint16_t port() const { return port_; }
@@ -224,24 +246,42 @@ class UdpReceiverEndpoint : public ReceiverEndpointBase
     std::uint16_t port_ = 0;
 };
 
-/** TCP receiver endpoint: listen, accept one sender, decide, ACK. */
+/**
+ * TCP receiver endpoint: listen, accept any number of senders, decide,
+ * ACK on the connection the data came in on. A peer that dies (reset,
+ * half-open close) costs only its own connection — the endpoint keeps
+ * serving the rest, and the exactly-once state survives for when the
+ * peer reconnects.
+ */
 class TcpReceiverEndpoint : public ReceiverEndpointBase
 {
   public:
     TcpReceiverEndpoint(PollLoop &loop, std::uint16_t port,
-                        TransportObserver *observer = nullptr);
+                        TransportObserver *observer = nullptr,
+                        bool store_payload = false);
     ~TcpReceiverEndpoint() override;
 
     std::uint16_t port() const { return port_; }
 
+    /** Currently accepted sender connections. */
+    std::size_t connections() const { return conns_.size(); }
+
   private:
+    struct Conn
+    {
+        UniqueFd fd;
+        std::vector<std::uint8_t> in;
+        std::vector<std::uint8_t> out;
+    };
+
     void onListenReadable();
-    void onConnReadable();
+    void onConnEvents(int fd, short revents);
+    /** Flush pending ACK bytes; rearm POLLOUT while any remain. */
+    void flushConn(Conn &c);
+    void dropConn(int fd);
 
     UniqueFd listen_fd_;
-    UniqueFd conn_fd_;
-    std::vector<std::uint8_t> in_;
-    std::vector<std::uint8_t> out_;
+    std::map<int, Conn> conns_;
     std::uint16_t port_ = 0;
 };
 

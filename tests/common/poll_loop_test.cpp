@@ -1,0 +1,210 @@
+/**
+ * @file
+ * PollLoop hardening tests: timer cancellation (including from inside
+ * a firing timer), fd churn (handlers watching/unwatching fds mid-
+ * dispatch), EINTR tolerance under a signal storm, POLLHUP delivery,
+ * POLLNVAL auto-unwatch, and the error-only strike backstop that keeps
+ * a buggy handler from spinning the daemon hot.
+ */
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "common/poll_loop.hpp"
+
+namespace rog {
+namespace {
+
+TEST(PollLoop, CancelledTimerNeverFires)
+{
+    PollLoop loop;
+    int fired_a = 0;
+    int fired_b = 0;
+    const auto a = loop.after(0.005, [&] { ++fired_a; });
+    loop.after(0.010, [&] { ++fired_b; });
+    loop.cancel(a);
+    loop.runUntil([&] { return fired_b > 0; }, 2.0);
+    EXPECT_EQ(fired_a, 0);
+    EXPECT_EQ(fired_b, 1);
+}
+
+TEST(PollLoop, TimerMayCancelAnotherDueTimer)
+{
+    PollLoop loop;
+    int fired_victim = 0;
+    int fired_late = 0;
+    // Both due at effectively the same instant: the first to fire
+    // cancels the second; a later one proves the loop kept going.
+    PollLoop::TimerHandle victim = 0;
+    loop.after(0.0, [&] { loop.cancel(victim); });
+    victim = loop.after(0.0, [&] { ++fired_victim; });
+    loop.after(0.01, [&] { ++fired_late; });
+    loop.runUntil([&] { return fired_late > 0; }, 2.0);
+    EXPECT_EQ(fired_victim, 0);
+    EXPECT_EQ(fired_late, 1);
+}
+
+TEST(PollLoop, CancelAfterFireIsANoOp)
+{
+    PollLoop loop;
+    int fired = 0;
+    const auto id = loop.after(0.0, [&] { ++fired; });
+    loop.runUntil([&] { return fired > 0; }, 2.0);
+    loop.cancel(id); // already fired: must not throw or corrupt.
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(PollLoop, FdChurnHandlersMayRewireTheLoop)
+{
+    PollLoop loop;
+    int p1[2];
+    int p2[2];
+    ASSERT_EQ(::pipe(p1), 0);
+    ASSERT_EQ(::pipe(p2), 0);
+
+    int got1 = 0;
+    int got2 = 0;
+    // Handler 1 unwatches itself and starts watching pipe 2 — fd churn
+    // inside a dispatch cycle.
+    loop.watch(p1[0], POLLIN, [&](short) {
+        char c;
+        ASSERT_EQ(::read(p1[0], &c, 1), 1);
+        ++got1;
+        loop.unwatch(p1[0]);
+        loop.watch(p2[0], POLLIN, [&](short) {
+            char d;
+            ASSERT_EQ(::read(p2[0], &d, 1), 1);
+            ++got2;
+            loop.unwatch(p2[0]);
+        });
+    });
+    ASSERT_EQ(::write(p1[1], "x", 1), 1);
+    ASSERT_EQ(::write(p2[1], "y", 1), 1);
+    loop.runUntil([&] { return got2 > 0; }, 2.0);
+    EXPECT_EQ(got1, 1);
+    EXPECT_EQ(got2, 1);
+    EXPECT_FALSE(loop.watching(p1[0]));
+    EXPECT_FALSE(loop.watching(p2[0]));
+
+    ::close(p1[0]);
+    ::close(p1[1]);
+    ::close(p2[0]);
+    ::close(p2[1]);
+}
+
+TEST(PollLoop, PollHupIsDeliveredToTheHandler)
+{
+    PollLoop loop;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    ::close(p[1]); // writer gone: the read end reports POLLHUP.
+
+    short seen = 0;
+    loop.watch(p[0], POLLIN, [&](short revents) {
+        seen = revents;
+        loop.unwatch(p[0]); // drain-and-close, like a real handler.
+    });
+    loop.runUntil([&] { return seen != 0; }, 2.0);
+    EXPECT_NE(seen & POLLHUP, 0);
+    ::close(p[0]);
+}
+
+TEST(PollLoop, PollNvalFdIsDroppedImmediately)
+{
+    PollLoop loop;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    // Close the fd while it is still registered: the next poll round
+    // reports POLLNVAL and the loop must drop the registration rather
+    // than spin on it forever.
+    loop.watch(p[0], POLLIN, [](short) {});
+    ::close(p[0]);
+    ::close(p[1]);
+    for (int i = 0; i < 3 && loop.watching(p[0]); ++i)
+        loop.step(0.01);
+    EXPECT_FALSE(loop.watching(p[0]));
+    // With nothing left to wait for, step() reports it is done.
+    EXPECT_FALSE(loop.step(0.0));
+}
+
+TEST(PollLoop, ErrorOnlyStrikesForceUnwatchABuggyHandler)
+{
+    PollLoop loop;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    ::close(p[0]); // reader gone: the write end reports POLLERR.
+
+    // Registered with no requested events, so every wakeup is
+    // error-only; the handler deliberately ignores the condition.
+    int wakes = 0;
+    loop.watch(p[1], 0, [&](short revents) {
+        EXPECT_NE(revents & POLLERR, 0);
+        ++wakes;
+    });
+    for (int i = 0; i < PollLoop::kMaxErrorStrikes + 4 &&
+                    loop.watching(p[1]);
+         ++i)
+        loop.step(0.0);
+    EXPECT_FALSE(loop.watching(p[1]))
+        << "error-only fd was never force-unwatched";
+    EXPECT_LE(wakes, PollLoop::kMaxErrorStrikes);
+    ::close(p[1]);
+}
+
+TEST(PollLoop, HandlerThatReactsIsNeverStruckOut)
+{
+    PollLoop loop;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+    ::close(p[0]);
+
+    // Re-registering (even identically) counts as reacting: strikes
+    // reset, so a handler mid-reconnect keeps its registration.
+    int wakes = 0;
+    std::function<void(short)> handler = [&](short) {
+        ++wakes;
+        loop.watch(p[1], 0, [&](short r) { handler(r); });
+    };
+    loop.watch(p[1], 0, [&](short r) { handler(r); });
+    for (int i = 0; i < PollLoop::kMaxErrorStrikes * 3; ++i)
+        loop.step(0.0);
+    EXPECT_TRUE(loop.watching(p[1]));
+    EXPECT_GE(wakes, PollLoop::kMaxErrorStrikes);
+    loop.unwatch(p[1]);
+    ::close(p[1]);
+}
+
+TEST(PollLoop, StepSurvivesEintrSignalStorm)
+{
+    // A 2 ms interval timer interrupts every poll sleep; the loop must
+    // treat EINTR as a timeout and still fire its own timers on time.
+    struct sigaction sa{};
+    struct sigaction old{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: poll really returns EINTR.
+    ASSERT_EQ(::sigaction(SIGALRM, &sa, &old), 0);
+    itimerval storm{};
+    storm.it_interval.tv_usec = 2000;
+    storm.it_value.tv_usec = 2000;
+    itimerval none{};
+    ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+    PollLoop loop;
+    int fired = 0;
+    loop.after(0.05, [&] { ++fired; });
+    const bool done = loop.runUntil([&] { return fired > 0; }, 5.0);
+
+    ::setitimer(ITIMER_REAL, &none, nullptr);
+    ::sigaction(SIGALRM, &old, nullptr);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(fired, 1);
+}
+
+} // namespace
+} // namespace rog

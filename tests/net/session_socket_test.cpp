@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The full node engine over real sockets, in one process: server and
+ * worker SocketFabrics share a PollLoop, and the identical engine
+ * code that the DES twin runs (session_test.cpp) trains over loopback
+ * UDP and TCP — backend choice is a config string, nothing more. A
+ * faulty-UDP variant rides seeded wire perturbation through the same
+ * path to show the session survives datagram loss and truncation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/poll_loop.hpp"
+#include "core/node_engine.hpp"
+#include "core/node_runner.hpp"
+#include "net/session/socket_fabric.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+namespace {
+
+struct FleetSpec
+{
+    std::string kind = "udp";
+    std::size_t workers = 2;
+    std::int64_t iters = 3;
+    const fault::SocketFaultPlan *faults = nullptr;
+};
+
+void
+runFleet(const FleetSpec &spec)
+{
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = spec.workers;
+    core::NodeTrainConfig train = cfg.train;
+    train.max_iters = spec.iters;
+    train.worker_state_dir.clear();
+    train.checkpoint_path.clear();
+
+    std::unique_ptr<core::Workload> workload =
+        core::makeNodeWorkload(cfg);
+
+    PollLoop loop;
+    SocketFabricOptions sopts;
+    sopts.kind = spec.kind;
+    sopts.transport = cfg.transport;
+    sopts.socket = cfg.socket;
+    SocketFabric server_fabric(loop, kServerNode, sopts);
+    ASSERT_TRUE(server_fabric.ok()) << server_fabric.error();
+
+    core::ServerNode server(server_fabric, *workload, train);
+    server.start();
+    const std::uint16_t port = server_fabric.listenPort();
+    ASSERT_NE(port, 0);
+
+    std::vector<std::unique_ptr<SocketFabric>> fabrics;
+    std::vector<std::unique_ptr<core::WorkerNode>> workers;
+    for (std::size_t w = 0; w < spec.workers; ++w) {
+        SocketFabricOptions wopts = sopts;
+        if (spec.faults != nullptr) {
+            wopts.fault_plan = *spec.faults;
+            wopts.inject_faults = true;
+        }
+        fabrics.push_back(std::make_unique<SocketFabric>(
+            loop, workerNode(w), wopts));
+        ASSERT_TRUE(fabrics.back()->ok()) << fabrics.back()->error();
+        workers.push_back(std::make_unique<core::WorkerNode>(
+            *fabrics.back(), *workload, train, w,
+            core::WorkerResumeState{}));
+        workers.back()->start("127.0.0.1", port);
+    }
+
+    // The server flips done() on the last Bye; keep polling until the
+    // workers have also seen their Bye acks and left Phase::Leaving.
+    const auto all_done = [&] {
+        if (!server.done())
+            return false;
+        for (const auto &w : workers)
+            if (!w->done())
+                return false;
+        return true;
+    };
+    ASSERT_TRUE(loop.runUntil(all_done, 30.0))
+        << "fleet did not finish; min iter "
+        << server.minWorkerIteration();
+    for (auto &w : workers)
+        EXPECT_TRUE(w->done());
+    EXPECT_TRUE(std::isfinite(server.evaluateModel()));
+    EXPECT_GT(server.appliedPushes(), 0u);
+}
+
+TEST(SessionSocket, UdpFleetTrainsToCompletion)
+{
+    FleetSpec spec;
+    spec.kind = "udp";
+    runFleet(spec);
+}
+
+TEST(SessionSocket, TcpFleetTrainsToCompletion)
+{
+    FleetSpec spec;
+    spec.kind = "tcp";
+    runFleet(spec);
+}
+
+TEST(SessionSocket, UdpFleetSurvivesSeededWireFaults)
+{
+    fault::SocketFaultPlan plan;
+    plan.seed = 31;
+    plan.drop_p = 0.1;
+    plan.dup_p = 0.05;
+    plan.trunc_p = 0.1;
+    plan.corrupt_p = 0.05;
+    FleetSpec spec;
+    spec.kind = "udp";
+    spec.iters = 2;
+    spec.faults = &plan;
+    runFleet(spec);
+}
+
+} // namespace
+} // namespace session
+} // namespace net
+} // namespace rog

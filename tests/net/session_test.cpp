@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Session layer: wire codec round-trips, SessionTable admission and
+ * rejection paths (bad epoch, stale resume token, resume downgrade),
+ * and the full node engine running over the DES fabric — including a
+ * worker whose first Hello carries the wrong epoch and must adopt the
+ * server's from the Reject before being admitted.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/node_engine.hpp"
+#include "core/node_runner.hpp"
+#include "net/session/des_fabric.hpp"
+#include "net/session/session.hpp"
+#include "net/session/wire.hpp"
+#include "sim/simulation.hpp"
+
+namespace rog {
+namespace net {
+namespace session {
+namespace {
+
+TEST(SessionWire, VersionPackingRoundTrips)
+{
+    const std::int64_t v = packVersion(7, 123456);
+    EXPECT_EQ(versionScope(v), 7u);
+    EXPECT_EQ(versionSeq(v), 123456);
+    // Scopes separate identical sequences.
+    EXPECT_NE(packVersion(1, 5), packVersion(2, 5));
+}
+
+TEST(SessionWire, HelloRoundTrips)
+{
+    Hello in;
+    in.worker = 3;
+    in.incarnation = 2;
+    in.epoch = 9;
+    in.resume_token = 0xDEADBEEFCAFEBABEull;
+    in.nonce = 42;
+    in.rx_port = 54321;
+    in.last_done_iter = 17;
+    Hello out;
+    ASSERT_TRUE(parse(encode(in), out));
+    EXPECT_EQ(out.worker, in.worker);
+    EXPECT_EQ(out.incarnation, in.incarnation);
+    EXPECT_EQ(out.epoch, in.epoch);
+    EXPECT_EQ(out.resume_token, in.resume_token);
+    EXPECT_EQ(out.nonce, in.nonce);
+    EXPECT_EQ(out.rx_port, in.rx_port);
+    EXPECT_EQ(out.last_done_iter, in.last_done_iter);
+}
+
+TEST(SessionWire, TruncatedParseFails)
+{
+    Hello in;
+    in.worker = 1;
+    std::vector<std::uint8_t> bytes = encode(in);
+    bytes.pop_back();
+    Hello out;
+    EXPECT_FALSE(parse(bytes, out));
+    Welcome w;
+    EXPECT_FALSE(parse(bytes, w)); // wrong tag too.
+}
+
+Hello
+helloFor(std::size_t worker, std::uint64_t epoch,
+         std::uint64_t token = 0, std::int64_t done = 0,
+         std::uint32_t inc = 0)
+{
+    Hello h;
+    h.worker = static_cast<std::uint16_t>(worker);
+    h.incarnation = inc;
+    h.epoch = epoch;
+    h.resume_token = token;
+    h.nonce = 1000 + inc;
+    h.last_done_iter = done;
+    return h;
+}
+
+TEST(SessionTable, FreshAdmissionMintsSessionAndToken)
+{
+    SessionTable t(4, /*epoch=*/3, /*salt=*/7);
+    const Admission a = t.onHello(helloFor(1, 3));
+    ASSERT_TRUE(a.admitted);
+    EXPECT_EQ(a.mode, AdmitMode::Fresh);
+    EXPECT_EQ(a.start_iter, 0);
+    EXPECT_NE(a.session, 0u);
+    EXPECT_NE(a.resume_token, 0u);
+    EXPECT_TRUE(t.isCurrent(1, a.session));
+    EXPECT_EQ(t.sessionOf(1), a.session);
+    EXPECT_EQ(t.admissions(), 1u);
+}
+
+TEST(SessionTable, BadEpochRejectedWithoutMutation)
+{
+    SessionTable t(4, 3, 7);
+    const Admission a = t.onHello(helloFor(0, /*epoch=*/2));
+    ASSERT_FALSE(a.admitted);
+    EXPECT_EQ(a.reject, RejectReason::BadEpoch);
+    EXPECT_EQ(t.sessionOf(0), 0u);
+    EXPECT_EQ(t.admissions(), 0u);
+
+    // Adopting the right epoch (what the worker does on Reject)
+    // admits on retry.
+    const Admission b = t.onHello(helloFor(0, 3));
+    EXPECT_TRUE(b.admitted);
+    EXPECT_EQ(b.mode, AdmitMode::Fresh);
+}
+
+TEST(SessionTable, StaleTokenRejectedThenFreshReentry)
+{
+    SessionTable t(4, 3, 7);
+    const Admission first = t.onHello(helloFor(2, 3));
+    ASSERT_TRUE(first.admitted);
+
+    // A nonzero token that is not the latest mint: rejected.
+    const Admission bad =
+        t.onHello(helloFor(2, 3, first.resume_token ^ 1, 5, 1));
+    ASSERT_FALSE(bad.admitted);
+    EXPECT_EQ(bad.reject, RejectReason::StaleToken);
+    EXPECT_TRUE(t.isCurrent(2, first.session)); // table untouched.
+
+    // The worker clears the token (token = 0): admitted as a rejoin.
+    const Admission retry = t.onHello(helloFor(2, 3, 0, 0, 1));
+    ASSERT_TRUE(retry.admitted);
+    EXPECT_EQ(retry.mode, AdmitMode::Rejoin);
+    EXPECT_NE(retry.session, first.session);
+    EXPECT_FALSE(t.isCurrent(2, first.session));
+}
+
+TEST(SessionTable, ValidTokenResumesFromLocalCheckpoint)
+{
+    SessionTable t(4, 3, 7);
+    const Admission first = t.onHello(helloFor(2, 3));
+    ASSERT_TRUE(first.admitted);
+    t.noteProgress(2, 6);
+    t.noteResponse(2, 6);
+
+    // Restarted process, checkpoint caught up with the last response:
+    // resume, no model resync, starting where the checkpoint says.
+    const Admission again =
+        t.onHello(helloFor(2, 3, first.resume_token, 6, 1));
+    ASSERT_TRUE(again.admitted);
+    EXPECT_EQ(again.mode, AdmitMode::Resume);
+    EXPECT_EQ(again.start_iter, 6);
+    EXPECT_NE(again.resume_token, first.resume_token); // re-minted.
+}
+
+TEST(SessionTable, ResumeDowngradesToRejoinWhenCheckpointIsBehind)
+{
+    SessionTable t(4, 3, 7);
+    const Admission first = t.onHello(helloFor(2, 3));
+    ASSERT_TRUE(first.admitted);
+    t.noteProgress(2, 8);
+    t.noteResponse(2, 8);
+
+    // The checkpoint (iter 5) predates the last answered pull (iter
+    // 8): the outbox gradients cleared by that response would be lost
+    // on a resume, so the admission must downgrade to a full resync.
+    const Admission again =
+        t.onHello(helloFor(2, 3, first.resume_token, 5, 1));
+    ASSERT_TRUE(again.admitted);
+    EXPECT_EQ(again.mode, AdmitMode::Rejoin);
+    EXPECT_EQ(again.start_iter, 8);
+}
+
+TEST(SessionTable, TokensNeverRepeatAcrossAdmissions)
+{
+    SessionTable t(2, 1, 99);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 8; ++i) {
+        const Admission a = t.onHello(
+            helloFor(0, 1, 0, 0, static_cast<std::uint32_t>(i)));
+        ASSERT_TRUE(a.admitted);
+        EXPECT_NE(a.resume_token, 0u);
+        EXPECT_NE(a.resume_token, prev);
+        prev = a.resume_token;
+    }
+}
+
+// ---------------------------------------------------------------
+// Engine over the DES fabric.
+
+TEST(SessionDes, TwinRunsToCompletion)
+{
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 2;
+    cfg.train.max_iters = 4;
+    cfg.run_timeout_s = 300.0; // simulated seconds, not wall.
+    const core::DesTwinResult res = core::runDesTwin(cfg);
+    EXPECT_TRUE(res.done);
+    EXPECT_TRUE(std::isfinite(res.metric));
+    // 4 iters * 2 workers, each pushing every partition unit.
+    EXPECT_GT(res.applied_pushes, 8u);
+}
+
+TEST(SessionDes, TwinIsDeterministicPerSeed)
+{
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 2;
+    cfg.train.max_iters = 3;
+    cfg.run_timeout_s = 300.0;
+    const core::DesTwinResult a = core::runDesTwin(cfg);
+    const core::DesTwinResult b = core::runDesTwin(cfg);
+    ASSERT_TRUE(a.done);
+    ASSERT_TRUE(b.done);
+    EXPECT_EQ(a.metric, b.metric);
+    EXPECT_EQ(a.applied_pushes, b.applied_pushes);
+}
+
+TEST(SessionDes, WorkerAdoptsServerEpochAfterReject)
+{
+    sim::Simulation sim;
+    DesFabricNet net(sim, 4.0e6, transport::TransportConfig{});
+
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 1;
+    core::NodeTrainConfig train = cfg.train;
+    train.max_iters = 2;
+    train.epoch = 5;
+    train.worker_state_dir.clear();
+    train.checkpoint_path.clear();
+
+    std::unique_ptr<core::Workload> workload =
+        core::makeNodeWorkload(cfg);
+    core::ServerNode server(net.node(kServerNode), *workload, train);
+    server.start();
+
+    // The worker believes in a previous run's epoch; its first Hello
+    // is rejected with the server's epoch, which it adopts and
+    // retries with.
+    core::NodeTrainConfig wtrain = train;
+    wtrain.epoch = 1;
+    core::WorkerNode worker(net.node(workerNode(0)), *workload,
+                            wtrain, 0, core::WorkerResumeState{});
+    worker.start("des", 0);
+
+    sim.runUntil(300.0);
+    EXPECT_TRUE(worker.done());
+    EXPECT_TRUE(server.done());
+    EXPECT_EQ(worker.admitMode(), AdmitMode::Fresh);
+    EXPECT_EQ(server.sessions().epoch(), 5u);
+}
+
+} // namespace
+} // namespace session
+} // namespace net
+} // namespace rog
