@@ -103,10 +103,15 @@ PollLoop::step(double max_wait_s)
                 error_strikes_.erase(p.fd);
                 continue;
             }
-            // Handlers may unwatch fds (including their own).
+            // Handlers may unwatch or re-watch fds (including their
+            // own), erasing or reassigning the map slot mid-call:
+            // invoke a copy, never the std::function living in the
+            // map.
             auto it = fds_.find(p.fd);
-            if (it != fds_.end())
-                it->second(p.revents);
+            if (it != fds_.end()) {
+                const FdHandler handler = it->second;
+                handler(p.revents);
+            }
 
             if (fds_.count(p.fd) == 0)
                 continue; // handler (or a peer) dropped it.

@@ -150,6 +150,16 @@ ServerNode::onHello(std::vector<std::uint8_t> &&bytes)
     peer.port = h.rx_port;
     peer.connected =
         fabric_.connectPeer(workerNode(w), peer.host, peer.port);
+    if (!peer.connected) {
+        // No return path — e.g. the worker died right after its Hello
+        // and a tcp connect fails synchronously. Answering would hit
+        // sendTo on a missing peer; drop the handshake instead. The
+        // worker's Hello retry re-triggers admission on a live socket.
+        std::ostringstream os;
+        os << "hello_connect_failed w=" << w << " port=" << h.rx_port;
+        logLine(fmt(now, os.str().c_str()));
+        return;
+    }
 
     if (!a.admitted) {
         Reject rej;
@@ -398,6 +408,11 @@ ServerNode::answerReadyPulls()
 void
 ServerNode::answerPull(std::size_t w, std::int64_t iter)
 {
+    // The return connection can vanish independently of the pull
+    // (dropped on a failed re-Hello): keep the pull and its pending
+    // gradients queued until the worker reconnects or is evicted.
+    if (!fabric_.hasPeer(workerNode(w)))
+        return;
     PullData pd;
     pd.iter = iter;
     pd.min_done = versions_.minWorkerIteration();

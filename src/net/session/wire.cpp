@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.hpp"
+
 namespace rog {
 namespace net {
 namespace session {
@@ -138,7 +140,9 @@ class ByteReader
     bool
     bytes(std::size_t n, std::vector<std::uint8_t> &out)
     {
-        if (pos_ + n > in_.size())
+        // n comes off the wire; pos_ + n could wrap size_t and slip
+        // past a naive bound check.
+        if (n > in_.size() - pos_)
             return false;
         out.assign(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
                    in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
@@ -147,6 +151,8 @@ class ByteReader
     }
 
     bool done() const { return pos_ == in_.size(); }
+
+    std::size_t remaining() const { return in_.size() - pos_; }
 
   private:
     std::span<const std::uint8_t> in_;
@@ -169,6 +175,11 @@ enum : std::uint8_t {
 std::int64_t
 packVersion(std::uint32_t scope, std::int64_t seq)
 {
+    // seq lives in the low 24 bits of the key; silently truncating a
+    // larger value would alias earlier keys and corrupt exactly-once
+    // dedup, so refuse loudly instead.
+    ROG_ASSERT(seq >= 0 && seq <= 0xFFFFFF,
+               "packVersion seq out of 24-bit range");
     return static_cast<std::int64_t>(
         (static_cast<std::uint64_t>(scope) << 24) |
         (static_cast<std::uint64_t>(seq) & 0xFFFFFFu));
@@ -371,12 +382,19 @@ parse(std::span<const std::uint8_t> in, PullData &out)
     if (!(r.u8(tag) && tag == kTagPullData && r.i64(out.iter) &&
           r.i64(out.min_done) && r.u32(units)))
         return false;
+    // The counts are untrusted: a short message claiming ~2^32 units
+    // or floats must fail the parse, not drive a multi-GB allocation.
+    // Each unit occupies at least 8 header bytes, each value 4.
+    if (units > r.remaining() / 8)
+        return false;
     out.units.clear();
     out.units.reserve(units);
     for (std::uint32_t i = 0; i < units; ++i) {
         UnitUpdate u;
         std::uint32_t n = 0;
         if (!(r.u32(u.unit) && r.u32(n)))
+            return false;
+        if (n > r.remaining() / 4)
             return false;
         u.values.resize(n);
         for (std::uint32_t j = 0; j < n; ++j)

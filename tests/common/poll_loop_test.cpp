@@ -13,6 +13,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <array>
 #include <vector>
 
 #include "common/poll_loop.hpp"
@@ -95,6 +96,34 @@ TEST(PollLoop, FdChurnHandlersMayRewireTheLoop)
     ::close(p1[1]);
     ::close(p2[0]);
     ::close(p2[1]);
+}
+
+TEST(PollLoop, SelfUnwatchWithHeapAllocatedHandlerIsSafe)
+{
+    PollLoop loop;
+    int p[2];
+    ASSERT_EQ(::pipe(p), 0);
+
+    // A capture too large for std::function's small-buffer storage:
+    // the callable lives on the heap, so erasing the map slot from
+    // inside the call would free it mid-execution if the loop invoked
+    // the stored handler in place (ASan catches the use-after-free).
+    std::array<char, 256> big{};
+    big[0] = 1;
+    int got = 0;
+    loop.watch(p[0], POLLIN, [&loop, &got, p, big](short) {
+        char c;
+        ASSERT_EQ(::read(p[0], &c, 1), 1);
+        loop.unwatch(p[0]);
+        got += big[0]; // touches the (possibly freed) capture.
+    });
+    ASSERT_EQ(::write(p[1], "x", 1), 1);
+    loop.runUntil([&] { return got > 0; }, 2.0);
+    EXPECT_EQ(got, 1);
+    EXPECT_FALSE(loop.watching(p[0]));
+
+    ::close(p[0]);
+    ::close(p[1]);
 }
 
 TEST(PollLoop, PollHupIsDeliveredToTheHandler)

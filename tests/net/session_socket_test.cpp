@@ -107,6 +107,117 @@ TEST(SessionSocket, TcpFleetTrainsToCompletion)
     runFleet(spec);
 }
 
+/**
+ * Delegates to a real SocketFabric but can veto connectPeer — the
+ * deterministic stand-in for a return connect that fails (worker
+ * receiver gone, fd exhaustion, refused port).
+ */
+class VetoConnectFabric : public Fabric
+{
+  public:
+    explicit VetoConnectFabric(SocketFabric &inner) : inner_(inner) {}
+    bool veto = false;
+
+    int nodeId() const override { return inner_.nodeId(); }
+    double now() const override { return inner_.now(); }
+    FabricTimer
+    after(double d, std::function<void()> f) override
+    {
+        return inner_.after(d, std::move(f));
+    }
+    void cancelTimer(FabricTimer id) override { inner_.cancelTimer(id); }
+    bool
+    connectPeer(int p, const std::string &h, std::uint16_t port) override
+    {
+        return !veto && inner_.connectPeer(p, h, port);
+    }
+    bool hasPeer(int p) const override { return inner_.hasPeer(p); }
+    bool peerHealthy(int p) const override
+    {
+        return inner_.peerHealthy(p);
+    }
+    void dropPeer(int p) override { inner_.dropPeer(p); }
+    void
+    sendTo(int p, const transport::MessageKey &k,
+           std::span<const std::uint8_t> b, double d,
+           SendDone done) override
+    {
+        inner_.sendTo(p, k, b, d, std::move(done));
+    }
+    void
+    setMessageHandler(MessageHandler h) override
+    {
+        inner_.setMessageHandler(std::move(h));
+    }
+    std::uint16_t listenPort() const override
+    {
+        return inner_.listenPort();
+    }
+
+  private:
+    SocketFabric &inner_;
+};
+
+TEST(SessionSocket, TcpServerSurvivesHelloWhenReturnConnectFails)
+{
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 1;
+    core::NodeTrainConfig train = cfg.train;
+    train.worker_state_dir.clear();
+    train.checkpoint_path.clear();
+
+    std::unique_ptr<core::Workload> workload =
+        core::makeNodeWorkload(cfg);
+
+    PollLoop loop;
+    SocketFabricOptions sopts;
+    sopts.kind = "tcp";
+    sopts.transport = cfg.transport;
+    sopts.socket = cfg.socket;
+    SocketFabric server_socket(loop, kServerNode, sopts);
+    ASSERT_TRUE(server_socket.ok()) << server_socket.error();
+    VetoConnectFabric server_fabric(server_socket);
+    core::ServerNode server(server_fabric, *workload, train);
+    server.start();
+
+    // Hand-roll the worker half of the handshake so the Hello can
+    // arrive while the server's return connect is failing.
+    SocketFabric ghost(loop, workerNode(0), sopts);
+    ASSERT_TRUE(ghost.ok()) << ghost.error();
+    ASSERT_TRUE(ghost.connectPeer(kServerNode, "127.0.0.1",
+                                  server_socket.listenPort()));
+    bool welcomed = false;
+    ghost.setMessageHandler(
+        [&](const MessageKey &k, std::vector<std::uint8_t> &&) {
+            if (k.row == kRowWelcome)
+                welcomed = true;
+        });
+
+    // The server must drop the handshake — not panic inside sendTo on
+    // the missing peer (the SIGKILL-right-after-Hello crash).
+    server_fabric.veto = true;
+    Hello h;
+    h.worker = 0;
+    h.epoch = train.epoch;
+    h.nonce = 99;
+    h.rx_port = ghost.listenPort();
+    MessageKey key{0, packVersion(1, 0), kRowHello, false};
+    ghost.sendTo(kServerNode, key, encode(h), loop.now() + 5.0, {});
+    ASSERT_TRUE(loop.runUntil(
+        [&] { return server.sessions().admissions() >= 1; }, 5.0));
+    loop.runUntil([] { return false; }, 0.05); // let any Welcome land.
+    EXPECT_FALSE(welcomed);
+
+    // The connect recovers: the worker's Hello retry re-triggers
+    // admission and the answered Welcome reaches its receiver.
+    server_fabric.veto = false;
+    h.nonce = 100;
+    MessageKey retry{0, packVersion(1, 1), kRowHello, false};
+    ghost.sendTo(kServerNode, retry, encode(h), loop.now() + 5.0, {});
+    EXPECT_TRUE(loop.runUntil([&] { return welcomed; }, 5.0));
+    EXPECT_GE(server.sessions().admissions(), 2u);
+}
+
 TEST(SessionSocket, UdpFleetSurvivesSeededWireFaults)
 {
     fault::SocketFaultPlan plan;

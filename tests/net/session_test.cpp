@@ -64,6 +64,56 @@ TEST(SessionWire, TruncatedParseFails)
     EXPECT_FALSE(parse(bytes, w)); // wrong tag too.
 }
 
+TEST(SessionWire, VersionSeqBeyond24BitsPanics)
+{
+    EXPECT_DEATH(packVersion(1, 0x1000000), "24-bit");
+    EXPECT_DEATH(packVersion(1, -1), "24-bit");
+}
+
+TEST(SessionWire, WelcomeWithHugeModelLenFailsParse)
+{
+    Welcome in;
+    in.nonce = 7;
+    std::vector<std::uint8_t> bytes = encode(in);
+    // model_len sits after tag(1) + nonce(8) + session(4) + token(8) +
+    // mode(1) + start_iter(8) + epoch(8) = offset 38. Claim 2^64-1
+    // bytes: the parse must fail cleanly, not wrap the bounds check
+    // into an invalid iterator range.
+    ASSERT_EQ(bytes.size(), 46u);
+    for (std::size_t i = 38; i < 46; ++i)
+        bytes[i] = 0xFF;
+    Welcome out;
+    EXPECT_FALSE(parse(bytes, out));
+}
+
+TEST(SessionWire, PullDataWithHugeCountsFailsParse)
+{
+    PullData in;
+    in.iter = 1;
+    UnitUpdate u;
+    u.unit = 0;
+    u.values = {1.0f, 2.0f};
+    in.units.push_back(u);
+    const std::vector<std::uint8_t> bytes = encode(in);
+    // Layout: tag(1) + iter(8) + min_done(8), unit count at 17,
+    // first unit id at 21, its value count at 25.
+    ASSERT_EQ(bytes.size(), 37u);
+    PullData out;
+
+    // A short message claiming ~2^32 units must fail the parse before
+    // any proportional allocation.
+    std::vector<std::uint8_t> huge_units = bytes;
+    for (std::size_t i = 17; i < 21; ++i)
+        huge_units[i] = 0xFF;
+    EXPECT_FALSE(parse(huge_units, out));
+
+    // Same for a unit claiming ~2^32 float values.
+    std::vector<std::uint8_t> huge_values = bytes;
+    for (std::size_t i = 25; i < 29; ++i)
+        huge_values[i] = 0xFF;
+    EXPECT_FALSE(parse(huge_values, out));
+}
+
 Hello
 helloFor(std::size_t worker, std::uint64_t epoch,
          std::uint64_t token = 0, std::int64_t done = 0,

@@ -404,6 +404,32 @@ parseIndexList(const std::string &s)
     return v;
 }
 
+/** Remove the previous invocation's artifacts from the run dir.
+ *  Per-process logs are opened in append mode (a restarted worker
+ *  must extend its own log), so a reused --dir would concatenate
+ *  runs and the invariant checker would count every apply twice;
+ *  stale workerN.meta resume state would likewise leak an old run's
+ *  token into a fresh fleet. Only files this tool owns are touched.
+ */
+void
+cleanRunDir(const core::NodeRunConfig &cfg)
+{
+    static const char *const kOwned[] = {
+        "chaos.log",      "server_run.log",  "server_events.log",
+        "des_twin.log",   "summary.txt",     "des_summary.txt",
+        "kills.txt",      "checkpoint.rogs", "model.rogm",
+    };
+    for (const char *name : kOwned)
+        std::remove((cfg.artifact_dir + "/" + name).c_str());
+    for (std::size_t w = 0; w < cfg.workers; ++w) {
+        const std::string stem =
+            cfg.artifact_dir + "/worker" + std::to_string(w);
+        std::remove((stem + ".log").c_str());
+        std::remove((stem + ".meta").c_str());
+        std::remove((stem + ".rogm").c_str());
+    }
+}
+
 std::map<std::size_t, double>
 parseStalls(const std::string &s)
 {
@@ -448,6 +474,7 @@ main(int argc, char **argv)
             return 2;
         }
         mkdir(cfg.artifact_dir.c_str(), 0755);
+        cleanRunDir(cfg);
 
         const std::vector<std::size_t> kill_list =
             parseIndexList(args.get("kill", "1,2"));
