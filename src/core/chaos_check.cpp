@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -78,14 +79,36 @@ checkChaosRun(const NodeRunConfig &cfg, const ChaosCheckOptions &opts)
         report << "model: FAIL\n";
     }
 
-    // 3. Application-level exactly-once + 5. membership outcomes,
-    //    both from the structured server run log.
+    // 3. Application-level exactly-once + 5. membership outcomes +
+    //    7. server restart invariants, all from the structured server
+    //    run log. The log is append-mode across server incarnations;
+    //    each `server_start` line opens a new segment with its own
+    //    applied-set (a restarted server legitimately re-applies
+    //    pushes its checkpoint never covered) and its own restored
+    //    watermark (anything at or below it must NOT re-apply).
     std::set<std::size_t> admitted_restart; //!< admit with inc >= 1.
     std::set<std::size_t> evicted;
     std::set<std::size_t> byed;
+    struct Incarnation
     {
+        std::uint64_t epoch = 0;
+        bool recovered = false;
+        /** Restored per-(worker,unit) apply watermark from the
+         *  recover_w lines; applies at or below it are duplicates. */
+        std::map<std::size_t, std::vector<long long>> watermark;
         std::set<std::string> applied;
+        std::map<std::size_t, std::uint64_t> admit_epoch;
+        std::set<std::size_t> byes;
+    };
+    std::vector<Incarnation> incs;
+    {
+        std::size_t total_applies = 0;
         std::size_t dup_applies = 0;
+        auto cur = [&incs]() -> Incarnation & {
+            if (incs.empty())
+                incs.emplace_back(); // pre-PR-9 logs: one segment.
+            return incs.back();
+        };
         for (const std::string &line :
              readLines(dir + "/server_run.log")) {
             double t = 0.0;
@@ -93,34 +116,76 @@ checkChaosRun(const NodeRunConfig &cfg, const ChaosCheckOptions &opts)
             long long iter = 0;
             std::size_t unit = 0;
             unsigned inc = 0;
+            unsigned long long epoch = 0;
+            int recovered = 0;
             char mode[16] = {0};
             if (std::sscanf(line.c_str(),
                             "t=%lf apply w=%zu iter=%lld unit=%zu", &t,
                             &w, &iter, &unit) == 4) {
+                ++total_applies;
+                Incarnation &seg = cur();
                 std::ostringstream key;
                 key << w << ':' << iter << ':' << unit;
-                if (!applied.insert(key.str()).second) {
+                if (!seg.applied.insert(key.str()).second) {
                     ++dup_applies;
                     violate("gradient applied twice: w=" +
                             std::to_string(w) +
                             " iter=" + std::to_string(iter) +
                             " unit=" + std::to_string(unit));
                 }
+                auto wm = seg.watermark.find(w);
+                if (wm != seg.watermark.end() &&
+                    unit < wm->second.size() &&
+                    iter <= wm->second[unit]) {
+                    ++dup_applies;
+                    violate(
+                        "gradient re-applied after server restart: "
+                        "w=" +
+                        std::to_string(w) +
+                        " iter=" + std::to_string(iter) +
+                        " unit=" + std::to_string(unit) +
+                        " watermark=" +
+                        std::to_string(wm->second[unit]));
+                }
+            } else if (std::sscanf(line.c_str(),
+                                   "t=%lf server_start epoch=%llu "
+                                   "recovered=%d",
+                                   &t, &epoch, &recovered) == 3) {
+                incs.emplace_back();
+                incs.back().epoch = epoch;
+                incs.back().recovered = recovered != 0;
+            } else if (std::sscanf(line.c_str(),
+                                   "t=%lf recover_w w=%zu versions=",
+                                   &t, &w) == 2) {
+                const std::size_t pos = line.find("versions=");
+                if (pos != std::string::npos) {
+                    std::vector<long long> vs;
+                    std::istringstream is(
+                        line.substr(pos + std::strlen("versions=")));
+                    std::string tok;
+                    while (std::getline(is, tok, ','))
+                        vs.push_back(std::stoll(tok));
+                    cur().watermark[w] = std::move(vs);
+                }
             } else if (std::sscanf(line.c_str(),
                                    "t=%lf admit w=%zu mode=%15s "
-                                   "session=%*u start=%*d inc=%u",
-                                   &t, &w, mode, &inc) >= 3) {
+                                   "session=%*u start=%*d inc=%u "
+                                   "model_bytes=%*u epoch=%llu",
+                                   &t, &w, mode, &inc, &epoch) >= 3) {
                 if (inc >= 1)
                     admitted_restart.insert(w);
+                cur().admit_epoch[w] = epoch;
             } else if (std::sscanf(line.c_str(), "t=%lf evict w=%zu",
                                    &t, &w) == 2) {
                 evicted.insert(w);
             } else if (std::sscanf(line.c_str(),
                                    "t=%lf bye w=%zu", &t, &w) == 2) {
                 byed.insert(w);
+                cur().byes.insert(w);
             }
         }
-        report << "applies: " << applied.size() << " unique, "
+        report << "applies: " << total_applies << " total over "
+               << incs.size() << " server incarnation(s), "
                << dup_applies << " double-applied\n";
     }
 
@@ -189,6 +254,49 @@ checkChaosRun(const NodeRunConfig &cfg, const ChaosCheckOptions &opts)
     report << "membership: " << admitted_restart.size()
            << " restarted-admits, " << evicted.size() << " evictions, "
            << byed.size() << " byes\n";
+
+    // 7. Server crash-restart invariants: every kill produced a new
+    //    incarnation that recovered from the checkpoint under a
+    //    strictly higher epoch, and the workers that finished after
+    //    the last restart did so under that final epoch — i.e. they
+    //    actually crossed the Hello/Welcome re-admission gate instead
+    //    of talking to a ghost of the old server.
+    if (opts.server_restarts > 0) {
+        if (incs.size() != opts.server_restarts + 1) {
+            violate("expected " +
+                    std::to_string(opts.server_restarts + 1) +
+                    " server incarnations, log shows " +
+                    std::to_string(incs.size()));
+        } else {
+            for (std::size_t k = 1; k < incs.size(); ++k) {
+                if (!incs[k].recovered)
+                    violate("server incarnation " + std::to_string(k) +
+                            " did not recover from a checkpoint");
+                if (incs[k].epoch <= incs[k - 1].epoch)
+                    violate("server epoch did not rise across "
+                            "restart: " +
+                            std::to_string(incs[k - 1].epoch) +
+                            " -> " + std::to_string(incs[k].epoch));
+            }
+            const Incarnation &last = incs.back();
+            for (std::size_t w : last.byes) {
+                auto it = last.admit_epoch.find(w);
+                if (it == last.admit_epoch.end())
+                    violate("worker finished after server restart "
+                            "without re-admission: w=" +
+                            std::to_string(w));
+                else if (it->second != last.epoch)
+                    violate("worker re-admitted under wrong epoch: "
+                            "w=" +
+                            std::to_string(w) + " epoch=" +
+                            std::to_string(it->second) + " (want " +
+                            std::to_string(last.epoch) + ")");
+            }
+        }
+        report << "server restarts: " << (incs.size() - 1)
+               << " observed, final epoch "
+               << (incs.empty() ? 0 : incs.back().epoch) << "\n";
+    }
 
     // 6. Metric within tolerance of the fault-free DES twin.
     {

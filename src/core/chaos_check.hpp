@@ -18,8 +18,14 @@
  *     most one fresh Accept per (key, chunk).
  *  5. Every killed worker was either evicted or re-admitted (and when
  *     the run requires it, finished with a Bye).
- *  6. The final metric is within tolerance of the fault-free DES twin
- *     of the same seed and plan.
+ *  6. The final metric is within tolerance of the DES twin of the
+ *     same seed and plan (the twin replays the server-crash fault
+ *     plan in simulation when the run used one).
+ *  7. When the supervisor killed the server, each restart is visible
+ *     as a recovered server_start under a strictly higher epoch, no
+ *     gradient the checkpoint already covered is re-applied by a
+ *     later incarnation, and every worker that finished after the
+ *     last restart was re-admitted under the final epoch.
  *
  * Violations are returned as human-readable strings; an empty list is
  * a passing run.
@@ -49,6 +55,13 @@ struct ChaosCheckOptions
 
     /** Skip invariant 6 when no DES twin summary exists. */
     bool require_twin = true;
+
+    /** Times the supervisor SIGKILLed + restarted the *server*. When
+     *  > 0 the checker additionally requires: one server_start line
+     *  per incarnation, the last one recovered from a checkpoint, a
+     *  strictly rising epoch, and every worker that finished after
+     *  the last restart re-admitted under the final epoch. */
+    std::size_t server_restarts = 0;
 };
 
 struct ChaosCheckResult

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hpp"
 #include "core/server_checkpoint.hpp"
@@ -68,12 +69,73 @@ ServerNode::ServerNode(net::session::Fabric &fabric, Workload &workload,
       tracker_(workload.workers(), cfg.detector),
       peers_(workload.workers())
 {
+    recovered_ = restoreFromCheckpoint();
 }
 
 ServerNode::~ServerNode()
 {
     if (member_timer_ != 0)
         fabric_.cancelTimer(member_timer_);
+    // Unbind from the fabric: it outlives this node, and a crash
+    // twin (destroy + reconstruct against the same fabric) must not
+    // deliver into a dead server.
+    fabric_.setMessageHandler({});
+}
+
+bool
+ServerNode::restoreFromCheckpoint()
+{
+    if (cfg_.checkpoint_path.empty())
+        return false;
+    try {
+        const ServerCheckpoint ckpt =
+            readServerCheckpointFile(cfg_.checkpoint_path);
+        // Validate everything that can throw *before* mutating any
+        // member: a rejected checkpoint must leave a clean fresh
+        // start, never a torn session table or half-restored model.
+        if (ckpt.sessions.entries.size() != peers_.size())
+            throw std::runtime_error(
+                "checkpoint session table does not cover this fleet");
+        if (ckpt.model.empty())
+            throw std::runtime_error("checkpoint carries no model");
+        {
+            // Parse into a throwaway replica first; only a blob the
+            // architecture fully accepts may touch the live model.
+            auto probe = workload_.buildReplica();
+            std::string s(ckpt.model.begin(), ckpt.model.end());
+            std::istringstream is(s);
+            nn::loadModel(is, *probe);
+        }
+        versions_.restore(ckpt.versions);
+        state_.restore(ckpt.server);
+        mta_.restore(ckpt.tracker);
+        {
+            std::string s(ckpt.model.begin(), ckpt.model.end());
+            std::istringstream is(s);
+            nn::loadModel(is, *model_);
+        }
+        // The epoch bump fences off every pre-crash scope; workers
+        // holding the old epoch are rejected with the new one and
+        // adopt it on retry.
+        table_.restore(ckpt.sessions, ckpt.epoch + 1);
+        for (std::size_t w = 0; w < peers_.size(); ++w) {
+            const bool done = w < ckpt.worker_done.size() &&
+                              ckpt.worker_done[w] != 0;
+            peers_[w].bye = done;
+            if (done)
+                tracker_.deactivate(w);
+        }
+        // Control keys restart past the checkpoint's high-water mark
+        // with a gap covering anything sent after it was cut, so no
+        // pre-crash in-flight key is ever minted again.
+        ctrl_seq_ = static_cast<std::uint32_t>(ckpt.msg_seq) + 4096;
+        return true;
+    } catch (const std::exception &e) {
+        std::ostringstream os;
+        os << "recover_failed why=\"" << e.what() << '"';
+        logLine(fmt(fabric_.now(), os.str().c_str()));
+        return false;
+    }
 }
 
 void
@@ -92,7 +154,32 @@ ServerNode::start()
         });
     member_timer_ = fabric_.after(cfg_.detector.check_interval_s,
                                   [this] { evaluateMembership(); });
-    logLine(fmt(fabric_.now(), "server_start"));
+    {
+        std::ostringstream os;
+        os << "server_start epoch=" << table_.epoch()
+           << " recovered=" << (recovered_ ? 1 : 0);
+        logLine(fmt(fabric_.now(), os.str().c_str()));
+    }
+    if (recovered_) {
+        // The restored apply watermark, one row per worker — the
+        // invariant checker uses these to prove no push that survived
+        // the crash is ever applied twice by the new incarnation.
+        for (std::size_t w = 0; w < peers_.size(); ++w) {
+            std::ostringstream os;
+            os << "recover_w w=" << w << " versions=";
+            for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
+                if (u > 0)
+                    os << ',';
+                os << versions_.get(w, u);
+            }
+            logLine(fmt(fabric_.now(), os.str().c_str()));
+        }
+        // Re-persist immediately under the bumped epoch: a second
+        // crash before the next cadence checkpoint must recover to
+        // this epoch, not re-derive it from the pre-crash file.
+        checkpointNow();
+        checkDone();
+    }
 }
 
 void
@@ -228,7 +315,8 @@ ServerNode::onHello(std::vector<std::uint8_t> &&bytes)
     os << "admit w=" << w << " mode=" << admitModeName(a.mode)
        << " session=" << a.session << " start=" << start
        << " inc=" << h.incarnation
-       << " model_bytes=" << wmsg.model.size();
+       << " model_bytes=" << wmsg.model.size()
+       << " epoch=" << table_.epoch();
     logLine(fmt(now, os.str().c_str()));
 
     MessageKey key{static_cast<std::uint16_t>(w),
@@ -295,6 +383,8 @@ ServerNode::onPush(const MessageKey &key,
     os << "apply w=" << w << " iter=" << iter << " unit=" << unit;
     logLine(fmt(fabric_.now(), os.str().c_str()));
     maybeCheckpoint();
+    if (apply_hook_)
+        apply_hook_(iter);
     answerReadyPulls();
 }
 
@@ -461,6 +551,12 @@ ServerNode::checkpointNow()
     ckpt.versions = versions_.snapshot();
     ckpt.server = state_.snapshot();
     ckpt.tracker = mta_.snapshot();
+    ckpt.epoch = table_.epoch();
+    ckpt.sessions = table_.snapshot();
+    ckpt.model = modelBytes();
+    ckpt.worker_done.resize(peers_.size());
+    for (std::size_t w = 0; w < peers_.size(); ++w)
+        ckpt.worker_done[w] = peers_[w].bye ? 1 : 0;
     writeServerCheckpointFile(cfg_.checkpoint_path, ckpt);
     applies_since_ckpt_ = 0;
     std::ostringstream os;
@@ -542,6 +638,9 @@ WorkerNode::~WorkerNode()
         fabric_.cancelTimer(hello_timer_);
     if (heartbeat_timer_ != 0)
         fabric_.cancelTimer(heartbeat_timer_);
+    if (server_watch_timer_ != 0)
+        fabric_.cancelTimer(server_watch_timer_);
+    fabric_.setMessageHandler({});
 }
 
 void
@@ -574,6 +673,9 @@ void
 WorkerNode::onMessage(const MessageKey &key,
                       std::vector<std::uint8_t> &&bytes)
 {
+    // Every one of these rows only ever originates at the server:
+    // each is proof of life for the response-gap failure detector.
+    noteServerAlive();
     switch (key.row) {
     case net::session::kRowWelcome:
         onWelcome(std::move(bytes));
@@ -680,10 +782,25 @@ WorkerNode::onWelcome(std::vector<std::uint8_t> &&bytes)
     std::ostringstream os;
     os << "welcome mode=" << admitModeName(w.mode)
        << " session=" << session_ << " start=" << done_iter_
-       << " model_bytes=" << w.model.size();
+       << " epoch=" << epoch_ << " model_bytes=" << w.model.size();
     logLine(fmt(fabric_.now(), os.str().c_str()));
 
+    hb_fail_streak_ = 0;
     armHeartbeat();
+    armServerWatch();
+
+    // A Resume admission whose start line sits exactly one short of
+    // the parked push means the new server never applied it: re-send
+    // the parked bytes under the fresh session scope instead of
+    // recomputing (the codec residual has moved on). Any other
+    // admission mode resynced the model, which already covers — or
+    // deliberately discards — whatever was in flight.
+    if (w.mode == AdmitMode::Resume && !parked_.empty() &&
+        parked_iter_ == done_iter_ + 1) {
+        repushParked();
+        return;
+    }
+    parked_.clear();
     beginIteration();
 }
 
@@ -699,6 +816,11 @@ WorkerNode::onReject(std::vector<std::uint8_t> &&bytes)
     logLine(fmt(fabric_.now(), os.str().c_str()));
     if (r.reason == RejectReason::BadEpoch) {
         epoch_ = r.server_epoch; // adopt and retry.
+        // An epoch change means the server restarted with fresh
+        // receiver state: wipe this link's per-key delivery memory
+        // (it describes a dead process) and rebuild the connection.
+        fabric_.resetPeer(kServerNode);
+        fabric_.connectPeer(kServerNode, server_host_, server_port_);
     } else {
         resume_token_ = 0; // stale claim: re-enter fresh.
         done_iter_ = 0;
@@ -737,24 +859,39 @@ WorkerNode::beginIteration()
             : nn::softmaxCrossEntropy(out, batch.labels);
     model_->backward(loss.grad);
 
-    // Push every synchronization unit through the codec. Deadline-less
-    // with unbounded chunk retries: a partition stalls the run, it
-    // does not corrupt it.
-    pushes_in_flight_ = partition_->unitCount();
-    push_failed_ = false;
-    const std::uint32_t session = session_;
+    // Encode every synchronization unit through the codec and park
+    // the bytes: if the server dies mid-push, the next admission can
+    // re-send these exact payloads (the codec residual has already
+    // advanced, so a recompute would not reproduce them).
+    parked_.clear();
+    parked_.reserve(partition_->unitCount());
+    parked_iter_ = iter_;
     for (std::size_t u = 0; u < partition_->unitCount(); ++u) {
         const Unit &unit = partition_->unit(u);
         grad_.resize(unit.width);
         decoded_.resize(unit.width);
         flat_->gatherGrad(unit.begin, grad_);
         codec_->transcodeRow(u, grad_, decoded_);
+        parked_.push_back(net::session::encodeFloats(decoded_));
+    }
+    sendParked();
+}
+
+void
+WorkerNode::sendParked()
+{
+    // Deadline-less with unbounded chunk retries: a partition stalls
+    // the run, it does not corrupt it.
+    pushes_in_flight_ = parked_.size();
+    push_failed_ = false;
+    const std::uint32_t session = session_;
+    for (std::size_t u = 0; u < parked_.size(); ++u) {
         MessageKey key{static_cast<std::uint16_t>(worker_),
                        packVersion(session, iter_),
                        static_cast<std::uint32_t>(u), false};
         fabric_.sendTo(
-            kServerNode, key, net::session::encodeFloats(decoded_),
-            kNoDeadline, [this, session](bool ok) {
+            kServerNode, key, parked_[u], kNoDeadline,
+            [this, session](bool ok) {
                 if (session != session_ || phase_ != Phase::Pushing)
                     return; // superseded by a resync.
                 if (!ok)
@@ -763,6 +900,17 @@ WorkerNode::beginIteration()
                     onPushesSettled();
             });
     }
+}
+
+void
+WorkerNode::repushParked()
+{
+    iter_ = parked_iter_;
+    phase_ = Phase::Pushing;
+    std::ostringstream os;
+    os << "iter=" << iter_ << " phase=repush units=" << parked_.size();
+    logLine(fmt(fabric_.now(), os.str().c_str()));
+    sendParked();
 }
 
 void
@@ -803,6 +951,7 @@ WorkerNode::onPullData(std::vector<std::uint8_t> &&bytes)
     for (const UnitUpdate &u : pd.units)
         applyUnit(u.unit, u.values);
     done_iter_ = iter_;
+    parked_.clear(); // the iteration landed; nothing left to re-send.
     writeLocalCheckpoint();
     std::ostringstream os;
     os << "iter=" << iter_ << " phase=applied units=" << pd.units.size();
@@ -860,6 +1009,10 @@ WorkerNode::finishRun()
         fabric_.cancelTimer(heartbeat_timer_);
         heartbeat_timer_ = 0;
     }
+    if (server_watch_timer_ != 0) {
+        fabric_.cancelTimer(server_watch_timer_);
+        server_watch_timer_ = 0;
+    }
     Bye bye;
     bye.worker = static_cast<std::uint16_t>(worker_);
     bye.done_iter = done_iter_;
@@ -899,9 +1052,81 @@ WorkerNode::sendHeartbeat()
                    net::session::kRowHeartbeat, false};
     // Best effort with a short deadline: a heartbeat that cannot get
     // through quickly is worthless, and must never pile up retries.
-    fabric_.sendTo(kServerNode, key, net::session::encode(hb),
-                   fabric_.now() + 2.0 * cfg_.detector.heartbeat_interval_s,
-                   {});
+    // A *streak* of failures, though, is transport-level evidence the
+    // server is gone — faster than waiting out the response-gap phi.
+    const std::uint32_t session = session_;
+    fabric_.sendTo(
+        kServerNode, key, net::session::encode(hb),
+        fabric_.now() + 2.0 * cfg_.detector.heartbeat_interval_s,
+        [this, session](bool ok) {
+            if (session != session_)
+                return; // superseded by a resync.
+            if (ok) {
+                hb_fail_streak_ = 0;
+                return;
+            }
+            if (++hb_fail_streak_ < 3 ||
+                (phase_ != Phase::Pushing && phase_ != Phase::PullWait))
+                return;
+            hb_fail_streak_ = 0;
+            resync("heartbeat_failed");
+        });
+}
+
+void
+WorkerNode::noteServerAlive()
+{
+    const double now = fabric_.now();
+    if (last_server_msg_ > 0.0) {
+        const double gap = now - last_server_msg_;
+        // Same EWMA shape as the server's heartbeat detector.
+        server_gap_ewma_ = server_gap_samples_ == 0
+                               ? gap
+                               : 0.8 * server_gap_ewma_ + 0.2 * gap;
+        ++server_gap_samples_;
+    }
+    last_server_msg_ = now;
+}
+
+void
+WorkerNode::armServerWatch()
+{
+    if (server_watch_timer_ != 0)
+        fabric_.cancelTimer(server_watch_timer_);
+    if (last_server_msg_ <= 0.0)
+        last_server_msg_ = fabric_.now();
+    server_watch_timer_ =
+        fabric_.after(cfg_.server_check_interval_s, [this] {
+            server_watch_timer_ = 0;
+            checkServer();
+        });
+}
+
+void
+WorkerNode::checkServer()
+{
+    // Only a mid-iteration worker expects the server to answer; in
+    // Hello the capped-retry loop is already probing, and a leaving
+    // or finished worker has nothing left to wait for.
+    if (phase_ != Phase::Pushing && phase_ != Phase::PullWait)
+        return;
+    const double now = fabric_.now();
+    const double silence = now - last_server_msg_;
+    bool suspect = silence >= cfg_.server_silence_bound_s;
+    if (!suspect && server_gap_samples_ >= cfg_.server_phi_min_samples) {
+        constexpr double kLn10 = 2.302585092994046;
+        const double mean =
+            std::max(server_gap_ewma_, cfg_.server_check_interval_s);
+        suspect = silence / (mean * kLn10) >= cfg_.server_phi_suspect;
+    }
+    if (suspect) {
+        std::ostringstream os;
+        os << "server_suspect silence=" << silence;
+        logLine(fmt(now, os.str().c_str()));
+        resync("server_suspect");
+        return;
+    }
+    armServerWatch();
 }
 
 void
@@ -918,9 +1143,19 @@ WorkerNode::resync(const char *why)
         fabric_.cancelTimer(hello_timer_);
         hello_timer_ = 0;
     }
+    if (server_watch_timer_ != 0) {
+        fabric_.cancelTimer(server_watch_timer_);
+        server_watch_timer_ = 0;
+    }
     session_ = 0;
     phase_ = Phase::Hello;
     hello_tries_ = 0;
+    hb_fail_streak_ = 0;
+    // The next incarnation of the server speaks on its own cadence:
+    // old response-gap statistics would only poison the detector.
+    last_server_msg_ = 0.0;
+    server_gap_ewma_ = 0.0;
+    server_gap_samples_ = 0;
     fabric_.dropPeer(kServerNode);
     fabric_.connectPeer(kServerNode, server_host_, server_port_);
     sendHello();

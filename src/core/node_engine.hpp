@@ -79,6 +79,20 @@ struct NodeTrainConfig
     double hello_retry_max_s = 2.0;
     std::size_t hello_max_tries = 40;
 
+    /**
+     * Worker-side server failure detection: the worker watches the
+     * gaps between server responses (Welcome / Reject / PullData)
+     * with the same phi-accrual shape the server applies to worker
+     * heartbeats, plus a hard silence bound. While mid-iteration
+     * (Pushing / PullWait), a suspected server triggers a resync:
+     * park the in-flight push, reconnect, re-run Hello, adopt the
+     * new epoch, and re-send what the new server has not applied.
+     */
+    double server_check_interval_s = 0.25;
+    double server_silence_bound_s = 6.0; //!< hard cap, seconds.
+    double server_phi_suspect = 6.0;     //!< phi threshold.
+    std::size_t server_phi_min_samples = 3;
+
     /** Worker heartbeat send deadline = 2 * interval (best effort). */
 
     /** Server checkpoint cadence, in applied pushes (0 = off). */
@@ -133,6 +147,20 @@ class ServerNode
     const MembershipTracker &membership() const { return tracker_; }
     const net::session::SessionTable &sessions() const { return table_; }
 
+    /** The run epoch in force (bumped past the checkpoint's after a
+     *  crash-recovery construction). */
+    std::uint64_t epoch() const { return table_.epoch(); }
+
+    /** True when construction restored a ROGS checkpoint. */
+    bool recovered() const { return recovered_; }
+
+    /** Test/harness hook: fired after every applied push with the
+     *  push's iteration (e.g. to schedule a mid-run server crash). */
+    void setApplyHook(std::function<void(std::int64_t)> hook)
+    {
+        apply_hook_ = std::move(hook);
+    }
+
     /** Pushes applied / recorded-duplicate / stale-session counts. */
     std::size_t appliedPushes() const { return applied_pushes_; }
     std::size_t duplicatePushes() const { return duplicate_pushes_; }
@@ -164,6 +192,8 @@ class ServerNode
     bool gateOpen(std::int64_t iter) const;
     void answerPull(std::size_t w, std::int64_t iter);
     void evictWorker(std::size_t w);
+    /** Try to restore a ROGS checkpoint; false = start fresh. */
+    bool restoreFromCheckpoint();
     void maybeCheckpoint();
     void checkDone();
     void logLine(const std::string &line);
@@ -194,6 +224,8 @@ class ServerNode
     std::size_t duplicate_pushes_ = 0;
     std::size_t stale_drops_ = 0;
     std::size_t applies_since_ckpt_ = 0;
+    bool recovered_ = false;
+    std::function<void(std::int64_t)> apply_hook_;
     bool done_ = false;
 };
 
@@ -226,6 +258,10 @@ class WorkerNode
 
     std::int64_t iter() const { return iter_; }
     net::session::AdmitMode admitMode() const { return admit_mode_; }
+    /** Run epoch this worker currently believes in (updated by
+     *  Welcome adoption and BadEpoch rejects). */
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint32_t session() const { return session_; }
     nn::Model &model() { return *model_; }
 
   private:
@@ -250,6 +286,14 @@ class WorkerNode
     void finishRun();
     void armHeartbeat();
     void sendHeartbeat();
+    /** Server-response phi accrual: note life, watch for silence. */
+    void noteServerAlive();
+    void armServerWatch();
+    void checkServer();
+    /** Re-send the parked push under the new session scope. */
+    void repushParked();
+    /** Ship parked_ as iter_'s unit pushes under the live session. */
+    void sendParked();
     void applyUnit(std::uint32_t unit, std::span<const float> values);
     void writeLocalCheckpoint();
     /** Transport trouble: tear down and re-handshake. */
@@ -292,6 +336,24 @@ class WorkerNode
     std::uint32_t hb_seq_ = 1;
     std::vector<float> grad_;    //!< scratch: gathered unit gradient.
     std::vector<float> decoded_; //!< scratch: codec reconstruction.
+
+    /** Consecutive best-effort heartbeat send failures. */
+    std::size_t hb_fail_streak_ = 0;
+
+    /** Server-response failure detection (see NodeTrainConfig). */
+    net::session::FabricTimer server_watch_timer_ = 0;
+    double last_server_msg_ = 0.0; //!< 0 = nothing heard yet.
+    double server_gap_ewma_ = 0.0;
+    std::size_t server_gap_samples_ = 0;
+
+    /**
+     * The in-flight iteration's encoded unit payloads, parked so a
+     * server restart mid-push can re-send them under the new session
+     * instead of recomputing (the codec residual already advanced —
+     * a recompute would not reproduce these bytes).
+     */
+    std::vector<std::vector<std::uint8_t>> parked_;
+    std::int64_t parked_iter_ = 0;
 };
 
 } // namespace core

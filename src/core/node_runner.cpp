@@ -104,6 +104,17 @@ chaosRunDefaults()
     cfg.train.hello_retry_max_s = 1.0;
     cfg.train.hello_max_tries = 60;
 
+    // Worker-side server failure detection: quick checks, a silence
+    // bound a bit past the worst legitimate pull stall (a dead peer
+    // worker holds the RSP gate for detection_bound + restart time).
+    cfg.train.server_check_interval_s = 0.1;
+    cfg.train.server_silence_bound_s = 2.5;
+    cfg.train.server_phi_suspect = 6.0;
+
+    // A restarted server reclaims its port even if the kernel is
+    // still tearing down its predecessor's socket.
+    cfg.socket.bind_retry_window_s = 3.0;
+
     // Pushes ride out partitions: unbounded chunk retries, quick
     // capped backoff.
     cfg.transport.max_attempts_per_chunk = 0;
@@ -171,7 +182,7 @@ runServerNode(const NodeRunConfig &cfg,
     // worker->server push path where the chaos plan puts it.
     net::session::SocketFabric fabric(
         loop, net::session::kServerNode,
-        fabricOptions(cfg, /*faults=*/false, /*listen_port=*/0));
+        fabricOptions(cfg, /*faults=*/false, cfg.listen_port));
     if (!fabric.ok())
         return res;
     if (on_listen)
@@ -196,6 +207,8 @@ runServerNode(const NodeRunConfig &cfg,
     res.applied_pushes = server.appliedPushes();
     res.duplicate_pushes = server.duplicatePushes();
     res.stale_drops = server.staleDrops();
+    res.epoch = server.epoch();
+    res.recovered = server.recovered();
     if (!res.done)
         log.line("server_timeout");
 
@@ -214,7 +227,9 @@ runServerNode(const NodeRunConfig &cfg,
             << "duplicate_pushes " << res.duplicate_pushes << '\n'
             << "stale_drops " << res.stale_drops << '\n'
             << "min_worker_iteration " << server.minWorkerIteration()
-            << '\n';
+            << '\n'
+            << "epoch " << res.epoch << '\n'
+            << "recovered " << (res.recovered ? 1 : 0) << '\n';
     }
     return res;
 }
@@ -283,12 +298,29 @@ runDesTwin(const NodeRunConfig &cfg)
     train.worker_state_dir.clear(); // no process restarts to resume.
     train.checkpoint_path.clear();
 
+    // The server_crash fault plan needs a checkpoint to recover from.
+    const bool crash_plan =
+        cfg.server_crash_iter > 0 && !cfg.artifact_dir.empty();
+    if (crash_plan) {
+        train.checkpoint_path =
+            cfg.artifact_dir + "/des_checkpoint.rogs";
+        std::remove(train.checkpoint_path.c_str());
+    }
+
     LineLog log(cfg.artifact_dir.empty()
                     ? std::string()
                     : cfg.artifact_dir + "/des_twin.log");
-    ServerNode server(net.node(net::session::kServerNode), *workload,
-                      train, log.logger());
-    server.start();
+    net::session::DesFabric &server_fabric =
+        net.node(net::session::kServerNode);
+    auto server = std::make_unique<ServerNode>(server_fabric, *workload,
+                                               train, log.logger());
+    bool crash_requested = false;
+    if (crash_plan)
+        server->setApplyHook([&crash_requested, &cfg](std::int64_t it) {
+            if (it >= cfg.server_crash_iter)
+                crash_requested = true;
+        });
+    server->start();
 
     std::vector<std::unique_ptr<WorkerNode>> nodes;
     for (std::size_t w = 0; w < cfg.workers; ++w) {
@@ -298,11 +330,45 @@ runDesTwin(const NodeRunConfig &cfg)
         nodes.back()->start("des", 0);
     }
 
-    sim.runUntil(cfg.run_timeout_s);
+    if (!crash_plan) {
+        sim.runUntil(cfg.run_timeout_s);
+    } else {
+        // Slice the simulation so the crash lands mid-run, exactly
+        // where the fork harness SIGKILLs its server: destroy the
+        // node (in-flight state evaporates), wait out the restart
+        // delay in simulated time, rebuild from the checkpoint.
+        // Slices stay fine-grained until the restart has happened —
+        // a DES iteration takes well under a millisecond, and a
+        // coarse slice would fire the "crash" after the fleet
+        // already finished.
+        double restart_at = -1.0;
+        double t = 0.0;
+        bool restarted = false;
+        while (t < cfg.run_timeout_s) {
+            t = std::min(cfg.run_timeout_s,
+                         t + (restarted ? 0.05 : 0.0005));
+            sim.runUntil(t);
+            if (crash_requested && server) {
+                crash_requested = false;
+                server.reset();
+                log.line("des_server_killed");
+                restart_at = t + cfg.server_crash_restart_s;
+            }
+            if (restart_at >= 0.0 && t >= restart_at) {
+                restart_at = -1.0;
+                restarted = true;
+                server = std::make_unique<ServerNode>(
+                    server_fabric, *workload, train, log.logger());
+                server->start();
+            }
+            if (server && server->done())
+                break;
+        }
+    }
 
-    res.done = server.done();
-    res.metric = server.evaluateModel();
-    res.applied_pushes = server.appliedPushes();
+    res.done = server && server->done();
+    res.metric = server ? server->evaluateModel() : 0.0;
+    res.applied_pushes = server ? server->appliedPushes() : 0;
     if (!cfg.artifact_dir.empty()) {
         std::ofstream sum(cfg.artifact_dir + "/des_summary.txt",
                           std::ios::trunc);

@@ -46,6 +46,19 @@ struct NodeRunConfig
     fault::SocketFaultPlan fault_plan;
     bool inject_faults = false;
 
+    /** Server listen port (0 = ephemeral). A restarted server passes
+     *  its old port here to reclaim it (with the bind-retry window). */
+    std::uint16_t listen_port = 0;
+
+    /**
+     * DES twin server-crash plan: destroy the in-simulation server
+     * once a push at this iteration (or later) applies, then rebuild
+     * it from its checkpoint after the delay — the simulation analogue
+     * of `rog_chaos --kill-server-iter`. 0 = never crash.
+     */
+    std::int64_t server_crash_iter = 0;
+    double server_crash_restart_s = 0.5;
+
     /** Wall-clock (or simulated, for DES) run bound. */
     double run_timeout_s = 120.0;
 
@@ -76,6 +89,8 @@ struct ServerRunResult
     std::size_t applied_pushes = 0;
     std::size_t duplicate_pushes = 0;
     std::size_t stale_drops = 0;
+    std::uint64_t epoch = 0;  //!< run epoch the server ended with.
+    bool recovered = false;   //!< construction restored a checkpoint.
 };
 
 /**

@@ -16,7 +16,10 @@ namespace core {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'O', 'G', 'S'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends server-recovery state: run epoch, the session table
+// (resume tokens + watermarks), and the model blob. v1 files predate
+// recoverable socket servers and are rejected rather than guessed at.
+constexpr std::uint32_t kVersion = 2;
 
 // A server checkpoint holds one float per (worker, unit, element):
 // anything past this is a corrupted size field, not a real file.
@@ -77,6 +80,17 @@ class Cursor
         pos_ += n * sizeof(float);
     }
 
+    void
+    takeBytes(std::vector<std::uint8_t> &dst, std::size_t n)
+    {
+        if (size_ - pos_ < n)
+            ROG_FATAL("server checkpoint: truncated payload");
+        dst.resize(n);
+        if (n > 0)
+            std::memcpy(dst.data(), data_ + pos_, n);
+        pos_ += n;
+    }
+
     bool exhausted() const { return pos_ == size_; }
 
   private:
@@ -134,6 +148,29 @@ encodePayload(const ServerCheckpoint &c)
         out.push_back(static_cast<char>(c.tracker.seeded[w]));
         putF64(out, c.tracker.mta_bytes[w]);
     }
+    putU64(out, c.epoch);
+    ROG_ASSERT(c.sessions.entries.empty() ||
+                   c.sessions.entries.size() == workers,
+               "session snapshot fleet-size mismatch");
+    putU32(out, static_cast<std::uint32_t>(c.sessions.entries.size()));
+    for (const auto &e : c.sessions.entries) {
+        putU64(out, e.token);
+        putU32(out, e.incarnation);
+        putI64(out, e.last_done_iter);
+        putI64(out, e.last_response_iter);
+        out.push_back(static_cast<char>(e.admitted_once ? 1 : 0));
+    }
+    putU32(out, c.sessions.next_session);
+    putU64(out, c.sessions.admissions);
+    ROG_ASSERT(c.worker_done.empty() || c.worker_done.size() == workers,
+               "worker_done fleet-size mismatch");
+    putU32(out, static_cast<std::uint32_t>(c.worker_done.size()));
+    for (std::uint8_t d : c.worker_done)
+        out.push_back(static_cast<char>(d ? 1 : 0));
+    putU64(out, static_cast<std::uint64_t>(c.model.size()));
+    if (!c.model.empty())
+        out.append(reinterpret_cast<const char *>(c.model.data()),
+                   c.model.size());
     return out;
 }
 
@@ -181,6 +218,41 @@ decodePayload(const std::string &payload)
         c.tracker.seeded[w] = cur.take<std::uint8_t>();
         c.tracker.mta_bytes[w] = cur.take<double>();
     }
+    c.epoch = cur.take<std::uint64_t>();
+    const auto session_count = cur.take<std::uint32_t>();
+    if (session_count != 0 && session_count != workers)
+        ROG_FATAL("server checkpoint: session table size ",
+                  session_count, " != fleet size ", workers);
+    c.sessions.entries.resize(session_count);
+    for (auto &e : c.sessions.entries) {
+        e.token = cur.take<std::uint64_t>();
+        e.incarnation = cur.take<std::uint32_t>();
+        e.last_done_iter = cur.take<std::int64_t>();
+        e.last_response_iter = cur.take<std::int64_t>();
+        const auto admitted = cur.take<std::uint8_t>();
+        if (admitted > 1)
+            ROG_FATAL("server checkpoint: bad admitted flag ",
+                      admitted);
+        e.admitted_once = admitted != 0;
+    }
+    c.sessions.next_session = cur.take<std::uint32_t>();
+    c.sessions.admissions = cur.take<std::uint64_t>();
+    const auto done_count = cur.take<std::uint32_t>();
+    if (done_count != 0 && done_count != workers)
+        ROG_FATAL("server checkpoint: worker_done size ", done_count,
+                  " != fleet size ", workers);
+    c.worker_done.resize(done_count);
+    for (auto &d : c.worker_done) {
+        d = cur.take<std::uint8_t>();
+        if (d > 1)
+            ROG_FATAL("server checkpoint: bad worker_done flag ",
+                      static_cast<unsigned>(d));
+    }
+    const auto model_len = cur.take<std::uint64_t>();
+    if (model_len > kMaxPayload)
+        ROG_FATAL("server checkpoint: implausible model size ",
+                  model_len);
+    cur.takeBytes(c.model, static_cast<std::size_t>(model_len));
     if (!cur.exhausted())
         ROG_FATAL("server checkpoint: trailing garbage in payload");
     return c;

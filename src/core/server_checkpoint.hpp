@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/server_state.hpp"
 #include "core/version_storage.hpp"
+#include "net/session/session.hpp"
 
 namespace rog {
 namespace core {
@@ -44,6 +46,34 @@ struct ServerCheckpoint
     VersionSnapshot versions;
     ServerStateSnapshot server;
     MtaTrackerSnapshot tracker;
+
+    /**
+     * Run epoch the checkpoint was cut under. A recovering server
+     * restarts at `epoch + 1` so every pre-crash scope is fenced off.
+     */
+    std::uint64_t epoch = 0;
+
+    /**
+     * Session-recovery state: resume tokens, incarnations, and
+     * progress watermarks per worker. May be empty (the in-process
+     * DES engine has no session layer).
+     */
+    net::session::SessionSnapshot sessions;
+
+    /**
+     * Serialized model parameters at the checkpointed iteration, so a
+     * restarted server can hand Rejoin workers a consistent model.
+     * May be empty for engines that persist the model elsewhere.
+     */
+    std::vector<std::uint8_t> model;
+
+    /**
+     * Per-worker "said Bye" flags (1 = finished). Distinguishes a
+     * finished worker from an evicted one — both retire their version
+     * rows, but only the finished one will never Hello again, and a
+     * restarted server must not wait on it. Empty or workers-sized.
+     */
+    std::vector<std::uint8_t> worker_done;
 };
 
 /** Serialize @p ckpt (with CRC32C trailer) to @p os. @throws on I/O

@@ -90,6 +90,22 @@ SocketFaultPlan::tryParse(const std::string &spec)
                                 "got '" +
                                 secs + "'");
             }
+        } else if (key == "partition") {
+            // partition=<begin>:<duration> (seconds, sender clock).
+            const auto colon = val.find(':');
+            if (colon == std::string::npos)
+                return fail("partition needs begin:duration, got '" +
+                            val + "'");
+            double begin = 0.0;
+            double dur = 0.0;
+            if (!parseDouble(val.substr(0, colon), begin) ||
+                begin < 0.0 ||
+                !parseDouble(val.substr(colon + 1), dur) || dur <= 0.0)
+                return fail("partition needs non-negative begin and "
+                            "positive duration, got '" +
+                            val + "'");
+            res.plan.part_begin_s = begin;
+            res.plan.part_end_s = begin + dur;
         } else {
             return fail("unknown fault key '" + key + "'");
         }
@@ -123,6 +139,17 @@ SocketFaultInjector::next()
     fate.corrupt = u_corrupt < plan_.corrupt_p;
     if (u_delay < plan_.delay_p)
         fate.delay_s = plan_.delay_s;
+    return fate;
+}
+
+DatagramFate
+SocketFaultInjector::next(double now_s)
+{
+    // Layered after the draws so the stream past the window matches
+    // a never-partitioned run with the same seed.
+    DatagramFate fate = next();
+    if (plan_.partitioned(now_s))
+        fate.drop = true;
     return fate;
 }
 

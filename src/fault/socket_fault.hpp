@@ -41,19 +41,37 @@ struct SocketFaultPlan
     double delay_p = 0.0;   //!< hold the datagram back briefly.
     double delay_s = 0.01;  //!< how long a delayed datagram waits.
 
+    /**
+     * Network partition: every datagram emitted while
+     * `part_begin_s <= now < part_end_s` (sender clock, seconds since
+     * process start) is dropped, regardless of probabilities. Models
+     * a windowed link outage; end <= begin disables it.
+     */
+    double part_begin_s = 0.0;
+    double part_end_s = 0.0;
+
+    bool
+    partitioned(double now_s) const
+    {
+        return part_end_s > part_begin_s && now_s >= part_begin_s &&
+               now_s < part_end_s;
+    }
+
     /** A plan that touches nothing. */
     bool
     clean() const
     {
         return drop_p <= 0.0 && dup_p <= 0.0 && trunc_p <= 0.0 &&
-               corrupt_p <= 0.0 && delay_p <= 0.0;
+               corrupt_p <= 0.0 && delay_p <= 0.0 &&
+               part_end_s <= part_begin_s;
     }
 
     /**
      * Parse a spec like "seed=7 drop=0.1 dup=0.05 trunc=0.2
-     * corrupt=0.05 delay=0.1:0.02" (delay is prob:seconds). Unknown
-     * keys and out-of-range probabilities are rejected with a message,
-     * never skipped.
+     * corrupt=0.05 delay=0.1:0.02 partition=2.0:1.5" (delay is
+     * prob:seconds; partition is begin:duration, in sender-clock
+     * seconds). Unknown keys and out-of-range probabilities are
+     * rejected with a message, never skipped.
      */
     static SocketFaultParseResult tryParse(const std::string &spec);
 };
@@ -85,6 +103,14 @@ class SocketFaultInjector
 
     /** Decide the fate of the next datagram (advances the stream). */
     DatagramFate next();
+
+    /**
+     * As next(), but time-aware: inside the plan's partition window
+     * the datagram is dropped outright. The probabilistic draws are
+     * still consumed, so the stream beyond the window is identical
+     * to a run that never partitioned.
+     */
+    DatagramFate next(double now_s);
 
     std::size_t decided() const { return decided_; }
     const SocketFaultPlan &plan() const { return plan_; }

@@ -71,6 +71,16 @@ DesFabric::dropPeer(int peer)
 }
 
 void
+DesFabric::resetPeer(int peer)
+{
+    // The remote restarted: wipe this direction's per-key delivery
+    // memory so re-sends under the new epoch are not suppressed.
+    auto it = net_.pairs_.find({node_, peer});
+    if (it != net_.pairs_.end() && it->second.link)
+        it->second.link->reset();
+}
+
+void
 DesFabric::sendTo(int peer, const MessageKey &key,
                   std::span<const std::uint8_t> payload, double deadline_s,
                   SendDone done)

@@ -74,6 +74,15 @@ class Fabric
     virtual void dropPeer(int peer) = 0;
 
     /**
+     * Forget all per-key delivery bookkeeping for @p peer, aborting
+     * in-flight sends (their @p done callbacks fire with false). Call
+     * on epoch change: a peer that restarted came back with fresh
+     * receiver state, so the sender's memory of what that peer has
+     * already seen is stale and must not suppress re-sends.
+     */
+    virtual void resetPeer(int peer) { (void)peer; }
+
+    /**
      * Reliably send @p payload keyed by @p key. @p deadline_s is
      * absolute (kNoDeadline = retry forever). @p done may fire inline.
      */

@@ -103,6 +103,46 @@ SessionTable::noteResponse(std::size_t worker, std::int64_t iter)
         e.last_response_iter = iter;
 }
 
+SessionSnapshot
+SessionTable::snapshot() const
+{
+    SessionSnapshot s;
+    s.entries.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        SessionEntrySnapshot es;
+        es.token = e.token;
+        es.incarnation = e.incarnation;
+        es.last_done_iter = e.last_done_iter;
+        es.last_response_iter = e.last_response_iter;
+        es.admitted_once = e.admitted_once;
+        s.entries.push_back(es);
+    }
+    s.next_session = next_session_;
+    s.admissions = admissions_;
+    return s;
+}
+
+void
+SessionTable::restore(const SessionSnapshot &snap,
+                      std::uint64_t new_epoch)
+{
+    ROG_ASSERT(snap.entries.size() == entries_.size(),
+               "session snapshot fleet-size mismatch");
+    for (std::size_t w = 0; w < entries_.size(); ++w) {
+        const SessionEntrySnapshot &es = snap.entries[w];
+        Entry &e = entries_[w];
+        e.session = 0; // force re-admission under the new epoch.
+        e.token = es.token;
+        e.incarnation = es.incarnation;
+        e.last_done_iter = es.last_done_iter;
+        e.last_response_iter = es.last_response_iter;
+        e.admitted_once = es.admitted_once;
+    }
+    next_session_ = snap.next_session;
+    admissions_ = snap.admissions;
+    epoch_ = new_epoch;
+}
+
 bool
 SessionTable::isCurrent(std::size_t worker, std::uint32_t session) const
 {

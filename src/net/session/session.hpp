@@ -37,6 +37,30 @@ namespace rog {
 namespace net {
 namespace session {
 
+/**
+ * Durable image of one worker's admission record. What a restarted
+ * server needs to honor resume tokens minted before the crash:
+ * tokens, incarnations, and progress lines survive; live session ids
+ * deliberately do not (every worker re-enters through Hello).
+ */
+struct SessionEntrySnapshot
+{
+    std::uint64_t token = 0;
+    std::uint32_t incarnation = 0;
+    std::int64_t last_done_iter = 0;
+    std::int64_t last_response_iter = 0;
+    bool admitted_once = false;
+};
+
+/** Durable image of the whole table (see SessionTable::snapshot). */
+struct SessionSnapshot
+{
+    std::vector<SessionEntrySnapshot> entries;
+    /** Preserve id monotonicity across restarts: no scope aliasing. */
+    std::uint32_t next_session = 1;
+    std::uint64_t admissions = 0;
+};
+
 /** Outcome of SessionTable::onHello. */
 struct Admission
 {
@@ -84,6 +108,19 @@ class SessionTable
 
     /** Total admissions (all workers, all modes). */
     std::size_t admissions() const { return admissions_; }
+
+    /** Durable image for the server checkpoint. */
+    SessionSnapshot snapshot() const;
+
+    /**
+     * Rebuild the table from @p snap under @p new_epoch (the restarted
+     * server bumps the epoch it crashed with). Tokens, incarnations
+     * and progress lines come back so pre-crash resume tokens still
+     * admit; live session ids are zeroed so every worker — even one
+     * that never noticed the crash — must re-enter through Hello
+     * before any of its traffic scopes as current again.
+     */
+    void restore(const SessionSnapshot &snap, std::uint64_t new_epoch);
 
   private:
     struct Entry

@@ -17,14 +17,16 @@ SocketFabric::SocketFabric(PollLoop &loop, int node,
                "unknown socket fabric kind");
     if (opts_.kind == "udp") {
         auto rx = std::make_unique<transport::UdpReceiverEndpoint>(
-            loop_, opts_.listen_port, nullptr, /*store_payload=*/true);
+            loop_, opts_.listen_port, nullptr, /*store_payload=*/true,
+            opts_.socket.bind_retry_window_s);
         port_ = rx->port();
         if (!rx->ok())
             last_error_ = rx->error();
         rx_ = std::move(rx);
     } else {
         auto rx = std::make_unique<transport::TcpReceiverEndpoint>(
-            loop_, opts_.listen_port, nullptr, /*store_payload=*/true);
+            loop_, opts_.listen_port, nullptr, /*store_payload=*/true,
+            opts_.socket.bind_retry_window_s);
         port_ = rx->port();
         if (!rx->ok())
             last_error_ = rx->error();
@@ -102,6 +104,20 @@ void
 SocketFabric::dropPeer(int peer)
 {
     peers_.erase(peer);
+}
+
+void
+SocketFabric::resetPeer(int peer)
+{
+    // The remote restarted with fresh receiver state. Abort in-flight
+    // sends (their done callbacks fire false) and forget delivered
+    // keys, then tear the socket down; the caller reconnects.
+    auto it = peers_.find(peer);
+    if (it == peers_.end())
+        return;
+    if (it->second.link)
+        it->second.link->reset();
+    peers_.erase(it);
 }
 
 void

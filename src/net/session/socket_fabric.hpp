@@ -59,6 +59,7 @@ class SocketFabric : public Fabric
     bool hasPeer(int peer) const override;
     bool peerHealthy(int peer) const override;
     void dropPeer(int peer) override;
+    void resetPeer(int peer) override;
     void sendTo(int peer, const transport::MessageKey &key,
                 std::span<const std::uint8_t> payload, double deadline_s,
                 SendDone done) override;

@@ -109,6 +109,28 @@ ReliableLink::~ReliableLink()
     }
 }
 
+void
+ReliableLink::reset()
+{
+    // Move the map out first: a done callback may start a new send
+    // on this link, which must not land in the set being torn down.
+    auto ops = std::move(ops_);
+    ops_.clear();
+    for (auto &[id, op] : ops) {
+        backend_.cancelTimer(op->backoff_timer);
+        backend_.abortSend(op->stream);
+        op->res.delivered = false;
+        op->res.elapsed_s = backend_.now() - op->start_time;
+        Callback done = std::move(op->done);
+        std::function<void()> drop = std::move(op->drop);
+        if (done)
+            done(op->res);
+        else if (drop)
+            drop();
+    }
+    delivered_payloads_.clear();
+}
+
 double
 ReliableLink::chunkLen(const SendOp &op, std::uint32_t seq) const
 {

@@ -198,6 +198,16 @@ class ReliableLink
     const std::vector<std::uint8_t> &
     deliveredPayload(const MessageKey &key) const;
 
+    /**
+     * Abandon every in-flight send (each fires its @p done with
+     * delivered=false, or its @p drop when no done was given) and
+     * forget all per-key delivery bookkeeping. For peer restarts:
+     * the remote came back with fresh receiver state, so this
+     * sender's memory of delivered keys is stale — keeping it would
+     * suppress re-sends the new remote has never seen.
+     */
+    void reset();
+
     const TransportTotals &totals() const { return totals_; }
 
     /**

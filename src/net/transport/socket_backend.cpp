@@ -41,6 +41,28 @@ resolveAddr(const std::string &host, std::uint16_t port,
     return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
 }
 
+/**
+ * bind(2) with an EADDRINUSE retry window. A server restarted onto
+ * its crashed predecessor's port can race the kernel reclaiming the
+ * dead process's socket; every other errno fails immediately.
+ */
+bool
+bindWithRetry(int fd, const sockaddr_in &addr, double window_s)
+{
+    constexpr useconds_t kRetryDelayUs = 50'000; // 50 ms between tries.
+    double waited_s = 0.0;
+    for (;;) {
+        if (::bind(fd,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) == 0)
+            return true;
+        if (errno != EADDRINUSE || waited_s >= window_s)
+            return false;
+        ::usleep(kRetryDelayUs);
+        waited_s += kRetryDelayUs / 1e6;
+    }
+}
+
 } // namespace
 
 FrameHeader
@@ -316,7 +338,7 @@ UdpBackend::emitFrame(const std::vector<std::uint8_t> &bytes)
 {
     fault::DatagramFate fate;
     if (faults_)
-        fate = faults_->next();
+        fate = faults_->next(loop_.now());
     if (fate.drop)
         return;
 
@@ -542,7 +564,8 @@ ReceiverEndpointBase::onDataFrame(const FrameHeader &hdr,
 UdpReceiverEndpoint::UdpReceiverEndpoint(PollLoop &loop,
                                          std::uint16_t port,
                                          TransportObserver *observer,
-                                         bool store_payload)
+                                         bool store_payload,
+                                         double bind_retry_window_s)
     : ReceiverEndpointBase(loop, observer, store_payload)
 {
     fd_.reset(::socket(AF_INET, SOCK_DGRAM, 0));
@@ -550,10 +573,12 @@ UdpReceiverEndpoint::UdpReceiverEndpoint(PollLoop &loop,
         fail("udp socket");
         return;
     }
+    int one = 1;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
     sockaddr_in addr{};
     resolveAddr("127.0.0.1", port, addr);
-    if (::bind(fd_.get(), reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
+    if (!bindWithRetry(fd_.get(), addr, bind_retry_window_s)) {
         fail("udp bind");
         return;
     }
@@ -613,7 +638,8 @@ UdpReceiverEndpoint::onReadable()
 TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
                                          std::uint16_t port,
                                          TransportObserver *observer,
-                                         bool store_payload)
+                                         bool store_payload,
+                                         double bind_retry_window_s)
     : ReceiverEndpointBase(loop, observer, store_payload)
 {
     listen_fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
@@ -626,8 +652,7 @@ TcpReceiverEndpoint::TcpReceiverEndpoint(PollLoop &loop,
                  sizeof(one));
     sockaddr_in addr{};
     resolveAddr("127.0.0.1", port, addr);
-    if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
+    if (!bindWithRetry(listen_fd_.get(), addr, bind_retry_window_s)) {
         fail("tcp bind");
         return;
     }

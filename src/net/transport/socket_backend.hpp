@@ -49,6 +49,14 @@ struct SocketOptions
 {
     /** Resend (verdict: timeout) if no ACK arrives by then. */
     double ack_timeout_s = 0.25;
+
+    /**
+     * Receiver endpoints: keep retrying a bind that fails with
+     * EADDRINUSE for this long before giving up. A server restarted
+     * onto its old port can race the kernel's cleanup of the dead
+     * process's socket; 0 = fail on the first attempt.
+     */
+    double bind_retry_window_s = 0.0;
 };
 
 /** Build the ACK for a data frame given the assembler's result. */
@@ -231,10 +239,12 @@ class ReceiverEndpointBase
 class UdpReceiverEndpoint : public ReceiverEndpointBase
 {
   public:
-    /** @param port 0 binds an ephemeral port (see port()). */
+    /** @param port 0 binds an ephemeral port (see port()).
+     *  @param bind_retry_window_s see SocketOptions. */
     UdpReceiverEndpoint(PollLoop &loop, std::uint16_t port,
                         TransportObserver *observer = nullptr,
-                        bool store_payload = false);
+                        bool store_payload = false,
+                        double bind_retry_window_s = 0.0);
     ~UdpReceiverEndpoint() override;
 
     std::uint16_t port() const { return port_; }
@@ -258,7 +268,8 @@ class TcpReceiverEndpoint : public ReceiverEndpointBase
   public:
     TcpReceiverEndpoint(PollLoop &loop, std::uint16_t port,
                         TransportObserver *observer = nullptr,
-                        bool store_payload = false);
+                        bool store_payload = false,
+                        double bind_retry_window_s = 0.0);
     ~TcpReceiverEndpoint() override;
 
     std::uint16_t port() const { return port_; }

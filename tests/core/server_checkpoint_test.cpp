@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/crc32c.hpp"
 #include "core/server_checkpoint.hpp"
 
 namespace rog {
@@ -58,6 +60,22 @@ sampleCheckpoint()
     }
     for (std::size_t u = 0; u < kUnits; ++u)
         c.server.last_update[u] = static_cast<std::int64_t>(5 + u);
+    // v2 session-recovery section: epoch, resume tokens, done flags,
+    // and a model blob — what a restarted socket server restores.
+    c.epoch = 7;
+    c.sessions.entries.resize(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+        auto &e = c.sessions.entries[w];
+        e.token = 0x1111111111111111ull * (w + 1);
+        e.incarnation = static_cast<std::uint32_t>(w);
+        e.last_done_iter = static_cast<std::int64_t>(3 + w);
+        e.last_response_iter = static_cast<std::int64_t>(4 + w);
+        e.admitted_once = w != 1;
+    }
+    c.sessions.next_session = 9;
+    c.sessions.admissions = 5;
+    c.worker_done = {0, 1, 0};
+    c.model = {0xAB, 0xCD, 0x00, 0x12, 0x34, 0x56};
     return c;
 }
 
@@ -89,6 +107,58 @@ expectEqual(const ServerCheckpoint &a, const ServerCheckpoint &b)
     EXPECT_EQ(a.tracker.rate, b.tracker.rate);
     EXPECT_EQ(a.tracker.seeded, b.tracker.seeded);
     EXPECT_EQ(a.tracker.mta_bytes, b.tracker.mta_bytes);
+    EXPECT_EQ(a.epoch, b.epoch);
+    ASSERT_EQ(a.sessions.entries.size(), b.sessions.entries.size());
+    for (std::size_t w = 0; w < a.sessions.entries.size(); ++w) {
+        EXPECT_EQ(a.sessions.entries[w].token,
+                  b.sessions.entries[w].token);
+        EXPECT_EQ(a.sessions.entries[w].incarnation,
+                  b.sessions.entries[w].incarnation);
+        EXPECT_EQ(a.sessions.entries[w].last_done_iter,
+                  b.sessions.entries[w].last_done_iter);
+        EXPECT_EQ(a.sessions.entries[w].last_response_iter,
+                  b.sessions.entries[w].last_response_iter);
+        EXPECT_EQ(a.sessions.entries[w].admitted_once,
+                  b.sessions.entries[w].admitted_once);
+    }
+    EXPECT_EQ(a.sessions.next_session, b.sessions.next_session);
+    EXPECT_EQ(a.sessions.admissions, b.sessions.admissions);
+    EXPECT_EQ(a.worker_done, b.worker_done);
+    EXPECT_EQ(a.model, b.model);
+}
+
+// Header is magic(4) + version(4) + size(8) + crc(4).
+constexpr std::size_t kHeaderSize = 20;
+constexpr std::size_t kSessionEntryBytes = 8 + 4 + 8 + 8 + 1;
+
+/** Byte offset (within the payload) of the session-entry count.
+ *  Computed from the payload *tail*, which has fixed layout, so the
+ *  ragged outbox section up front doesn't matter. */
+std::size_t
+sessionCountOffset(const ServerCheckpoint &c, std::size_t payload_size)
+{
+    const std::size_t tail_after_count =
+        c.sessions.entries.size() * kSessionEntryBytes + 4 /*next*/ +
+        8 /*admissions*/ + 4 /*done count*/ + c.worker_done.size() +
+        8 /*model len*/ + c.model.size();
+    return payload_size - tail_after_count - 4 /*the count itself*/;
+}
+
+/** Overwrite payload bytes and re-seal the CRC so corruption reaches
+ *  the structural validators instead of dying at the checksum. */
+std::string
+patchPayload(std::string bytes, std::size_t payload_off,
+             const void *data, std::size_t n)
+{
+    bytes.replace(kHeaderSize + payload_off, n,
+                  static_cast<const char *>(data), n);
+    const std::uint32_t crc = crc32c(
+        {reinterpret_cast<const std::uint8_t *>(bytes.data()) +
+             kHeaderSize,
+         bytes.size() - kHeaderSize});
+    bytes.replace(16, sizeof(crc),
+                  reinterpret_cast<const char *>(&crc), sizeof(crc));
+    return bytes;
 }
 
 TEST(ServerCheckpoint, RoundTripsEveryField)
@@ -178,6 +248,91 @@ TEST(ServerCheckpoint, RejectsImplausiblePayloadSize)
     bytes.replace(8, sizeof(huge),
                   reinterpret_cast<const char *>(&huge), sizeof(huge));
     EXPECT_THROW(decode(bytes), std::runtime_error);
+}
+
+TEST(ServerCheckpoint, RoundTripsEmptyRecoverySections)
+{
+    // The in-process DES engine checkpoints without a session table,
+    // done flags, or model blob; all three stay optional in v2.
+    auto c = sampleCheckpoint();
+    c.sessions = net::session::SessionSnapshot{};
+    c.worker_done.clear();
+    c.model.clear();
+    expectEqual(c, decode(encode(c)));
+}
+
+TEST(ServerCheckpoint, RejectsSessionCountMismatch)
+{
+    const auto c = sampleCheckpoint();
+    const std::string bytes = encode(c);
+    const std::size_t off =
+        sessionCountOffset(c, bytes.size() - kHeaderSize);
+    // 2 entries for a 3-worker fleet: a half-written session table
+    // must never be adopted by a restarted server.
+    const std::uint32_t bad_count = 2;
+    EXPECT_THROW(
+        decode(patchPayload(bytes, off, &bad_count, sizeof(bad_count))),
+        std::runtime_error);
+}
+
+TEST(ServerCheckpoint, RejectsBadAdmittedFlag)
+{
+    const auto c = sampleCheckpoint();
+    const std::string bytes = encode(c);
+    // The admitted_once byte of entry 0 sits at the end of the first
+    // session entry.
+    const std::size_t off =
+        sessionCountOffset(c, bytes.size() - kHeaderSize) + 4 +
+        kSessionEntryBytes - 1;
+    const std::uint8_t bad_flag = 2;
+    EXPECT_THROW(
+        decode(patchPayload(bytes, off, &bad_flag, sizeof(bad_flag))),
+        std::runtime_error);
+}
+
+TEST(ServerCheckpoint, RejectsBadWorkerDoneFlag)
+{
+    const auto c = sampleCheckpoint();
+    const std::string bytes = encode(c);
+    const std::size_t off = bytes.size() - kHeaderSize -
+                            c.model.size() - 8 /*model len*/ -
+                            c.worker_done.size();
+    const std::uint8_t bad_flag = 7;
+    EXPECT_THROW(
+        decode(patchPayload(bytes, off, &bad_flag, sizeof(bad_flag))),
+        std::runtime_error);
+}
+
+TEST(ServerCheckpoint, RejectsImplausibleModelSize)
+{
+    const auto c = sampleCheckpoint();
+    const std::string bytes = encode(c);
+    const std::size_t off =
+        bytes.size() - kHeaderSize - c.model.size() - 8;
+    const std::uint64_t huge = 1ull << 40;
+    EXPECT_THROW(decode(patchPayload(bytes, off, &huge, sizeof(huge))),
+                 std::runtime_error);
+}
+
+TEST(ServerCheckpoint, RejectsTruncatedModelBlob)
+{
+    const auto c = sampleCheckpoint();
+    const std::string bytes = encode(c);
+    // Claim one more model byte than the payload holds.
+    const std::size_t off =
+        bytes.size() - kHeaderSize - c.model.size() - 8;
+    const std::uint64_t over = c.model.size() + 1;
+    EXPECT_THROW(decode(patchPayload(bytes, off, &over, sizeof(over))),
+                 std::runtime_error);
+}
+
+TEST(ServerCheckpointDeathTest, WriterRejectsRaggedSessionTable)
+{
+    auto c = sampleCheckpoint();
+    c.sessions.entries.resize(2); // 3-worker fleet.
+    std::ostringstream os(std::ios::binary);
+    EXPECT_DEATH(writeServerCheckpoint(os, c),
+                 "session snapshot fleet-size mismatch");
 }
 
 TEST(ServerCheckpoint, RejectsWrongMagicAndVersion)

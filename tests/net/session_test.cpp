@@ -9,6 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <iterator>
+
+#include <sys/stat.h>
 
 #include "core/node_engine.hpp"
 #include "core/node_runner.hpp"
@@ -230,6 +234,63 @@ TEST(SessionTable, TokensNeverRepeatAcrossAdmissions)
     }
 }
 
+TEST(SessionTable, SnapshotRestoreHonorsPreCrashTokens)
+{
+    SessionTable t(4, /*epoch=*/3, /*salt=*/7);
+    const Admission first = t.onHello(helloFor(2, 3));
+    ASSERT_TRUE(first.admitted);
+    t.noteProgress(2, 6);
+    t.noteResponse(2, 6);
+
+    // Server crash: the durable image moves into a brand-new table
+    // under a bumped epoch (what ServerNode recovery does).
+    const SessionSnapshot snap = t.snapshot();
+    SessionTable fresh(4, /*epoch=*/1, /*salt=*/7);
+    fresh.restore(snap, /*new_epoch=*/4);
+    EXPECT_EQ(fresh.epoch(), 4u);
+
+    // Live session ids do not survive: every worker re-enters
+    // through Hello, and the pre-crash scope is dead.
+    EXPECT_EQ(fresh.sessionOf(2), 0u);
+    EXPECT_FALSE(fresh.isCurrent(2, first.session));
+
+    // A Hello still carrying the dead epoch bounces off the gate.
+    const Admission stale = fresh.onHello(
+        helloFor(2, 3, first.resume_token, 6, 1));
+    ASSERT_FALSE(stale.admitted);
+    EXPECT_EQ(stale.reject, RejectReason::BadEpoch);
+
+    // With the new epoch adopted, the pre-crash token resumes from
+    // the local checkpoint exactly as it would have before the crash.
+    const Admission resumed = fresh.onHello(
+        helloFor(2, 4, first.resume_token, 6, 1));
+    ASSERT_TRUE(resumed.admitted);
+    EXPECT_EQ(resumed.mode, AdmitMode::Resume);
+    EXPECT_EQ(resumed.start_iter, 6);
+    // Session ids stay monotone across the restart — the restored
+    // counter prevents scope aliasing with pre-crash messages.
+    EXPECT_GT(resumed.session, first.session);
+}
+
+TEST(SessionTable, RestoreStillRejectsStaleTokens)
+{
+    SessionTable t(2, 1, 99);
+    const Admission first = t.onHello(helloFor(0, 1));
+    ASSERT_TRUE(first.admitted);
+
+    SessionTable fresh(2, 1, 99);
+    fresh.restore(t.snapshot(), 2);
+    const Admission bad =
+        fresh.onHello(helloFor(0, 2, first.resume_token ^ 1, 3, 1));
+    ASSERT_FALSE(bad.admitted);
+    EXPECT_EQ(bad.reject, RejectReason::StaleToken);
+
+    // Clearing the token re-enters as a rejoin, same as pre-crash.
+    const Admission retry = fresh.onHello(helloFor(0, 2, 0, 0, 1));
+    ASSERT_TRUE(retry.admitted);
+    EXPECT_EQ(retry.mode, AdmitMode::Rejoin);
+}
+
 // ---------------------------------------------------------------
 // Engine over the DES fabric.
 
@@ -292,6 +353,160 @@ TEST(SessionDes, WorkerAdoptsServerEpochAfterReject)
     EXPECT_TRUE(server.done());
     EXPECT_EQ(worker.admitMode(), AdmitMode::Fresh);
     EXPECT_EQ(server.sessions().epoch(), 5u);
+}
+
+// A scripted parameter server: reacts to each of the worker's Hellos
+// from inside the delivery (so its replies always quote a live
+// nonce), and can also inject delayed rows a dead server incarnation
+// might have left in flight.
+class ScriptedServer
+{
+  public:
+    explicit ScriptedServer(DesFabric &fab) : fab_(fab)
+    {
+        fab_.connectPeer(workerNode(0), "", 0);
+        fab_.setMessageHandler(
+            [this](const MessageKey &key,
+                   std::vector<std::uint8_t> &&bytes) {
+                if (key.row != kRowHello)
+                    return;
+                Hello h;
+                if (!parse(bytes, h))
+                    return;
+                hellos.push_back(h);
+                if (on_hello)
+                    on_hello(h);
+            });
+    }
+
+    ~ScriptedServer() { fab_.setMessageHandler({}); }
+
+    void
+    send(std::uint32_t row, std::vector<std::uint8_t> bytes)
+    {
+        MessageKey key{0, packVersion(0, seq_++), row, true};
+        fab_.sendTo(workerNode(0), key, std::move(bytes),
+                    fab_.now() + 3.0,
+                    [this](bool ok) { delivered += ok ? 1 : 0; });
+    }
+
+    std::vector<Hello> hellos;
+    std::function<void(const Hello &)> on_hello;
+    int delivered = 0;
+
+  private:
+    DesFabric &fab_;
+    std::uint32_t seq_ = 1;
+};
+
+TEST(SessionDes, WorkerAdoptsBumpedEpochAndIgnoresDeadWelcome)
+{
+    sim::Simulation sim;
+    DesFabricNet net(sim, 4.0e6, transport::TransportConfig{});
+
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 1;
+    core::NodeTrainConfig train = cfg.train;
+    train.max_iters = 2;
+    train.epoch = 7; // the epoch the worker was admitted under.
+    train.worker_state_dir.clear();
+    train.checkpoint_path.clear();
+    std::unique_ptr<core::Workload> workload =
+        core::makeNodeWorkload(cfg);
+
+    ScriptedServer server(net.node(kServerNode));
+    std::string wlog;
+    core::WorkerNode worker(
+        net.node(workerNode(0)), *workload, train, 0,
+        core::WorkerResumeState{},
+        [&wlog](const std::string &s) { wlog += s + "\n"; });
+
+    // Script: (1) bounce the first Hello with BadEpoch announcing
+    // epoch 8 — a server that restarted and bumped its epoch; (2) the
+    // first epoch-8 Hello gets only a *delayed* Welcome minted for
+    // the dead epoch-7 handshake, which the worker must ignore;
+    // (3) every later epoch-8 Hello gets the genuine Welcome.
+    int stage = 0;
+    std::uint64_t dead_nonce = 0;
+    std::size_t epoch7_hellos_after_adopt = 0;
+    server.on_hello = [&](const Hello &h) {
+        if (h.epoch == 7) {
+            if (stage == 0)
+                dead_nonce = h.nonce;
+            else
+                ++epoch7_hellos_after_adopt;
+            Reject rej;
+            rej.nonce = h.nonce;
+            rej.reason = RejectReason::BadEpoch;
+            rej.server_epoch = 8;
+            server.send(kRowReject, encode(rej));
+            stage = stage == 0 ? 1 : stage;
+            return;
+        }
+        if (stage == 1) {
+            Welcome stale;
+            stale.nonce = dead_nonce; // a dead handshake's nonce.
+            stale.session = 77;
+            stale.resume_token = 123;
+            stale.mode = AdmitMode::Fresh;
+            stale.start_iter = 0;
+            stale.epoch = 7;
+            server.send(kRowWelcome, encode(stale));
+            stage = 2;
+            return;
+        }
+        Welcome ok;
+        ok.nonce = h.nonce;
+        ok.session = 9;
+        ok.resume_token = 456;
+        ok.mode = AdmitMode::Fresh;
+        ok.start_iter = 0;
+        ok.epoch = 8;
+        server.send(kRowWelcome, encode(ok));
+    };
+
+    worker.start("des", 0);
+    for (double t = 0.1; t < 10.0 && !worker.admitted(); t += 0.1)
+        sim.runUntil(t);
+
+    // The worker adopted epoch 8, ignored the dead epoch's Welcome
+    // (or it would sit in session 77), and accepted the genuine one.
+    EXPECT_GT(server.delivered, 0) << "hellos=" << server.hellos.size();
+    EXPECT_TRUE(worker.admitted()) << wlog;
+    EXPECT_EQ(worker.epoch(), 8u);
+    EXPECT_EQ(worker.session(), 9u);
+    EXPECT_EQ(worker.admitMode(), AdmitMode::Fresh);
+    // Every post-adoption Hello carried the new epoch.
+    EXPECT_EQ(epoch7_hellos_after_adopt, 0u);
+    ASSERT_GE(server.hellos.size(), 3u); // reject, stale, genuine.
+}
+
+TEST(SessionDes, ServerCrashTwinRecoversAndFinishes)
+{
+    core::NodeRunConfig cfg = core::chaosRunDefaults();
+    cfg.workers = 2;
+    cfg.train.max_iters = 8;
+    cfg.run_timeout_s = 300.0; // simulated seconds.
+    cfg.server_crash_iter = 3;
+    cfg.server_crash_restart_s = 0.5;
+    cfg.artifact_dir = testing::TempDir() + "rog_des_crash_twin";
+    ::mkdir(cfg.artifact_dir.c_str(), 0755);
+    std::remove((cfg.artifact_dir + "/des_twin.log").c_str());
+
+    const core::DesTwinResult res = core::runDesTwin(cfg);
+    EXPECT_TRUE(res.done);
+    EXPECT_TRUE(std::isfinite(res.metric));
+    EXPECT_GT(res.applied_pushes, 0u);
+
+    // The twin's log must show the kill and a recovered incarnation
+    // under a bumped epoch re-admitting the fleet.
+    std::ifstream is(cfg.artifact_dir + "/des_twin.log");
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("des_server_killed"), std::string::npos);
+    EXPECT_NE(text.find("server_start epoch=2 recovered=1"),
+              std::string::npos);
+    EXPECT_NE(text.find("epoch=2"), std::string::npos);
 }
 
 } // namespace

@@ -449,6 +449,96 @@ TEST(TransportLink, DestroyMidSendInvokesDropNotDone)
     EXPECT_FALSE(done_fired);
 }
 
+TEST(TransportLink, ResetAbortsInFlightAndForgetsDeliveredKeys)
+{
+    // Peer-restart contract (see reset()): every in-flight send fails
+    // fast with delivered=false, and the per-key delivery memory is
+    // wiped so a re-send of an already-delivered key goes out again
+    // instead of being suppressed as a duplicate of a dead process's
+    // stream. This is what DesFabric/SocketFabric::resetPeer leans on
+    // when a worker adopts a bumped server epoch.
+    TransportConfig cfg;
+    Bench b(cfg);
+    std::vector<std::uint8_t> payload(600);
+    std::iota(payload.begin(), payload.end(), std::uint8_t{1});
+
+    const MessageKey done_key = key(0, 1);
+    SendResult first;
+    int first_fired = 0;
+    b.link->startSendPayload(0, done_key, payload, kNoDeadline,
+                             [&](SendResult r) {
+                                 first = r;
+                                 ++first_fired;
+                             });
+    b.sim.run();
+    ASSERT_EQ(first_fired, 1);
+    ASSERT_TRUE(first.delivered);
+    ASSERT_EQ(b.link->deliveredPayload(done_key), payload);
+
+    // A second message still in the air when the peer dies.
+    const MessageKey inflight_key = key(0, 2);
+    SendResult aborted;
+    int aborted_fired = 0;
+    b.link->startSend(0, inflight_key, 1e6, kNoDeadline,
+                      [&](SendResult r) {
+                          aborted = r;
+                          ++aborted_fired;
+                      });
+    b.sim.runUntil(b.sim.now() + 0.05);
+    ASSERT_EQ(aborted_fired, 0); // genuinely mid-flight.
+
+    b.link->reset();
+    EXPECT_EQ(aborted_fired, 1);
+    EXPECT_FALSE(aborted.delivered);
+    EXPECT_TRUE(b.link->deliveredPayload(done_key).empty());
+
+    // Epoch bumped, fresh remote receiver: the same key must flow
+    // end to end again and repopulate the delivery memory.
+    SendResult again;
+    int again_fired = 0;
+    b.link->startSendPayload(0, done_key, payload, kNoDeadline,
+                             [&](SendResult r) {
+                                 again = r;
+                                 ++again_fired;
+                             });
+    b.sim.run();
+    ASSERT_EQ(again_fired, 1);
+    EXPECT_TRUE(again.delivered);
+    EXPECT_EQ(b.link->deliveredPayload(done_key), payload);
+    sim::Simulation &s = b.sim;
+    s.run(); // stale channel callbacks from the aborted op must no-op.
+    EXPECT_EQ(aborted_fired, 1);
+}
+
+TEST(TransportLink, ResetCallbackMayStartNewSend)
+{
+    // The done callback of an aborted op may start its retry
+    // immediately (the worker's re-Hello path does exactly this): the
+    // new op must land in the fresh op set, not the one being torn
+    // down, and then complete normally.
+    TransportConfig cfg;
+    Bench b(cfg);
+    SendResult retry;
+    int retry_fired = 0;
+    b.link->startSend(0, key(0, 7), 1e6, kNoDeadline,
+                      [&](SendResult r) {
+                          if (r.delivered)
+                              return;
+                          b.link->startSend(0, key(0, 8), 400.0,
+                                            kNoDeadline,
+                                            [&](SendResult r2) {
+                                                retry = r2;
+                                                ++retry_fired;
+                                            });
+                      });
+    b.sim.runUntil(0.05);
+    b.link->reset();
+    EXPECT_EQ(retry_fired, 0);
+    b.sim.run();
+    ASSERT_EQ(retry_fired, 1);
+    EXPECT_TRUE(retry.delivered);
+}
+
 TEST(TransportLink, InvalidArgumentsDie)
 {
     sim::Simulation sim;

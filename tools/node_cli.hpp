@@ -28,7 +28,8 @@ nodeConfigOptions()
 {
     return {"backend", "dir",     "workers",  "iters", "staleness",
             "seed",    "epoch",   "faults",   "timeout",
-            "hb",      "detect",  "codec",    "rate"};
+            "hb",      "detect",  "codec",    "rate",
+            "listen-port", "bind-retry"};
 }
 
 /** Build the run config shared by every role of one run. */
@@ -42,6 +43,10 @@ configFromArgs(const Args &args)
     cfg.workload_seed = args.getSize("seed", cfg.workload_seed);
     cfg.run_timeout_s = args.getDouble("timeout", cfg.run_timeout_s);
     cfg.des_rate_bps = args.getDouble("rate", cfg.des_rate_bps);
+    cfg.listen_port = static_cast<std::uint16_t>(
+        args.getSize("listen-port", cfg.listen_port));
+    cfg.socket.bind_retry_window_s = args.getDouble(
+        "bind-retry", cfg.socket.bind_retry_window_s);
 
     cfg.train.max_iters = static_cast<std::int64_t>(
         args.getSize("iters", static_cast<std::size_t>(

@@ -13,6 +13,14 @@
  *   - SIGSTOP/SIGCONT chosen workers for a window (a transient
  *     partition: heartbeats stop, the server suspects, transport
  *     retries ride it out).
+ *   - SIGKILL the *server* once its log shows an apply at the chosen
+ *     iteration and at least one durable checkpoint
+ *     (--kill-server-iter), then refork it after a delay against the
+ *     same checkpoint and the same port; the new incarnation bumps
+ *     its epoch and re-admits the fleet.
+ *   - Network partitions (--partition W:START:DUR): a window during
+ *     which worker W's outbound datagrams are all dropped, layered on
+ *     the seeded wire-fault injector.
  *   - Seeded wire faults (--faults SPEC) on worker->server pushes.
  *
  * With --check it then runs the fault-free DES twin of the same seed
@@ -34,6 +42,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <sys/stat.h>
@@ -61,6 +70,16 @@ usage()
         "(default 0.3)\n"
         "         --stall W:SECS[,..]  SIGSTOP W for SECS at its "
         "first push\n"
+        "         --kill-server-iter N  SIGKILL the server after an "
+        "apply at iter >= N\n"
+        "                          (and a checkpoint), restart it "
+        "from the checkpoint\n"
+        "         --server-restart-delay S  seconds the server stays "
+        "dead (default 0.5)\n"
+        "         --partition W:START:DUR[,..]  drop all of W's "
+        "outbound datagrams\n"
+        "                          during [START,START+DUR) of its "
+        "process clock (udp)\n"
         "         --check          run DES twin + invariant gate\n"
         "         --tolerance X    twin metric tolerance "
         "(default 15)\n"
@@ -112,9 +131,16 @@ class ChaosSupervisor
     ChaosSupervisor(const core::NodeRunConfig &cfg,
                     std::vector<std::size_t> kill_list,
                     std::int64_t kill_iter, double restart_delay,
-                    std::map<std::size_t, double> stalls)
+                    std::map<std::size_t, double> stalls,
+                    std::int64_t server_kill_iter,
+                    double server_restart_delay,
+                    std::map<std::size_t, std::pair<double, double>>
+                        partitions)
         : cfg_(cfg), kill_iter_(kill_iter),
           restart_delay_(restart_delay),
+          server_kill_iter_(server_kill_iter),
+          server_restart_delay_(server_restart_delay),
+          partitions_(std::move(partitions)),
           log_path_(cfg.artifact_dir + "/chaos.log")
     {
         procs_.resize(cfg_.workers);
@@ -160,6 +186,13 @@ class ChaosSupervisor
     }
 
     bool serverClean() const { return server_clean_; }
+
+    /** Times the server was SIGKILLed + reforked (0 or 1). */
+    std::size_t
+    serverRestarts() const
+    {
+        return server_restarted_ ? 1 : 0;
+    }
 
   private:
     void
@@ -222,11 +255,22 @@ class ChaosSupervisor
     void
     forkWorker(std::size_t w)
     {
+        // A partitioned worker gets a private fault plan with the
+        // drop-all window; times are on the child's process clock, so
+        // a restarted worker's window restarts with it.
+        core::NodeRunConfig cfg = cfg_;
+        auto part = partitions_.find(w);
+        if (part != partitions_.end()) {
+            cfg.fault_plan.part_begin_s = part->second.first;
+            cfg.fault_plan.part_end_s =
+                part->second.first + part->second.second;
+            cfg.inject_faults = true;
+        }
         std::fflush(nullptr);
         const pid_t pid = fork();
         if (pid == 0) {
             const core::WorkerRunResult res = core::runWorkerNode(
-                cfg_, w, "127.0.0.1", server_port_);
+                cfg, w, "127.0.0.1", server_port_);
             _exit(res.done ? 0 : 1);
         }
         procs_[w].pid = pid;
@@ -255,6 +299,60 @@ class ChaosSupervisor
                 return true;
         }
         return false;
+    }
+
+    /** The server log shows an apply at or past the kill bound AND a
+     *  durable checkpoint — killing before the first checkpoint would
+     *  test cold-start, not recovery. */
+    bool
+    serverKillReady() const
+    {
+        const std::string text =
+            slurp(cfg_.artifact_dir + "/server_run.log");
+        std::istringstream is(text);
+        std::string line;
+        bool applied = false;
+        bool checkpointed = false;
+        while (std::getline(is, line)) {
+            long long iter = 0;
+            if (std::sscanf(line.c_str(),
+                            "t=%*f apply w=%*u iter=%lld",
+                            &iter) == 1) {
+                if (iter >= server_kill_iter_)
+                    applied = true;
+            } else if (std::sscanf(line.c_str(),
+                                   "t=%*f checkpoint iter=%lld",
+                                   &iter) == 1) {
+                checkpointed = true;
+            }
+        }
+        return applied && checkpointed;
+    }
+
+    void
+    injectServerFault()
+    {
+        if (server_kill_iter_ <= 0)
+            return;
+        const double now = wallNow();
+        if (!server_killed_ && serverKillReady()) {
+            kill(server_pid_, SIGKILL);
+            waitpid(server_pid_, nullptr, 0);
+            server_killed_ = true;
+            server_killed_at_ = now;
+            std::ostringstream os;
+            os << "kill-server pid=" << server_pid_;
+            note(os.str());
+        }
+        if (server_killed_ && !server_restarted_ &&
+            now - server_killed_at_ >= server_restart_delay_) {
+            server_restarted_ = true;
+            // Refork against the same checkpoint and the same port;
+            // the bind-retry window rides out any lingering socket.
+            cfg_.listen_port = server_port_;
+            if (!forkServer())
+                note("server restart failed");
+        }
     }
 
     void
@@ -335,6 +433,7 @@ class ChaosSupervisor
         for (;;) {
             reapWorkers();
             injectFaults();
+            injectServerFault();
 
             bool all_done = true;
             for (const WorkerProc &p : procs_)
@@ -386,12 +485,18 @@ class ChaosSupervisor
     core::NodeRunConfig cfg_;
     std::int64_t kill_iter_;
     double restart_delay_;
+    std::int64_t server_kill_iter_ = 0;
+    double server_restart_delay_ = 0.5;
+    std::map<std::size_t, std::pair<double, double>> partitions_;
     std::string log_path_;
     double start_ = 0.0;
 
     pid_t server_pid_ = -1;
     std::uint16_t server_port_ = 0;
     bool server_clean_ = false;
+    bool server_killed_ = false;
+    bool server_restarted_ = false;
+    double server_killed_at_ = 0.0;
     std::vector<WorkerProc> procs_;
 };
 
@@ -418,6 +523,7 @@ cleanRunDir(const core::NodeRunConfig &cfg)
         "chaos.log",      "server_run.log",  "server_events.log",
         "des_twin.log",   "summary.txt",     "des_summary.txt",
         "kills.txt",      "checkpoint.rogs", "model.rogm",
+        "des_checkpoint.rogs",
     };
     for (const char *name : kOwned)
         std::remove((cfg.artifact_dir + "/" + name).c_str());
@@ -428,6 +534,28 @@ cleanRunDir(const core::NodeRunConfig &cfg)
         std::remove((stem + ".meta").c_str());
         std::remove((stem + ".rogm").c_str());
     }
+}
+
+/** "W:START:DUR[,...]" — worker W drops all outbound datagrams
+ *  during [START, START+DUR) of its own process clock. */
+std::map<std::size_t, std::pair<double, double>>
+parsePartitions(const std::string &s)
+{
+    std::map<std::size_t, std::pair<double, double>> m;
+    if (s.empty())
+        return m;
+    for (const std::string &part : splitCommaList(s)) {
+        std::size_t w = 0;
+        double begin = 0.0;
+        double dur = 0.0;
+        if (std::sscanf(part.c_str(), "%zu:%lf:%lf", &w, &begin,
+                        &dur) != 3 ||
+            begin < 0.0 || dur <= 0.0)
+            ROG_FATAL("bad --partition entry '%s' (want W:START:DUR)",
+                      part.c_str());
+        m[w] = {begin, dur};
+    }
+    return m;
 }
 
 std::map<std::size_t, double>
@@ -459,6 +587,9 @@ main(int argc, char **argv)
     known.insert("kill-iter");
     known.insert("restart-delay");
     known.insert("stall");
+    known.insert("kill-server-iter");
+    known.insert("server-restart-delay");
+    known.insert("partition");
     known.insert("check");
     known.insert("tolerance");
 
@@ -478,11 +609,22 @@ main(int argc, char **argv)
 
         const std::vector<std::size_t> kill_list =
             parseIndexList(args.get("kill", "1,2"));
+        const std::int64_t kill_server_iter =
+            static_cast<std::int64_t>(
+                args.getSize("kill-server-iter", 0));
+        const double server_restart_delay =
+            args.getDouble("server-restart-delay", 0.5);
+        // The DES twin replays the server crash in simulation so the
+        // metric gate compares like against like.
+        cfg.server_crash_iter = kill_server_iter;
+        cfg.server_crash_restart_s = server_restart_delay;
         ChaosSupervisor sup(
             cfg, kill_list,
             static_cast<std::int64_t>(args.getSize("kill-iter", 3)),
             args.getDouble("restart-delay", 0.3),
-            parseStalls(args.get("stall", "")));
+            parseStalls(args.get("stall", "")), kill_server_iter,
+            server_restart_delay,
+            parsePartitions(args.get("partition", "")));
 
         if (!sup.run()) {
             std::fprintf(stderr, "rog_chaos: fleet failed to start\n");
@@ -514,6 +656,7 @@ main(int argc, char **argv)
         core::ChaosCheckOptions opts;
         opts.killed_workers = sup.killedWorkers();
         opts.metric_tolerance = args.getDouble("tolerance", 15.0);
+        opts.server_restarts = sup.serverRestarts();
         const core::ChaosCheckResult res =
             core::checkChaosRun(cfg, opts);
 

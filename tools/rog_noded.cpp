@@ -47,7 +47,9 @@ usage()
         "options: --backend udp|tcp  --workers N  --iters N\n"
         "         --staleness N  --seed S  --epoch E  --codec NAME\n"
         "         --faults SPEC  --timeout SECS  --hb SECS\n"
-        "         --detect SECS  --rate BPS\n");
+        "         --detect SECS  --rate BPS\n"
+        "         --listen-port P  --bind-retry SECS  (server: rebind "
+        "a restarted server's old port)\n");
     return 2;
 }
 
@@ -59,9 +61,12 @@ runServer(const core::NodeRunConfig &cfg)
             std::printf("port %u\n", static_cast<unsigned>(port));
             std::fflush(stdout);
         });
-    std::printf("done %d metric %.4f applied %zu dup %zu stale %zu\n",
+    std::printf("done %d metric %.4f applied %zu dup %zu stale %zu "
+                "epoch %llu recovered %d\n",
                 res.done ? 1 : 0, res.metric, res.applied_pushes,
-                res.duplicate_pushes, res.stale_drops);
+                res.duplicate_pushes, res.stale_drops,
+                static_cast<unsigned long long>(res.epoch),
+                res.recovered ? 1 : 0);
     return res.done ? 0 : 1;
 }
 
