@@ -19,6 +19,14 @@
 #       runs (CRUDA + CRIMP presets): completed training iterations
 #       per wall second (items_per_s) and virtual seconds simulated
 #       per wall second (sim_s_per_wall_s).
+#   BENCH_fleet.json  ext_fleet — the fleet-scale sweep (16/64/256/
+#       1024 workers over the sharded parallel DES): BM_FleetSim[Map]
+#       events/s for the heap vs std::map event core driving the full
+#       engine, and BM_FleetEventCore[Map] for the isolated event-core
+#       churn mix. ext_fleet emits this schema directly (no
+#       google-benchmark wrapper) and exits nonzero if the heap core
+#       drops below 3x the map baseline at 1024 workers or the
+#       heap/map firing-order digests diverge.
 #
 # Record schema (see also scripts/check_bench_regress.py, which gates
 # on ns_per_op and tolerates the pre-PR-7 schema where rate-less
@@ -40,6 +48,8 @@
 #                        bursts on shared boxes
 #   ROG_BENCH_FILTER     benchmark filter regex (default: all)
 #   ROG_BENCH_SKIP_E2E   set to 1 to skip the e2e binary (quick sweeps)
+#   OUT_FLEET            fleet output path (default BENCH_fleet.json)
+#   ROG_BENCH_SKIP_FLEET set to 1 to skip the fleet sweep binary
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +57,8 @@ BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${OUT:-BENCH_micro.json}
 OUT_WIRE=${OUT_WIRE:-BENCH_wire.json}
 OUT_E2E=${OUT_E2E:-BENCH_e2e.json}
+OUT_FLEET=${OUT_FLEET:-BENCH_fleet.json}
+SKIP_FLEET=${ROG_BENCH_SKIP_FLEET:-0}
 MIN_TIME=${ROG_BENCH_MIN_TIME:-0.05}
 REPS=${ROG_BENCH_REPS:-1}
 FILTER=${ROG_BENCH_FILTER:-}
@@ -57,7 +69,7 @@ THREADS_LIST=$(echo "${ROG_BENCH_THREADS:-1 2 4 8}" | tr ' ' '\n' |
 echo ">> configuring $BUILD_DIR (Release)"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_ops_bench --target bench_wire \
-    --target bench_e2e -j"$(nproc)" >/dev/null
+    --target bench_e2e --target ext_fleet -j"$(nproc)" >/dev/null
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -93,6 +105,14 @@ if [ "$SKIP_E2E" != 1 ]; then
         --benchmark_min_time="$MIN_TIME" \
         ${FILTER:+--benchmark_filter="$FILTER"} \
         >"$tmpdir/e2e_$(nproc).json"
+fi
+
+if [ "$SKIP_FLEET" != 1 ]; then
+    # ROG_THREADS is pinned because `threads` is part of the record
+    # key the regression gate compares on; the determinism tests
+    # already prove the digests are identical at any thread count.
+    echo ">> ext_fleet sweep ROG_THREADS=2"
+    ROG_THREADS=2 "$BUILD_DIR/bench/ext_fleet" --out "$OUT_FLEET"
 fi
 
 python3 - "$OUT" "$OUT_WIRE" "$OUT_E2E" "$tmpdir" <<'EOF'

@@ -43,16 +43,19 @@ run_tsan() {
     cmake --build "$dir" -j "$(nproc)" --target \
         thread_pool_test kernel_equivalence_test ops_test conv_test \
         codec_test codec_fused_test engine_test \
-        replay_determinism_test \
+        replay_determinism_test fleet_determinism_test \
         transport_socket_test transport_tcp_partial_test \
         session_socket_test session_chaos_test
 
     # Run with a real worker count: with ROG_THREADS=1 the pool paths
     # are inline and TSan has nothing to check.
     local t
+    # fleet_determinism_test drives the sharded DES on a real parallel
+    # pool (per-shard queues + ordered combine) — the main new
+    # cross-thread surface of the fleet-scale core.
     for t in thread_pool_test kernel_equivalence_test ops_test \
         conv_test codec_test codec_fused_test engine_test \
-        replay_determinism_test; do
+        replay_determinism_test fleet_determinism_test; do
         echo ">> tsan: $t (ROG_THREADS=4)"
         ROG_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
             "$dir/tests/$t" --gtest_brief=1

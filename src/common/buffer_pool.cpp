@@ -1,6 +1,26 @@
 #include "common/buffer_pool.hpp"
 
+#include <cstdlib>
+
 namespace rog {
+
+namespace {
+
+/** Parse a non-negative size from @p env; @p fallback if unset/bad. */
+std::size_t
+envSize(const char *env, std::size_t fallback)
+{
+    const char *raw = std::getenv(env);
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        return fallback;
+    return static_cast<std::size_t>(v);
+}
+
+} // namespace
 
 template <typename T>
 BufferPool::Lease<T>
@@ -37,8 +57,8 @@ BufferPool::giveTo(SubPool<T> &sub, std::vector<T> buf)
         --sub.stats.outstanding;
     if (buf.capacity() == 0)
         return; // moved-from husk, nothing to recycle.
-    if (buf.capacity() * sizeof(T) > kMaxPooledCapacity ||
-        sub.free.size() >= kMaxFreeBuffers) {
+    if (buf.capacity() * sizeof(T) > max_pooled_bytes_ ||
+        sub.free.size() >= max_free_buffers_) {
         ++sub.stats.dropped;
         return; // freed by ~buf.
     }
@@ -107,12 +127,24 @@ BufferPool::stats() const
     return total;
 }
 
+void
+BufferPool::setCaps(std::size_t max_bytes, std::size_t max_buffers)
+{
+    max_pooled_bytes_ = max_bytes;
+    max_free_buffers_ = max_buffers;
+}
+
 BufferPool &
 BufferPool::global()
 {
     // Leaked on purpose (like ThreadPool::global()): leases may be
     // returned from static destructors in arbitrary order.
-    static BufferPool *pool = new BufferPool();
+    static BufferPool *pool = [] {
+        auto *p = new BufferPool();
+        p->setCaps(envSize("ROG_POOL_MAX_BYTES", kMaxPooledCapacity),
+                   envSize("ROG_POOL_MAX_BUFFERS", kMaxFreeBuffers));
+        return p;
+    }();
     return *pool;
 }
 

@@ -47,11 +47,14 @@ namespace rog {
 class BufferPool
 {
   public:
-    /** Returned buffers above this capacity (in bytes) are freed, not
-     *  pooled: one huge row must not pin its high-water mark. */
+    /** Default cap: returned buffers above this capacity (in bytes)
+     *  are freed, not pooled — one huge row must not pin the pool's
+     *  high-water mark. Override per instance with setCaps() or, for
+     *  the global() pool, with the ROG_POOL_MAX_BYTES env var. */
     static constexpr std::size_t kMaxPooledCapacity = 4u << 20;
 
-    /** Free-list depth per sub-pool. */
+    /** Default free-list depth per sub-pool; ROG_POOL_MAX_BUFFERS
+     *  overrides it for the global() pool. */
     static constexpr std::size_t kMaxFreeBuffers = 64;
 
     /** Point-in-time occupancy counters (monotonic unless noted). */
@@ -156,8 +159,22 @@ class BufferPool
     Stats stats() const;
 
     /**
+     * Reconfigure the drop bounds: returned buffers above
+     * @p max_bytes capacity are freed instead of pooled, and at most
+     * @p max_buffers recycle per sub-pool (0 disables pooling
+     * entirely). Applies to future returns; already-pooled buffers
+     * stay until leased.
+     */
+    void setCaps(std::size_t max_bytes, std::size_t max_buffers);
+
+    std::size_t maxPooledCapacity() const { return max_pooled_bytes_; }
+    std::size_t maxFreeBuffers() const { return max_free_buffers_; }
+
+    /**
      * The process-wide pool the codec and transport share. Lives until
-     * process exit.
+     * process exit. Its drop bounds honor the ROG_POOL_MAX_BYTES and
+     * ROG_POOL_MAX_BUFFERS environment variables, read once at first
+     * use.
      */
     static BufferPool &global();
 
@@ -180,6 +197,8 @@ class BufferPool
     SubPool<std::uint8_t> bytes_;
     SubPool<float> floats_;
     SubPool<std::size_t> indices_;
+    std::size_t max_pooled_bytes_ = kMaxPooledCapacity;
+    std::size_t max_free_buffers_ = kMaxFreeBuffers;
 };
 
 } // namespace rog

@@ -16,6 +16,7 @@
 #include "core/dynamic_batching.hpp"
 #include "core/mta.hpp"
 #include "core/server_checkpoint.hpp"
+#include "core/server_shard.hpp"
 #include "core/server_state.hpp"
 #include "core/version_storage.hpp"
 #include "data/dataset.hpp"
@@ -64,6 +65,13 @@ RunResult::meanEnergyJoules() const
 }
 
 namespace {
+
+/** Shard 0 keeps the configured path; shard k gets ".shard<k>". */
+std::string
+shardCheckpointPath(const std::string &base, std::size_t shard)
+{
+    return shard == 0 ? base : base + ".shard" + std::to_string(shard);
+}
 
 /** Everything one simulated robot owns. */
 struct WorkerContext
@@ -176,10 +184,10 @@ class Engine
     // while meters/models/sim are alive; sim is destroyed last.
     sim::Simulation sim_;
     std::unique_ptr<RowPartition> partition_;
-    std::vector<std::unique_ptr<WorkerContext>> workers_;
-    std::unique_ptr<VersionStorage> versions_;
-    std::unique_ptr<ServerState> server_;
-    std::unique_ptr<MtaTimeTracker> tracker_;
+    // Contiguous worker arena: reserved once, never reallocated, so
+    // the WorkerContext& held by suspended coroutines stay valid.
+    std::vector<WorkerContext> workers_;
+    std::unique_ptr<ShardedServer> server_;
     std::unique_ptr<FlownScheduler> flown_;
     std::unique_ptr<AutoThresholdController> auto_ctrl_;
     std::vector<double> unit_bytes_;  //!< wire bytes per unit.
@@ -190,7 +198,7 @@ class Engine
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<MembershipTracker> membership_;
     std::vector<std::int64_t> pending_server_crashes_; //!< ascending.
-    ServerCheckpoint genesis_;          //!< pre-run server state.
+    std::vector<ServerCheckpoint> genesis_; //!< pre-run, per shard.
     std::int64_t last_checkpoint_iter_ = -1; //!< -1 = none on disk.
     // The transport wraps the channel and must be destroyed after it
     // (channel teardown drops in-flight sends through the transport's
@@ -223,22 +231,22 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
     result_.worker_comm_s.assign(num_workers, 0.0);
     result_.worker_stall_s.assign(num_workers, 0.0);
 
+    workers_.reserve(num_workers);
     for (std::size_t i = 0; i < num_workers; ++i) {
-        auto w = std::make_unique<WorkerContext>();
-        w->id = i;
-        w->model = workload.buildReplica();
-        w->flat = std::make_unique<FlatModel>(*w->model);
-        w->opt = std::make_unique<nn::SgdMomentum>(
-            *w->model, workload.optimizerConfig());
-        w->sampler = std::make_unique<data::BatchSampler>(
+        WorkerContext &w = workers_.emplace_back();
+        w.id = i;
+        w.model = workload.buildReplica();
+        w.flat = std::make_unique<FlatModel>(*w.model);
+        w.opt = std::make_unique<nn::SgdMomentum>(
+            *w.model, workload.optimizerConfig());
+        w.sampler = std::make_unique<data::BatchSampler>(
             workload.makeSampler(i));
-        w->push_codec = compress::makeCodec(cfg.codec);
-        w->pull_codec = compress::makeCodec(cfg.codec);
-        w->meter = std::make_unique<sim::EnergyMeter>(
+        w.push_codec = compress::makeCodec(cfg.codec);
+        w.pull_codec = compress::makeCodec(cfg.codec);
+        w.meter = std::make_unique<sim::EnergyMeter>(
             sim_, cfg.profile.power);
-        w->rng = rng_.fork();
-        w->pull_cond = std::make_unique<sim::Condition>(sim_);
-        workers_.push_back(std::move(w));
+        w.rng = rng_.fork();
+        w.pull_cond = std::make_unique<sim::Condition>(sim_);
     }
 
     // Per-worker batch sizes and compute times. Heterogeneous teams
@@ -257,33 +265,33 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
             : assignUniformBatches(cfg.heterogeneous_seconds_per_sample,
                                    total_batch);
         for (std::size_t i = 0; i < num_workers; ++i) {
-            workers_[i]->batch_size = assignment.batch_sizes[i];
-            workers_[i]->compute_seconds =
+            workers_[i].batch_size = assignment.batch_sizes[i];
+            workers_[i].compute_seconds =
                 assignment.compute_seconds[i] * cfg.profile.batch_scale +
                 cfg.profile.compress_seconds;
         }
     } else {
         for (auto &w : workers_) {
-            w->batch_size = workload.batchSize();
-            w->compute_seconds = cfg.profile.iterationComputeSeconds();
+            w.batch_size = workload.batchSize();
+            w.compute_seconds = cfg.profile.iterationComputeSeconds();
         }
     }
 
     partition_ = std::make_unique<RowPartition>(
-        *workers_[0]->flat, cfg.system.granularity);
+        *workers_[0].flat, cfg.system.granularity);
     const std::size_t units = partition_->unitCount();
     result_.total_units = units;
 
     for (auto &w : workers_) {
-        w->accum.resize(units);
+        w.accum.resize(units);
         for (std::size_t u = 0; u < units; ++u)
-            w->accum[u].assign(partition_->unit(u).width, 0.0f);
-        w->push_iter.assign(units, 0);
+            w.accum[u].assign(partition_->unit(u).width, 0.0f);
+        w.push_iter.assign(units, 0);
     }
 
-    versions_ = std::make_unique<VersionStorage>(num_workers, units);
-    server_ = std::make_unique<ServerState>(num_workers, *partition_);
-    tracker_ = std::make_unique<MtaTimeTracker>(num_workers);
+    server_ = std::make_unique<ShardedServer>(num_workers, *partition_,
+                                              cfg.server_shards);
+    result_.server_shards = server_->shardCount();
     if (cfg.system.flown_dynamic) {
         flown_ = std::make_unique<FlownScheduler>(num_workers,
                                                   cfg.system.flown);
@@ -300,7 +308,7 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
     // the per-unit index tag.
     auto sizer = compress::makeCodec(cfg.codec);
     unit_bytes_.resize(units);
-    FlatModel &flat0 = *workers_[0]->flat;
+    FlatModel &flat0 = *workers_[0].flat;
     for (std::size_t u = 0; u < units; ++u) {
         const Unit &unit = partition_->unit(u);
         double bytes = partition_->perUnitOverheadBytes();
@@ -337,11 +345,14 @@ Engine::Engine(Workload &workload, const EngineConfig &cfg,
     }
     if (!pending_server_crashes_.empty()) {
         // A crash before the first checkpoint recovers to this.
-        genesis_.iteration = 0;
-        genesis_.msg_seq = 0;
-        genesis_.versions = versions_->snapshot();
-        genesis_.server = server_->snapshot();
-        genesis_.tracker = tracker_->snapshot();
+        genesis_.resize(server_->shardCount());
+        for (std::size_t s = 0; s < server_->shardCount(); ++s) {
+            genesis_[s].iteration = 0;
+            genesis_[s].msg_seq = 0;
+            genesis_[s].versions = server_->shard(s).versionSnapshot();
+            genesis_[s].server = server_->shard(s).serverSnapshot();
+            genesis_[s].tracker = server_->shard(s).trackerSnapshot();
+        }
     }
 
     // Fault injection: bake the plan's link blackouts / bandwidth
@@ -558,7 +569,7 @@ Engine::stalenessBehind(const WorkerContext &w) const
 {
     std::size_t fastest = 0;
     for (const auto &other : workers_)
-        fastest = std::max(fastest, other->cur_iter);
+        fastest = std::max(fastest, other.cur_iter);
     return static_cast<std::int64_t>(fastest) -
            static_cast<std::int64_t>(w.cur_iter);
 }
@@ -598,7 +609,7 @@ Engine::workerProcess(WorkerContext &w)
                 // stalling on this ghost — until the server's failure
                 // detector retires it, then exit (plan validation
                 // guarantees detection is finite here).
-                while (!versions_->retired(w.id))
+                while (!server_->retired(w.id))
                     co_await version_cond_->wait();
                 break;
             }
@@ -613,7 +624,7 @@ Engine::workerProcess(WorkerContext &w)
         // retired this worker, but it is alive — re-admit through the
         // rejoin resync (fresh model, versions jump to the resync
         // point), the same path a crashed worker takes.
-        if (membership_ && !w.leaving && versions_->retired(w.id)) {
+        if (membership_ && !w.leaving && server_->retired(w.id)) {
             rejoinResync(w, n);
             continue;
         }
@@ -697,7 +708,7 @@ Engine::workerProcess(WorkerContext &w)
             ? std::max(mtaUnits(threshold, units), forced)
             : units;
         const double timeout =
-            atp ? tracker_->mtaTime() : net::Channel::kNoTimeout;
+            atp ? server_->mtaTime() : net::Channel::kNoTimeout;
 
         // Two phases (Algo 4): the minimum transmission amount is
         // mandatory — a straggler transmits exactly its MTA, however
@@ -802,7 +813,7 @@ Engine::workerProcess(WorkerContext &w)
         // Evicted while this push was in flight: the server no longer
         // counts this worker, so the arrived rows are discarded; the
         // worker re-admits itself at the top of the next iteration.
-        if (membership_ && versions_->retired(w.id))
+        if (membership_ && server_->retired(w.id))
             arrived.clear();
         rec.comm_s += push_elapsed;
         rec.bytes_pushed = push_wire;
@@ -818,17 +829,17 @@ Engine::workerProcess(WorkerContext &w)
                 *w.push_codec, *w.flat, u, w.accum[u], decoded);
             server_->accumulate(u, decoded);
             server_->noteUpdate(u, static_cast<std::int64_t>(n));
-            versions_->update(w.id, u, static_cast<std::int64_t>(n));
+            server_->updateVersion(w.id, u, static_cast<std::int64_t>(n));
             if (cfg_.invariants) {
                 cfg_.invariants->onPush(w.id, u,
                                         static_cast<std::int64_t>(n),
-                                        versions_->get(w.id, u));
+                                        server_->version(w.id, u));
             }
             std::fill(w.accum[u].begin(), w.accum[u].end(), 0.0f);
             w.push_iter[u] = static_cast<std::int64_t>(n);
         }
         if (atp && push_elapsed > 0.0) {
-            tracker_->report(w.id, push_wire, push_elapsed,
+            server_->report(w.id, push_wire, push_elapsed,
                              header + prefix[mta]);
         }
         if (flown_ && push_elapsed > 0.0)
@@ -873,20 +884,20 @@ Engine::workerProcess(WorkerContext &w)
         const auto gate_floor = [this, &w]() {
             std::int64_t m = std::numeric_limits<std::int64_t>::max();
             for (const auto &other : workers_) {
-                if (other->id == w.id ||
-                    versions_->retired(other->id))
+                if (other.id == w.id ||
+                    server_->retired(other.id))
                     continue;
-                if (membership_ && membership_->active(other->id) &&
-                    membership_->state(other->id) != MemberState::Alive)
+                if (membership_ && membership_->active(other.id) &&
+                    membership_->state(other.id) != MemberState::Alive)
                     continue;
                 m = std::min(m,
-                             versions_->maxVersionOfWorker(other->id));
+                             server_->maxVersionOfWorker(other.id));
             }
             return m;
         };
         const double stall_start = sim_.now();
         w.meter->setState(DeviceState::Stall);
-        while (!w.crashed && !versions_->retired(w.id) &&
+        while (!w.crashed && !server_->retired(w.id) &&
                static_cast<std::int64_t>(n) - gate_floor() >=
                    static_cast<std::int64_t>(threshold)) {
             co_await version_cond_->wait();
@@ -902,7 +913,7 @@ Engine::workerProcess(WorkerContext &w)
                 w.id, static_cast<std::int64_t>(n),
                 std::min(gate_min, static_cast<std::int64_t>(n)),
                 static_cast<std::int64_t>(threshold),
-                versions_->retired(w.id));
+                server_->retired(w.id));
         }
 
         // ---- Pull averaged gradients (Algo 2 lines 10-13) ----
@@ -960,8 +971,8 @@ Engine::workerProcess(WorkerContext &w)
     w.done = true;
     if (membership_)
         membership_->deactivate(w.id); // finished, not dead.
-    if (!versions_->retired(w.id)) {
-        versions_->retireWorker(w.id);
+    if (!server_->retired(w.id)) {
+        server_->retireWorker(w.id);
         if (cfg_.invariants)
             cfg_.invariants->onRetire(w.id);
     }
@@ -1016,7 +1027,7 @@ Engine::pullProcess(WorkerContext &w)
                        cand.size())
             : cand.size();
         const double pull_timeout =
-            atp ? tracker_->mtaTime() : net::Channel::kNoTimeout;
+            atp ? server_->mtaTime() : net::Channel::kNoTimeout;
 
         // When pipelined, the main process may flip the meter back to
         // Compute while this transfer is in flight; the overlap is
@@ -1117,7 +1128,7 @@ Engine::pullProcess(WorkerContext &w)
             server_->clearPending(w.id, u);
         }
         if (atp && pull_elapsed > 0.0) {
-            tracker_->report(w.id, pull_wire, pull_elapsed,
+            server_->report(w.id, pull_wire, pull_elapsed,
                              header + pull_prefix[pull_mta]);
         }
     }
@@ -1129,7 +1140,7 @@ Engine::pullProcess(WorkerContext &w)
 void
 Engine::onCrashEvent(const fault::ChurnEvent &e)
 {
-    WorkerContext &w = *workers_[e.worker];
+    WorkerContext &w = workers_[e.worker];
     if (w.done)
         return; // already left on its own.
     w.crashed = true;
@@ -1144,12 +1155,12 @@ Engine::onCrashEvent(const fault::ChurnEvent &e)
 void
 Engine::onDetectEvent(const fault::ChurnEvent &e)
 {
-    WorkerContext &w = *workers_[e.worker];
+    WorkerContext &w = workers_[e.worker];
     // Detection can race a rejoin or a natural exit; only a worker
     // that is still down gets retired from the gate's membership.
-    if (w.done || !w.crashed || versions_->retired(w.id))
+    if (w.done || !w.crashed || server_->retired(w.id))
         return;
-    versions_->retireWorker(w.id);
+    server_->retireWorker(w.id);
     if (cfg_.invariants)
         cfg_.invariants->onRetire(w.id);
     version_cond_->notifyAll();
@@ -1158,7 +1169,7 @@ Engine::onDetectEvent(const fault::ChurnEvent &e)
 void
 Engine::onLeaveEvent(const fault::ChurnEvent &e)
 {
-    WorkerContext &w = *workers_[e.worker];
+    WorkerContext &w = workers_[e.worker];
     if (w.done)
         return;
     w.leaving = true; // finish the current iteration, then retire.
@@ -1171,12 +1182,12 @@ Engine::rejoinResync(WorkerContext &w, std::size_t &n)
     // replaying what it missed: weights come from the most advanced
     // live replica, and optimizer/codec state restarts fresh (its
     // momentum and error feedback described the lost trajectory).
-    WorkerContext *src = nullptr;
+    const WorkerContext *src = nullptr;
     for (const auto &other : workers_) {
-        if (other->id == w.id || other->crashed)
+        if (other.id == w.id || other.crashed)
             continue;
-        if (!src || other->cur_iter > src->cur_iter)
-            src = other.get();
+        if (!src || other.cur_iter > src->cur_iter)
+            src = &other;
     }
     std::int64_t resume = static_cast<std::int64_t>(w.cur_iter);
     if (src && src->cur_iter > w.cur_iter)
@@ -1184,7 +1195,7 @@ Engine::rejoinResync(WorkerContext &w, std::size_t &n)
     // The worker may have pushed iteration n and crashed while
     // stalling: those rows stand at the server, so versions cannot
     // move backwards through the rejoin.
-    resume = std::max(resume, versions_->maxVersionOfWorker(w.id));
+    resume = std::max(resume, server_->maxVersionOfWorker(w.id));
     if (src) {
         for (std::size_t r = 0; r < w.flat->rowCount(); ++r) {
             const auto from = src->flat->rowValues(r);
@@ -1202,7 +1213,7 @@ Engine::rejoinResync(WorkerContext &w, std::size_t &n)
     // The resynced model already reflects every averaged gradient the
     // server was still holding for this worker.
     server_->clearWorker(w.id);
-    versions_->rejoinWorker(w.id, resume);
+    server_->rejoinWorker(w.id, resume);
     if (cfg_.invariants)
         cfg_.invariants->onRejoin(w.id, resume);
     w.cur_iter = static_cast<std::size_t>(resume);
@@ -1259,7 +1270,7 @@ Engine::monitorProcess()
         for (const auto &e : membership_->evaluate(sim_.now())) {
             if (e.to != MemberState::Dead)
                 continue;
-            WorkerContext &w = *workers_[e.worker];
+            WorkerContext &w = workers_[e.worker];
             ++result_.evictions;
             const bool actually_down =
                 w.crashed || w.leaving || w.done;
@@ -1267,8 +1278,8 @@ Engine::monitorProcess()
                 ++result_.false_evictions;
             if (cfg_.invariants)
                 cfg_.invariants->onEvict(e.worker, actually_down);
-            if (!versions_->retired(e.worker)) {
-                versions_->retireWorker(e.worker);
+            if (!server_->retired(e.worker)) {
+                server_->retireWorker(e.worker);
                 if (cfg_.invariants)
                     cfg_.invariants->onRetire(e.worker);
             }
@@ -1282,13 +1293,13 @@ bool
 Engine::quorumRecoverable() const
 {
     for (const auto &w : workers_) {
-        if (w->done || w->leaving)
+        if (w.done || w.leaving)
             continue;
         // A crashed peer with a scheduled rejoin comes back; a live
         // peer the detector falsely evicted re-admits itself.
-        if (w->crashed && std::isfinite(w->rejoin_time))
+        if (w.crashed && std::isfinite(w.rejoin_time))
             return true;
-        if (!w->crashed && versions_->retired(w->id))
+        if (!w.crashed && server_->retired(w.id))
             return true;
     }
     return false;
@@ -1305,13 +1316,18 @@ Engine::maybeCheckpointServer(std::int64_t iter)
     if (iter % static_cast<std::int64_t>(every) != 0 ||
         iter <= last_checkpoint_iter_)
         return;
-    ServerCheckpoint ckpt;
-    ckpt.iteration = iter;
-    ckpt.msg_seq = msg_seq_;
-    ckpt.versions = versions_->snapshot();
-    ckpt.server = server_->snapshot();
-    ckpt.tracker = tracker_->snapshot();
-    writeServerCheckpointFile(cfg_.checkpoint_path, ckpt);
+    // One ROGS file per shard: shard 0 keeps the legacy path so a
+    // single-shard run is file-for-file identical to the old layout.
+    for (std::size_t s = 0; s < server_->shardCount(); ++s) {
+        ServerCheckpoint ckpt;
+        ckpt.iteration = iter;
+        ckpt.msg_seq = msg_seq_;
+        ckpt.versions = server_->shard(s).versionSnapshot();
+        ckpt.server = server_->shard(s).serverSnapshot();
+        ckpt.tracker = server_->shard(s).trackerSnapshot();
+        writeServerCheckpointFile(
+            shardCheckpointPath(cfg_.checkpoint_path, s), ckpt);
+    }
     last_checkpoint_iter_ = iter;
     ++result_.checkpoints_written;
 }
@@ -1320,45 +1336,57 @@ void
 Engine::serverCrashRecover(std::int64_t crash_iter)
 {
     // Ground truth the checkpoint cannot know: which workers are
-    // retired *now* (evictions, departures, rejoins since the write).
-    const VersionSnapshot live = versions_->snapshot();
+    // retired *now* (evictions, departures, rejoins since the write),
+    // and the row floor their peers saw — captured before any shard
+    // restores.
+    const std::size_t nw = workers_.size();
+    std::vector<std::uint8_t> live_retired(nw, 0);
+    std::vector<std::int64_t> live_floor(nw, 0);
+    for (std::size_t i = 0; i < nw; ++i) {
+        live_retired[i] = server_->retired(i) ? 1 : 0;
+        live_floor[i] = std::max<std::int64_t>(
+            0, server_->maxVersionOfWorker(i));
+    }
 
-    ServerCheckpoint ckpt;
-    if (last_checkpoint_iter_ >= 0)
-        ckpt = readServerCheckpointFile(cfg_.checkpoint_path);
-    else
-        ckpt = genesis_;
+    std::int64_t ckpt_iter = 0;
+    std::uint64_t ckpt_seq = 0;
+    for (std::size_t s = 0; s < server_->shardCount(); ++s) {
+        ServerCheckpoint ckpt;
+        if (last_checkpoint_iter_ >= 0)
+            ckpt = readServerCheckpointFile(
+                shardCheckpointPath(cfg_.checkpoint_path, s));
+        else
+            ckpt = genesis_[s];
+        server_->shard(s).restore(ckpt.versions, ckpt.server,
+                                  ckpt.tracker);
+        ckpt_iter = ckpt.iteration; // identical across shards.
+        ckpt_seq = std::max(ckpt_seq, ckpt.msg_seq);
+    }
 
     ServerRecoveryRecord rr;
     rr.crash_iter = crash_iter;
-    rr.checkpoint_iter = ckpt.iteration;
-    rr.rolled_back = ckpt.iteration < crash_iter;
+    rr.checkpoint_iter = ckpt_iter;
+    rr.rolled_back = ckpt_iter < crash_iter;
     rr.time_s = sim_.now();
 
-    versions_->restore(ckpt.versions);
-    server_->restore(ckpt.server);
-    tracker_->restore(ckpt.tracker);
     // Never reuse a sequence number an in-flight frame may carry.
-    msg_seq_ = std::max(msg_seq_, ckpt.msg_seq);
+    msg_seq_ = std::max(msg_seq_, ckpt_seq);
 
     // Reconcile membership with the live truth: retirement is decided
     // by the running group, not by the dead server's last write.
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-        const bool was_retired = live.retired[i] != 0;
-        if (was_retired && !versions_->retired(i)) {
-            versions_->retireWorker(i);
-        } else if (!was_retired && versions_->retired(i)) {
+    for (std::size_t i = 0; i < nw; ++i) {
+        const bool was_retired = live_retired[i] != 0;
+        if (was_retired && !server_->retired(i)) {
+            server_->retireWorker(i);
+        } else if (!was_retired && server_->retired(i)) {
             // Rejoined after the checkpoint: its live row floor is
             // what its peers saw before the crash.
-            std::int64_t floor = 0;
-            for (std::int64_t v : live.versions[i])
-                floor = std::max(floor, v);
-            versions_->rejoinWorker(i, floor);
+            server_->rejoinWorker(i, live_floor[i]);
         }
     }
 
     if (cfg_.invariants)
-        cfg_.invariants->onServerRecovery(ckpt.iteration, crash_iter);
+        cfg_.invariants->onServerRecovery(ckpt_iter, crash_iter);
     result_.recoveries.push_back(rr);
 }
 
@@ -1372,10 +1400,10 @@ Engine::run()
 
     // Iteration-0 checkpoint: the shared starting model.
     {
-        const double metric0 = workload_.evaluate(*workers_[0]->model);
+        const double metric0 = workload_.evaluate(*workers_[0].model);
         for (const auto &w : workers_) {
             CheckpointRecord c;
-            c.worker = w->id;
+            c.worker = w.id;
             c.iteration = 0;
             c.time_s = 0.0;
             c.energy_j = 0.0;
@@ -1385,10 +1413,10 @@ Engine::run()
     }
 
     for (auto &w : workers_)
-        workerProcess(*w);
+        workerProcess(w);
     if (membership_) {
         for (auto &w : workers_)
-            heartbeatProcess(*w);
+            heartbeatProcess(w);
         monitorProcess();
     }
     sim_.run();
@@ -1400,14 +1428,14 @@ Engine::run()
     result_.completed_iterations = cfg_.iterations;
     for (const auto &w : workers_) {
         result_.completed_iterations =
-            std::min(result_.completed_iterations, w->cur_iter);
+            std::min(result_.completed_iterations, w.cur_iter);
     }
     if (membership_)
         result_.membership_events = membership_->history();
     if (cfg_.capture_final_model) {
         std::ostringstream os;
         for (const auto &w : workers_)
-            nn::saveModel(os, *w->model);
+            nn::saveModel(os, *w.model);
         result_.final_model_bytes = os.str();
     }
     if (transport_) {

@@ -75,6 +75,18 @@ struct EngineConfig
      */
     std::string checkpoint_path{};
 
+    /**
+     * Parameter-server shard count (fleet-scale layout, ROADMAP
+     * item 1). Model rows are partitioned across this many
+     * ServerShards, each with its own contiguous outbox/version
+     * arenas, MTA bookkeeping, and checkpoint file (shard 0 writes
+     * checkpoint_path; shard k > 0 writes checkpoint_path +
+     * ".shard<k>"). Clamped to the unit count. Any value yields
+     * bit-identical training results to 1 — sharding only changes the
+     * storage layout; see DESIGN.md Sec. 17.
+     */
+    std::size_t server_shards = 1;
+
     std::string codec = "onebit";       //!< "onebit" | "identity".
     double transfer_header_bytes = 16.0; //!< framing bytes (Sec. V).
 
@@ -253,6 +265,7 @@ struct RunResult
     std::string system;
     std::size_t workers = 0;
     std::size_t total_units = 0;
+    std::size_t server_shards = 0; //!< effective (clamped) shard count.
     std::vector<IterationRecord> iterations;
     std::vector<CheckpointRecord> checkpoints;
     std::vector<std::size_t> worker_iterations; //!< completed each.

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -7,60 +8,222 @@
 namespace rog {
 namespace sim {
 
+namespace {
+/** Heap arity: 4-ary trades a slightly deeper compare fan-out per
+ *  level for half the levels of a binary heap — the four children are
+ *  contiguous HeapEntry values (two cache lines), so a whole level
+ *  costs at most two misses. */
+constexpr std::size_t kArity = 4;
+} // namespace
+
 EventQueue::~EventQueue()
 {
-    // Drop handlers may schedule nothing but must not throw; give every
-    // unfired event a chance to release captured resources.
-    for (auto &[key, entry] : events_)
-        if (entry.drop)
-            entry.drop();
+    // Deterministic teardown: drop every still-pending event in
+    // reverse (time, seq) order — latest first, like unwinding a
+    // stack. Part of the queue's contract (see header).
+    std::vector<HeapEntry> pending;
+    pending.reserve(live_);
+    for (const HeapEntry &e : heap_)
+        if (!stale(e))
+            pending.push_back(e);
+    std::sort(pending.begin(), pending.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return before(b, a);
+              });
+    for (const HeapEntry &e : pending) {
+        if (!has_drop_[e.slot()])
+            continue;
+        SmallFn drop = std::move(drops_[e.slot()]);
+        if (drop)
+            drop();
+    }
+}
+
+std::uint32_t
+EventQueue::allocNode()
+{
+    if (free_head_ != kNone) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = next_free_[slot];
+        return slot;
+    }
+    ROG_ASSERT(seq_.size() <= kSlotMask, "event arena exhausted");
+    seq_.push_back(0);
+    fires_.emplace_back();
+    drops_.emplace_back();
+    has_drop_.push_back(0);
+    next_free_.push_back(kNone);
+    return static_cast<std::uint32_t>(seq_.size() - 1);
+}
+
+void
+EventQueue::freeNode(std::uint32_t slot)
+{
+    seq_[slot] = 0;
+    fires_[slot].reset();
+    if (has_drop_[slot]) {
+        drops_[slot].reset();
+        has_drop_[slot] = 0;
+    }
+    next_free_[slot] = free_head_;
+    free_head_ = slot;
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const HeapEntry e = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / kArity;
+        if (!before(e, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const std::size_t n = heap_.size();
+    const HeapEntry e = heap_[pos];
+    for (;;) {
+        const std::size_t first = pos * kArity + 1;
+        if (first >= n)
+            break;
+        const std::size_t last = std::min(first + kArity, n);
+        // Branchless child-min scan: the 128-bit key compare lowers to
+        // cmov, so random keys cost no mispredicts.
+        std::size_t best = first;
+        HeapEntry bk = heap_[first];
+        for (std::size_t c = first + 1; c < last; ++c) {
+            const bool lt = before(heap_[c], bk);
+            bk = lt ? heap_[c] : bk;
+            best = lt ? c : best;
+        }
+        if (!before(bk, e))
+            break;
+        heap_[pos] = bk;
+        pos = best;
+    }
+    heap_[pos] = e;
+}
+
+void
+EventQueue::heapPush(const HeapEntry &e)
+{
+    heap_.push_back(e);
+    siftUp(heap_.size() - 1);
+}
+
+EventQueue::HeapEntry
+EventQueue::heapPopTop()
+{
+    const HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return top;
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t w = 0;
+    for (const HeapEntry &e : heap_)
+        if (!stale(e))
+            heap_[w++] = e;
+    heap_.resize(w);
+    if (w < 2)
+        return;
+    // Floyd heapify: sift down every parent, deepest first.
+    for (std::size_t i = (w - 2) / kArity;; --i) {
+        siftDown(i);
+        if (i == 0)
+            break;
+    }
+}
+
+void
+EventQueue::pruneTop()
+{
+    // Cancel-heavy phases (the fleet's airtime-fair channel cancels
+    // and reschedules on every transfer change) would otherwise pay a
+    // full siftDown per stale entry as it surfaces; one O(n) rebuild
+    // amortizes to a few ns per cancelled event.
+    if (heap_.size() > 64 && heap_.size() - live_ > live_ / 4) {
+        compact();
+        return;
+    }
+    while (!heap_.empty() && stale(heap_.front()))
+        heapPopTop();
 }
 
 EventId
-EventQueue::schedule(double time, std::function<void()> fire,
-                     std::function<void()> drop)
+EventQueue::schedule(double time, SmallFn fire, SmallFn drop)
 {
     ROG_ASSERT(time >= now_, "cannot schedule into the past: ", time,
                " < ", now_);
-    const Key key{time, next_seq_++};
-    events_.emplace(key, Entry{std::move(fire), std::move(drop)});
-    return EventId{key.time, key.seq};
+    const std::uint32_t slot = allocNode();
+    const std::uint64_t seq = next_seq_++;
+    seq_[slot] = seq;
+    fires_[slot] = std::move(fire);
+    if (drop) { // the slot's drop is already empty (freeNode resets it)
+        drops_[slot] = std::move(drop);
+        has_drop_[slot] = 1;
+    }
+    heapPush(HeapEntry::make(time, seq, slot));
+    ++live_;
+    return EventId{time, seq, slot};
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (!id.valid())
+    if (!id.valid() || id.slot >= seq_.size())
         return;
-    auto it = events_.find(Key{id.time, id.seq});
-    if (it == events_.end())
+    // The slot recycles: the seq check rejects handles to events that
+    // already fired (or were cancelled) even if the slot was reused.
+    if (seq_[id.slot] != id.seq)
         return;
-    Entry entry = std::move(it->second);
-    events_.erase(it);
-    if (entry.drop)
-        entry.drop();
+    SmallFn drop;
+    if (has_drop_[id.slot])
+        drop = std::move(drops_[id.slot]);
+    // Recycle the slot now; the heap entry goes stale (seq mismatch)
+    // and is skimmed off lazily when it surfaces at the top.
+    freeNode(id.slot);
+    --live_;
+    pruneTop(); // keep the heap top live for peekTime()/step().
+    if (drop)
+        drop();
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (live_ == 0)
         return false;
-    auto it = events_.begin();
-    now_ = it->first.time;
-    // Move out before erasing: the callback may schedule or cancel.
-    Entry entry = std::move(it->second);
-    events_.erase(it);
-    if (entry.fire)
-        entry.fire();
+    // pruneTop() maintains a live top whenever live_ > 0.
+    const HeapEntry top = heapPopTop();
+    now_ = top.time();
+    // Move out before freeing: the callback may schedule or cancel,
+    // growing the arena or recycling this very slot.
+    SmallFn fire = std::move(fires_[top.slot()]);
+    freeNode(top.slot());
+    --live_;
+    pruneTop();
+    if (fire)
+        fire();
     return true;
 }
 
 double
 EventQueue::peekTime() const
 {
-    ROG_ASSERT(!events_.empty(), "peekTime on empty queue");
-    return events_.begin()->first.time;
+    ROG_ASSERT(live_ > 0, "peekTime on empty queue");
+    return heap_.front().time();
 }
 
 } // namespace sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reference event queue over std::map — the seed implementation kept
+ * as a differential oracle and benchmark baseline for the heap event
+ * core in sim/event_queue.hpp (same pattern as tensor ops_ref and
+ * crc32cRef). Every operation matches the heap queue observably:
+ * identical firing sequences for identical schedule/cancel/step
+ * traces, including equal-timestamp bursts, and the same reverse-key
+ * drop order at destruction. Not used on any hot path.
+ */
+#ifndef ROG_SIM_EVENT_QUEUE_REF_HPP
+#define ROG_SIM_EVENT_QUEUE_REF_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace rog {
+namespace sim {
+
+/** Handle to an event scheduled on a MapEventQueue. */
+struct MapEventId
+{
+    double time = 0.0;
+    std::uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+};
+
+/** The seed std::map event queue (oracle / bench baseline). */
+class MapEventQueue
+{
+  public:
+    /** Handle type (generic code templated over queue kinds). */
+    using id_type = MapEventId;
+
+    MapEventQueue() = default;
+    ~MapEventQueue();
+
+    MapEventQueue(const MapEventQueue &) = delete;
+    MapEventQueue &operator=(const MapEventQueue &) = delete;
+
+    MapEventId schedule(double time, std::function<void()> fire,
+                        std::function<void()> drop = {});
+    void cancel(MapEventId id);
+    bool step();
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    double now() const { return now_; }
+    double peekTime() const;
+
+  private:
+    struct Entry
+    {
+        std::function<void()> fire;
+        std::function<void()> drop;
+    };
+
+    struct Key
+    {
+        double time;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (time != o.time)
+                return time < o.time;
+            return seq < o.seq;
+        }
+    };
+
+    std::map<Key, Entry> events_;
+    double now_ = 0.0;
+    std::uint64_t next_seq_ = 1;
+};
+
+} // namespace sim
+} // namespace rog
+
+#endif // ROG_SIM_EVENT_QUEUE_REF_HPP

@@ -6,8 +6,7 @@ namespace rog {
 namespace sim {
 
 EventId
-Simulation::after(double delay, std::function<void()> fire,
-                  std::function<void()> drop)
+Simulation::after(double delay, SmallFn fire, SmallFn drop)
 {
     ROG_ASSERT(delay >= 0.0, "negative delay");
     return queue_.schedule(now() + delay, std::move(fire),
@@ -15,8 +14,7 @@ Simulation::after(double delay, std::function<void()> fire,
 }
 
 EventId
-Simulation::at(double time, std::function<void()> fire,
-               std::function<void()> drop)
+Simulation::at(double time, SmallFn fire, SmallFn drop)
 {
     return queue_.schedule(time, std::move(fire), std::move(drop));
 }

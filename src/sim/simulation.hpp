@@ -5,8 +5,6 @@
 #ifndef ROG_SIM_SIMULATION_HPP
 #define ROG_SIM_SIMULATION_HPP
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 
 namespace rog {
@@ -28,12 +26,10 @@ class Simulation
     double now() const { return queue_.now(); }
 
     /** Schedule a callback after @p delay seconds. @pre delay >= 0 */
-    EventId after(double delay, std::function<void()> fire,
-                  std::function<void()> drop = {});
+    EventId after(double delay, SmallFn fire, SmallFn drop = {});
 
     /** Schedule a callback at absolute time @p time. @pre time>=now */
-    EventId at(double time, std::function<void()> fire,
-               std::function<void()> drop = {});
+    EventId at(double time, SmallFn fire, SmallFn drop = {});
 
     /** Cancel a pending event. */
     void cancel(EventId id) { queue_.cancel(id); }
